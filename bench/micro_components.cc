@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot paths the paper's runtime
+// discussion touches: dependency parsing (fast vs slow backend), semantic
+// graph construction, greedy densification, ILP solving, background
+// statistics lookups and BM25 retrieval.
+#include <benchmark/benchmark.h>
+
+#include "core/qkbfly.h"
+#include "densify/ilp_densifier.h"
+#include "nlp/pipeline.h"
+#include "parser/malt_parser.h"
+#include "parser/mst_parser.h"
+#include "retrieval/search_engine.h"
+#include "synth/dataset.h"
+
+namespace qkbfly {
+namespace {
+
+const SynthDataset& Dataset() {
+  static const SynthDataset* ds = [] {
+    DatasetConfig config;
+    config.wiki_eval_articles = 20;
+    return BuildDataset(config).release();
+  }();
+  return *ds;
+}
+
+std::vector<Token> SampleSentence() {
+  static const std::vector<Token>* tokens = [] {
+    NlpPipeline nlp(Dataset().repository.get());
+    auto s = nlp.AnnotateSentence(
+        "Emily Clark, who married David Cook, was born in Clearbrook on "
+        "May 3, 1985 and studied at University of Clearbrook.");
+    return new std::vector<Token>(s.tokens);
+  }();
+  return *tokens;
+}
+
+void BM_MaltParser(benchmark::State& state) {
+  MaltLikeParser parser;
+  auto tokens = SampleSentence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(tokens));
+  }
+}
+BENCHMARK(BM_MaltParser);
+
+void BM_GraphMstParser(benchmark::State& state) {
+  GraphMstParser parser;
+  auto tokens = SampleSentence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(tokens));
+  }
+}
+BENCHMARK(BM_GraphMstParser);
+
+void BM_NlpPipeline(benchmark::State& state) {
+  const auto& ds = Dataset();
+  NlpPipeline nlp(ds.repository.get());
+  const Document& doc = ds.wiki_eval.front().doc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nlp.Annotate(doc.id, doc.title, doc.text));
+  }
+}
+BENCHMARK(BM_NlpPipeline);
+
+void BM_GreedyDensify(benchmark::State& state) {
+  const auto& ds = Dataset();
+  EngineConfig config;
+  QkbflyEngine engine(ds.repository.get(), &ds.patterns, &ds.stats, config);
+  const Document& doc = ds.wiki_eval.front().doc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ProcessDocument(doc));
+  }
+}
+BENCHMARK(BM_GreedyDensify);
+
+void BM_IlpDensify(benchmark::State& state) {
+  const auto& ds = Dataset();
+  EngineConfig config;
+  config.mode = InferenceMode::kIlp;
+  QkbflyEngine engine(ds.repository.get(), &ds.patterns, &ds.stats, config);
+  const Document& doc = ds.wiki_eval.front().doc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ProcessDocument(doc));
+  }
+}
+BENCHMARK(BM_IlpDensify);
+
+void BM_Canonicalize(benchmark::State& state) {
+  const auto& ds = Dataset();
+  EngineConfig config;
+  QkbflyEngine engine(ds.repository.get(), &ds.patterns, &ds.stats, config);
+  auto result = engine.ProcessDocument(ds.wiki_eval.front().doc);
+  for (auto _ : state) {
+    auto kb = engine.MakeKb();
+    engine.PopulateKb(&kb, result);
+    benchmark::DoNotOptimize(kb.size());
+  }
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_StatsPriorLookup(benchmark::State& state) {
+  const auto& ds = Dataset();
+  const Entity& e = ds.repository->Get(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.stats.Prior(e.canonical_name, 0));
+  }
+}
+BENCHMARK(BM_StatsPriorLookup);
+
+void BM_TypeSignatureLookup(benchmark::State& state) {
+  const auto& ds = Dataset();
+  std::vector<TypeId> person = {*ds.types.Find("PERSON")};
+  std::vector<TypeId> city = {*ds.types.Find("CITY")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.stats.TypeSignatureSum(person, "bear in", city));
+  }
+}
+BENCHMARK(BM_TypeSignatureLookup);
+
+void BM_Bm25Search(benchmark::State& state) {
+  const auto& ds = Dataset();
+  Bm25Index index;
+  index.Build(&ds.background);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search("married in Clearbrook", 10));
+  }
+}
+BENCHMARK(BM_Bm25Search);
+
+}  // namespace
+}  // namespace qkbfly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// The demo UI's search box (Figures 3-4): build a KB over several documents
+// and run subject / predicate / object filters, including Type:-prefixed
+// semantic type search.
+#include <cstdio>
+
+#include "core/qkbfly.h"
+#include "synth/dataset.h"
+
+using namespace qkbfly;
+
+namespace {
+
+void Show(const OnTheFlyKb& kb, const char* subject, const char* predicate,
+          const char* object) {
+  auto hits = kb.Search(subject, predicate, object);
+  std::printf("Subject: %-22s Predicate: %-16s Object: %s\n",
+              *subject ? subject : "(any)", *predicate ? predicate : "(any)",
+              *object ? object : "(any)");
+  std::printf("Show %zu out of %zu facts:\n", hits.size(), kb.size());
+  for (const Fact* fact : hits) {
+    std::printf("  %s\n", kb.FactToString(*fact).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  DatasetConfig config;
+  auto dataset = BuildDataset(config);
+
+  EngineConfig engine_config;
+  QkbflyEngine engine(dataset->repository.get(), &dataset->patterns,
+                      &dataset->stats, engine_config);
+
+  std::vector<Document> docs;
+  for (size_t i = 0; i < dataset->wiki_eval.size() && i < 10; ++i) {
+    docs.push_back(dataset->wiki_eval[i].doc);
+  }
+  OnTheFlyKb kb = engine.BuildKb(docs);
+  std::printf("Built on-the-fly KB with %zu facts from %zu documents.\n\n",
+              kb.size(), docs.size());
+
+  // Type search, like Figure 3's Type:MUSICAL_ARTIST + receive_in_from.
+  Show(kb, "Type:PERSON", "marry", "");
+  Show(kb, "Type:FOOTBALLER", "play_for", "");
+  Show(kb, "", "win", "");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ad-hoc QA over on-the-fly KBs (the paper's Tables 8 and 10): print a few
+// questions, the supporting facts QKBfly extracted, and the final answers.
+#include <cstdio>
+
+#include "eval/metrics.h"
+#include "qa/qa_system.h"
+#include "synth/dataset.h"
+
+using namespace qkbfly;
+
+int main() {
+  DatasetConfig config;
+  config.news_docs = 30;
+  auto dataset = BuildDataset(config);
+
+  DocumentStore wiki_store;
+  DocumentStore news_store;
+  std::vector<const GoldDocument*> corpus;
+  for (const GoldDocument& gd : dataset->wiki_eval) {
+    (void)wiki_store.Add(gd.doc);
+    corpus.push_back(&gd);
+  }
+  for (const GoldDocument& gd : dataset->news) {
+    (void)news_store.Add(gd.doc);
+    corpus.push_back(&gd);
+  }
+
+  auto training =
+      GenerateQuestions(*dataset, corpus, 80, /*seed=*/3, /*emerging_only=*/false);
+  auto questions =
+      GenerateQuestions(*dataset, corpus, 6, /*seed=*/99, /*emerging_only=*/true);
+
+  QaSystem system(dataset.get(), &wiki_store, &news_store, {}, QaMode::kFull);
+  Status trained = system.Train(training);
+  if (!trained.ok()) {
+    std::printf("training failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+
+  for (const QaQuestion& q : questions) {
+    std::printf("Q: %s\n", q.text.c_str());
+    std::printf("   gold:");
+    for (const std::string& g : q.gold_answers) std::printf(" [%s]", g.c_str());
+    std::printf("\n   QKBfly:");
+    auto answers = system.Answer(q);
+    if (answers.empty()) std::printf(" (no answer)");
+    for (const std::string& a : answers) std::printf(" [%s]", a.c_str());
+    auto score = ScoreAnswers(q.gold_answers, answers);
+    std::printf("   (F1 %.2f)\n\n", score.f1);
+  }
+  return 0;
+}

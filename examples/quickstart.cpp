@@ -1,0 +1,47 @@
+// Quickstart: build an on-the-fly KB from one encyclopedia article and print
+// its entities, relations and facts — the shape of the paper's Table 1
+// (Brad Pitt page excerpt).
+#include <cstdio>
+
+#include "core/qkbfly.h"
+#include "synth/dataset.h"
+
+using namespace qkbfly;
+
+int main() {
+  // 1. Build the background world: entity repository (Yago stand-in),
+  //    pattern repository (PATTY stand-in) and corpus statistics.
+  DatasetConfig config;
+  auto dataset = BuildDataset(config);
+
+  // 2. Configure the engine (joint inference, default thresholds).
+  EngineConfig engine_config;
+  QkbflyEngine engine(dataset->repository.get(), &dataset->patterns,
+                      &dataset->stats, engine_config);
+
+  // 3. Pick an up-to-date article and build a KB from it.
+  const GoldDocument& article = dataset->wiki_eval.front();
+  std::printf("=== input document: %s ===\n%s\n\n", article.doc.title.c_str(),
+              article.doc.text.c_str());
+
+  OnTheFlyKb kb = engine.BuildKb({article.doc});
+
+  // 4. Inspect the result (Table 1 format).
+  std::printf("=== Entities & Mentions ===\n");
+  for (const EmergingEntity& e : kb.emerging_entities()) {
+    std::printf("%s* -> ", e.representative.c_str());
+    for (size_t i = 0; i < e.mentions.size(); ++i) {
+      std::printf("%s\"%s\"", i ? ", " : "", e.mentions[i].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(out-of-repository entities are starred)\n\n");
+
+  std::printf("=== Facts (%zu total: %zu triples, %zu higher-arity) ===\n",
+              kb.size(), kb.triple_count(), kb.higher_arity_count());
+  for (const Fact& fact : kb.facts()) {
+    std::printf("%s   [confidence %.2f]\n", kb.FactToString(fact).c_str(),
+                fact.confidence);
+  }
+  return 0;
+}

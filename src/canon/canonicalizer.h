@@ -1,0 +1,50 @@
+// Stage 3 of QKBfly (Section 5): turning the densified semantic graph into
+// canonicalized facts — merging co-reference clusters, introducing emerging
+// entities, mapping relation patterns onto synsets, assembling n-ary facts
+// from the clause structure, and thresholding by confidence.
+#ifndef QKBFLY_CANON_CANONICALIZER_H_
+#define QKBFLY_CANON_CANONICALIZER_H_
+
+#include "canon/onthefly_kb.h"
+#include "densify/greedy_densifier.h"
+#include "graph/semantic_graph.h"
+#include "nlp/annotation.h"
+
+namespace qkbfly {
+
+/// Populates an OnTheFlyKb from densified document graphs.
+class Canonicalizer {
+ public:
+  struct Options {
+    /// The paper's score threshold tau for distilling high-quality facts
+    /// (0.5 for KB construction, 0.9 for the precision-oriented IE task).
+    double confidence_threshold = 0.5;
+
+    /// Mentions whose best link scores below this are treated as emerging
+    /// entities instead (the paper adds "groups ... with very low confidence
+    /// scores" as new entities).
+    double emerging_threshold = 0.05;
+
+    /// QKBfly-triples mode: restrict the KB to binary SPO facts.
+    bool triples_only = false;
+  };
+
+  Canonicalizer(const EntityRepository* repository,
+                const PatternRepository* patterns, Options options)
+      : repository_(repository), patterns_(patterns), options_(options) {}
+
+  /// Converts one densified document graph into facts added to `kb`.
+  void Populate(OnTheFlyKb* kb, const SemanticGraph& graph,
+                const DensifyResult& densified, const AnnotatedDocument& doc) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const EntityRepository* repository_;
+  const PatternRepository* patterns_;
+  Options options_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CANON_CANONICALIZER_H_

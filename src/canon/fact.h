@@ -1,0 +1,62 @@
+// Canonicalized facts: the output representation of the on-the-fly KB.
+// Arguments refer to repository entities, emerging (out-of-repository)
+// entities, or literals; relations refer to pattern-repository synsets or
+// newly discovered patterns.
+#ifndef QKBFLY_CANON_FACT_H_
+#define QKBFLY_CANON_FACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/entity_repository.h"
+#include "kb/pattern_repository.h"
+#include "nlp/annotation.h"
+
+namespace qkbfly {
+
+/// Id of an emerging entity within one OnTheFlyKb.
+using EmergingId = uint32_t;
+
+/// One argument of a canonicalized fact.
+struct FactArg {
+  enum class Kind : uint8_t { kEntity, kEmerging, kLiteral };
+
+  Kind kind = Kind::kLiteral;
+  EntityId entity = kInvalidEntity;    ///< For kEntity.
+  EmergingId emerging = 0;             ///< For kEmerging.
+  std::string surface;                 ///< Representative mention / literal text.
+  std::string normalized;              ///< ISO date etc. for literals.
+  NerType ner = NerType::kNone;
+
+  bool operator==(const FactArg& other) const {
+    if (kind != other.kind) return false;
+    switch (kind) {
+      case Kind::kEntity: return entity == other.entity;
+      case Kind::kEmerging: return emerging == other.emerging;
+      case Kind::kLiteral:
+        return (normalized.empty() ? surface : normalized) ==
+               (other.normalized.empty() ? other.surface : other.normalized);
+    }
+    return false;
+  }
+};
+
+/// One canonicalized (possibly higher-arity) fact.
+struct Fact {
+  RelationId relation = kInvalidRelation;  ///< Synset id, possibly KB-local.
+  std::string relation_pattern;            ///< Surface pattern ("play in").
+  bool negated = false;
+  FactArg subject;
+  std::vector<FactArg> args;
+  double confidence = 1.0;
+  std::string doc_id;
+  int sentence = -1;
+
+  /// 2 = binary (subject + one argument), 3+ = higher-arity.
+  int Arity() const { return 1 + static_cast<int>(args.size()); }
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CANON_FACT_H_

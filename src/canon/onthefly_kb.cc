@@ -1,0 +1,141 @@
+#include "canon/onthefly_kb.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+void OnTheFlyKb::AddFact(Fact fact) {
+  // Merge with an equivalent fact: same canonical relation, same subject and
+  // the same arguments (the paper combines node-edge-node triples whose edge
+  // labels fall into one synset).
+  for (Fact& existing : facts_) {
+    if (existing.relation == fact.relation && existing.negated == fact.negated &&
+        existing.subject == fact.subject && existing.args == fact.args) {
+      existing.confidence = std::max(existing.confidence, fact.confidence);
+      return;
+    }
+  }
+  facts_.push_back(std::move(fact));
+}
+
+EmergingId OnTheFlyKb::AddEmergingEntity(std::string representative,
+                                         std::vector<std::string> mentions,
+                                         NerType ner) {
+  EmergingEntity e;
+  e.id = static_cast<EmergingId>(emerging_.size());
+  e.representative = std::move(representative);
+  e.mentions = std::move(mentions);
+  e.ner = ner;
+  emerging_.push_back(std::move(e));
+  return emerging_.back().id;
+}
+
+RelationId OnTheFlyKb::RelationFor(std::string_view pattern) {
+  if (auto known = patterns_->Lookup(pattern)) return *known;
+  std::string key = PatternRepository::Normalize(pattern);
+  auto it = new_relations_.find(key);
+  if (it != new_relations_.end()) return it->second;
+  RelationId id = static_cast<RelationId>(patterns_->size() + new_relation_names_.size());
+  new_relations_.emplace(key, id);
+  new_relation_names_.push_back(key);
+  return id;
+}
+
+const std::string& OnTheFlyKb::RelationName(RelationId id) const {
+  if (id < patterns_->size()) return patterns_->CanonicalName(id);
+  size_t local = id - patterns_->size();
+  QKB_CHECK_LT(local, new_relation_names_.size());
+  return new_relation_names_[local];
+}
+
+std::string OnTheFlyKb::ArgName(const FactArg& arg) const {
+  switch (arg.kind) {
+    case FactArg::Kind::kEntity:
+      return repository_->Get(arg.entity).canonical_name;
+    case FactArg::Kind::kEmerging:
+      // Out-of-repository entities are starred, as in the paper's Table 1.
+      return emerging_.at(arg.emerging).representative + "*";
+    case FactArg::Kind::kLiteral:
+      return "\"" + (arg.normalized.empty() ? arg.surface : arg.normalized) + "\"";
+  }
+  return arg.surface;
+}
+
+std::string OnTheFlyKb::FactToString(const Fact& fact) const {
+  std::string out = "<" + ArgName(fact.subject) + ", ";
+  if (fact.negated) out += "not ";
+  out += RelationName(fact.relation);
+  for (const FactArg& arg : fact.args) out += ", " + ArgName(arg);
+  out += ">";
+  return out;
+}
+
+size_t OnTheFlyKb::triple_count() const {
+  size_t count = 0;
+  for (const Fact& f : facts_) {
+    if (f.Arity() == 2) ++count;
+  }
+  return count;
+}
+
+size_t OnTheFlyKb::higher_arity_count() const {
+  size_t count = 0;
+  for (const Fact& f : facts_) {
+    if (f.Arity() >= 3) ++count;
+  }
+  return count;
+}
+
+bool OnTheFlyKb::TypeMatches(const FactArg& arg, std::string_view type_name) const {
+  auto type = repository_->type_system().Find(Uppercase(type_name));
+  if (!type) return false;
+  if (arg.kind == FactArg::Kind::kEntity) {
+    return repository_->HasType(arg.entity, *type);
+  }
+  if (arg.kind == FactArg::Kind::kEmerging) {
+    // Emerging entities only carry a coarse NER type.
+    return repository_->type_system().CoarseOf(*type) ==
+               emerging_.at(arg.emerging).ner &&
+           repository_->type_system().Name(*type) ==
+               NerTypeName(emerging_.at(arg.emerging).ner);
+  }
+  return false;
+}
+
+bool OnTheFlyKb::ArgMatches(const FactArg& arg, std::string_view filter) const {
+  if (filter.empty()) return true;
+  if (StartsWith(filter, "Type:")) return TypeMatches(arg, filter.substr(5));
+  std::string name = Lowercase(ArgName(arg));
+  std::string needle = Lowercase(filter);
+  return name.find(needle) != std::string::npos;
+}
+
+std::vector<const Fact*> OnTheFlyKb::Search(std::string_view subject_filter,
+                                            std::string_view predicate_filter,
+                                            std::string_view object_filter) const {
+  std::vector<const Fact*> out;
+  std::string pred_needle = Lowercase(predicate_filter);
+  // Predicate filters use underscores in the demo UI ("receive_in_from").
+  std::replace(pred_needle.begin(), pred_needle.end(), '_', ' ');
+  for (const Fact& fact : facts_) {
+    if (!ArgMatches(fact.subject, subject_filter)) continue;
+    if (!pred_needle.empty()) {
+      std::string name = Lowercase(RelationName(fact.relation));
+      if (name.find(pred_needle) == std::string::npos) continue;
+    }
+    if (!object_filter.empty()) {
+      bool any = false;
+      for (const FactArg& arg : fact.args) {
+        if (ArgMatches(arg, object_filter)) any = true;
+      }
+      if (!any) continue;
+    }
+    out.push_back(&fact);
+  }
+  return out;
+}
+
+}  // namespace qkbfly

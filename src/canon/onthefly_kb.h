@@ -1,0 +1,93 @@
+// The on-the-fly knowledge base (K): canonicalized facts, emerging entities,
+// KB-local relations for unseen patterns, and the search interface the
+// QKBfly demo exposes (including Type:-prefixed type search, Figure 3).
+#ifndef QKBFLY_CANON_ONTHEFLY_KB_H_
+#define QKBFLY_CANON_ONTHEFLY_KB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "canon/fact.h"
+#include "kb/entity_repository.h"
+#include "kb/pattern_repository.h"
+#include "kb/type_system.h"
+
+namespace qkbfly {
+
+/// An entity discovered on the fly that is not in the background repository.
+struct EmergingEntity {
+  EmergingId id = 0;
+  std::string representative;        ///< Longest mention of the cluster.
+  std::vector<std::string> mentions;
+  NerType ner = NerType::kNone;
+};
+
+/// A query-specific knowledge base built by QKBfly.
+class OnTheFlyKb {
+ public:
+  OnTheFlyKb(const EntityRepository* repository, const PatternRepository* patterns)
+      : repository_(repository), patterns_(patterns) {}
+
+  /// Adds a fact, merging it with an existing equivalent fact (same subject,
+  /// canonical relation and arguments) by keeping the higher confidence.
+  void AddFact(Fact fact);
+
+  /// Registers an emerging entity cluster; returns its id.
+  EmergingId AddEmergingEntity(std::string representative,
+                               std::vector<std::string> mentions, NerType ner);
+
+  /// Synset id for a relation pattern: the pattern repository's id if known,
+  /// otherwise a KB-local id minted for the new relation (ids above
+  /// patterns().size()).
+  RelationId RelationFor(std::string_view pattern);
+
+  /// Display name of a relation id (canonical synset name or new pattern).
+  const std::string& RelationName(RelationId id) const;
+
+  /// True if the relation id was minted by this KB for a pattern the
+  /// pattern repository does not know (a "new relation" in paper terms).
+  bool IsNewRelation(RelationId id) const {
+    return id != kInvalidRelation && id >= patterns_->size();
+  }
+
+  /// Display name of an argument.
+  std::string ArgName(const FactArg& arg) const;
+
+  /// Renders a fact as "<subject, relation, arg1, arg2>".
+  std::string FactToString(const Fact& fact) const;
+
+  const std::vector<Fact>& facts() const { return facts_; }
+  const std::vector<EmergingEntity>& emerging_entities() const { return emerging_; }
+  const EmergingEntity& emerging(EmergingId id) const { return emerging_.at(id); }
+
+  size_t size() const { return facts_.size(); }
+  size_t triple_count() const;        ///< Facts with arity exactly 2 (SPO).
+  size_t higher_arity_count() const;  ///< Facts with arity 3+.
+
+  /// The demo's search box: each filter is a substring match on the
+  /// rendered subject / predicate / any object; a "Type:NAME" subject or
+  /// object filter instead matches entities carrying that semantic type.
+  /// Empty filters match everything.
+  std::vector<const Fact*> Search(std::string_view subject_filter,
+                                  std::string_view predicate_filter,
+                                  std::string_view object_filter) const;
+
+  const EntityRepository& repository() const { return *repository_; }
+
+ private:
+  bool ArgMatches(const FactArg& arg, std::string_view filter) const;
+  bool TypeMatches(const FactArg& arg, std::string_view type_name) const;
+
+  const EntityRepository* repository_;
+  const PatternRepository* patterns_;
+  std::vector<Fact> facts_;
+  std::vector<EmergingEntity> emerging_;
+  std::unordered_map<std::string, RelationId> new_relations_;
+  std::vector<std::string> new_relation_names_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CANON_ONTHEFLY_KB_H_

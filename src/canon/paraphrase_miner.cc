@@ -1,0 +1,101 @@
+#include "canon/paraphrase_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Canonical key for a fact argument: entity id, emerging id or literal text.
+std::string ArgKey(const FactArg& arg) {
+  switch (arg.kind) {
+    case FactArg::Kind::kEntity:
+      return "e" + std::to_string(arg.entity);
+    case FactArg::Kind::kEmerging:
+      return "m" + std::to_string(arg.emerging);
+    case FactArg::Kind::kLiteral:
+      return "l" + (arg.normalized.empty() ? arg.surface : arg.normalized);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<MinedSynset> ParaphraseMiner::Mine(const OnTheFlyKb& kb) const {
+  // Support sets per KB-local pattern: the (subject, first-arg) pairs it
+  // connects. Known PATTY relations are already canonical and are skipped.
+  struct PatternInfo {
+    std::set<std::string> pairs;
+    int frequency = 0;
+  };
+  std::map<std::string, PatternInfo> patterns;
+  for (const Fact& fact : kb.facts()) {
+    if (fact.args.empty()) continue;
+    if (!kb.IsNewRelation(fact.relation)) continue;  // PATTY already covers it
+    PatternInfo& info = patterns[kb.RelationName(fact.relation)];
+    ++info.frequency;
+    info.pairs.insert(ArgKey(fact.subject) + "|" + ArgKey(fact.args.front()));
+  }
+
+  // Drop weakly supported patterns.
+  std::vector<std::pair<std::string, PatternInfo>> eligible;
+  for (auto& [name, info] : patterns) {
+    if (static_cast<int>(info.pairs.size()) >= options_.min_support) {
+      eligible.emplace_back(name, std::move(info));
+    }
+  }
+
+  // Greedy agglomerative clustering by Jaccard overlap of support sets.
+  std::vector<int> cluster(eligible.size());
+  for (size_t i = 0; i < eligible.size(); ++i) cluster[i] = static_cast<int>(i);
+  auto find = [&cluster](int x) {
+    while (cluster[static_cast<size_t>(x)] != x) x = cluster[static_cast<size_t>(x)];
+    return x;
+  };
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    for (size_t j = i + 1; j < eligible.size(); ++j) {
+      const auto& a = eligible[i].second.pairs;
+      const auto& b = eligible[j].second.pairs;
+      std::vector<std::string> common;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(common));
+      double unions = static_cast<double>(a.size() + b.size() - common.size());
+      if (unions <= 0) continue;
+      if (static_cast<double>(common.size()) / unions >= options_.min_overlap) {
+        cluster[static_cast<size_t>(find(static_cast<int>(j)))] =
+            find(static_cast<int>(i));
+      }
+    }
+  }
+
+  // Materialize multi-member synsets.
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    groups[find(static_cast<int>(i))].push_back(i);
+  }
+  std::vector<MinedSynset> out;
+  for (const auto& [root, members] : groups) {
+    if (members.size() < 2) continue;
+    MinedSynset synset;
+    std::set<std::string> support;
+    int best_freq = -1;
+    for (size_t m : members) {
+      synset.patterns.push_back(eligible[m].first);
+      support.insert(eligible[m].second.pairs.begin(),
+                     eligible[m].second.pairs.end());
+      if (eligible[m].second.frequency > best_freq) {
+        best_freq = eligible[m].second.frequency;
+        synset.canonical = eligible[m].first;
+      }
+    }
+    synset.support = static_cast<int>(support.size());
+    out.push_back(std::move(synset));
+  }
+  return out;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,51 @@
+// On-the-fly relational paraphrase mining — the paper's closing future-work
+// direction ("on-the-fly relational paraphrase mining would be another
+// important research direction"). New relation patterns that the PATTY
+// repository does not know are clustered by the argument pairs they connect:
+// patterns whose support sets overlap strongly (and whose coarse argument
+// types agree) are merged into new synsets, extending predicate
+// canonicalization beyond the precomputed dictionary.
+#ifndef QKBFLY_CANON_PARAPHRASE_MINER_H_
+#define QKBFLY_CANON_PARAPHRASE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "canon/onthefly_kb.h"
+
+namespace qkbfly {
+
+/// A mined synset of previously unknown patterns.
+struct MinedSynset {
+  std::string canonical;              ///< Most frequent member pattern.
+  std::vector<std::string> patterns;  ///< All member patterns.
+  int support = 0;                    ///< Distinct argument pairs covered.
+};
+
+/// Clusters the KB's new (out-of-PATTY) relation patterns.
+class ParaphraseMiner {
+ public:
+  struct Options {
+    /// Minimum Jaccard overlap between two patterns' argument-pair sets to
+    /// merge them.
+    double min_overlap = 0.4;
+    /// Minimum number of distinct argument pairs a pattern needs before it
+    /// participates in mining at all.
+    int min_support = 2;
+  };
+
+  explicit ParaphraseMiner(Options options) : options_(options) {}
+  ParaphraseMiner() : ParaphraseMiner(Options()) {}
+
+  /// Mines synsets among the KB-local (non-repository) relations of `kb`.
+  /// Only facts with at least one resolved (entity or emerging) argument
+  /// participate; the argument-pair key is (subject, first argument).
+  std::vector<MinedSynset> Mine(const OnTheFlyKb& kb) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CANON_PARAPHRASE_MINER_H_

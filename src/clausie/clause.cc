@@ -1,0 +1,28 @@
+#include "clausie/clause.h"
+
+namespace qkbfly {
+
+const char* ClauseTypeName(ClauseType type) {
+  switch (type) {
+    case ClauseType::kSV: return "SV";
+    case ClauseType::kSVA: return "SVA";
+    case ClauseType::kSVC: return "SVC";
+    case ClauseType::kSVO: return "SVO";
+    case ClauseType::kSVOO: return "SVOO";
+    case ClauseType::kSVOA: return "SVOA";
+    case ClauseType::kSVOC: return "SVOC";
+  }
+  return "?";
+}
+
+std::string Clause::RelationPattern() const {
+  std::string pattern = negated ? "not " + relation : relation;
+  for (const Constituent& adv : adverbials) {
+    if (!adv.preposition.empty()) {
+      pattern += " " + adv.preposition;
+    }
+  }
+  return pattern;
+}
+
+}  // namespace qkbfly

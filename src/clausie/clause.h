@@ -1,0 +1,62 @@
+// Clause representation following Quirk et al. (1985) as used by ClausIE:
+// every English clause is one of SV, SVA, SVC, SVO, SVOO, SVOA, SVOC, and a
+// clause corresponds to exactly one n-ary fact.
+#ifndef QKBFLY_CLAUSIE_CLAUSE_H_
+#define QKBFLY_CLAUSIE_CLAUSE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parser/dependency.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// The seven clause patterns of Quirk et al.
+enum class ClauseType : uint8_t { kSV, kSVA, kSVC, kSVO, kSVOO, kSVOA, kSVOC };
+
+/// Returns "SV", "SVOO", ...
+const char* ClauseTypeName(ClauseType type);
+
+/// One argument constituent of a clause.
+struct Constituent {
+  enum class Role : uint8_t {
+    kSubject,
+    kDirectObject,
+    kIndirectObject,
+    kComplement,   // copular complement or object complement
+    kAdverbial,    // prepositional or bare adverbial argument
+  };
+
+  Role role = Role::kSubject;
+  TokenSpan span;            ///< Full noun-phrase span.
+  int head = -1;             ///< Head token index.
+  std::string preposition;   ///< For adverbials: the lemma of the preposition.
+};
+
+/// A detected clause: verb, typed constituents, and its link to a parent
+/// clause (the "depends" edge of the semantic graph).
+struct Clause {
+  ClauseType type = ClauseType::kSV;
+  int verb = -1;                     ///< Main verb token index.
+  std::string relation;              ///< Lemmatized verb, e.g. "donate".
+  bool negated = false;
+  Constituent subject;
+  bool has_subject = false;
+  std::vector<Constituent> objects;  ///< iobj before dobj when both exist.
+  std::optional<Constituent> complement;
+  std::vector<Constituent> adverbials;
+
+  int parent = -1;                   ///< Index of the governing clause, or -1.
+  DepLabel link = DepLabel::kDep;    ///< How this clause attaches to `parent`.
+
+  /// The relation pattern of the clause: the lemmatized verb plus the
+  /// prepositions of its adverbial arguments in order ("donate to",
+  /// "born in on"), as the paper defines relation-edge labels.
+  std::string RelationPattern() const;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CLAUSIE_CLAUSE_H_

@@ -1,0 +1,278 @@
+#include "clausie/clause_detector.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nlp/lexicon.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Verbs whose intransitive use requires an adverbial (Quirk's SVA pattern):
+// "live in X", "go to X", ...
+const std::unordered_set<std::string>& AdverbialVerbs() {
+  static const std::unordered_set<std::string> kVerbs = {
+      "live", "go", "come", "stay", "sit", "stand", "travel", "move",
+      "arrive", "return", "walk", "fly",
+  };
+  return kVerbs;
+}
+
+// Verbs taking an object complement (SVOC): "named him president".
+const std::unordered_set<std::string>& ComplexTransitiveVerbs() {
+  static const std::unordered_set<std::string> kVerbs = {
+      "name", "call", "elect", "appoint", "consider", "declare", "make",
+  };
+  return kVerbs;
+}
+
+bool IsNpInternal(DepLabel label) {
+  switch (label) {
+    case DepLabel::kDet:
+    case DepLabel::kAmod:
+    case DepLabel::kNn:
+    case DepLabel::kNum:
+    case DepLabel::kPoss:
+    case DepLabel::kPossMark:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TokenSpan ClauseDetector::NpSpan(const std::vector<Token>& tokens,
+                                 const DependencyParse& parse, int head) const {
+  int lo = head;
+  int hi = head;
+  // One BFS level is enough in practice, but walk transitively to cover
+  // "the [French education] minister".
+  std::vector<int> frontier = {head};
+  std::vector<bool> visited(tokens.size(), false);
+  visited[static_cast<size_t>(head)] = true;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int h : frontier) {
+      for (int d = 0; d < static_cast<int>(tokens.size()); ++d) {
+        if (visited[static_cast<size_t>(d)]) continue;
+        if (parse.HeadOf(d) == h && IsNpInternal(parse.LabelOf(d))) {
+          visited[static_cast<size_t>(d)] = true;
+          next.push_back(d);
+          lo = std::min(lo, d);
+          hi = std::max(hi, d);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  // Absorb a name-internal "of"-phrase ("University of Clearbrook"): a prep
+  // "of" hanging off the head whose object is a proper noun.
+  for (int d = 0; d < static_cast<int>(tokens.size()); ++d) {
+    if (parse.HeadOf(d) != head || parse.LabelOf(d) != DepLabel::kPrep) continue;
+    if (!EqualsIgnoreCase(tokens[static_cast<size_t>(d)].text, "of")) continue;
+    auto pobjs = parse.DependentsWithLabel(d, DepLabel::kPobj);
+    if (pobjs.empty()) continue;
+    if (tokens[static_cast<size_t>(pobjs[0])].pos != PosTag::kNNP) continue;
+    hi = std::max(hi, pobjs[0]);
+    lo = std::min(lo, d);
+  }
+  return {lo, hi + 1};
+}
+
+std::vector<Clause> ClauseDetector::Detect(const std::vector<Token>& tokens,
+                                           const DependencyParse& parse) const {
+  const Lexicon& lex = Lexicon::Get();
+  const int n = static_cast<int>(tokens.size());
+
+  // Clause-heading verbs: verbs that are not auxiliaries of another verb.
+  std::vector<int> clause_verbs;
+  for (int i = 0; i < n; ++i) {
+    if (!IsVerbTag(tokens[static_cast<size_t>(i)].pos)) continue;
+    DepLabel l = parse.LabelOf(i);
+    if (l == DepLabel::kAux || l == DepLabel::kAuxPass || l == DepLabel::kCop) {
+      continue;
+    }
+    clause_verbs.push_back(i);
+  }
+
+  std::unordered_map<int, int> clause_of_verb;
+  std::vector<Clause> clauses;
+  clauses.reserve(clause_verbs.size());
+
+  // First pass: build clause shells.
+  for (int v : clause_verbs) {
+    Clause c;
+    c.verb = v;
+    c.relation = tokens[static_cast<size_t>(v)].lemma;
+    clause_of_verb[v] = static_cast<int>(clauses.size());
+
+    for (int d : parse.Dependents(v)) {
+      DepLabel l = parse.LabelOf(d);
+      switch (l) {
+        case DepLabel::kNsubj:
+        case DepLabel::kNsubjPass: {
+          // A relative pronoun subject is resolved to the antecedent below.
+          c.subject.role = Constituent::Role::kSubject;
+          c.subject.head = d;
+          c.subject.span = NpSpan(tokens, parse, d);
+          c.has_subject = true;
+          break;
+        }
+        case DepLabel::kDobj: {
+          Constituent obj;
+          obj.role = Constituent::Role::kDirectObject;
+          obj.head = d;
+          obj.span = NpSpan(tokens, parse, d);
+          c.objects.push_back(obj);
+          break;
+        }
+        case DepLabel::kIobj: {
+          Constituent obj;
+          obj.role = Constituent::Role::kIndirectObject;
+          obj.head = d;
+          obj.span = NpSpan(tokens, parse, d);
+          // Indirect object sorts before the direct object.
+          c.objects.insert(c.objects.begin(), obj);
+          break;
+        }
+        case DepLabel::kAttr: {
+          Constituent comp;
+          comp.role = Constituent::Role::kComplement;
+          comp.head = d;
+          comp.span = NpSpan(tokens, parse, d);
+          c.complement = comp;
+          break;
+        }
+        case DepLabel::kPrep: {
+          // Adverbial argument: the preposition plus its object.
+          auto pobjs = parse.DependentsWithLabel(d, DepLabel::kPobj);
+          if (pobjs.empty()) break;
+          Constituent adv;
+          adv.role = Constituent::Role::kAdverbial;
+          adv.head = pobjs[0];
+          adv.span = NpSpan(tokens, parse, pobjs[0]);
+          adv.preposition = Lowercase(tokens[static_cast<size_t>(d)].text);
+          c.adverbials.push_back(adv);
+          break;
+        }
+        case DepLabel::kNeg:
+          c.negated = true;
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Unclassified trailing nominal ("named him president"): object
+    // complement for complex-transitive verbs.
+    if (!c.objects.empty() &&
+        ComplexTransitiveVerbs().count(c.relation) > 0 && !c.complement) {
+      for (int d : parse.DependentsWithLabel(v, DepLabel::kDep)) {
+        if (d > c.objects.back().head && IsNounTag(tokens[static_cast<size_t>(d)].pos)) {
+          Constituent comp;
+          comp.role = Constituent::Role::kComplement;
+          comp.head = d;
+          comp.span = NpSpan(tokens, parse, d);
+          c.complement = comp;
+          break;
+        }
+      }
+    }
+
+    std::sort(c.adverbials.begin(), c.adverbials.end(),
+              [](const Constituent& a, const Constituent& b) {
+                return a.head < b.head;
+              });
+    clauses.push_back(std::move(c));
+  }
+
+  // Second pass: clause dependencies, inherited subjects, and relative
+  // pronoun resolution.
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    Clause& c = clauses[i];
+    int v = c.verb;
+    DepLabel link = parse.LabelOf(v);
+    int head = parse.HeadOf(v);
+
+    if (link == DepLabel::kRcmod && head >= 0) {
+      // The clause modifies a noun; its WP/WDT subject denotes that noun.
+      auto it = clause_of_verb.find(head);
+      (void)it;
+      c.link = DepLabel::kRcmod;
+      // Parent clause: the clause containing the antecedent, i.e. the verb
+      // the antecedent attaches to (transitively).
+      int anc = head;
+      while (anc >= 0 && clause_of_verb.find(anc) == clause_of_verb.end()) {
+        anc = parse.HeadOf(anc);
+      }
+      if (anc >= 0) c.parent = clause_of_verb[anc];
+      if (c.has_subject &&
+          (tokens[static_cast<size_t>(c.subject.head)].pos == PosTag::kWP ||
+           tokens[static_cast<size_t>(c.subject.head)].pos == PosTag::kWDT)) {
+        c.subject.head = head;
+        c.subject.span = NpSpan(tokens, parse, head);
+      } else if (!c.has_subject) {
+        c.subject.role = Constituent::Role::kSubject;
+        c.subject.head = head;
+        c.subject.span = NpSpan(tokens, parse, head);
+        c.has_subject = true;
+      }
+    } else if (link == DepLabel::kConj || link == DepLabel::kXcomp ||
+               link == DepLabel::kCcomp || link == DepLabel::kAdvcl) {
+      c.link = link;
+      auto it = clause_of_verb.find(head);
+      if (it != clause_of_verb.end()) {
+        c.parent = it->second;
+        // Conjoined and infinitival clauses share the host's subject.
+        if (!c.has_subject && (link == DepLabel::kConj || link == DepLabel::kXcomp)) {
+          const Clause& host = clauses[static_cast<size_t>(it->second)];
+          if (host.has_subject) {
+            c.subject = host.subject;
+            c.has_subject = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Third pass: classification into the seven types.
+  for (Clause& c : clauses) {
+    bool has_obj = !c.objects.empty();
+    bool two_objs = c.objects.size() >= 2;
+    bool has_comp = c.complement.has_value();
+    bool has_adv = !c.adverbials.empty();
+    const std::string& lemma = c.relation;
+
+    if (has_obj) {
+      if (two_objs) {
+        c.type = ClauseType::kSVOO;
+      } else if (has_comp) {
+        c.type = ClauseType::kSVOC;
+      } else if (has_adv && (lex.IsDitransitiveVerb(lemma) ||
+                             AdverbialVerbs().count(lemma) > 0 ||
+                             lemma == "put" || lemma == "place")) {
+        c.type = ClauseType::kSVOA;
+      } else if (has_adv) {
+        // Optional adverbial: ClausIE still reports the richer SVOA reading
+        // so that the adverbial becomes an argument of the n-ary fact.
+        c.type = ClauseType::kSVOA;
+      } else {
+        c.type = ClauseType::kSVO;
+      }
+    } else if (has_comp) {
+      c.type = ClauseType::kSVC;
+    } else if (has_adv) {
+      c.type = ClauseType::kSVA;
+    } else {
+      c.type = ClauseType::kSV;
+    }
+  }
+
+  return clauses;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,30 @@
+// Clause detection over dependency parses (the ClausIE stand-in).
+#ifndef QKBFLY_CLAUSIE_CLAUSE_DETECTOR_H_
+#define QKBFLY_CLAUSIE_CLAUSE_DETECTOR_H_
+
+#include <vector>
+
+#include "clausie/clause.h"
+#include "parser/dependency.h"
+
+namespace qkbfly {
+
+/// Extracts the clauses of one parsed sentence and classifies each into one
+/// of the seven Quirk et al. patterns. The detector is parser-agnostic: it
+/// consumes any DependencyParse.
+class ClauseDetector {
+ public:
+  /// Detects clauses; the parse must correspond to `tokens`.
+  std::vector<Clause> Detect(const std::vector<Token>& tokens,
+                             const DependencyParse& parse) const;
+
+ private:
+  /// Expands a head token to its full contiguous NP span via its
+  /// NP-internal dependents.
+  TokenSpan NpSpan(const std::vector<Token>& tokens, const DependencyParse& parse,
+                   int head) const;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CLAUSIE_CLAUSE_DETECTOR_H_

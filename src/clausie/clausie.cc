@@ -1,0 +1,20 @@
+#include "clausie/clausie.h"
+
+#include "parser/malt_parser.h"
+#include "parser/mst_parser.h"
+
+namespace qkbfly {
+
+ClausIe ClausIe::Original() {
+  PropositionGenerator::Options options;
+  options.all_adverbial_subsets = true;
+  return ClausIe(std::make_unique<GraphMstParser>(), options);
+}
+
+ClausIe ClausIe::Fast() {
+  PropositionGenerator::Options options;
+  options.all_adverbial_subsets = false;
+  return ClausIe(std::make_unique<MaltLikeParser>(), options);
+}
+
+}  // namespace qkbfly

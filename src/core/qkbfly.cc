@@ -1,0 +1,80 @@
+#include "core/qkbfly.h"
+
+#include "densify/ilp_densifier.h"
+#include "densify/pipeline_densifier.h"
+#include "parser/malt_parser.h"
+#include "util/timer.h"
+
+namespace qkbfly {
+
+const char* InferenceModeName(InferenceMode mode) {
+  switch (mode) {
+    case InferenceMode::kJoint: return "QKBfly";
+    case InferenceMode::kPipeline: return "QKBfly-pipeline";
+    case InferenceMode::kNounOnly: return "QKBfly-noun";
+    case InferenceMode::kIlp: return "QKBfly-ilp";
+  }
+  return "?";
+}
+
+QkbflyEngine::QkbflyEngine(const EntityRepository* repository,
+                           const PatternRepository* patterns,
+                           const BackgroundStats* stats, EngineConfig config)
+    : repository_(repository), patterns_(patterns), stats_(stats),
+      config_(config), nlp_(repository),
+      canonicalizer_(repository, patterns, config.canon) {
+  GraphBuilder::Options graph_options = config_.graph;
+  if (config_.mode == InferenceMode::kNounOnly) {
+    graph_options.pronoun_coreference = false;
+  }
+  DensifyParams params = config_.params;
+  if (config_.mode == InferenceMode::kPipeline) {
+    params.alpha4 = 0.0;  // the pipeline variant omits the type signatures
+  }
+  config_.params = params;
+  builder_ = std::make_unique<GraphBuilder>(
+      repository, std::make_unique<MaltLikeParser>(), graph_options);
+}
+
+DocumentResult QkbflyEngine::ProcessDocument(const Document& doc) const {
+  WallTimer timer;
+  DocumentResult result;
+  result.annotated = nlp_.Annotate(doc.id, doc.title, doc.text);
+  result.graph = builder_->Build(result.annotated);
+
+  switch (config_.mode) {
+    case InferenceMode::kJoint:
+    case InferenceMode::kNounOnly: {
+      GreedyDensifier densifier(stats_, repository_, config_.params);
+      result.densified = densifier.Densify(&result.graph, result.annotated);
+      break;
+    }
+    case InferenceMode::kPipeline: {
+      PipelineDensifier densifier(stats_, repository_, config_.params);
+      result.densified = densifier.Densify(&result.graph, result.annotated);
+      break;
+    }
+    case InferenceMode::kIlp: {
+      IlpDensifier densifier(stats_, repository_, config_.params);
+      result.densified = densifier.Densify(&result.graph, result.annotated);
+      break;
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+void QkbflyEngine::PopulateKb(OnTheFlyKb* kb, const DocumentResult& result) const {
+  canonicalizer_.Populate(kb, result.graph, result.densified, result.annotated);
+}
+
+OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<Document>& docs) const {
+  OnTheFlyKb kb(repository_, patterns_);
+  for (const Document& doc : docs) {
+    DocumentResult result = ProcessDocument(doc);
+    PopulateKb(&kb, result);
+  }
+  return kb;
+}
+
+}  // namespace qkbfly

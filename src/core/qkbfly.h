@@ -1,0 +1,88 @@
+// QkbflyEngine: the end-to-end system of Figure 1. Given documents (or, with
+// a SearchEngine attached, a query), it runs linguistic pre-processing,
+// builds per-document semantic graphs, jointly disambiguates and resolves
+// co-references, and canonicalizes the result into an on-the-fly KB.
+#ifndef QKBFLY_CORE_QKBFLY_H_
+#define QKBFLY_CORE_QKBFLY_H_
+
+#include <memory>
+#include <vector>
+
+#include "canon/canonicalizer.h"
+#include "canon/onthefly_kb.h"
+#include "corpus/background_stats.h"
+#include "corpus/document.h"
+#include "densify/greedy_densifier.h"
+#include "graph/graph_builder.h"
+#include "kb/entity_repository.h"
+#include "kb/pattern_repository.h"
+#include "nlp/pipeline.h"
+
+namespace qkbfly {
+
+/// Which inference algorithm refines the semantic graph.
+enum class InferenceMode {
+  kJoint,     ///< Greedy constrained densest subgraph (the QKBfly default).
+  kPipeline,  ///< Stage-separated NED then CR, no type signatures.
+  kNounOnly,  ///< Joint NED but no co-reference resolution (QKBfly-noun).
+  kIlp,       ///< Exact ILP solution of Appendix A (QKBfly-ilp).
+};
+
+const char* InferenceModeName(InferenceMode mode);
+
+/// Engine configuration.
+struct EngineConfig {
+  InferenceMode mode = InferenceMode::kJoint;
+  DensifyParams params;
+  Canonicalizer::Options canon;
+  GraphBuilder::Options graph;
+};
+
+/// The per-document intermediate artifacts, exposed so experiments can
+/// evaluate individual stages (e.g. mention-level NED precision, Table 4).
+struct DocumentResult {
+  AnnotatedDocument annotated;
+  SemanticGraph graph;
+  DensifyResult densified;
+  double seconds = 0.0;  ///< Wall time for this document.
+};
+
+/// The end-to-end QKBfly system.
+class QkbflyEngine {
+ public:
+  /// All pointers must outlive the engine.
+  QkbflyEngine(const EntityRepository* repository,
+               const PatternRepository* patterns, const BackgroundStats* stats,
+               EngineConfig config);
+
+  /// Runs stages 1-2 on one document.
+  DocumentResult ProcessDocument(const Document& doc) const;
+
+  /// Runs stage 3, adding the document's facts to `kb`.
+  void PopulateKb(OnTheFlyKb* kb, const DocumentResult& result) const;
+
+  /// Convenience: full run over a set of documents.
+  OnTheFlyKb BuildKb(const std::vector<Document>& docs) const;
+
+  const EngineConfig& config() const { return config_; }
+  const EntityRepository& repository() const { return *repository_; }
+  const PatternRepository& patterns() const { return *patterns_; }
+  const BackgroundStats& stats() const { return *stats_; }
+  const NlpPipeline& nlp() const { return nlp_; }
+
+  /// Creates an empty KB bound to this engine's repositories.
+  OnTheFlyKb MakeKb() const { return OnTheFlyKb(repository_, patterns_); }
+
+ private:
+  const EntityRepository* repository_;
+  const PatternRepository* patterns_;
+  const BackgroundStats* stats_;
+  EngineConfig config_;
+  NlpPipeline nlp_;
+  std::unique_ptr<GraphBuilder> builder_;
+  Canonicalizer canonicalizer_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CORE_QKBFLY_H_

@@ -1,0 +1,22 @@
+#include "corpus/document.h"
+
+namespace qkbfly {
+
+Status DocumentStore::Add(Document doc) {
+  if (by_id_.count(doc.id) > 0) {
+    return Status::AlreadyExists("duplicate document id: " + doc.id);
+  }
+  by_id_.emplace(doc.id, docs_.size());
+  docs_.push_back(std::move(doc));
+  return Status::OK();
+}
+
+StatusOr<const Document*> DocumentStore::FindById(std::string_view id) const {
+  auto it = by_id_.find(std::string(id));
+  if (it == by_id_.end()) {
+    return Status::NotFound("no document with id '" + std::string(id) + "'");
+  }
+  return &docs_[it->second];
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,148 @@
+#include "deepdive/spouse_extractor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+EntityId DeepDiveSpouse::Link(const std::string& surface) const {
+  const auto& candidates = repository_->CandidatesForAlias(surface);
+  EntityId best = kInvalidEntity;
+  double best_prior = -1.0;
+  for (EntityId e : candidates) {
+    double prior = stats_->Prior(surface, e);
+    if (prior > best_prior) {
+      best_prior = prior;
+      best = e;
+    }
+  }
+  return best;
+}
+
+std::vector<DeepDiveSpouse::RawCandidate> DeepDiveSpouse::Candidates(
+    const AnnotatedDocument& doc, bool training) const {
+  std::vector<RawCandidate> out;
+  auto feature_id = [this, training](const std::string& name) -> int {
+    if (training) return static_cast<int>(features_.Intern(name));
+    auto id = features_.Lookup(name);
+    return id ? static_cast<int>(*id) : -1;
+  };
+
+  for (int s = 0; s < static_cast<int>(doc.sentences.size()); ++s) {
+    const AnnotatedSentence& sentence = doc.sentences[static_cast<size_t>(s)];
+    std::vector<const NerMention*> persons;
+    for (const NerMention& m : sentence.ner_mentions) {
+      if (m.type == NerType::kPerson) persons.push_back(&m);
+    }
+    for (size_t i = 0; i < persons.size(); ++i) {
+      for (size_t j = i + 1; j < persons.size(); ++j) {
+        const NerMention& m1 = *persons[i];
+        const NerMention& m2 = *persons[j];
+        RawCandidate c;
+        c.info.doc_id = doc.id;
+        c.info.sentence = s;
+        c.info.surface1 = SpanText(sentence.tokens, m1.span);
+        c.info.surface2 = SpanText(sentence.tokens, m2.span);
+        c.info.entity1 = Link(c.info.surface1);
+        c.info.entity2 = Link(c.info.surface2);
+
+        // Feature extraction, DeepDive-tutorial style: lemmas between the
+        // mentions, distance bucket, first/last inter-word, words adjacent
+        // to the mentions.
+        auto add = [&c, &feature_id](const std::string& name) {
+          int id = feature_id(name);
+          if (id >= 0) c.features.Add(static_cast<uint32_t>(id), 1.0);
+        };
+        int gap = m2.span.begin - m1.span.end;
+        add("dist=" + std::to_string(std::min(gap, 8)));
+        std::vector<std::string> between;
+        for (int k = m1.span.end; k < m2.span.begin; ++k) {
+          const Token& t = sentence.tokens[static_cast<size_t>(k)];
+          if (t.pos == PosTag::kPUNCT) continue;
+          std::string lemma = Lowercase(t.lemma.empty() ? t.text : t.lemma);
+          add("between=" + lemma);
+          if (IsVerbTag(t.pos)) add("verb=" + lemma);
+          between.push_back(lemma);
+        }
+        if (!between.empty()) {
+          add("first=" + between.front());
+          add("last=" + between.back());
+        }
+        if (m1.span.begin > 0) {
+          add("before1=" +
+              Lowercase(sentence.tokens[static_cast<size_t>(m1.span.begin - 1)].text));
+        }
+        if (m2.span.end < static_cast<int>(sentence.tokens.size())) {
+          add("after2=" +
+              Lowercase(sentence.tokens[static_cast<size_t>(m2.span.end)].text));
+        }
+        c.features.Finalize();
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+Status DeepDiveSpouse::Train(
+    const std::vector<const Document*>& corpus,
+    const std::vector<std::pair<EntityId, EntityId>>& married_pairs) {
+  std::set<std::pair<EntityId, EntityId>> positives;
+  for (const auto& [a, b] : married_pairs) {
+    positives.emplace(std::min(a, b), std::max(a, b));
+  }
+
+  std::vector<LabeledExample> examples;
+  for (const Document* doc : corpus) {
+    AnnotatedDocument annotated = nlp_.Annotate(doc->id, doc->title, doc->text);
+    for (RawCandidate& c : Candidates(annotated, /*training=*/true)) {
+      // Distant supervision by name matching: the pair is positive when any
+      // candidate entities of the two surfaces are a known married couple
+      // (standard distant-supervision practice; per-mention disambiguation
+      // would only add label noise).
+      const auto& cands1 = repository_->CandidatesForAlias(c.info.surface1);
+      const auto& cands2 = repository_->CandidatesForAlias(c.info.surface2);
+      if (cands1.empty() || cands2.empty()) continue;
+      // Ambiguous short names (bare surnames) produce noisy distant labels;
+      // supervise on near-unambiguous mentions only.
+      if (cands1.size() > 2 || cands2.size() > 2) continue;
+      bool label = false;
+      for (EntityId e1 : cands1) {
+        for (EntityId e2 : cands2) {
+          if (positives.count({std::min(e1, e2), std::max(e1, e2)}) > 0) {
+            label = true;
+          }
+        }
+      }
+      LabeledExample ex;
+      ex.features = std::move(c.features);
+      ex.label = label;
+      examples.push_back(std::move(ex));
+    }
+  }
+  if (examples.empty()) {
+    return Status::FailedPrecondition("no distant-supervision candidates found");
+  }
+  QKB_LOG(Info) << "DeepDive spouse: training on " << examples.size()
+                << " distant-supervision examples";
+  LogisticRegression::Options options;
+  options.l2 = 1e-4;  // light regularization: confident per-pattern scores
+  options.max_iterations = 400;
+  return model_.Train(examples, options);
+}
+
+std::vector<SpouseCandidate> DeepDiveSpouse::Extract(const Document& doc) const {
+  QKB_CHECK(model_.trained());
+  AnnotatedDocument annotated = nlp_.Annotate(doc.id, doc.title, doc.text);
+  std::vector<SpouseCandidate> out;
+  for (RawCandidate& c : Candidates(annotated, false)) {
+    c.info.probability = model_.Predict(c.features);
+    out.push_back(std::move(c.info));
+  }
+  return out;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,72 @@
+// DeepDive-style relation-specific extractor for the spouse relation
+// (the paper's Section 7.3 baseline): person-pair candidate generation,
+// distant supervision from known married couples, sparse feature extraction
+// and a logistic-regression model — a faithful miniature of the DeepDive
+// spouse tutorial retrained on KB couples.
+#ifndef QKBFLY_DEEPDIVE_SPOUSE_EXTRACTOR_H_
+#define QKBFLY_DEEPDIVE_SPOUSE_EXTRACTOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/background_stats.h"
+#include "corpus/document.h"
+#include "kb/entity_repository.h"
+#include "ml/logistic_regression.h"
+#include "nlp/pipeline.h"
+#include "util/interner.h"
+
+namespace qkbfly {
+
+/// One scored spouse-pair extraction.
+struct SpouseCandidate {
+  std::string doc_id;
+  int sentence = -1;
+  std::string surface1;
+  std::string surface2;
+  EntityId entity1 = kInvalidEntity;  ///< Prior-argmax link (may be invalid).
+  EntityId entity2 = kInvalidEntity;
+  double probability = 0.0;
+};
+
+/// The per-relation DeepDive pipeline.
+class DeepDiveSpouse {
+ public:
+  DeepDiveSpouse(const EntityRepository* repository, const BackgroundStats* stats)
+      : repository_(repository), stats_(stats), nlp_(repository) {}
+
+  /// Distant supervision: candidate pairs whose linked entities appear in
+  /// `married_pairs` are positives, all other linked pairs negatives.
+  Status Train(const std::vector<const Document*>& corpus,
+               const std::vector<std::pair<EntityId, EntityId>>& married_pairs);
+
+  /// Scores all person-pair candidates of a document.
+  std::vector<SpouseCandidate> Extract(const Document& doc) const;
+
+  bool trained() const { return model_.trained(); }
+
+ private:
+  struct RawCandidate {
+    SpouseCandidate info;
+    SparseVector features;
+  };
+
+  /// Person-pair candidates of one annotated document, with features.
+  /// Interns new feature ids only when `training` is true.
+  std::vector<RawCandidate> Candidates(const AnnotatedDocument& doc,
+                                       bool training) const;
+
+  /// Best-prior entity link for a mention surface.
+  EntityId Link(const std::string& surface) const;
+
+  const EntityRepository* repository_;
+  const BackgroundStats* stats_;
+  NlpPipeline nlp_;
+  mutable StringInterner features_;
+  LogisticRegression model_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_DEEPDIVE_SPOUSE_EXTRACTOR_H_

@@ -1,0 +1,146 @@
+#include "densify/edge_weights.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+EdgeWeights::EdgeWeights(const SemanticGraph* graph, const AnnotatedDocument* doc,
+                         const BackgroundStats* stats,
+                         const EntityRepository* repository,
+                         const DensifyParams& params)
+    : graph_(graph), doc_(doc), stats_(stats), repository_(repository),
+      params_(params) {
+  // Precompute mention context vectors for all text nodes.
+  for (size_t i = 0; i < graph_->node_count(); ++i) {
+    const GraphNode& node = graph_->node(static_cast<NodeId>(i));
+    if (node.kind != NodeKind::kNounPhrase && node.kind != NodeKind::kPronoun) {
+      continue;
+    }
+    if (node.sentence < 0 ||
+        node.sentence >= static_cast<int>(doc_->sentences.size())) {
+      continue;
+    }
+    mention_contexts_.emplace(
+        static_cast<NodeId>(i),
+        stats_->MentionContext(
+            doc_->sentences[static_cast<size_t>(node.sentence)].tokens));
+  }
+}
+
+const std::vector<EntityId>& EdgeWeights::ExactCandidates(NodeId np) const {
+  return repository_->CandidatesForAlias(graph_->node(np).text);
+}
+
+double EdgeWeights::MeansWeight(NodeId np, EntityId entity) const {
+  const GraphNode& node = graph_->node(np);
+  double prior = stats_->Prior(node.text, entity);
+  double sim = 0.0;
+  auto it = mention_contexts_.find(np);
+  if (it != mention_contexts_.end()) {
+    sim = WeightedOverlap(it->second, stats_->EntityContext(entity));
+  }
+  double weight = params_.alpha1 * prior + params_.alpha2 * sim;
+  // Loose dictionary candidates (partial-name matches) are dampened: the
+  // mention is not an actual alias of the entity.
+  const auto& exact = repository_->CandidatesForAlias(node.text);
+  bool is_exact =
+      std::find(exact.begin(), exact.end(), entity) != exact.end();
+  return is_exact ? weight : 0.3 * weight;
+}
+
+const std::vector<TypeId>& EdgeWeights::TypesOf(EntityId e) const {
+  auto it = type_cache_.find(e);
+  if (it != type_cache_.end()) return it->second;
+  std::vector<TypeId> all;
+  for (TypeId t : repository_->Get(e).types) {
+    for (TypeId anc : repository_->type_system().AncestorsOf(t)) {
+      all.push_back(anc);
+    }
+  }
+  return type_cache_.emplace(e, std::move(all)).first->second;
+}
+
+std::vector<TypeId> EdgeWeights::LiteralTypes(const GraphNode& node) const {
+  const TypeSystem& ts = repository_->type_system();
+  if (node.ner == NerType::kTime) return {ts.time()};
+  if (node.ner == NerType::kNumber) return {ts.number()};
+  // Out-of-repository names still carry their coarse NER type, which lets
+  // type signatures constrain relations with emerging arguments.
+  if (node.ner != NerType::kNone) {
+    if (auto type = ts.Find(NerTypeName(node.ner))) return {*type};
+  }
+  return {};
+}
+
+double EdgeWeights::RelationWeight(NodeId a, NodeId b, const std::string& pattern,
+                                   const std::vector<EntityId>& candidates_a,
+                                   const std::vector<EntityId>& candidates_b) const {
+  // Loose (partial-name) candidates vote with the same 0.3 discount as in
+  // the means weight, so they cannot out-shout exact alias matches.
+  auto looseness = [this](NodeId node, const std::vector<EntityId>& candidates) {
+    const auto& exact = ExactCandidates(node);
+    std::vector<double> factors(candidates.size(), 0.3);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (std::find(exact.begin(), exact.end(), candidates[i]) != exact.end()) {
+        factors[i] = 1.0;
+      }
+    }
+    return factors;
+  };
+  std::vector<double> factor_a = looseness(a, candidates_a);
+  std::vector<double> factor_b = looseness(b, candidates_b);
+
+  double coherence = 0.0;
+  for (size_t i = 0; i < candidates_a.size(); ++i) {
+    for (size_t j = 0; j < candidates_b.size(); ++j) {
+      coherence += factor_a[i] * factor_b[j] *
+                   stats_->Coherence(candidates_a[i], candidates_b[j]);
+    }
+  }
+
+  // Type-signature score: every candidate (or literal) type combination,
+  // candidates discounted by their looseness factor.
+  double ts_score = 0.0;
+  const GraphNode& node_a = graph_->node(a);
+  const GraphNode& node_b = graph_->node(b);
+  std::vector<const std::vector<TypeId>*> types_a;
+  std::vector<double> tf_a;
+  std::vector<std::vector<TypeId>> storage;
+  storage.reserve(2);
+  for (size_t i = 0; i < candidates_a.size(); ++i) {
+    types_a.push_back(&TypesOf(candidates_a[i]));
+    tf_a.push_back(factor_a[i]);
+  }
+  if (candidates_a.empty()) {
+    storage.push_back(LiteralTypes(node_a));
+    if (!storage.back().empty()) {
+      types_a.push_back(&storage.back());
+      tf_a.push_back(1.0);
+    }
+  }
+  std::vector<const std::vector<TypeId>*> types_b;
+  std::vector<double> tf_b;
+  for (size_t j = 0; j < candidates_b.size(); ++j) {
+    types_b.push_back(&TypesOf(candidates_b[j]));
+    tf_b.push_back(factor_b[j]);
+  }
+  if (candidates_b.empty()) {
+    storage.push_back(LiteralTypes(node_b));
+    if (!storage.back().empty()) {
+      types_b.push_back(&storage.back());
+      tf_b.push_back(1.0);
+    }
+  }
+  for (size_t i = 0; i < types_a.size(); ++i) {
+    for (size_t j = 0; j < types_b.size(); ++j) {
+      ts_score += tf_a[i] * tf_b[j] *
+                  stats_->TypeSignatureSum(*types_a[i], pattern, *types_b[j]);
+    }
+  }
+
+  return params_.alpha3 * coherence + params_.alpha4 * ts_score;
+}
+
+}  // namespace qkbfly

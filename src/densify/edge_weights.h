@@ -1,0 +1,74 @@
+// Feature functions and edge weights of Section 4: means-edge weights
+// (mention-entity prior + context similarity) and relation-edge weights
+// (entity-entity coherence + type signatures), with the four tunable
+// hyper-parameters alpha_1..alpha_4.
+#ifndef QKBFLY_DENSIFY_EDGE_WEIGHTS_H_
+#define QKBFLY_DENSIFY_EDGE_WEIGHTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/background_stats.h"
+#include "graph/semantic_graph.h"
+#include "kb/entity_repository.h"
+#include "util/sparse_vector.h"
+
+namespace qkbfly {
+
+/// The alpha_1..alpha_4 hyper-parameters (Section 4), learned by L-BFGS in
+/// ParameterTuner; the defaults are sensible starting values.
+struct DensifyParams {
+  double alpha1 = 0.45;  ///< mention-entity prior
+  double alpha2 = 0.25;  ///< mention-context / entity-context similarity
+  double alpha3 = 0.15;  ///< entity-entity coherence on relation edges
+  double alpha4 = 0.35;  ///< type-signature score on relation edges
+};
+
+/// Computes and caches the Section 4 weights against one semantic graph.
+/// The candidate sets passed to RelationWeight are the caller's current
+/// subgraph state, so the same instance serves the greedy algorithm, the
+/// ILP translation and confidence scoring.
+class EdgeWeights {
+ public:
+  EdgeWeights(const SemanticGraph* graph, const AnnotatedDocument* doc,
+              const BackgroundStats* stats, const EntityRepository* repository,
+              const DensifyParams& params);
+
+  /// w(n_i, e_ij) = a1 * prior + a2 * sim(cxt(n_i), cxt(e_ij)).
+  double MeansWeight(NodeId np, EntityId entity) const;
+
+  /// w(n_i, n_t, S) = a3 * sum coh + a4 * sum ts over the given candidate
+  /// sets. `pattern` is the relation-edge label. Literal endpoints pass an
+  /// empty candidate set; their types still feed the ts term via the node.
+  double RelationWeight(NodeId a, NodeId b, const std::string& pattern,
+                        const std::vector<EntityId>& candidates_a,
+                        const std::vector<EntityId>& candidates_b) const;
+
+  /// Repository entities whose alias set contains the mention's surface
+  /// exactly (as opposed to loose partial-name candidates).
+  const std::vector<EntityId>& ExactCandidates(NodeId np) const;
+
+  const DensifyParams& params() const { return params_; }
+  const SemanticGraph& graph() const { return *graph_; }
+
+ private:
+  /// Type ids (with ancestors) of an entity, cached.
+  const std::vector<TypeId>& TypesOf(EntityId e) const;
+
+  /// Type ids of a literal node (TIME / NUMBER), possibly empty.
+  std::vector<TypeId> LiteralTypes(const GraphNode& node) const;
+
+  const SemanticGraph* graph_;
+  const AnnotatedDocument* doc_;
+  const BackgroundStats* stats_;
+  const EntityRepository* repository_;
+  DensifyParams params_;
+
+  // Mention context vectors per text node, built once.
+  std::unordered_map<NodeId, SparseVector> mention_contexts_;
+  mutable std::unordered_map<EntityId, std::vector<TypeId>> type_cache_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_DENSIFY_EDGE_WEIGHTS_H_

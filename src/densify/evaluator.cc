@@ -1,0 +1,287 @@
+#include "densify/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+DensifyEvaluator::DensifyEvaluator(SemanticGraph* graph,
+                                   const AnnotatedDocument& doc,
+                                   const BackgroundStats* stats,
+                                   const EntityRepository* repository,
+                                   const DensifyParams& params)
+    : graph_(graph), repository_(repository),
+      weights_(graph, &doc, stats, repository, params) {
+  for (size_t e = 0; e < graph_->edge_count(); ++e) {
+    switch (graph_->edge(static_cast<EdgeId>(e)).kind) {
+      case EdgeKind::kMeans:
+        means_edges_.push_back(static_cast<EdgeId>(e));
+        break;
+      case EdgeKind::kRelation:
+        relation_edges_.push_back(static_cast<EdgeId>(e));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<EntityId> DensifyEvaluator::EntOfNp(NodeId np) const {
+  std::vector<EntityId> out;
+  for (const auto& [edge, entity_node] : graph_->ActiveMeans(np)) {
+    out.push_back(graph_->node(entity_node).entity);
+  }
+  return out;
+}
+
+std::vector<EntityId> DensifyEvaluator::EntOfPronoun(NodeId p) const {
+  const GraphNode& pro = graph_->node(p);
+  std::set<EntityId> out;
+  for (const auto& [edge, np] : graph_->ActiveSameAs(p)) {
+    if (graph_->node(np).kind != NodeKind::kNounPhrase) continue;
+    for (EntityId e : EntOfNp(np)) {
+      if (GenderConflict(pro, e)) continue;  // constraint (4)
+      out.insert(e);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<EntityId> DensifyEvaluator::EntOf(NodeId node) const {
+  const GraphNode& n = graph_->node(node);
+  if (n.kind == NodeKind::kPronoun) return EntOfPronoun(node);
+  if (n.kind == NodeKind::kNounPhrase && !n.is_literal) return EntOfNp(node);
+  return {};
+}
+
+bool DensifyEvaluator::GenderConflict(const GraphNode& pronoun, EntityId e) const {
+  if (pronoun.gender == Gender::kUnknown) return false;
+  Gender g = repository_->Get(e).gender;
+  if (g == Gender::kUnknown) return false;
+  return g != pronoun.gender;
+}
+
+double DensifyEvaluator::RelationEdgeWeight(EdgeId e) const {
+  const GraphEdge& edge = graph_->edge(e);
+  return weights_.RelationWeight(edge.a, edge.b, edge.label, EntOf(edge.a),
+                                 EntOf(edge.b));
+}
+
+double DensifyEvaluator::Objective() const {
+  double total = 0.0;
+  for (EdgeId e : means_edges_) {
+    const GraphEdge& edge = graph_->edge(e);
+    if (!edge.active) continue;
+    total += weights_.MeansWeight(edge.a, graph_->node(edge.b).entity);
+  }
+  for (EdgeId e : relation_edges_) {
+    total += RelationEdgeWeight(e);
+  }
+  return total;
+}
+
+double DensifyEvaluator::Contribution(EdgeId e) const {
+  const GraphEdge& edge = graph_->edge(e);
+  QKB_CHECK(edge.active);
+  const auto affected = AffectedRelationEdges(e);
+  double before = 0.0;
+  for (EdgeId r : affected) before += RelationEdgeWeight(r);
+  double self = 0.0;
+  if (edge.kind == EdgeKind::kMeans) {
+    self = weights_.MeansWeight(edge.a, graph_->node(edge.b).entity);
+  }
+  graph_->SetEdgeActive(e, false);
+  double after = 0.0;
+  for (EdgeId r : affected) after += RelationEdgeWeight(r);
+  graph_->SetEdgeActive(e, true);
+  return self + (before - after);
+}
+
+std::vector<EdgeId> DensifyEvaluator::AffectedRelationEdges(EdgeId e) const {
+  const GraphEdge& edge = graph_->edge(e);
+  std::unordered_set<NodeId> sources;
+  if (edge.kind == EdgeKind::kMeans) {
+    NodeId mention = edge.a;
+    sources.insert(mention);
+    for (const auto& [se, other] : graph_->ActiveSameAs(mention)) {
+      if (graph_->node(other).kind == NodeKind::kPronoun) sources.insert(other);
+    }
+  } else {
+    NodeId p = graph_->node(edge.a).kind == NodeKind::kPronoun ? edge.a : edge.b;
+    sources.insert(p);
+  }
+  std::vector<EdgeId> out;
+  for (NodeId s : sources) {
+    for (EdgeId r : graph_->ActiveEdges(s, EdgeKind::kRelation)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void DensifyEvaluator::Preprocess() {
+  IntersectSameAsClusters();
+  ApplyGenderConstraint();
+}
+
+void DensifyEvaluator::IntersectSameAsClusters() {
+  auto nps = graph_->NodesOfKind(NodeKind::kNounPhrase);
+  std::unordered_set<NodeId> visited;
+  for (NodeId start : nps) {
+    if (visited.count(start) > 0) continue;
+    std::vector<NodeId> component;
+    std::vector<NodeId> stack = {start};
+    visited.insert(start);
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      component.push_back(n);
+      for (const auto& [e, other] : graph_->ActiveSameAs(n)) {
+        if (graph_->node(other).kind != NodeKind::kNounPhrase) continue;
+        if (visited.insert(other).second) stack.push_back(other);
+      }
+    }
+    if (component.size() < 2) continue;
+    std::set<EntityId> intersection;
+    bool first = true;
+    for (NodeId n : component) {
+      auto ents = EntOfNp(n);
+      if (ents.empty()) continue;  // out-of-KB member does not constrain
+      std::set<EntityId> s(ents.begin(), ents.end());
+      if (first) {
+        intersection = std::move(s);
+        first = false;
+      } else {
+        std::set<EntityId> merged;
+        std::set_intersection(intersection.begin(), intersection.end(), s.begin(),
+                              s.end(), std::inserter(merged, merged.begin()));
+        intersection = std::move(merged);
+      }
+    }
+    if (first || intersection.empty()) continue;
+    for (NodeId n : component) {
+      for (const auto& [e, entity_node] : graph_->ActiveMeans(n)) {
+        if (intersection.count(graph_->node(entity_node).entity) == 0) {
+          graph_->SetEdgeActive(e, false);
+        }
+      }
+    }
+  }
+}
+
+void DensifyEvaluator::ApplyGenderConstraint() {
+  for (NodeId p : graph_->NodesOfKind(NodeKind::kPronoun)) {
+    const GraphNode& pro = graph_->node(p);
+    if (pro.gender == Gender::kUnknown) continue;
+    for (const auto& [e, np] : graph_->ActiveSameAs(p)) {
+      if (graph_->node(np).kind != NodeKind::kNounPhrase) continue;
+      auto candidates = EntOfNp(np);
+      if (candidates.empty()) continue;  // out-of-KB antecedent: keep
+      bool any_compatible = false;
+      for (EntityId c : candidates) {
+        if (!GenderConflict(pro, c)) any_compatible = true;
+      }
+      if (!any_compatible) graph_->SetEdgeActive(e, false);
+    }
+  }
+}
+
+std::vector<EdgeId> DensifyEvaluator::RemovableEdges() const {
+  std::vector<EdgeId> out;
+  for (NodeId np : graph_->NodesOfKind(NodeKind::kNounPhrase)) {
+    auto means = graph_->ActiveMeans(np);
+    if (means.size() >= 2) {
+      for (const auto& [e, entity_node] : means) out.push_back(e);
+    }
+  }
+  for (NodeId p : graph_->NodesOfKind(NodeKind::kPronoun)) {
+    auto links = graph_->ActiveSameAs(p);
+    std::vector<EdgeId> np_links;
+    for (const auto& [e, other] : links) {
+      if (graph_->node(other).kind == NodeKind::kNounPhrase) np_links.push_back(e);
+    }
+    if (np_links.size() >= 2) {
+      out.insert(out.end(), np_links.begin(), np_links.end());
+    }
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, std::vector<EdgeId>> CollectOriginalMeans(
+    const SemanticGraph& graph) {
+  std::unordered_map<NodeId, std::vector<EdgeId>> out;
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+    if (edge.kind == EdgeKind::kMeans && edge.active) {
+      out[edge.a].push_back(static_cast<EdgeId>(e));
+    }
+  }
+  return out;
+}
+
+std::vector<DensifyResult::Assignment> ComputeAssignmentConfidences(
+    DensifyEvaluator* eval,
+    const std::unordered_map<NodeId, std::vector<EdgeId>>& original_means) {
+  std::vector<DensifyResult::Assignment> out;
+  SemanticGraph& graph = eval->graph();
+  for (const auto& [np, candidates] : original_means) {
+    auto active = graph.ActiveMeans(np);
+    if (active.empty()) continue;  // out-of-KB mention
+    EdgeId chosen = active[0].first;
+    EntityId chosen_entity = graph.node(active[0].second).entity;
+
+    double chosen_c = std::max(eval->Contribution(chosen), 0.0);
+    double denom = 0.0;
+    for (EdgeId alt : candidates) {
+      if (alt == chosen) {
+        denom += chosen_c;
+        continue;
+      }
+      graph.SetEdgeActive(chosen, false);
+      graph.SetEdgeActive(alt, true);
+      denom += std::max(eval->Contribution(alt), 0.0);
+      graph.SetEdgeActive(alt, false);
+      graph.SetEdgeActive(chosen, true);
+    }
+
+    DensifyResult::Assignment a;
+    a.mention = np;
+    a.entity = chosen_entity;
+    a.weight = eval->weights().MeansWeight(np, chosen_entity);
+    {
+      const auto& exact = eval->weights().ExactCandidates(np);
+      a.exact_alias =
+          std::find(exact.begin(), exact.end(), chosen_entity) != exact.end();
+    }
+    if (chosen_c > 1e-12) {
+      a.confidence = denom > 0.0 ? chosen_c / denom : 1.0;
+    } else {
+      // No evidence at all. An exact dictionary alias still licenses the
+      // link (uniform over alternatives); a loose partial-name match is a
+      // dictionary artifact and gets rejected downstream.
+      a.confidence =
+          a.exact_alias ? 1.0 / static_cast<double>(candidates.size()) : 0.0;
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, NodeId> ExtractPronounAntecedents(
+    const SemanticGraph& graph) {
+  std::unordered_map<NodeId, NodeId> out;
+  for (NodeId p : graph.NodesOfKind(NodeKind::kPronoun)) {
+    for (const auto& [e, np] : graph.ActiveSameAs(p)) {
+      if (graph.node(np).kind == NodeKind::kNounPhrase) {
+        out[p] = np;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qkbfly

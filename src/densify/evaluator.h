@@ -1,0 +1,124 @@
+// Subgraph evaluation machinery shared by the greedy densifier (Algorithm 1),
+// the ILP densifier (Appendix A) and confidence scoring: candidate-set
+// queries (the ent()/np() notation of Section 4), the objective W(S), and
+// edge contributions c(x, y, S).
+#ifndef QKBFLY_DENSIFY_EVALUATOR_H_
+#define QKBFLY_DENSIFY_EVALUATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "densify/edge_weights.h"
+#include "graph/semantic_graph.h"
+
+namespace qkbfly {
+
+/// The result of densification over one document graph (produced by the
+/// greedy, pipeline and ILP variants alike).
+struct DensifyResult {
+  /// Final mention -> entity assignments with normalized confidence scores.
+  struct Assignment {
+    NodeId mention = kNoNode;
+    EntityId entity = kInvalidEntity;
+    double confidence = 0.0;  ///< Normalized over the original alternatives.
+    double weight = 0.0;      ///< Absolute means-edge weight of the choice.
+    bool exact_alias = false; ///< Mention is an exact alias of the entity.
+  };
+  std::vector<Assignment> assignments;
+
+  /// Resolved pronoun -> antecedent noun-phrase links.
+  std::unordered_map<NodeId, NodeId> pronoun_antecedents;
+
+  double objective = 0.0;  ///< W(S*) of the final subgraph.
+  int edges_removed = 0;
+};
+
+/// Evaluates the current subgraph state (the graph's active-edge flags).
+/// Mutating calls toggle edges through the graph pointer.
+class DensifyEvaluator {
+ public:
+  DensifyEvaluator(SemanticGraph* graph, const AnnotatedDocument& doc,
+                   const BackgroundStats* stats,
+                   const EntityRepository* repository,
+                   const DensifyParams& params);
+
+  SemanticGraph& graph() { return *graph_; }
+  const EdgeWeights& weights() const { return weights_; }
+
+  /// ent(n_i, S): candidate entities of a noun-phrase node.
+  std::vector<EntityId> EntOfNp(NodeId np) const;
+
+  /// ent(p_i, S): gender-filtered union over the pronoun's sameAs links.
+  std::vector<EntityId> EntOfPronoun(NodeId p) const;
+
+  /// Dispatches on node kind; literals return an empty set.
+  std::vector<EntityId> EntOf(NodeId node) const;
+
+  /// Constraint (4): entity gender known and conflicting with the pronoun.
+  bool GenderConflict(const GraphNode& pronoun, EntityId e) const;
+
+  /// Current weight of one relation edge under the active candidate sets.
+  double RelationEdgeWeight(EdgeId e) const;
+
+  /// W(S): sum of active means weights and relation-edge weights.
+  double Objective() const;
+
+  /// c(x, y, S) = W(S) - W(S \ {edge}), computed incrementally over the
+  /// relation edges the removal affects.
+  double Contribution(EdgeId e) const;
+
+  /// Preprocessing: candidate-set intersection over sameAs clusters
+  /// (constraint (3)) and the pronoun gender constraint (constraint (4)).
+  void Preprocess();
+
+  /// Edges the greedy algorithm may remove without violating the
+  /// keep-at-least-one rule: means edges of multi-candidate noun phrases and
+  /// sameAs edges of multi-antecedent pronouns.
+  std::vector<EdgeId> RemovableEdges() const;
+
+  const std::vector<EdgeId>& means_edges() const { return means_edges_; }
+  const std::vector<EdgeId>& relation_edges() const { return relation_edges_; }
+
+ private:
+  std::vector<EdgeId> AffectedRelationEdges(EdgeId e) const;
+  void IntersectSameAsClusters();
+  void ApplyGenderConstraint();
+
+  SemanticGraph* graph_;
+  const EntityRepository* repository_;
+  EdgeWeights weights_;
+  std::vector<EdgeId> means_edges_;
+  std::vector<EdgeId> relation_edges_;
+};
+
+/// Records every noun phrase's means edges before pruning (the confidence
+/// denominators need the original candidate set).
+std::unordered_map<NodeId, std::vector<EdgeId>> CollectOriginalMeans(
+    const SemanticGraph& graph);
+
+/// Section 4 confidence scores for the current (already pruned) graph: the
+/// chosen means edge's contribution normalized over all original
+/// alternatives, each evaluated in the swapped subgraph S_t.
+std::vector<DensifyResult::Assignment> ComputeAssignmentConfidences(
+    DensifyEvaluator* eval,
+    const std::unordered_map<NodeId, std::vector<EdgeId>>& original_means);
+
+/// Reads the surviving pronoun -> antecedent links off the pruned graph.
+std::unordered_map<NodeId, NodeId> ExtractPronounAntecedents(
+    const SemanticGraph& graph);
+
+/// Whether an assignment is a real entity link, as opposed to a leftover
+/// dictionary artifact: both the normalized confidence and the absolute
+/// means weight must clear small floors. The canonicalizer turns rejected
+/// assignments into emerging entities; the NED experiments apply the same
+/// gate.
+inline bool IsConfidentLink(const DensifyResult::Assignment& a) {
+  if (a.confidence < 0.05) return false;
+  // Loose (partial-name) candidates additionally need real evidence; exact
+  // dictionary aliases stand on their own.
+  return a.exact_alias || a.weight >= 0.02;
+}
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_DENSIFY_EVALUATOR_H_

@@ -1,0 +1,92 @@
+#include "densify/greedy_densifier.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Mention node an edge belongs to: the noun phrase of a means edge, the
+// pronoun of a pronoun-sameAs edge.
+NodeId MentionOfEdge(const SemanticGraph& graph, EdgeId e) {
+  const GraphEdge& edge = graph.edge(e);
+  if (edge.kind == EdgeKind::kMeans) return edge.a;
+  return graph.node(edge.a).kind == NodeKind::kPronoun ? edge.a : edge.b;
+}
+
+}  // namespace
+
+DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
+                                       const AnnotatedDocument& doc) const {
+  DensifyEvaluator eval(graph, doc, stats_, repository_, params_);
+  DensifyResult result;
+
+  auto original_means = CollectOriginalMeans(*graph);
+
+  eval.Preprocess();
+
+  // Mention adjacency over relation and sameAs edges, used to invalidate
+  // cached contributions selectively (the paper's "selective and
+  // incremental" recomputation): removing an edge at mention m can only
+  // change contributions within two hops of m (pronoun unions span one hop,
+  // their relation edges another).
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency;
+  for (size_t e = 0; e < graph->edge_count(); ++e) {
+    const GraphEdge& edge = graph->edge(static_cast<EdgeId>(e));
+    if (edge.kind != EdgeKind::kRelation && edge.kind != EdgeKind::kSameAs) {
+      continue;
+    }
+    adjacency[edge.a].push_back(edge.b);
+    adjacency[edge.b].push_back(edge.a);
+  }
+
+  // Greedy loop: remove the means/sameAs edge with the smallest contribution
+  // until constraints (1) and (2) are satisfied everywhere. Contributions
+  // are cached and recomputed only for mentions near the last removal.
+  std::unordered_map<EdgeId, double> cache;
+  while (true) {
+    auto removable = eval.RemovableEdges();
+    if (removable.empty()) break;
+
+    EdgeId best_edge = removable.front();
+    double best_contribution = std::numeric_limits<double>::infinity();
+    for (EdgeId e : removable) {
+      auto it = cache.find(e);
+      double c = it != cache.end() ? it->second : eval.Contribution(e);
+      if (it == cache.end()) cache.emplace(e, c);
+      if (c < best_contribution) {
+        best_contribution = c;
+        best_edge = e;
+      }
+    }
+
+    NodeId mention = MentionOfEdge(*graph, best_edge);
+    graph->SetEdgeActive(best_edge, false);
+    ++result.edges_removed;
+    cache.erase(best_edge);
+
+    // Invalidate cached contributions within two hops of the mention.
+    std::unordered_set<NodeId> dirty = {mention};
+    for (NodeId n1 : adjacency[mention]) {
+      dirty.insert(n1);
+      for (NodeId n2 : adjacency[n1]) dirty.insert(n2);
+    }
+    for (auto it = cache.begin(); it != cache.end();) {
+      if (dirty.count(MentionOfEdge(*graph, it->first)) > 0) {
+        it = cache.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  result.objective = eval.Objective();
+  result.assignments = ComputeAssignmentConfidences(&eval, original_means);
+  result.pronoun_antecedents = ExtractPronounAntecedents(*graph);
+  return result;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,32 @@
+// Algorithm 1 of the paper: greedy approximation of the constrained
+// densest-subgraph problem, jointly performing named-entity disambiguation
+// (pruning means edges) and co-reference resolution (pruning pronoun sameAs
+// edges), with incremental weight recomputation and confidence scoring.
+#ifndef QKBFLY_DENSIFY_GREEDY_DENSIFIER_H_
+#define QKBFLY_DENSIFY_GREEDY_DENSIFIER_H_
+
+#include "densify/evaluator.h"
+
+namespace qkbfly {
+
+/// Greedy densest-subgraph solver. Mutates the graph by deactivating pruned
+/// means / sameAs edges; constraints (1)-(4) of Section 4 hold on exit.
+class GreedyDensifier {
+ public:
+  GreedyDensifier(const BackgroundStats* stats, const EntityRepository* repository,
+                  DensifyParams params)
+      : stats_(stats), repository_(repository), params_(params) {}
+
+  DensifyResult Densify(SemanticGraph* graph, const AnnotatedDocument& doc) const;
+
+  const DensifyParams& params() const { return params_; }
+
+ private:
+  const BackgroundStats* stats_;
+  const EntityRepository* repository_;
+  DensifyParams params_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_DENSIFY_GREEDY_DENSIFIER_H_

@@ -1,0 +1,30 @@
+// QKBfly-ilp (Appendix A): exact joint NED + CR by translating the
+// constrained densest-subgraph problem into a 0/1 integer linear program,
+// solved with the branch-and-bound solver in src/ilp. Much slower than the
+// greedy algorithm — the comparison of Table 6.
+#ifndef QKBFLY_DENSIFY_ILP_DENSIFIER_H_
+#define QKBFLY_DENSIFY_ILP_DENSIFIER_H_
+
+#include "densify/evaluator.h"
+
+namespace qkbfly {
+
+/// Exact densifier. Produces the same DensifyResult shape as the greedy
+/// algorithm; the graph's active edges reflect the ILP solution on exit.
+class IlpDensifier {
+ public:
+  IlpDensifier(const BackgroundStats* stats, const EntityRepository* repository,
+               DensifyParams params)
+      : stats_(stats), repository_(repository), params_(params) {}
+
+  DensifyResult Densify(SemanticGraph* graph, const AnnotatedDocument& doc) const;
+
+ private:
+  const BackgroundStats* stats_;
+  const EntityRepository* repository_;
+  DensifyParams params_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_DENSIFY_ILP_DENSIFIER_H_

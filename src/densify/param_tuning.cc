@@ -1,0 +1,142 @@
+#include "densify/param_tuning.h"
+
+#include <cmath>
+
+#include "ml/lbfgs.h"
+#include "nlp/pipeline.h"
+#include "util/logging.h"
+
+namespace qkbfly {
+
+namespace {
+
+/// Per-fact feature totals: W(S) = a1 f[0] + a2 f[1] + a3 f[2] + a4 f[3].
+struct FactFeatures {
+  double gold[4] = {0, 0, 0, 0};
+  double full[4] = {0, 0, 0, 0};
+};
+
+}  // namespace
+
+StatusOr<DensifyParams> ParameterTuner::Tune(
+    const std::vector<AnnotatedFact>& facts, DensifyParams initial) const {
+  if (facts.empty()) return Status::InvalidArgument("no annotated facts");
+  NlpPipeline nlp(repository_);
+  const TypeSystem& types = repository_->type_system();
+
+  auto types_of = [&](EntityId e) {
+    std::vector<TypeId> out;
+    for (TypeId t : repository_->Get(e).types) {
+      for (TypeId anc : types.AncestorsOf(t)) out.push_back(anc);
+    }
+    return out;
+  };
+
+  // Precompute linear feature totals per fact: the probability of the gold
+  // pair is (alpha . gold) / (alpha . full), so the likelihood is a ratio of
+  // two linear functions of alpha.
+  std::vector<FactFeatures> features;
+  for (const AnnotatedFact& fact : facts) {
+    AnnotatedSentence sentence = nlp.AnnotateSentence(fact.sentence);
+    SparseVector context = stats_->MentionContext(sentence.tokens);
+    const auto& cands1 = repository_->CandidatesForAlias(fact.mention1);
+    const auto& cands2 = repository_->CandidatesForAlias(fact.mention2);
+    if (cands1.empty() || cands2.empty()) continue;
+
+    FactFeatures f;
+    for (EntityId e1 : cands1) {
+      double prior = stats_->Prior(fact.mention1, e1);
+      double sim = WeightedOverlap(context, stats_->EntityContext(e1));
+      f.full[0] += prior;
+      f.full[1] += sim;
+      if (e1 == fact.gold1) {
+        f.gold[0] += prior;
+        f.gold[1] += sim;
+      }
+    }
+    for (EntityId e2 : cands2) {
+      double prior = stats_->Prior(fact.mention2, e2);
+      double sim = WeightedOverlap(context, stats_->EntityContext(e2));
+      f.full[0] += prior;
+      f.full[1] += sim;
+      if (e2 == fact.gold2) {
+        f.gold[0] += prior;
+        f.gold[1] += sim;
+      }
+    }
+    for (EntityId e1 : cands1) {
+      auto t1 = types_of(e1);
+      for (EntityId e2 : cands2) {
+        double coh = stats_->Coherence(e1, e2);
+        double ts = stats_->TypeSignatureSum(t1, fact.pattern, types_of(e2));
+        f.full[2] += coh;
+        f.full[3] += ts;
+        if (e1 == fact.gold1 && e2 == fact.gold2) {
+          f.gold[2] += coh;
+          f.gold[3] += ts;
+        }
+      }
+    }
+    bool usable = false;
+    for (double v : f.gold) usable = usable || v > 0;
+    if (usable) features.push_back(f);
+  }
+  if (features.empty()) {
+    return Status::FailedPrecondition("no usable annotated facts");
+  }
+
+  // Negative log-likelihood over log-alphas (keeps alphas positive).
+  auto objective = [&features](const std::vector<double>& x,
+                               std::vector<double>* grad) {
+    double alpha[4];
+    for (int k = 0; k < 4; ++k) alpha[k] = std::exp(x[static_cast<size_t>(k)]);
+    double nll = 0.0;
+    double galpha[4] = {0, 0, 0, 0};
+    for (const FactFeatures& f : features) {
+      double wg = 1e-9;
+      double wf = 1e-9;
+      for (int k = 0; k < 4; ++k) {
+        wg += alpha[k] * f.gold[k];
+        wf += alpha[k] * f.full[k];
+      }
+      nll -= std::log(wg / wf);
+      for (int k = 0; k < 4; ++k) {
+        galpha[k] -= f.gold[k] / wg - f.full[k] / wf;
+      }
+    }
+    // Weak prior pulling alphas toward 1 pins down the free scale.
+    for (int k = 0; k < 4; ++k) {
+      nll += 0.01 * x[static_cast<size_t>(k)] * x[static_cast<size_t>(k)];
+      (*grad)[static_cast<size_t>(k)] =
+          galpha[k] * alpha[k] + 0.02 * x[static_cast<size_t>(k)];
+    }
+    return nll;
+  };
+
+  std::vector<double> x0 = {std::log(initial.alpha1), std::log(initial.alpha2),
+                            std::log(initial.alpha3), std::log(initial.alpha4)};
+  LbfgsOptions options;
+  options.max_iterations = 300;
+  auto result = MinimizeLbfgs(objective, x0, options);
+  QKB_RETURN_IF_ERROR(result.status());
+
+  DensifyParams tuned;
+  tuned.alpha1 = std::exp(result->x[0]);
+  tuned.alpha2 = std::exp(result->x[1]);
+  tuned.alpha3 = std::exp(result->x[2]);
+  tuned.alpha4 = std::exp(result->x[3]);
+  // Normalize to the default scale (the objective is scale-invariant).
+  double sum = tuned.alpha1 + tuned.alpha2 + tuned.alpha3 + tuned.alpha4;
+  double target = initial.alpha1 + initial.alpha2 + initial.alpha3 + initial.alpha4;
+  double scale = target / sum;
+  tuned.alpha1 *= scale;
+  tuned.alpha2 *= scale;
+  tuned.alpha3 *= scale;
+  tuned.alpha4 *= scale;
+  QKB_LOG(Info) << "tuned alphas: " << tuned.alpha1 << " " << tuned.alpha2 << " "
+                << tuned.alpha3 << " " << tuned.alpha4 << " (from "
+                << features.size() << " facts)";
+  return tuned;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,114 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+double PrecisionStats::WaldHalfWidth95() const {
+  if (total == 0) return 0.0;
+  double p = Precision();
+  return 1.96 * std::sqrt(p * (1.0 - p) / total);
+}
+
+double CohenKappa(const std::vector<std::pair<bool, bool>>& judgements) {
+  if (judgements.empty()) return 0.0;
+  double n = static_cast<double>(judgements.size());
+  double both_yes = 0;
+  double both_no = 0;
+  double a_yes = 0;
+  double b_yes = 0;
+  for (const auto& [a, b] : judgements) {
+    if (a && b) ++both_yes;
+    if (!a && !b) ++both_no;
+    if (a) ++a_yes;
+    if (b) ++b_yes;
+  }
+  double po = (both_yes + both_no) / n;
+  double pe = (a_yes / n) * (b_yes / n) +
+              ((n - a_yes) / n) * ((n - b_yes) / n);
+  if (pe >= 1.0) return 1.0;
+  return (po - pe) / (1.0 - pe);
+}
+
+double PrecisionAtRank(const std::vector<bool>& ranked_correct, int rank) {
+  int n = std::min<int>(rank, static_cast<int>(ranked_correct.size()));
+  if (n == 0) return 0.0;
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ranked_correct[static_cast<size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+std::vector<PrCurvePoint> PrecisionCurve(const std::vector<bool>& ranked_correct,
+                                         int step) {
+  std::vector<PrCurvePoint> curve;
+  int correct = 0;
+  for (size_t i = 0; i < ranked_correct.size(); ++i) {
+    if (ranked_correct[i]) ++correct;
+    int count = static_cast<int>(i) + 1;
+    if (count % step == 0 || i + 1 == ranked_correct.size()) {
+      curve.push_back({count, static_cast<double>(correct) / count});
+    }
+  }
+  return curve;
+}
+
+QaScore ScoreAnswers(const std::vector<std::string>& gold,
+                     const std::vector<std::string>& predicted) {
+  QaScore score;
+  if (predicted.empty() && gold.empty()) {
+    score.precision = score.recall = score.f1 = 1.0;
+    return score;
+  }
+  if (predicted.empty() || gold.empty()) return score;
+
+  auto matches = [](const std::string& a, const std::string& b) {
+    return EqualsIgnoreCase(Trim(a), Trim(b));
+  };
+  int hit_predicted = 0;
+  for (const std::string& p : predicted) {
+    for (const std::string& g : gold) {
+      if (matches(p, g)) {
+        ++hit_predicted;
+        break;
+      }
+    }
+  }
+  int hit_gold = 0;
+  for (const std::string& g : gold) {
+    for (const std::string& p : predicted) {
+      if (matches(p, g)) {
+        ++hit_gold;
+        break;
+      }
+    }
+  }
+  score.precision = static_cast<double>(hit_predicted) / predicted.size();
+  score.recall = static_cast<double>(hit_gold) / gold.size();
+  if (score.precision + score.recall > 0) {
+    score.f1 = 2 * score.precision * score.recall /
+               (score.precision + score.recall);
+  }
+  return score;
+}
+
+QaScore MacroAverage(const std::vector<QaScore>& scores) {
+  QaScore avg;
+  if (scores.empty()) return avg;
+  for (const QaScore& s : scores) {
+    avg.precision += s.precision;
+    avg.recall += s.recall;
+    avg.f1 += s.f1;
+  }
+  double n = static_cast<double>(scores.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  return avg;
+}
+
+}  // namespace qkbfly

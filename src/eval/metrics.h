@@ -1,0 +1,61 @@
+// Evaluation metrics used across the experiment harnesses: precision with
+// Wald 95% confidence intervals, Cohen's kappa (the paper's inter-assessor
+// agreement), precision-recall curves and macro-averaged QA scores.
+#ifndef QKBFLY_EVAL_METRICS_H_
+#define QKBFLY_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace qkbfly {
+
+/// Running correct/total counts.
+struct PrecisionStats {
+  int correct = 0;
+  int total = 0;
+
+  void Add(bool is_correct) {
+    ++total;
+    if (is_correct) ++correct;
+  }
+
+  double Precision() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+  }
+
+  /// Half-width of the Wald 95% interval: z * sqrt(p (1-p) / n).
+  double WaldHalfWidth95() const;
+};
+
+/// Cohen's kappa between two assessors' boolean judgements.
+double CohenKappa(const std::vector<std::pair<bool, bool>>& judgements);
+
+/// Precision among the first `rank` items of a confidence-ranked list of
+/// correctness flags.
+double PrecisionAtRank(const std::vector<bool>& ranked_correct, int rank);
+
+/// A precision-recall-style curve over a ranked list: precision after each
+/// additional extraction (the paper's Figure 5 uses #extractions as x-axis).
+struct PrCurvePoint {
+  int extractions = 0;
+  double precision = 0.0;
+};
+std::vector<PrCurvePoint> PrecisionCurve(const std::vector<bool>& ranked_correct,
+                                         int step);
+
+/// Set-based precision/recall/F1 for one question (case-insensitive string
+/// match between predicted and gold answers).
+struct QaScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+QaScore ScoreAnswers(const std::vector<std::string>& gold,
+                     const std::vector<std::string>& predicted);
+
+/// Macro average over per-question scores.
+QaScore MacroAverage(const std::vector<QaScore>& scores);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_EVAL_METRICS_H_

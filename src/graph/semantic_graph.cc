@@ -1,0 +1,124 @@
+#include "graph/semantic_graph.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kClause: return "clause";
+    case NodeKind::kNounPhrase: return "noun-phrase";
+    case NodeKind::kPronoun: return "pronoun";
+    case NodeKind::kEntity: return "entity";
+  }
+  return "?";
+}
+
+const char* EdgeKindName(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kDepends: return "depends";
+    case EdgeKind::kRelation: return "relation";
+    case EdgeKind::kSameAs: return "sameAs";
+    case EdgeKind::kMeans: return "means";
+  }
+  return "?";
+}
+
+NodeId SemanticGraph::AddNode(GraphNode node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (node.kind == NodeKind::kEntity) {
+    QKB_CHECK_NE(node.entity, kInvalidEntity);
+    auto it = entity_nodes_.find(node.entity);
+    if (it != entity_nodes_.end()) return it->second;
+    entity_nodes_.emplace(node.entity, id);
+  }
+  nodes_.push_back(std::move(node));
+  incident_.emplace_back();
+  return id;
+}
+
+EdgeId SemanticGraph::AddEdge(GraphEdge edge) {
+  QKB_CHECK_GE(edge.a, 0);
+  QKB_CHECK_GE(edge.b, 0);
+  QKB_CHECK_LT(static_cast<size_t>(edge.a), nodes_.size());
+  QKB_CHECK_LT(static_cast<size_t>(edge.b), nodes_.size());
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  incident_[static_cast<size_t>(edge.a)].push_back(id);
+  incident_[static_cast<size_t>(edge.b)].push_back(id);
+  edges_.push_back(std::move(edge));
+  return id;
+}
+
+std::vector<EdgeId> SemanticGraph::ActiveEdges(NodeId node, EdgeKind kind) const {
+  std::vector<EdgeId> out;
+  for (EdgeId e : incident_.at(static_cast<size_t>(node))) {
+    const GraphEdge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.active && edge.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+const std::vector<EdgeId>& SemanticGraph::IncidentEdges(NodeId node) const {
+  return incident_.at(static_cast<size_t>(node));
+}
+
+std::vector<std::pair<EdgeId, NodeId>> SemanticGraph::ActiveMeans(NodeId np) const {
+  std::vector<std::pair<EdgeId, NodeId>> out;
+  for (EdgeId e : incident_.at(static_cast<size_t>(np))) {
+    const GraphEdge& edge = edges_[static_cast<size_t>(e)];
+    if (!edge.active || edge.kind != EdgeKind::kMeans) continue;
+    if (edge.a == np) out.emplace_back(e, edge.b);
+  }
+  return out;
+}
+
+std::vector<std::pair<EdgeId, NodeId>> SemanticGraph::ActiveSameAs(NodeId node) const {
+  std::vector<std::pair<EdgeId, NodeId>> out;
+  for (EdgeId e : incident_.at(static_cast<size_t>(node))) {
+    const GraphEdge& edge = edges_[static_cast<size_t>(e)];
+    if (!edge.active || edge.kind != EdgeKind::kSameAs) continue;
+    out.emplace_back(e, edge.a == node ? edge.b : edge.a);
+  }
+  return out;
+}
+
+std::vector<NodeId> SemanticGraph::NodesOfKind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+NodeId SemanticGraph::EntityNode(EntityId entity) const {
+  auto it = entity_nodes_.find(entity);
+  return it == entity_nodes_.end() ? kNoNode : it->second;
+}
+
+std::string SemanticGraph::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const GraphNode& n = nodes_[i];
+    os << "node " << i << " [" << NodeKindName(n.kind) << "] ";
+    if (n.kind == NodeKind::kClause) {
+      os << ClauseTypeName(n.clause_type) << " '" << n.relation_pattern << "'";
+    } else if (n.kind == NodeKind::kEntity) {
+      os << "entity#" << n.entity;
+    } else {
+      os << "'" << n.text << "'";
+      if (n.sentence >= 0) os << " (s" << n.sentence << ")";
+    }
+    os << "\n";
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const GraphEdge& edge = edges_[e];
+    os << "edge " << e << " " << edge.a << " -" << EdgeKindName(edge.kind);
+    if (!edge.label.empty()) os << "[" << edge.label << "]";
+    os << "-> " << edge.b << (edge.active ? "" : " (pruned)") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,122 @@
+// The semantic-graph representation of Section 3: clause, noun-phrase,
+// pronoun and entity nodes connected by depends, relation, sameAs and means
+// edges. One graph covers one document (the per-sentence graphs of the paper
+// linked by cross-sentence co-reference edges).
+#ifndef QKBFLY_GRAPH_SEMANTIC_GRAPH_H_
+#define QKBFLY_GRAPH_SEMANTIC_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "clausie/clause.h"
+#include "kb/entity_repository.h"
+#include "nlp/annotation.h"
+#include "nlp/lexicon.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+using NodeId = int;
+using EdgeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+/// The four node kinds of the semantic graph.
+enum class NodeKind : uint8_t { kClause, kNounPhrase, kPronoun, kEntity };
+
+/// The four edge kinds of the semantic graph.
+enum class EdgeKind : uint8_t { kDepends, kRelation, kSameAs, kMeans };
+
+const char* NodeKindName(NodeKind kind);
+const char* EdgeKindName(EdgeKind kind);
+
+/// One node. Which fields are meaningful depends on `kind`.
+struct GraphNode {
+  NodeKind kind = NodeKind::kNounPhrase;
+
+  // Text-anchored nodes (clause / noun-phrase / pronoun):
+  int sentence = -1;
+  TokenSpan span;
+  int head_token = -1;
+  std::string text;  ///< Mention surface (without leading determiner for NPs).
+
+  // Noun-phrase nodes:
+  NerType ner = NerType::kNone;
+  bool is_literal = false;          ///< TIME/NUMBER/plain-string argument.
+  std::string normalized_literal;   ///< ISO date etc. when is_literal.
+
+  // Pronoun nodes:
+  Gender gender = Gender::kUnknown;
+  bool plural_pronoun = false;
+
+  // Entity nodes:
+  EntityId entity = kInvalidEntity;
+
+  // Clause nodes:
+  int clause_index = -1;
+  ClauseType clause_type = ClauseType::kSV;
+  std::string relation_pattern;  ///< Full clause pattern, e.g. "donate to".
+  bool negated_clause = false;
+};
+
+/// One edge. `a`/`b` ordering matters for relation (subject -> argument) and
+/// means (mention -> entity) edges.
+struct GraphEdge {
+  EdgeKind kind = EdgeKind::kDepends;
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  std::string label;   ///< Relation pattern for relation edges ("donate to").
+  bool active = true;  ///< The densifier deactivates pruned edges.
+  NodeId clause = kNoNode;  ///< Clause node a relation edge derives from
+                            ///< (kNoNode for the possessive heuristic).
+};
+
+/// Append-only graph structure with adjacency queries that respect the
+/// active flags maintained by the densification algorithm.
+class SemanticGraph {
+ public:
+  NodeId AddNode(GraphNode node);
+  EdgeId AddEdge(GraphEdge edge);
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+  const GraphNode& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  GraphNode& mutable_node(NodeId id) { return nodes_.at(static_cast<size_t>(id)); }
+  const GraphEdge& edge(EdgeId id) const { return edges_.at(static_cast<size_t>(id)); }
+
+  void SetEdgeActive(EdgeId id, bool active) {
+    edges_.at(static_cast<size_t>(id)).active = active;
+  }
+
+  /// Ids of active edges of `kind` incident to `node` (either endpoint).
+  std::vector<EdgeId> ActiveEdges(NodeId node, EdgeKind kind) const;
+
+  /// All edge ids incident to `node` regardless of active flag.
+  const std::vector<EdgeId>& IncidentEdges(NodeId node) const;
+
+  /// Entity node reached from mention `np` via an active means edge id.
+  /// (The means edge goes np -> entity.)
+  std::vector<std::pair<EdgeId, NodeId>> ActiveMeans(NodeId np) const;
+
+  /// Noun-phrase nodes reachable from `pronoun` via active sameAs edges.
+  std::vector<std::pair<EdgeId, NodeId>> ActiveSameAs(NodeId node) const;
+
+  /// All node ids of a given kind.
+  std::vector<NodeId> NodesOfKind(NodeKind kind) const;
+
+  /// Pre-existing entity node for an entity id, or kNoNode.
+  NodeId EntityNode(EntityId entity) const;
+
+  /// Debug rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::unordered_map<EntityId, NodeId> entity_nodes_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_GRAPH_SEMANTIC_GRAPH_H_

@@ -1,0 +1,194 @@
+#include "ilp/ilp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+int IlpModel::AddVariable(double objective) {
+  objective_.push_back(objective);
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void IlpModel::AddConstraint(std::vector<std::pair<int, double>> terms,
+                             double lower, double upper) {
+  Constraint c;
+  c.terms = std::move(terms);
+  c.lower = lower;
+  c.upper = upper;
+  for (const auto& [var, coeff] : c.terms) {
+    QKB_CHECK_GE(var, 0);
+    QKB_CHECK_LT(static_cast<size_t>(var), objective_.size());
+    (void)coeff;
+  }
+  constraints_.push_back(std::move(c));
+}
+
+namespace {
+
+constexpr uint8_t kUnassigned = 2;
+constexpr double kEps = 1e-9;
+
+/// DFS search state with incremental per-constraint achievable bounds.
+class Search {
+ public:
+  Search(const IlpModel& model, uint64_t max_nodes)
+      : model_(model), max_nodes_(max_nodes) {
+    const size_t n = model.variable_count();
+    values_.assign(n, kUnassigned);
+    var_constraints_.assign(n, {});
+    const auto& constraints = model.constraints();
+    cons_min_.resize(constraints.size());
+    cons_max_.resize(constraints.size());
+    for (size_t c = 0; c < constraints.size(); ++c) {
+      double lo = 0.0;
+      double hi = 0.0;
+      for (const auto& [var, coeff] : constraints[c].terms) {
+        if (coeff > 0) {
+          hi += coeff;
+        } else {
+          lo += coeff;
+        }
+        var_constraints_[static_cast<size_t>(var)].push_back(static_cast<int>(c));
+      }
+      cons_min_[c] = lo;
+      cons_max_[c] = hi;
+    }
+    // Optimistic remaining-objective: sum of positive coefficients.
+    optimistic_rest_ = 0.0;
+    for (double c : model.objective()) optimistic_rest_ += std::max(0.0, c);
+    // Branch order: caller-provided, else decreasing |objective| so
+    // impactful variables go first.
+    if (model.branch_order().size() == n) {
+      order_ = model.branch_order();
+    } else {
+      order_.resize(n);
+      for (size_t i = 0; i < n; ++i) order_[i] = static_cast<int>(i);
+      std::sort(order_.begin(), order_.end(), [&model](int a, int b) {
+        return std::fabs(model.objective()[static_cast<size_t>(a)]) >
+               std::fabs(model.objective()[static_cast<size_t>(b)]);
+      });
+    }
+
+    best_objective_ = -std::numeric_limits<double>::infinity();
+  }
+
+  bool Run() {
+    Dfs(0, 0.0, optimistic_rest_);
+    return best_found_;
+  }
+
+  IlpSolution TakeSolution() {
+    IlpSolution s;
+    s.values = best_values_;
+    s.objective = best_objective_;
+    s.optimal = nodes_ < max_nodes_;
+    s.nodes_explored = nodes_;
+    return s;
+  }
+
+ private:
+  // Assign var := value, updating constraint bounds. Returns false if some
+  // constraint becomes unsatisfiable. All bound updates are applied even on
+  // failure so that Unassign always reverses exactly what happened.
+  bool Assign(int var, uint8_t value) {
+    values_[static_cast<size_t>(var)] = value;
+    bool feasible = true;
+    for (int c : var_constraints_[static_cast<size_t>(var)]) {
+      const auto& cons = model_.constraints()[static_cast<size_t>(c)];
+      double coeff = 0.0;
+      for (const auto& [v, co] : cons.terms) {
+        if (v == var) {
+          coeff = co;
+          break;
+        }
+      }
+      // The variable's contribution is now fixed at coeff*value; it was
+      // previously ranging over [min(0,coeff), max(0,coeff)].
+      double fixed = coeff * value;
+      cons_min_[static_cast<size_t>(c)] += fixed - std::min(0.0, coeff);
+      cons_max_[static_cast<size_t>(c)] += fixed - std::max(0.0, coeff);
+      if (cons_min_[static_cast<size_t>(c)] > cons.upper + kEps ||
+          cons_max_[static_cast<size_t>(c)] < cons.lower - kEps) {
+        feasible = false;
+      }
+    }
+    return feasible;
+  }
+
+  void Unassign(int var, uint8_t value) {
+    values_[static_cast<size_t>(var)] = kUnassigned;
+    for (int c : var_constraints_[static_cast<size_t>(var)]) {
+      const auto& cons = model_.constraints()[static_cast<size_t>(c)];
+      double coeff = 0.0;
+      for (const auto& [v, co] : cons.terms) {
+        if (v == var) {
+          coeff = co;
+          break;
+        }
+      }
+      double fixed = coeff * value;
+      cons_min_[static_cast<size_t>(c)] -= fixed - std::min(0.0, coeff);
+      cons_max_[static_cast<size_t>(c)] -= fixed - std::max(0.0, coeff);
+    }
+  }
+
+  void Dfs(size_t depth, double objective, double optimistic_rest) {
+    if (nodes_ >= max_nodes_) return;
+    ++nodes_;
+    if (objective + optimistic_rest <= best_objective_ + kEps) return;  // bound
+    if (depth == order_.size()) {
+      best_objective_ = objective;
+      best_values_ = values_;
+      best_found_ = true;
+      return;
+    }
+    int var = order_[depth];
+    double coeff = model_.objective()[static_cast<size_t>(var)];
+    double gain = std::max(0.0, coeff);
+    // Try the objective-preferred value first.
+    uint8_t first = coeff >= 0 ? 1 : 0;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      uint8_t value = attempt == 0 ? first : static_cast<uint8_t>(1 - first);
+      if (Assign(var, value)) {
+        Dfs(depth + 1, objective + coeff * value, optimistic_rest - gain);
+      }
+      Unassign(var, value);
+      if (nodes_ >= max_nodes_) return;
+    }
+  }
+
+  const IlpModel& model_;
+  uint64_t max_nodes_;
+  uint64_t nodes_ = 0;
+
+  std::vector<uint8_t> values_;
+  std::vector<int> order_;
+  std::vector<std::vector<int>> var_constraints_;
+  std::vector<double> cons_min_;
+  std::vector<double> cons_max_;
+  double optimistic_rest_ = 0.0;
+
+  bool best_found_ = false;
+  double best_objective_;
+  std::vector<uint8_t> best_values_;
+};
+
+}  // namespace
+
+StatusOr<IlpSolution> BranchAndBoundSolver::Maximize(const IlpModel& model) const {
+  if (model.variable_count() == 0) {
+    IlpSolution s;
+    s.optimal = true;
+    return s;
+  }
+  Search search(model, options_.max_nodes);
+  if (!search.Run()) {
+    return Status::FailedPrecondition("ILP model is infeasible");
+  }
+  return search.TakeSolution();
+}
+
+}  // namespace qkbfly

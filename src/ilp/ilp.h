@@ -1,0 +1,83 @@
+// A small 0/1 integer linear programming solver (the stand-in for Gurobi in
+// the paper's QKBfly-ilp configuration): exact branch-and-bound with
+// constraint propagation over binary variables.
+#ifndef QKBFLY_ILP_ILP_H_
+#define QKBFLY_ILP_ILP_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qkbfly {
+
+/// A 0/1 ILP: maximize c^T x subject to lower <= A x <= upper, x binary.
+class IlpModel {
+ public:
+  /// Adds a binary variable with the given objective coefficient; returns
+  /// its index.
+  int AddVariable(double objective);
+
+  /// Adds the constraint lower <= sum coeff_i * x_i <= upper.
+  /// Use +/-infinity for one-sided constraints.
+  void AddConstraint(std::vector<std::pair<int, double>> terms, double lower,
+                     double upper);
+
+  size_t variable_count() const { return objective_.size(); }
+  size_t constraint_count() const { return constraints_.size(); }
+
+  const std::vector<double>& objective() const { return objective_; }
+
+  /// Optional branching order (a permutation of the variable indices).
+  /// Grouping tightly-constrained variables (e.g. one mention's candidates)
+  /// lets the solver detect conflicts early. Defaults to decreasing
+  /// |objective|.
+  void SetBranchOrder(std::vector<int> order) { branch_order_ = std::move(order); }
+  const std::vector<int>& branch_order() const { return branch_order_; }
+
+  struct Constraint {
+    std::vector<std::pair<int, double>> terms;
+    double lower = -std::numeric_limits<double>::infinity();
+    double upper = std::numeric_limits<double>::infinity();
+  };
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+  std::vector<int> branch_order_;
+};
+
+/// Result of a solve.
+struct IlpSolution {
+  std::vector<uint8_t> values;  ///< 0/1 per variable.
+  double objective = 0.0;
+  bool optimal = false;     ///< False when a limit cut the search short.
+  uint64_t nodes_explored = 0;
+};
+
+/// Depth-first branch-and-bound maximizer with unit-style propagation and an
+/// optimistic objective bound.
+class BranchAndBoundSolver {
+ public:
+  struct Options {
+    uint64_t max_nodes = 50'000'000;  ///< Search-node budget.
+  };
+
+  explicit BranchAndBoundSolver(Options options) : options_(options) {}
+  BranchAndBoundSolver() : BranchAndBoundSolver(Options()) {}
+
+  /// Solves the model; returns the best solution found. Fails only when the
+  /// model is infeasible.
+  StatusOr<IlpSolution> Maximize(const IlpModel& model) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_ILP_ILP_H_

@@ -1,0 +1,122 @@
+#include "kb/entity_repository.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+EntityId EntityRepository::AddEntity(std::string_view canonical_name,
+                                     const std::vector<std::string>& aliases,
+                                     const std::vector<TypeId>& types,
+                                     Gender gender) {
+  EntityId id = static_cast<EntityId>(entities_.size());
+  Entity e;
+  e.id = id;
+  e.canonical_name = std::string(canonical_name);
+  e.types = types;
+  e.gender = gender;
+  e.aliases.push_back(e.canonical_name);
+  for (const std::string& a : aliases) {
+    if (!EqualsIgnoreCase(a, canonical_name)) e.aliases.push_back(a);
+  }
+  for (const std::string& a : e.aliases) {
+    std::string key = Lowercase(a);
+    auto& bucket = alias_index_[key];
+    if (std::find(bucket.begin(), bucket.end(), id) == bucket.end()) {
+      bucket.push_back(id);
+    }
+    int tokens = 1 + static_cast<int>(std::count(key.begin(), key.end(), ' '));
+    max_alias_tokens_ = std::max(max_alias_tokens_, tokens);
+    for (const std::string& token : SplitWhitespace(key)) {
+      if (token.size() < 3) continue;  // skip particles ("of", "the")
+      auto& t_bucket = token_index_[token];
+      if (std::find(t_bucket.begin(), t_bucket.end(), id) == t_bucket.end()) {
+        t_bucket.push_back(id);
+      }
+    }
+  }
+  by_name_.emplace(e.canonical_name, id);
+  entities_.push_back(std::move(e));
+  return id;
+}
+
+const Entity& EntityRepository::Get(EntityId id) const {
+  QKB_CHECK_LT(id, entities_.size());
+  return entities_[id];
+}
+
+const std::vector<EntityId>& EntityRepository::CandidatesForAlias(
+    std::string_view alias) const {
+  static const std::vector<EntityId> kEmpty;
+  auto it = alias_index_.find(Lowercase(alias));
+  return it == alias_index_.end() ? kEmpty : it->second;
+}
+
+bool EntityRepository::HasAlias(std::string_view alias) const {
+  return !CandidatesForAlias(alias).empty();
+}
+
+std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention,
+                                                        size_t limit) const {
+  std::vector<EntityId> out = CandidatesForAlias(mention);
+  for (const std::string& token : SplitWhitespace(Lowercase(mention))) {
+    auto it = token_index_.find(token);
+    if (it == token_index_.end()) continue;
+    for (EntityId e : it->second) {
+      if (out.size() >= limit) return out;
+      if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+StatusOr<EntityId> EntityRepository::FindByName(
+    std::string_view canonical_name) const {
+  auto it = by_name_.find(std::string(canonical_name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no entity named '" + std::string(canonical_name) + "'");
+  }
+  return it->second;
+}
+
+NerType EntityRepository::CoarseTypeOf(EntityId id) const {
+  const Entity& e = Get(id);
+  if (e.types.empty()) return NerType::kMisc;
+  return types_->CoarseOf(e.types.front());
+}
+
+bool EntityRepository::HasType(EntityId id, TypeId t) const {
+  const Entity& e = Get(id);
+  for (TypeId mine : e.types) {
+    if (types_->IsA(mine, t)) return true;
+  }
+  return false;
+}
+
+int EntityRepository::LongestMatchAt(const std::vector<Token>& tokens, int begin,
+                                     NerType* type) const {
+  const int n = static_cast<int>(tokens.size());
+  // Names start with a capitalized token; this keeps the gazetteer from
+  // matching lowercase common words that happen to be aliases.
+  if (begin >= n || !IsCapitalized(tokens[static_cast<size_t>(begin)].text)) {
+    return 0;
+  }
+  int best_len = 0;
+  NerType best_type = NerType::kNone;
+  std::string candidate;
+  for (int len = 1; len <= max_alias_tokens_ && begin + len <= n; ++len) {
+    if (len > 1) candidate += ' ';
+    candidate += Lowercase(tokens[static_cast<size_t>(begin + len - 1)].text);
+    auto it = alias_index_.find(candidate);
+    if (it != alias_index_.end() && !it->second.empty()) {
+      best_len = len;
+      best_type = CoarseTypeOf(it->second.front());
+    }
+  }
+  if (best_len > 0 && type != nullptr) *type = best_type;
+  return best_len;
+}
+
+}  // namespace qkbfly

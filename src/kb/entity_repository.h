@@ -1,0 +1,85 @@
+// Entity repository (the Yago stand-in): known entities with alias names,
+// semantic types and gender. Only alias and gender knowledge is used by
+// QKBfly, exactly as the paper restricts its use of Yago.
+#ifndef QKBFLY_KB_ENTITY_REPOSITORY_H_
+#define QKBFLY_KB_ENTITY_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/type_system.h"
+#include "nlp/lexicon.h"
+#include "nlp/ner.h"
+#include "util/status.h"
+
+namespace qkbfly {
+
+using EntityId = uint32_t;
+inline constexpr EntityId kInvalidEntity = 0xFFFFFFFFu;
+
+/// One repository entity.
+struct Entity {
+  EntityId id = kInvalidEntity;
+  std::string canonical_name;
+  std::vector<std::string> aliases;  ///< Includes the canonical name.
+  std::vector<TypeId> types;         ///< Most-specific types.
+  Gender gender = Gender::kUnknown;  ///< For PERSON entities when known.
+};
+
+/// The background entity dictionary. Implements Gazetteer so NER can
+/// recognize repository names, and provides candidate generation for NED.
+class EntityRepository : public Gazetteer {
+ public:
+  explicit EntityRepository(const TypeSystem* types) : types_(types) {}
+
+  /// Registers an entity; `aliases` need not contain the canonical name.
+  EntityId AddEntity(std::string_view canonical_name,
+                     const std::vector<std::string>& aliases,
+                     const std::vector<TypeId>& types,
+                     Gender gender = Gender::kUnknown);
+
+  const Entity& Get(EntityId id) const;
+  size_t size() const { return entities_.size(); }
+
+  /// Entity ids whose alias set contains `alias` (case-insensitive).
+  const std::vector<EntityId>& CandidatesForAlias(std::string_view alias) const;
+
+  /// True if any entity carries this alias.
+  bool HasAlias(std::string_view alias) const;
+
+  /// Loose candidate generation (Babelfy-style): entities sharing any name
+  /// token with the mention ("Kaelen Drax" also proposes every "Kaelen" and
+  /// every "Drax"). Exact-alias candidates come first; capped at `limit`.
+  std::vector<EntityId> LooseCandidates(std::string_view mention,
+                                        size_t limit) const;
+
+  /// Entity id by exact canonical name.
+  StatusOr<EntityId> FindByName(std::string_view canonical_name) const;
+
+  /// Coarse NER category of an entity (via its first type).
+  NerType CoarseTypeOf(EntityId id) const;
+
+  /// True iff the entity has a (transitive) type `t`.
+  bool HasType(EntityId id, TypeId t) const;
+
+  const TypeSystem& type_system() const { return *types_; }
+
+  // Gazetteer:
+  int LongestMatchAt(const std::vector<Token>& tokens, int begin,
+                     NerType* type) const override;
+
+ private:
+  const TypeSystem* types_;
+  std::vector<Entity> entities_;
+  std::unordered_map<std::string, std::vector<EntityId>> alias_index_;
+  std::unordered_map<std::string, std::vector<EntityId>> token_index_;
+  std::unordered_map<std::string, EntityId> by_name_;
+  int max_alias_tokens_ = 0;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_KB_ENTITY_REPOSITORY_H_

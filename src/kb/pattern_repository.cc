@@ -1,0 +1,63 @@
+#include "kb/pattern_repository.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+std::string PatternRepository::Normalize(std::string_view pattern) {
+  std::string lower = Lowercase(Trim(pattern));
+  if (StartsWith(lower, "not ")) lower = lower.substr(4);
+  // Collapse internal whitespace runs.
+  std::string out;
+  bool in_space = false;
+  for (char c : lower) {
+    if (c == ' ' || c == '\t') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out += ' ';
+    in_space = false;
+    out += c;
+  }
+  return out;
+}
+
+RelationId PatternRepository::AddSynset(std::string_view canonical_name,
+                                        const std::vector<std::string>& patterns) {
+  RelationId id = static_cast<RelationId>(canonical_.size());
+  canonical_.emplace_back(canonical_name);
+  patterns_.emplace_back();
+  auto claim = [this, id](std::string_view pattern) {
+    std::string key = Normalize(pattern);
+    if (key.empty()) return;
+    auto [it, inserted] = by_pattern_.emplace(key, id);
+    if (inserted) {
+      patterns_[id].push_back(key);
+    } else if (it->second != id) {
+      QKB_LOG(Debug) << "pattern '" << key << "' already owned by synset "
+                     << it->second;
+    }
+  };
+  claim(canonical_name);
+  for (const std::string& p : patterns) claim(p);
+  return id;
+}
+
+std::optional<RelationId> PatternRepository::Lookup(std::string_view pattern) const {
+  auto it = by_pattern_.find(Normalize(pattern));
+  if (it == by_pattern_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& PatternRepository::CanonicalName(RelationId id) const {
+  QKB_CHECK_LT(id, canonical_.size());
+  return canonical_[id];
+}
+
+const std::vector<std::string>& PatternRepository::Patterns(RelationId id) const {
+  QKB_CHECK_LT(id, patterns_.size());
+  return patterns_[id];
+}
+
+}  // namespace qkbfly

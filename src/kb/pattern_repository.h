@@ -1,0 +1,52 @@
+// Pattern repository (the PATTY stand-in): synsets of relational paraphrases
+// used to canonicalize relation patterns ("play in" = "act in" = "star in").
+#ifndef QKBFLY_KB_PATTERN_REPOSITORY_H_
+#define QKBFLY_KB_PATTERN_REPOSITORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qkbfly {
+
+using RelationId = uint32_t;
+inline constexpr RelationId kInvalidRelation = 0xFFFFFFFFu;
+
+/// Immutable dictionary of relation synsets. Patterns are verb-lemma phrases
+/// with optional prepositions, normalized to lowercase single-spaced form.
+class PatternRepository {
+ public:
+  /// Registers a synset; the canonical name is also registered as a pattern.
+  /// Patterns already claimed by another synset are skipped with a warning
+  /// (first owner wins), mirroring PATTY's dominant-sense assignment.
+  RelationId AddSynset(std::string_view canonical_name,
+                       const std::vector<std::string>& patterns);
+
+  /// Synset id for a (normalized) pattern, if known.
+  std::optional<RelationId> Lookup(std::string_view pattern) const;
+
+  const std::string& CanonicalName(RelationId id) const;
+  const std::vector<std::string>& Patterns(RelationId id) const;
+  size_t size() const { return canonical_.size(); }
+
+  /// Total number of registered paraphrase patterns.
+  size_t pattern_count() const { return by_pattern_.size(); }
+
+  /// Normalization applied to every pattern before lookup: lowercase,
+  /// single spaces, "not "-prefix stripped (negation is kept on the fact).
+  static std::string Normalize(std::string_view pattern);
+
+ private:
+  std::vector<std::string> canonical_;
+  std::vector<std::vector<std::string>> patterns_;
+  std::unordered_map<std::string, RelationId> by_pattern_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_KB_PATTERN_REPOSITORY_H_

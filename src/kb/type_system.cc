@@ -1,0 +1,179 @@
+#include "kb/type_system.h"
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+StatusOr<TypeId> TypeSystem::AddType(std::string_view name,
+                                     const std::vector<TypeId>& parents) {
+  std::string key(name);
+  if (by_name_.count(key) > 0) {
+    return Status::AlreadyExists("type already registered: " + key);
+  }
+  for (TypeId p : parents) {
+    if (p >= names_.size()) {
+      return Status::InvalidArgument("unknown parent type id");
+    }
+  }
+  TypeId id = static_cast<TypeId>(names_.size());
+  names_.push_back(key);
+  parents_.push_back(parents);
+  // Ancestor mask: union of parents' masks plus self.
+  std::vector<bool> mask(names_.size(), false);
+  mask[id] = true;
+  for (TypeId p : parents) {
+    const auto& pm = ancestor_mask_[p];
+    for (size_t i = 0; i < pm.size(); ++i) {
+      if (pm[i]) mask[i] = true;
+    }
+  }
+  ancestor_mask_.push_back(std::move(mask));
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<TypeId> TypeSystem::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TypeSystem::Name(TypeId id) const {
+  QKB_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+bool TypeSystem::IsA(TypeId a, TypeId b) const {
+  QKB_CHECK_LT(a, names_.size());
+  QKB_CHECK_LT(b, names_.size());
+  const auto& mask = ancestor_mask_[a];
+  return b < mask.size() && mask[b];
+}
+
+std::vector<TypeId> TypeSystem::AncestorsOf(TypeId a) const {
+  QKB_CHECK_LT(a, names_.size());
+  std::vector<TypeId> out;
+  const auto& mask = ancestor_mask_[a];
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) out.push_back(static_cast<TypeId>(i));
+  }
+  return out;
+}
+
+NerType TypeSystem::CoarseOf(TypeId a) const {
+  struct Root {
+    const char* name;
+    NerType ner;
+  };
+  static constexpr Root kRoots[] = {
+      {"PERSON", NerType::kPerson},
+      {"ORGANIZATION", NerType::kOrganization},
+      {"LOCATION", NerType::kLocation},
+      {"TIME", NerType::kTime},
+      {"NUMBER", NerType::kNumber},
+  };
+  for (const Root& root : kRoots) {
+    auto id = Find(root.name);
+    if (id && IsA(a, *id)) return root.ner;
+  }
+  return NerType::kMisc;
+}
+
+TypeSystem TypeSystem::BuildDefault() {
+  TypeSystem ts;
+  auto add = [&ts](std::string_view name,
+                   std::initializer_list<std::string_view> parents) {
+    std::vector<TypeId> ids;
+    for (std::string_view p : parents) {
+      auto id = ts.Find(p);
+      QKB_CHECK(id.has_value()) << "unknown parent " << p;
+      ids.push_back(*id);
+    }
+    auto result = ts.AddType(name, ids);
+    QKB_CHECK(result.ok());
+    return *result;
+  };
+
+  // Coarse roots (the five NER categories plus literals).
+  add("PERSON", {});
+  add("ORGANIZATION", {});
+  add("LOCATION", {});
+  add("MISC", {});
+  add("TIME", {});
+  add("NUMBER", {});
+
+  // Person hierarchy.
+  add("ARTIST", {"PERSON"});
+  add("ACTOR", {"ARTIST"});
+  add("MUSICAL_ARTIST", {"ARTIST"});
+  add("SINGER", {"MUSICAL_ARTIST"});
+  add("COMPOSER", {"MUSICAL_ARTIST"});
+  add("DIRECTOR", {"ARTIST"});
+  add("PRODUCER", {"ARTIST"});
+  add("WRITER", {"ARTIST"});
+  add("AUTHOR", {"WRITER"});
+  add("NOVELIST", {"AUTHOR"});
+  add("JOURNALIST", {"WRITER"});
+  add("MODEL", {"PERSON"});
+  add("ATHLETE", {"PERSON"});
+  add("FOOTBALLER", {"ATHLETE"});
+  add("BASKETBALL_PLAYER", {"ATHLETE"});
+  add("TENNIS_PLAYER", {"ATHLETE"});
+  add("COACH", {"PERSON"});
+  add("POLITICIAN", {"PERSON"});
+  add("PRESIDENT", {"POLITICIAN"});
+  add("MINISTER", {"POLITICIAN"});
+  add("SCIENTIST", {"PERSON"});
+  add("PHYSICIST", {"SCIENTIST"});
+  add("CHEMIST", {"SCIENTIST"});
+  add("ECONOMIST", {"SCIENTIST"});
+  add("COMPUTER_SCIENTIST", {"SCIENTIST"});
+  add("BUSINESSPERSON", {"PERSON"});
+  add("ENTREPRENEUR", {"BUSINESSPERSON"});
+  add("RELIGIOUS_LEADER", {"PERSON"});
+  add("CHARACTER", {"PERSON"});  // fictional characters answer "who" too
+
+  // Organization hierarchy.
+  add("COMPANY", {"ORGANIZATION"});
+  add("RECORD_LABEL", {"COMPANY"});
+  add("FILM_STUDIO", {"COMPANY"});
+  add("AIRLINE", {"COMPANY"});
+  add("SPORTS_CLUB", {"ORGANIZATION"});
+  add("FOOTBALL_CLUB", {"SPORTS_CLUB"});
+  add("BAND", {"ORGANIZATION"});
+  add("UNIVERSITY", {"ORGANIZATION"});
+  add("POLITICAL_PARTY", {"ORGANIZATION"});
+  add("CHARITY", {"ORGANIZATION"});
+  add("FOUNDATION", {"CHARITY"});
+  add("GOVERNMENT_AGENCY", {"ORGANIZATION"});
+  add("NEWSPAPER", {"ORGANIZATION"});
+
+  // Location hierarchy.
+  add("CITY", {"LOCATION"});
+  add("COUNTRY", {"LOCATION"});
+  add("REGION", {"LOCATION"});
+  add("STADIUM", {"LOCATION"});
+  add("VENUE", {"LOCATION"});
+  add("RIVER", {"LOCATION"});
+  add("MOUNTAIN", {"LOCATION"});
+
+  // Works, awards and events (MISC).
+  add("CREATIVE_WORK", {"MISC"});
+  add("FILM", {"CREATIVE_WORK"});
+  add("TV_SERIES", {"CREATIVE_WORK"});
+  add("ALBUM", {"CREATIVE_WORK"});
+  add("SONG", {"CREATIVE_WORK"});
+  add("BOOK", {"CREATIVE_WORK"});
+  add("AWARD", {"MISC"});
+  add("EVENT", {"MISC"});
+  add("SPORTS_EVENT", {"EVENT"});
+  add("ELECTION", {"EVENT"});
+  add("ATTACK", {"EVENT"});
+  add("CEREMONY", {"EVENT"});
+  add("FESTIVAL", {"EVENT"});
+  add("CONCERT_TOUR", {"EVENT"});
+
+  return ts;
+}
+
+}  // namespace qkbfly

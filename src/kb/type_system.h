@@ -1,0 +1,68 @@
+// Semantic type system: the paper's extended NER typology built from
+// Wikipedia infobox templates (167 prominent types with a manually built
+// subsumption hierarchy, e.g. FOOTBALLER <= ATHLETE <= PERSON).
+#ifndef QKBFLY_KB_TYPE_SYSTEM_H_
+#define QKBFLY_KB_TYPE_SYSTEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "nlp/annotation.h"
+#include "util/status.h"
+
+namespace qkbfly {
+
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidType = 0xFFFFFFFFu;
+
+/// A DAG of semantic types with multiple inheritance and fast transitive
+/// subsumption checks.
+class TypeSystem {
+ public:
+  /// Adds a type with the given parents (which must already exist).
+  /// Returns the new id; adding a duplicate name returns AlreadyExists.
+  StatusOr<TypeId> AddType(std::string_view name,
+                           const std::vector<TypeId>& parents = {});
+
+  /// Id for a name, if registered.
+  std::optional<TypeId> Find(std::string_view name) const;
+
+  const std::string& Name(TypeId id) const;
+  size_t size() const { return names_.size(); }
+
+  /// True iff `a` equals `b` or `b` is a (transitive) ancestor of `a`.
+  bool IsA(TypeId a, TypeId b) const;
+
+  /// All ancestors of `a`, including `a` itself.
+  std::vector<TypeId> AncestorsOf(TypeId a) const;
+
+  /// The coarse NER category a type rolls up to (PERSON, ORGANIZATION,
+  /// LOCATION, TIME, NUMBER or MISC).
+  NerType CoarseOf(TypeId a) const;
+
+  /// Builds the default taxonomy used by the experiments: the five coarse
+  /// NER types plus an infobox-style hierarchy of fine-grained types.
+  static TypeSystem BuildDefault();
+
+  // Accessors for the well-known coarse roots (valid on BuildDefault()).
+  TypeId person() const { return *Find("PERSON"); }
+  TypeId organization() const { return *Find("ORGANIZATION"); }
+  TypeId location() const { return *Find("LOCATION"); }
+  TypeId misc() const { return *Find("MISC"); }
+  TypeId time() const { return *Find("TIME"); }
+  TypeId number() const { return *Find("NUMBER"); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<TypeId>> parents_;
+  std::vector<std::vector<bool>> ancestor_mask_;  // ancestor_mask_[a][b]
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_KB_TYPE_SYSTEM_H_

@@ -1,0 +1,135 @@
+#include "ml/lbfgs.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace
+
+StatusOr<LbfgsResult> MinimizeLbfgs(const LbfgsObjective& objective,
+                                    std::vector<double> x0,
+                                    const LbfgsOptions& options) {
+  if (x0.empty()) return Status::InvalidArgument("empty starting point");
+  const size_t n = x0.size();
+
+  LbfgsResult result;
+  result.x = std::move(x0);
+  std::vector<double> grad(n, 0.0);
+  double f = objective(result.x, &grad);
+  if (!std::isfinite(f)) {
+    return Status::InvalidArgument("objective is not finite at x0");
+  }
+
+  // (s, y, rho) history for the two-loop recursion.
+  std::deque<std::vector<double>> s_hist;
+  std::deque<std::vector<double>> y_hist;
+  std::deque<double> rho_hist;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter;
+    if (Norm(grad) < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for the search direction d = -H grad.
+    std::vector<double> q = grad;
+    std::vector<double> alpha(s_hist.size(), 0.0);
+    for (int i = static_cast<int>(s_hist.size()) - 1; i >= 0; --i) {
+      alpha[static_cast<size_t>(i)] =
+          rho_hist[static_cast<size_t>(i)] * Dot(s_hist[static_cast<size_t>(i)], q);
+      for (size_t k = 0; k < n; ++k) {
+        q[k] -= alpha[static_cast<size_t>(i)] * y_hist[static_cast<size_t>(i)][k];
+      }
+    }
+    double gamma = 1.0;
+    if (!s_hist.empty()) {
+      const auto& s = s_hist.back();
+      const auto& y = y_hist.back();
+      double yy = Dot(y, y);
+      if (yy > 0) gamma = Dot(s, y) / yy;
+    }
+    for (double& v : q) v *= gamma;
+    for (int i = 0; i < static_cast<int>(s_hist.size()); ++i) {
+      double beta =
+          rho_hist[static_cast<size_t>(i)] * Dot(y_hist[static_cast<size_t>(i)], q);
+      for (size_t k = 0; k < n; ++k) {
+        q[k] += (alpha[static_cast<size_t>(i)] - beta) * s_hist[static_cast<size_t>(i)][k];
+      }
+    }
+    std::vector<double> direction(n);
+    for (size_t k = 0; k < n; ++k) direction[k] = -q[k];
+
+    double dir_dot_grad = Dot(direction, grad);
+    if (dir_dot_grad >= 0) {
+      // Not a descent direction (can happen with noisy objectives): reset to
+      // steepest descent.
+      for (size_t k = 0; k < n; ++k) direction[k] = -grad[k];
+      dir_dot_grad = -Dot(grad, grad);
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+    }
+
+    // Armijo backtracking line search.
+    double step = options.initial_step;
+    std::vector<double> x_new(n);
+    std::vector<double> grad_new(n, 0.0);
+    double f_new = f;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search; ++ls) {
+      for (size_t k = 0; k < n; ++k) x_new[k] = result.x[k] + step * direction[k];
+      f_new = objective(x_new, &grad_new);
+      if (std::isfinite(f_new) &&
+          f_new <= f + options.armijo_c1 * step * dir_dot_grad) {
+        accepted = true;
+        break;
+      }
+      step *= options.step_shrink;
+    }
+    if (!accepted) {
+      result.converged = Norm(grad) < 1e-3;
+      break;
+    }
+
+    // Update history.
+    std::vector<double> s(n);
+    std::vector<double> y(n);
+    for (size_t k = 0; k < n; ++k) {
+      s[k] = x_new[k] - result.x[k];
+      y[k] = grad_new[k] - grad[k];
+    }
+    double sy = Dot(s, y);
+    if (sy > 1e-12) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (static_cast<int>(s_hist.size()) > options.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+    result.x = std::move(x_new);
+    grad = grad_new;
+    f = f_new;
+  }
+
+  result.objective = f;
+  return result;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,42 @@
+// L-BFGS (limited-memory BFGS) minimizer with Armijo backtracking line
+// search. Used to tune the alpha_1..alpha_4 hyper-parameters (Section 4 of
+// the paper cites Liu & Nocedal 1989) and to train the logistic models.
+#ifndef QKBFLY_ML_LBFGS_H_
+#define QKBFLY_ML_LBFGS_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qkbfly {
+
+/// Objective callback: given x, fill *gradient (same size) and return f(x).
+using LbfgsObjective =
+    std::function<double(const std::vector<double>& x, std::vector<double>* gradient)>;
+
+struct LbfgsOptions {
+  int max_iterations = 200;
+  int history = 8;             ///< Number of (s, y) pairs kept.
+  double gradient_tolerance = 1e-6;
+  double initial_step = 1.0;
+  double armijo_c1 = 1e-4;
+  double step_shrink = 0.5;
+  int max_line_search = 40;
+};
+
+struct LbfgsResult {
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes the objective starting from x0.
+StatusOr<LbfgsResult> MinimizeLbfgs(const LbfgsObjective& objective,
+                                    std::vector<double> x0,
+                                    const LbfgsOptions& options = LbfgsOptions());
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_ML_LBFGS_H_

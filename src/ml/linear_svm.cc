@@ -1,0 +1,77 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace qkbfly {
+
+Status LinearSvm::Train(const std::vector<LabeledExample>& examples,
+                        const Options& options) {
+  if (examples.empty()) return Status::InvalidArgument("no training examples");
+  uint32_t max_id = 0;
+  for (const auto& ex : examples) {
+    if (!ex.features.finalized()) {
+      return Status::FailedPrecondition("features must be finalized");
+    }
+    for (const auto& e : ex.features.entries()) max_id = std::max(max_id, e.id);
+  }
+  const size_t dim = max_id + 2;  // + bias feature (constant 1)
+  const size_t n = examples.size();
+
+  // Dual coordinate descent for L2-loss SVM (Hsieh et al. 2008):
+  // min_a 1/2 a^T Q a - e^T a, 0 <= a_i, Q_ij = y_i y_j x_i x_j + delta/(2C).
+  weights_.assign(dim, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> qii(n, 0.0);
+  const double diag = 0.5 / options.c;
+  for (size_t i = 0; i < n; ++i) {
+    double norm2 = 1.0;  // bias feature
+    for (const auto& e : examples[i].features.entries()) {
+      norm2 += e.value * e.value;
+    }
+    qii[i] = norm2 + diag;
+  }
+
+  Rng rng(options.shuffle_seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double max_update = 0.0;
+    for (size_t idx : order) {
+      const auto& ex = examples[idx];
+      const double y = ex.label ? 1.0 : -1.0;
+      double wx = weights_[dim - 1];
+      for (const auto& e : ex.features.entries()) wx += weights_[e.id] * e.value;
+      double gradient = y * wx - 1.0 + diag * alpha[idx];
+      double alpha_new = std::max(0.0, alpha[idx] - gradient / qii[idx]);
+      double delta = alpha_new - alpha[idx];
+      if (delta != 0.0) {
+        alpha[idx] = alpha_new;
+        for (const auto& e : ex.features.entries()) {
+          weights_[e.id] += delta * y * e.value;
+        }
+        weights_[dim - 1] += delta * y;
+        max_update = std::max(max_update, std::fabs(delta));
+      }
+    }
+    if (max_update < options.tolerance) break;
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+double LinearSvm::Decision(const SparseVector& features) const {
+  QKB_CHECK(trained_);
+  double z = weights_.empty() ? 0.0 : weights_.back();
+  for (const auto& e : features.entries()) {
+    if (e.id + 1 < weights_.size()) z += weights_[e.id] * e.value;
+  }
+  return z;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,47 @@
+// L2-regularized L2-loss linear SVM trained with dual coordinate descent —
+// the liblinear algorithm the paper's QA answer classifier uses (Appendix B
+// cites Fan et al. 2008 with default settings).
+#ifndef QKBFLY_ML_LINEAR_SVM_H_
+#define QKBFLY_ML_LINEAR_SVM_H_
+
+#include <vector>
+
+#include "ml/logistic_regression.h"  // for LabeledExample
+#include "util/status.h"
+
+namespace qkbfly {
+
+/// Binary linear SVM; Decision() > 0 predicts the positive class.
+class LinearSvm {
+ public:
+  struct Options {
+    double c = 1.0;       ///< Regularization trade-off (liblinear default).
+    int max_epochs = 100;
+    double tolerance = 1e-4;
+    uint64_t shuffle_seed = 1;
+  };
+
+  Status Train(const std::vector<LabeledExample>& examples,
+               const Options& options);
+  Status Train(const std::vector<LabeledExample>& examples) {
+    return Train(examples, Options());
+  }
+
+  /// Signed decision value w^T x + b.
+  double Decision(const SparseVector& features) const;
+
+  bool Predict(const SparseVector& features) const {
+    return Decision(features) > 0.0;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  bool trained() const { return trained_; }
+
+ private:
+  std::vector<double> weights_;  // includes the bias as the last component
+  bool trained_ = false;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_ML_LINEAR_SVM_H_

@@ -1,0 +1,82 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/lbfgs.h"
+#include "util/logging.h"
+
+namespace qkbfly {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticRegression::Train(const std::vector<LabeledExample>& examples,
+                                 const Options& options) {
+  if (examples.empty()) return Status::InvalidArgument("no training examples");
+  uint32_t max_id = 0;
+  for (const auto& ex : examples) {
+    if (!ex.features.finalized()) {
+      return Status::FailedPrecondition("features must be finalized");
+    }
+    for (const auto& e : ex.features.entries()) max_id = std::max(max_id, e.id);
+  }
+  const size_t dim = max_id + 2;  // weights + bias in the last slot
+
+  auto objective = [&](const std::vector<double>& x, std::vector<double>* grad) {
+    std::fill(grad->begin(), grad->end(), 0.0);
+    double loss = 0.0;
+    const double bias = x[dim - 1];
+    for (const auto& ex : examples) {
+      double z = bias;
+      for (const auto& e : ex.features.entries()) z += x[e.id] * e.value;
+      double p = Sigmoid(z);
+      double y = ex.label ? 1.0 : 0.0;
+      // Negative log likelihood, numerically stable.
+      loss += z > 0 ? std::log1p(std::exp(-z)) + (1.0 - y) * z
+                    : std::log1p(std::exp(z)) - y * z;
+      double delta = p - y;
+      for (const auto& e : ex.features.entries()) {
+        (*grad)[e.id] += delta * e.value;
+      }
+      (*grad)[dim - 1] += delta;
+    }
+    // L2 on the weights (not the bias).
+    for (size_t i = 0; i + 1 < dim; ++i) {
+      loss += 0.5 * options.l2 * x[i] * x[i];
+      (*grad)[i] += options.l2 * x[i];
+    }
+    return loss;
+  };
+
+  LbfgsOptions lbfgs_options;
+  lbfgs_options.max_iterations = options.max_iterations;
+  auto result = MinimizeLbfgs(objective, std::vector<double>(dim, 0.0),
+                              lbfgs_options);
+  QKB_RETURN_IF_ERROR(result.status());
+  weights_.assign(result->x.begin(), result->x.end() - 1);
+  bias_ = result->x.back();
+  trained_ = true;
+  return Status::OK();
+}
+
+double LogisticRegression::Predict(const SparseVector& features) const {
+  QKB_CHECK(trained_);
+  double z = bias_;
+  for (const auto& e : features.entries()) {
+    if (e.id < weights_.size()) z += weights_[e.id] * e.value;
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace qkbfly

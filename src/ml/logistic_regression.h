@@ -1,0 +1,50 @@
+// Sparse binary logistic regression trained with L-BFGS. The DeepDive-like
+// spouse extractor (Table 7 / Figure 5) uses it as its per-relation model.
+#ifndef QKBFLY_ML_LOGISTIC_REGRESSION_H_
+#define QKBFLY_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sparse_vector.h"
+#include "util/status.h"
+
+namespace qkbfly {
+
+/// One training example: sparse features and a binary label.
+struct LabeledExample {
+  SparseVector features;
+  bool label = false;
+};
+
+/// L2-regularized logistic regression over sparse features.
+class LogisticRegression {
+ public:
+  struct Options {
+    double l2 = 1e-3;
+    int max_iterations = 200;
+  };
+
+  /// Trains on the examples; feature ids index the weight vector.
+  Status Train(const std::vector<LabeledExample>& examples,
+               const Options& options);
+  Status Train(const std::vector<LabeledExample>& examples) {
+    return Train(examples, Options());
+  }
+
+  /// P(label = true | features).
+  double Predict(const SparseVector& features) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  bool trained() const { return trained_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,18 @@
+#include "nlp/annotation.h"
+
+namespace qkbfly {
+
+const char* NerTypeName(NerType type) {
+  switch (type) {
+    case NerType::kNone: return "NONE";
+    case NerType::kPerson: return "PERSON";
+    case NerType::kOrganization: return "ORGANIZATION";
+    case NerType::kLocation: return "LOCATION";
+    case NerType::kMisc: return "MISC";
+    case NerType::kTime: return "TIME";
+    case NerType::kNumber: return "NUMBER";
+  }
+  return "?";
+}
+
+}  // namespace qkbfly

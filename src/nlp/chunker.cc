@@ -1,0 +1,97 @@
+#include "nlp/chunker.h"
+
+#include <algorithm>
+
+namespace qkbfly {
+
+namespace {
+
+bool IsPreModifier(PosTag tag) {
+  return tag == PosTag::kJJ || tag == PosTag::kCD || tag == PosTag::kVBG ||
+         tag == PosTag::kVBN;
+}
+
+bool IsDeterminerLike(PosTag tag) {
+  return tag == PosTag::kDT || tag == PosTag::kPRPS;
+}
+
+}  // namespace
+
+std::vector<TokenSpan> NpChunker::Chunk(
+    const std::vector<Token>& tokens,
+    const std::vector<NerMention>& mentions) const {
+  const int n = static_cast<int>(tokens.size());
+
+  // Mention boundaries act as atomic blocks: map each token to the mention
+  // covering it (or -1).
+  std::vector<int> mention_of(n, -1);
+  for (size_t m = 0; m < mentions.size(); ++m) {
+    for (int i = mentions[m].span.begin; i < mentions[m].span.end; ++i) {
+      if (i >= 0 && i < n) mention_of[i] = static_cast<int>(m);
+    }
+  }
+
+  std::vector<TokenSpan> chunks;
+  int i = 0;
+  while (i < n) {
+    PosTag tag = tokens[i].pos;
+
+    // Standalone pronoun.
+    if (tag == PosTag::kPRP) {
+      chunks.push_back({i, i + 1});
+      ++i;
+      continue;
+    }
+
+    // An NER mention begins here: absorb an optional determiner before it is
+    // not needed (mentions are names); emit the mention block, possibly
+    // extended by following name blocks is handled by NER already.
+    if (mention_of[i] >= 0) {
+      const TokenSpan& span = mentions[mention_of[i]].span;
+      if (i == span.begin) {
+        chunks.push_back(span);
+        i = span.end;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+
+    // Generic NP pattern.
+    int start = i;
+    int j = i;
+    if (IsDeterminerLike(tokens[j].pos)) ++j;
+    while (j < n && mention_of[j] < 0 && IsPreModifier(tokens[j].pos)) ++j;
+    int noun_start = j;
+    while (j < n && mention_of[j] < 0 && IsNounTag(tokens[j].pos)) ++j;
+    if (j > noun_start) {
+      chunks.push_back({start, j});
+      i = j;
+      continue;
+    }
+    // Determiner + premodifiers directly followed by a mention: attach as
+    // one chunk covering both ("the ONE Campaign" when "ONE Campaign" is a
+    // mention): emit span from start to mention end.
+    if (j < n && mention_of[j] >= 0 && j > start) {
+      const TokenSpan& span = mentions[mention_of[j]].span;
+      if (j == span.begin) {
+        chunks.push_back({start, span.end});
+        i = span.end;
+        continue;
+      }
+    }
+    // Bare number that is not part of a mention.
+    if (tokens[i].pos == PosTag::kCD || tokens[i].pos == PosTag::kSYM) {
+      chunks.push_back({i, i + 1});
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+
+  std::sort(chunks.begin(), chunks.end(),
+            [](const TokenSpan& a, const TokenSpan& b) { return a.begin < b.begin; });
+  return chunks;
+}
+
+}  // namespace qkbfly

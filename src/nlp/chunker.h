@@ -1,0 +1,24 @@
+// Noun-phrase chunking over POS-tagged tokens.
+#ifndef QKBFLY_NLP_CHUNKER_H_
+#define QKBFLY_NLP_CHUNKER_H_
+
+#include <vector>
+
+#include "nlp/annotation.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Detects base noun phrases with the pattern
+///   (DT | PRP$)? (JJ | CD | VBG | VBN)* (NN | NNS | NNP)+
+/// plus standalone pronouns and number tokens. NER mentions passed in are
+/// treated as atomic nominals and never split across chunks.
+class NpChunker {
+ public:
+  std::vector<TokenSpan> Chunk(const std::vector<Token>& tokens,
+                               const std::vector<NerMention>& mentions) const;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_NLP_CHUNKER_H_

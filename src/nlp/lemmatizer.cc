@@ -1,0 +1,144 @@
+#include "nlp/lemmatizer.h"
+
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+// Words whose stem ends in a letter that usually requires restoring 'e'
+// after stripping -ed/-ing ("lived" -> "live", "making" -> "make").
+bool NeedsERestoration(const std::string& stem) {
+  if (stem.size() < 2) return false;
+  char last = stem[stem.size() - 1];
+  char prev = stem[stem.size() - 2];
+  // "creat" -> "create", "achiev" -> "achieve", "produc" -> "produce" ...
+  if (last == 'v' || last == 'c' || last == 'z' || last == 'u') return true;
+  if ((last == 's' || last == 'g') && !IsVowel(prev)) return true;  // "releas", "chang"
+  if (last == 'r' && IsVowel(prev) && prev != 'e') return false;
+  return false;
+}
+
+}  // namespace
+
+Lemmatizer::Lemmatizer() {
+  irregular_verbs_ = {
+      {"is", "be"},       {"am", "be"},       {"are", "be"},
+      {"was", "be"},      {"were", "be"},     {"been", "be"},
+      {"being", "be"},    {"has", "have"},    {"had", "have"},
+      {"having", "have"}, {"does", "do"},     {"did", "do"},
+      {"done", "do"},     {"said", "say"},    {"went", "go"},
+      {"gone", "go"},     {"got", "get"},     {"gotten", "get"},
+      {"made", "make"},   {"knew", "know"},   {"known", "know"},
+      {"thought", "think"},{"took", "take"},  {"taken", "take"},
+      {"saw", "see"},     {"seen", "see"},    {"came", "come"},
+      {"found", "find"},  {"gave", "give"},   {"given", "give"},
+      {"told", "tell"},   {"became", "become"},{"left", "leave"},
+      {"meant", "mean"},  {"kept", "keep"},   {"began", "begin"},
+      {"begun", "begin"}, {"showed", "show"}, {"shown", "show"},
+      {"heard", "hear"},  {"ran", "run"},     {"moved", "move"},
+      {"held", "hold"},   {"brought", "bring"},{"wrote", "write"},
+      {"written", "write"},{"sat", "sit"},    {"stood", "stand"},
+      {"lost", "lose"},   {"paid", "pay"},    {"met", "meet"},
+      {"set", "set"},     {"led", "lead"},    {"spoke", "speak"},
+      {"spoken", "speak"},{"read", "read"},   {"spent", "spend"},
+      {"grew", "grow"},   {"grown", "grow"},  {"won", "win"},
+      {"bought", "buy"},  {"died", "die"},    {"sent", "send"},
+      {"built", "build"}, {"fell", "fall"},   {"fallen", "fall"},
+      {"cut", "cut"},     {"sold", "sell"},   {"let", "let"},
+      {"put", "put"},     {"beat", "beat"},   {"beaten", "beat"},
+      {"shot", "shoot"},  {"sued", "sue"},    {"bore", "bear"},
+      {"born", "bear"},   {"borne", "bear"},  {"forgot", "forget"},
+      {"forgotten", "forget"}, {"wed", "wed"}, {"dated", "date"},
+      {"felt", "feel"},   {"founded", "found"}, {"chose", "choose"},
+      {"chosen", "choose"}, {"drew", "draw"}, {"drawn", "draw"},
+      {"flew", "fly"},    {"flown", "fly"},   {"threw", "throw"},
+      {"thrown", "throw"},
+  };
+
+  irregular_nouns_ = {
+      {"children", "child"}, {"men", "man"},     {"women", "woman"},
+      {"people", "person"},  {"wives", "wife"},  {"lives", "life"},
+      {"feet", "foot"},      {"teeth", "tooth"}, {"series", "series"},
+      {"media", "medium"},   {"criteria", "criterion"},
+  };
+}
+
+std::string Lemmatizer::VerbLemma(std::string_view word) const {
+  std::string w = Lowercase(word);
+  auto it = irregular_verbs_.find(w);
+  if (it != irregular_verbs_.end()) return it->second;
+
+  auto ends = [&w](std::string_view suffix) { return EndsWith(w, suffix); };
+
+  // Candidate stems in priority order; the first one on the known-verb seed
+  // list wins, so "donated" -> {"donat", "donate"} resolves to "donate" while
+  // "played" -> {"play", "playe"} resolves to "play".
+  std::vector<std::string> candidates;
+  auto add_doubling_candidates = [&candidates](const std::string& stem) {
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem[stem.size() - 1]) && stem[stem.size() - 1] != 'l' &&
+        stem[stem.size() - 1] != 's') {
+      candidates.push_back(stem.substr(0, stem.size() - 1));  // "runn" -> "run"
+    }
+    candidates.push_back(stem);
+    candidates.push_back(stem + "e");
+  };
+
+  if (ends("ies") && w.size() > 4) {
+    candidates.push_back(w.substr(0, w.size() - 3) + "y");
+  } else if (ends("sses") || ends("shes") || ends("ches") || ends("xes") ||
+             ends("zes") || ends("oes")) {
+    candidates.push_back(w.substr(0, w.size() - 2));
+  } else if (ends("s") && !ends("ss") && !ends("us") && !ends("is") && w.size() > 2) {
+    candidates.push_back(w.substr(0, w.size() - 1));
+  } else if (ends("ied") && w.size() > 4) {
+    candidates.push_back(w.substr(0, w.size() - 3) + "y");
+  } else if (ends("ing") && w.size() > 5) {
+    add_doubling_candidates(w.substr(0, w.size() - 3));
+  } else if (ends("ed") && w.size() > 3) {
+    add_doubling_candidates(w.substr(0, w.size() - 2));
+  } else {
+    return w;
+  }
+
+  const Lexicon& lex = Lexicon::Get();
+  for (const std::string& candidate : candidates) {
+    if (lex.IsKnownVerbLemma(candidate)) return candidate;
+  }
+  // Nothing matched the seed list; fall back on the spelling heuristic.
+  const std::string& stem = candidates.front();
+  if ((ends("ing") || ends("ed")) && NeedsERestoration(stem)) return stem + "e";
+  return stem;
+}
+
+std::string Lemmatizer::NounLemma(std::string_view word) const {
+  std::string w = Lowercase(word);
+  auto it = irregular_nouns_.find(w);
+  if (it != irregular_nouns_.end()) return it->second;
+  auto ends = [&w](std::string_view suffix) { return EndsWith(w, suffix); };
+  if (ends("ies") && w.size() > 4) return w.substr(0, w.size() - 3) + "y";
+  if (ends("sses") || ends("shes") || ends("ches") || ends("xes")) {
+    return w.substr(0, w.size() - 2);
+  }
+  if (ends("s") && !ends("ss") && !ends("us") && !ends("is") && w.size() > 2) {
+    return w.substr(0, w.size() - 1);
+  }
+  return w;
+}
+
+std::string Lemmatizer::Lemma(std::string_view word, PosTag pos) const {
+  if (IsVerbTag(pos)) return VerbLemma(word);
+  if (pos == PosTag::kNN || pos == PosTag::kNNS) return NounLemma(word);
+  if (pos == PosTag::kNNP) return std::string(word);  // keep proper-noun case
+  return Lowercase(word);
+}
+
+}  // namespace qkbfly

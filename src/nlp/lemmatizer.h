@@ -1,0 +1,37 @@
+// Rule-based English lemmatizer with an irregular-form table.
+#ifndef QKBFLY_NLP_LEMMATIZER_H_
+#define QKBFLY_NLP_LEMMATIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Maps inflected forms to lemmas. Verbs use an irregular table plus
+/// -s/-es/-ed/-ing stripping with e-restoration and consonant-doubling
+/// handling; nouns use irregular plurals plus -s/-es/-ies stripping.
+class Lemmatizer {
+ public:
+  Lemmatizer();
+
+  /// Lemma of `word` when used with POS tag `pos`. Unknown categories return
+  /// the lowercased word.
+  std::string Lemma(std::string_view word, PosTag pos) const;
+
+  /// Verb-specific lemmatization (also used by the tagger's heuristics).
+  std::string VerbLemma(std::string_view word) const;
+
+  /// Noun-specific lemmatization (plural -> singular).
+  std::string NounLemma(std::string_view word) const;
+
+ private:
+  std::unordered_map<std::string, std::string> irregular_verbs_;
+  std::unordered_map<std::string, std::string> irregular_nouns_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_NLP_LEMMATIZER_H_

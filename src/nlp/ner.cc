@@ -1,0 +1,163 @@
+#include "nlp/ner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+const std::unordered_set<std::string>& OrgCues() {
+  static const std::unordered_set<std::string> kCues = {
+      "inc",     "ltd",        "corp",      "company",  "foundation",
+      "campaign","university", "college",   "institute","fc",
+      "f.c",     "united",     "city",      "club",     "band",
+      "records", "studios",    "labs",      "group",    "party",
+      "committee","association","orchestra","academy",  "council",
+      "agency",  "ministry",   "department","bank",     "airlines",
+  };
+  return kCues;
+}
+
+const std::unordered_set<std::string>& LocationCues() {
+  static const std::unordered_set<std::string> kCues = {
+      "county", "island", "river", "lake", "mountain", "valley",
+      "beach",  "bay",    "coast", "town", "village",  "province",
+      "state",  "region", "district",
+  };
+  return kCues;
+}
+
+const std::unordered_set<std::string>& PersonTitles() {
+  static const std::unordered_set<std::string> kTitles = {
+      "mr", "mrs", "ms", "dr", "prof", "sir", "president", "senator",
+      "minister", "king", "queen", "prince", "princess", "pope", "judge",
+      "coach", "captain", "general", "officer",
+  };
+  return kTitles;
+}
+
+// A small common-first-name prior, the kind real NER models learn from
+// training data. The synthetic world generator draws person names from pools
+// that overlap with this list, mirroring how a trained model generalizes.
+const std::unordered_set<std::string>& FirstNames() {
+  static const std::unordered_set<std::string> kNames = {
+      "james", "john",   "robert", "michael", "william", "david",  "richard",
+      "joseph","thomas", "charles","mary",    "patricia","jennifer","linda",
+      "elizabeth","barbara","susan","jessica", "sarah",   "karen",  "daniel",
+      "matthew","anthony","mark",  "donald",  "steven",  "paul",   "andrew",
+      "joshua", "kenneth","kevin", "brian",   "george",  "edward", "ronald",
+      "timothy","jason",  "jeffrey","ryan",   "jacob",   "gary",   "nancy",
+      "lisa",   "betty",  "margaret","sandra","ashley",  "kimberly","emily",
+      "donna",  "michelle","carol","amanda",  "melissa", "deborah","laura",
+      "anna",   "brad",   "bradley","angelina","bob",    "harrison","keith",
+      "peter",  "alice",  "henry", "oliver",  "sofia",   "emma",   "lucas",
+      "maria",  "carlos", "diego", "elena",   "victor",  "clara",  "martin",
+      "larry",  "sergey", "angela","paris",   "nicole",  "vladimir","boris",
+  };
+  return kNames;
+}
+
+bool IsNameToken(const Token& t) {
+  return t.pos == PosTag::kNNP && IsCapitalized(t.text);
+}
+
+}  // namespace
+
+NerType NerTagger::GuessType(const std::vector<Token>& tokens,
+                             const TokenSpan& span) const {
+  // Cue word inside the span.
+  for (int i = span.begin; i < span.end; ++i) {
+    std::string lower = Lowercase(tokens[i].text);
+    if (OrgCues().count(lower)) return NerType::kOrganization;
+    if (LocationCues().count(lower)) return NerType::kLocation;
+  }
+  // Person title immediately before.
+  if (span.begin > 0) {
+    std::string prev = Lowercase(tokens[span.begin - 1].text);
+    if (!prev.empty() && prev.back() == '.') prev.pop_back();
+    if (PersonTitles().count(prev)) return NerType::kPerson;
+  }
+  // First-name prior: "Jessica Leeds" -> PERSON.
+  if (FirstNames().count(Lowercase(tokens[span.begin].text))) {
+    return NerType::kPerson;
+  }
+  // Single capitalized token ending in a location-ish suffix.
+  if (span.size() >= 2) return NerType::kPerson;  // multiword default
+  return NerType::kMisc;
+}
+
+std::vector<NerMention> NerTagger::Tag(
+    const std::vector<Token>& tokens, const std::vector<TimeMention>& times) const {
+  const int n = static_cast<int>(tokens.size());
+  std::vector<bool> covered(n, false);
+  std::vector<NerMention> mentions;
+
+  for (const TimeMention& tm : times) {
+    mentions.push_back({tm.span, NerType::kTime});
+    for (int i = tm.span.begin; i < tm.span.end; ++i) covered[i] = true;
+  }
+
+  // Single left-to-right pass combining the gazetteer and capitalized-run
+  // heuristics. A gazetteer match must cover the whole name run it starts
+  // in, otherwise the run wins: "Charles Rodriguez" must not split into
+  // "Charles" + a gazetteer hit on the surname "Rodriguez".
+  auto name_run_length = [&tokens, &covered, n](int i) {
+    if (!IsNameToken(tokens[static_cast<size_t>(i)])) return 0;
+    int j = i + 1;
+    while (j < n && !covered[static_cast<size_t>(j)]) {
+      if (IsNameToken(tokens[static_cast<size_t>(j)])) {
+        ++j;
+      } else if (j + 1 < n && !covered[static_cast<size_t>(j + 1)] &&
+                 IsNameToken(tokens[static_cast<size_t>(j + 1)]) &&
+                 (EqualsIgnoreCase(tokens[static_cast<size_t>(j)].text, "of") ||
+                  EqualsIgnoreCase(tokens[static_cast<size_t>(j)].text, "the"))) {
+        j += 2;
+      } else {
+        break;
+      }
+    }
+    return j - i;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    if (covered[i]) continue;
+    int run = name_run_length(i);
+    NerType gaz_type = NerType::kNone;
+    int gaz = 0;
+    if (gazetteer_ != nullptr) {
+      gaz = gazetteer_->LongestMatchAt(tokens, i, &gaz_type);
+      bool clash = false;
+      for (int j = i; j < i + gaz; ++j) clash = clash || covered[j];
+      if (clash) gaz = 0;
+    }
+    if (gaz > 0 && gaz >= run) {
+      mentions.push_back({{i, i + gaz}, gaz_type});
+      for (int j = i; j < i + gaz; ++j) covered[j] = true;
+      i += gaz - 1;
+    } else if (run > 0) {
+      TokenSpan span{i, i + run};
+      mentions.push_back({span, GuessType(tokens, span)});
+      for (int k = i; k < i + run; ++k) covered[k] = true;
+      i += run - 1;
+    }
+  }
+
+  // Number literals.
+  for (int i = 0; i < n; ++i) {
+    if (!covered[i] && tokens[i].pos == PosTag::kCD) {
+      mentions.push_back({{i, i + 1}, NerType::kNumber});
+      covered[i] = true;
+    }
+  }
+
+  std::sort(mentions.begin(), mentions.end(),
+            [](const NerMention& a, const NerMention& b) {
+              return a.span.begin < b.span.begin;
+            });
+  return mentions;
+}
+
+}  // namespace qkbfly

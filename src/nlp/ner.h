@@ -1,0 +1,48 @@
+// Named-entity recognition: gazetteer-driven longest match over the entity
+// repository's alias dictionary, plus shape/cue heuristics for names the
+// repository does not know (the source of "emerging entities").
+#ifndef QKBFLY_NLP_NER_H_
+#define QKBFLY_NLP_NER_H_
+
+#include <vector>
+
+#include "nlp/annotation.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Read-only name dictionary the tagger consults. Implemented by
+/// EntityRepository (src/kb) so the nlp layer stays KB-agnostic.
+class Gazetteer {
+ public:
+  virtual ~Gazetteer() = default;
+
+  /// If a known alias starts at token `begin`, returns its token length
+  /// (longest match) and sets *type; returns 0 otherwise.
+  virtual int LongestMatchAt(const std::vector<Token>& tokens, int begin,
+                             NerType* type) const = 0;
+};
+
+/// Rule + gazetteer NER (the Stanford NER stand-in).
+class NerTagger {
+ public:
+  /// Builds a tagger; `gazetteer` may be null (pure heuristics).
+  explicit NerTagger(const Gazetteer* gazetteer = nullptr)
+      : gazetteer_(gazetteer) {}
+
+  /// Detects entity mentions. `times` are the already-recognized time
+  /// expressions; their spans are emitted as TIME mentions and excluded from
+  /// name matching. Returned mentions are non-overlapping, sorted by span.
+  std::vector<NerMention> Tag(const std::vector<Token>& tokens,
+                              const std::vector<TimeMention>& times) const;
+
+ private:
+  /// Guesses the type of an unknown capitalized name span from cue words.
+  NerType GuessType(const std::vector<Token>& tokens, const TokenSpan& span) const;
+
+  const Gazetteer* gazetteer_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_NLP_NER_H_

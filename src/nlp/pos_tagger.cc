@@ -1,0 +1,208 @@
+#include "nlp/pos_tagger.h"
+
+#include <cctype>
+
+#include "nlp/lexicon.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+bool IsPunct(const std::string& s) {
+  if (s.size() == 1 && std::ispunct(static_cast<unsigned char>(s[0])) && s[0] != '$') {
+    return true;
+  }
+  return s == "''" || s == "``" || s == "--" || s == "...";
+}
+
+bool LooksLikeNumber(const std::string& s) {
+  if (IsNumeric(s)) return true;
+  if (s.size() >= 2 && s[0] == '$') return true;  // currency amount
+  // Decade: "1980s"
+  if (s.size() == 5 && s.back() == 's' && IsAllDigits(s.substr(0, 4))) return true;
+  return false;
+}
+
+}  // namespace
+
+PosTag PosTagger::InitialTag(const std::vector<Token>& tokens, size_t i) const {
+  const Lexicon& lex = Lexicon::Get();
+  const std::string& w = tokens[i].text;
+
+  if (IsPunct(w)) return PosTag::kPUNCT;
+  if (w == "$") return PosTag::kSYM;
+  if (LooksLikeNumber(w)) return PosTag::kCD;
+  if (w == "'s" || w == "'") return PosTag::kPOS;
+
+  // Month names win over homographic closed-class words ("May 3, 1985" vs
+  // the modal "may") when capitalized mid-sentence next to a day/year or
+  // after a preposition.
+  if (lex.IsMonthName(w) && IsCapitalized(w)) {
+    bool next_cd = i + 1 < tokens.size() && LooksLikeNumber(tokens[i + 1].text);
+    bool prev_cd = i > 0 && LooksLikeNumber(tokens[i - 1].text);
+    bool prev_in = i > 0 && lex.ClosedClassTag(tokens[i - 1].text) == PosTag::kIN;
+    if (next_cd || prev_cd || prev_in || !lex.ClosedClassTag(w)) {
+      return PosTag::kNNP;
+    }
+  }
+
+  if (auto tag = lex.ClosedClassTag(w)) {
+    // Sentence-initial capitalized closed-class words keep their tag
+    // ("He supports...", "The film...").
+    return *tag;
+  }
+
+  // Capitalized tokens that are not sentence-initial are proper nouns.
+  if (IsCapitalized(w)) {
+    if (i > 0) return PosTag::kNNP;
+    // Sentence-initial: prefer a known lowercase reading if one exists.
+    std::string lower = Lowercase(w);
+    if (lex.IsCommonNoun(lower)) return PosTag::kNN;
+    if (lex.IsCommonAdjective(lower)) return PosTag::kJJ;
+    if (lex.IsKnownVerbLemma(lemmatizer_.VerbLemma(lower))) {
+      // e.g. "Play it again" — rare in our corpora; treat as verb base.
+      return PosTag::kVBP;
+    }
+    return PosTag::kNNP;
+  }
+
+  std::string lower = Lowercase(w);
+
+  // Adverbs by morphology.
+  if (EndsWith(lower, "ly") && lower.size() > 3 && !lex.IsCommonNoun(lower)) {
+    return PosTag::kRB;
+  }
+
+  // Verb morphology against the verb-lemma seed list.
+  std::string vlemma = lemmatizer_.VerbLemma(lower);
+  bool known_verb = lex.IsKnownVerbLemma(vlemma);
+  bool is_common_noun = lex.IsCommonNoun(lower) ||
+                        lex.IsCommonNoun(lemmatizer_.NounLemma(lower));
+  if (known_verb && !is_common_noun) {
+    if (lower == vlemma) return PosTag::kVBP;  // base/non-3rd present
+    if (EndsWith(lower, "ing")) return PosTag::kVBG;
+    if (EndsWith(lower, "ed") || Lexicon::Get().IsBeForm(lower) ||
+        lower != vlemma) {
+      // Irregular or -ed past form; VBD vs VBN fixed contextually.
+      if (EndsWith(lower, "s") && lemmatizer_.VerbLemma(lower) ==
+                                      lower.substr(0, lower.size() - 1)) {
+        return PosTag::kVBZ;
+      }
+      if (EndsWith(lower, "s") && !EndsWith(lower, "ss")) return PosTag::kVBZ;
+      return PosTag::kVBD;
+    }
+  }
+  if (known_verb && is_common_noun) {
+    // Ambiguous noun/verb ("star", "play", "award"): inflected forms that are
+    // unambiguously verbal win; otherwise default to noun and let context
+    // rules repair.
+    if (EndsWith(lower, "ing")) return PosTag::kVBG;
+    if (EndsWith(lower, "ed")) return PosTag::kVBD;
+  }
+
+  if (lex.IsCommonAdjective(lower)) return PosTag::kJJ;
+  if (EndsWith(lower, "s") && !EndsWith(lower, "ss") && lower.size() > 2) {
+    return PosTag::kNNS;
+  }
+  return PosTag::kNN;
+}
+
+void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
+  const Lexicon& lex = Lexicon::Get();
+  auto& toks = *tokens;
+  const size_t n = toks.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    std::string lower = Lowercase(toks[i].text);
+
+    // "that": complementizer after a verb ("announced that ..."), relativizer
+    // before a verb ("the film that won"), determiner otherwise.
+    if (lower == "that") {
+      if (i > 0 && IsVerbTag(toks[i - 1].pos)) {
+        toks[i].pos = PosTag::kIN;
+      } else if (i + 1 < n && IsVerbTag(toks[i + 1].pos)) {
+        toks[i].pos = PosTag::kWDT;
+      }
+    }
+
+    // "her": PRP$ before a nominal, PRP otherwise.
+    if (lower == "her") {
+      bool before_nominal =
+          i + 1 < n && (IsNounTag(toks[i + 1].pos) || toks[i + 1].pos == PosTag::kJJ ||
+                        toks[i + 1].pos == PosTag::kCD);
+      toks[i].pos = before_nominal ? PosTag::kPRPS : PosTag::kPRP;
+    }
+
+    // "his" at the end or before a verb is PRP (rare); keep PRP$ otherwise.
+
+    // Base verb after modal or "to".
+    if (i > 0 && (toks[i - 1].pos == PosTag::kMD || toks[i - 1].pos == PosTag::kTO)) {
+      std::string vlemma = lemmatizer_.VerbLemma(lower);
+      if (lex.IsKnownVerbLemma(vlemma) && toks[i].pos != PosTag::kRB) {
+        toks[i].pos = PosTag::kVB;
+      }
+    }
+
+    // Noun/verb repair: a "verb" directly after a determiner, adjective or
+    // possessive is a noun ("the star", "his play").
+    if (IsVerbTag(toks[i].pos) && i > 0 &&
+        (toks[i - 1].pos == PosTag::kDT || toks[i - 1].pos == PosTag::kJJ ||
+         toks[i - 1].pos == PosTag::kPRPS || toks[i - 1].pos == PosTag::kPOS)) {
+      if (toks[i].pos != PosTag::kVBG || lex.IsCommonNoun(lower)) {
+        toks[i].pos = EndsWith(lower, "s") && !EndsWith(lower, "ss")
+                          ? PosTag::kNNS
+                          : PosTag::kNN;
+      }
+    }
+
+    // VBD -> VBN after a form of have/be ("has married", "was born").
+    if (toks[i].pos == PosTag::kVBD && i > 0) {
+      std::string prev = Lowercase(toks[i - 1].text);
+      std::string prev2 = i > 1 ? Lowercase(toks[i - 2].text) : "";
+      bool aux_before = lex.IsBeForm(prev) || prev == "has" || prev == "have" ||
+                        prev == "had" || prev == "having";
+      // allow one adverb between aux and participle: "was recently married"
+      bool aux_two_back =
+          toks[i - 1].pos == PosTag::kRB &&
+          (lex.IsBeForm(prev2) || prev2 == "has" || prev2 == "have" || prev2 == "had");
+      if (aux_before || aux_two_back) toks[i].pos = PosTag::kVBN;
+    }
+
+    // An ambiguous noun directly following a PRP/NNP subject with no other
+    // verb nearby is actually the main verb: "Pitt stars in Troy".
+    if ((toks[i].pos == PosTag::kNN || toks[i].pos == PosTag::kNNS) && i > 0) {
+      std::string vlemma = lemmatizer_.VerbLemma(lower);
+      bool nounish = lex.IsCommonNoun(lower) ||
+                     lex.IsCommonNoun(lemmatizer_.NounLemma(lower));
+      if (lex.IsKnownVerbLemma(vlemma) && nounish) {
+        bool subject_before = toks[i - 1].pos == PosTag::kNNP ||
+                              toks[i - 1].pos == PosTag::kPRP;
+        bool object_like_after =
+            i + 1 < n && (toks[i + 1].pos == PosTag::kIN ||
+                          toks[i + 1].pos == PosTag::kDT ||
+                          toks[i + 1].pos == PosTag::kNNP ||
+                          toks[i + 1].pos == PosTag::kPRPS ||
+                          toks[i + 1].pos == PosTag::kTO ||
+                          toks[i + 1].pos == PosTag::kCD);
+        if (subject_before && object_like_after) {
+          toks[i].pos = EndsWith(lower, "s") && !EndsWith(lower, "ss")
+                            ? PosTag::kVBZ
+                            : PosTag::kVBP;
+        }
+      }
+    }
+  }
+
+  // Fill lemmas once tags are stable.
+  for (Token& t : toks) t.lemma = lemmatizer_.Lemma(t.text, t.pos);
+}
+
+void PosTagger::Tag(std::vector<Token>* tokens) const {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    (*tokens)[i].pos = InitialTag(*tokens, i);
+  }
+  ApplyContextRules(tokens);
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,30 @@
+// Rule-based part-of-speech tagger (the CoreNLP tagger stand-in): lexicon
+// lookups, morphological heuristics, then contextual repair rules.
+#ifndef QKBFLY_NLP_POS_TAGGER_H_
+#define QKBFLY_NLP_POS_TAGGER_H_
+
+#include <vector>
+
+#include "nlp/lemmatizer.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Tags a tokenized sentence in place (fills Token::pos and Token::lemma).
+class PosTagger {
+ public:
+  PosTagger() = default;
+
+  /// Assigns POS tags and lemmas to every token of one sentence.
+  void Tag(std::vector<Token>* tokens) const;
+
+ private:
+  PosTag InitialTag(const std::vector<Token>& tokens, size_t i) const;
+  void ApplyContextRules(std::vector<Token>* tokens) const;
+
+  Lemmatizer lemmatizer_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_NLP_POS_TAGGER_H_

@@ -1,0 +1,141 @@
+#include "nlp/time_tagger.h"
+
+#include <array>
+#include <cstdio>
+
+#include "nlp/lexicon.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+// 1-based month number for a month name, or 0.
+int MonthNumber(const std::string& word) {
+  static const std::array<const char*, 12> kMonths = {
+      "january", "february", "march",     "april",   "may",      "june",
+      "july",    "august",   "september", "october", "november", "december"};
+  std::string lower = Lowercase(word);
+  for (size_t i = 0; i < kMonths.size(); ++i) {
+    if (lower == kMonths[i]) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+bool ParseYear(const std::string& s, int* year) {
+  if (s.size() != 4 || !IsAllDigits(s)) return false;
+  int y = std::stoi(s);
+  if (y < 1000 || y > 2100) return false;
+  *year = y;
+  return true;
+}
+
+bool ParseDay(const std::string& s, int* day) {
+  if (s.empty() || s.size() > 2 || !IsAllDigits(s)) return false;
+  int d = std::stoi(s);
+  if (d < 1 || d > 31) return false;
+  *day = d;
+  return true;
+}
+
+std::string FormatDate(int year, int month, int day) {
+  char buf[32];
+  if (day > 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  } else if (month > 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d", year, month);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d", year);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<TimeMention> TimeTagger::Tag(const std::vector<Token>& tokens) const {
+  std::vector<TimeMention> mentions;
+  const int n = static_cast<int>(tokens.size());
+  int i = 0;
+  while (i < n) {
+    const std::string& w = tokens[i].text;
+    int month = MonthNumber(w);
+    if (month > 0) {
+      // "September 19 , 2016" / "September 19 2016" / "May 2012" / "May".
+      int day = 0;
+      int year = 0;
+      int j = i + 1;
+      if (j < n && ParseDay(tokens[j].text, &day)) {
+        ++j;
+        if (j < n && tokens[j].text == ",") ++j;
+        if (j < n && ParseYear(tokens[j].text, &year)) {
+          ++j;
+        } else {
+          year = 0;
+        }
+        if (year > 0) {
+          mentions.push_back({{i, j}, FormatDate(year, month, day)});
+          i = j;
+          continue;
+        }
+        // Month + day without year: keep as month-day expression.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "XXXX-%02d-%02d", month, day);
+        mentions.push_back({{i, i + 2}, buf});
+        i += 2;
+        continue;
+      }
+      if (j < n && ParseYear(tokens[j].text, &year)) {
+        mentions.push_back({{i, j + 1}, FormatDate(year, month, 0)});
+        i = j + 1;
+        continue;
+      }
+      // "May" alone is too ambiguous (modal); skip unless capitalized
+      // mid-sentence and not the modal reading.
+      if (i > 0 && IsCapitalized(w) && Lowercase(w) != "may") {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "XXXX-%02d", month);
+        mentions.push_back({{i, i + 1}, buf});
+        ++i;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    // "17 December 1936"
+    int day = 0;
+    if (ParseDay(w, &day) && i + 1 < n) {
+      int m2 = MonthNumber(tokens[i + 1].text);
+      if (m2 > 0) {
+        int year = 0;
+        int j = i + 2;
+        if (j < n && ParseYear(tokens[j].text, &year)) {
+          mentions.push_back({{i, j + 1}, FormatDate(year, m2, day)});
+          i = j + 1;
+          continue;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "XXXX-%02d-%02d", m2, day);
+        mentions.push_back({{i, i + 2}, buf});
+        i += 2;
+        continue;
+      }
+    }
+    // Bare year.
+    int year = 0;
+    if (ParseYear(w, &year)) {
+      mentions.push_back({{i, i + 1}, FormatDate(year, 0, 0)});
+      ++i;
+      continue;
+    }
+    // Decade: "1980s".
+    if (w.size() == 5 && w.back() == 's' && IsAllDigits(w.substr(0, 4))) {
+      mentions.push_back({{i, i + 1}, w.substr(0, 3) + "X"});
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return mentions;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,27 @@
+// Rule-based time-expression recognition and normalization (the SUTime
+// stand-in). Recognizes dates in the surface forms our corpora use and
+// normalizes them to ISO-like strings.
+#ifndef QKBFLY_NLP_TIME_TAGGER_H_
+#define QKBFLY_NLP_TIME_TAGGER_H_
+
+#include <vector>
+
+#include "nlp/annotation.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Detects time expressions over a POS-tagged token sequence:
+///   "September 19 , 2016"  -> 2016-09-19
+///   "17 December 1936"     -> 1936-12-17
+///   "May 2012"             -> 2012-05
+///   "2016"                 -> 2016
+///   "the 1980s"            -> 198X
+class TimeTagger {
+ public:
+  std::vector<TimeMention> Tag(const std::vector<Token>& tokens) const;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_NLP_TIME_TAGGER_H_

@@ -1,0 +1,42 @@
+// OpenIeExtractor adapters for the two ClausIE configurations: the original
+// system (slow graph-based parser, all adverbial subsets) and the QKBfly
+// extraction component (fast parser, consolidated n-ary propositions).
+#ifndef QKBFLY_OPENIE_CLAUSIE_ADAPTERS_H_
+#define QKBFLY_OPENIE_CLAUSIE_ADAPTERS_H_
+
+#include "clausie/clausie.h"
+#include "openie/extractor.h"
+
+namespace qkbfly {
+
+/// Original ClausIE: highest extraction count, heaviest parser.
+class ClausIeExtractor : public OpenIeExtractor {
+ public:
+  ClausIeExtractor() : clausie_(ClausIe::Original()) {}
+
+  std::vector<Proposition> Extract(const std::vector<Token>& tokens) const override {
+    return clausie_.Extract(tokens);
+  }
+  const char* Name() const override { return "ClausIE"; }
+
+ private:
+  ClausIe clausie_;
+};
+
+/// The Open IE component inside QKBfly (Table 5's "QKBfly" row).
+class QkbflyOpenIeExtractor : public OpenIeExtractor {
+ public:
+  QkbflyOpenIeExtractor() : clausie_(ClausIe::Fast()) {}
+
+  std::vector<Proposition> Extract(const std::vector<Token>& tokens) const override {
+    return clausie_.Extract(tokens);
+  }
+  const char* Name() const override { return "QKBfly"; }
+
+ private:
+  ClausIe clausie_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_OPENIE_CLAUSIE_ADAPTERS_H_

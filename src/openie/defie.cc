@@ -1,0 +1,181 @@
+#include "openie/defie.h"
+
+#include <algorithm>
+#include <map>
+
+#include "clausie/clause_detector.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace qkbfly {
+
+std::vector<BabelfyNed::Link> BabelfyNed::Disambiguate(
+    const AnnotatedDocument& doc) const {
+  // Collect mentions with repository candidates.
+  struct Mention {
+    int sentence;
+    std::string surface;
+    std::vector<EntityId> candidates;
+    std::vector<double> local_score;  // prior + context similarity
+  };
+  std::vector<Mention> mentions;
+  for (int s = 0; s < static_cast<int>(doc.sentences.size()); ++s) {
+    const AnnotatedSentence& sentence = doc.sentences[static_cast<size_t>(s)];
+    SparseVector context = stats_->MentionContext(sentence.tokens);
+    for (const NerMention& m : sentence.ner_mentions) {
+      if (m.type == NerType::kTime || m.type == NerType::kNumber) continue;
+      std::string surface = SpanText(sentence.tokens, m.span);
+      // Babelfy's loose identification of candidate meanings: partial-name
+      // matches enter the candidate space with full voting rights.
+      std::vector<EntityId> candidates = repository_->LooseCandidates(surface, 12);
+      if (candidates.empty()) continue;
+      Mention mention;
+      mention.sentence = s;
+      mention.surface = surface;
+      for (EntityId e : candidates) {
+        mention.candidates.push_back(e);
+        double prior = stats_->Prior(surface, e);
+        double sim = WeightedOverlap(context, stats_->EntityContext(e));
+        mention.local_score.push_back(0.6 * prior + 0.4 * sim);
+      }
+      mentions.push_back(std::move(mention));
+    }
+  }
+
+  // Densest-subgraph heuristic: iteratively drop the candidate with the
+  // weakest (local + coherence-to-others) support until one remains per
+  // mention.
+  std::vector<std::vector<bool>> alive(mentions.size());
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    alive[i].assign(mentions[i].candidates.size(), true);
+  }
+  auto support = [&](size_t i, size_t c) {
+    double coherence = 0.0;
+    for (size_t j = 0; j < mentions.size(); ++j) {
+      if (j == i) continue;
+      for (size_t d = 0; d < mentions[j].candidates.size(); ++d) {
+        if (!alive[j][d]) continue;
+        coherence +=
+            stats_->Coherence(mentions[i].candidates[c], mentions[j].candidates[d]);
+      }
+    }
+    return mentions[i].local_score[c] + 0.2 * coherence;
+  };
+
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    double worst = 1e18;
+    size_t wi = 0;
+    size_t wc = 0;
+    for (size_t i = 0; i < mentions.size(); ++i) {
+      int live = 0;
+      for (bool a : alive[i]) live += a ? 1 : 0;
+      if (live < 2) continue;
+      for (size_t c = 0; c < mentions[i].candidates.size(); ++c) {
+        if (!alive[i][c]) continue;
+        double s = support(i, c);
+        if (s < worst) {
+          worst = s;
+          wi = i;
+          wc = c;
+          removed = true;
+        }
+      }
+    }
+    if (removed) alive[wi][wc] = false;
+  }
+
+  std::vector<Link> links;
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    for (size_t c = 0; c < mentions[i].candidates.size(); ++c) {
+      if (alive[i][c]) {
+        links.push_back({mentions[i].sentence, mentions[i].surface,
+                         mentions[i].candidates[c], mentions[i].local_score[c]});
+        break;
+      }
+    }
+  }
+  return links;
+}
+
+DefieSystem::Result DefieSystem::Process(const Document& doc) const {
+  WallTimer timer;
+  Result result;
+  AnnotatedDocument annotated = nlp_.Annotate(doc.id, doc.title, doc.text);
+  result.links = ned_.Disambiguate(annotated);
+
+  // Link lookup: (sentence, lowercased surface) -> entity.
+  std::map<std::pair<int, std::string>, EntityId> link_of;
+  for (const auto& link : result.links) {
+    link_of[{link.sentence, Lowercase(link.surface)}] = link.entity;
+  }
+
+  ClauseDetector detector;
+  for (int s = 0; s < static_cast<int>(annotated.sentences.size()); ++s) {
+    const AnnotatedSentence& sentence = annotated.sentences[static_cast<size_t>(s)];
+    DependencyParse parse = parser_.Parse(sentence.tokens);
+    std::vector<Clause> clauses = detector.Detect(sentence.tokens, parse);
+
+    auto make_arg = [&](const TokenSpan& span, int head) {
+      FactArg arg;
+      // Strip a leading determiner for the link lookup.
+      TokenSpan trimmed = span;
+      while (trimmed.begin < head &&
+             (sentence.tokens[static_cast<size_t>(trimmed.begin)].pos ==
+                  PosTag::kDT ||
+              sentence.tokens[static_cast<size_t>(trimmed.begin)].pos ==
+                  PosTag::kPRPS)) {
+        ++trimmed.begin;
+      }
+      std::string surface = SpanText(sentence.tokens, trimmed);
+      auto it = link_of.find({s, Lowercase(surface)});
+      if (it != link_of.end()) {
+        arg.kind = FactArg::Kind::kEntity;
+        arg.entity = it->second;
+      } else {
+        arg.kind = FactArg::Kind::kLiteral;
+      }
+      arg.surface = surface;
+      return arg;
+    };
+
+    for (const Clause& clause : clauses) {
+      if (!clause.has_subject) continue;
+      // DEFIE is tuned to definitional (single-clause) sentences: it skips
+      // dependent clauses and pronoun subjects entirely.
+      if (clause.link == DepLabel::kRcmod || clause.link == DepLabel::kAdvcl ||
+          clause.link == DepLabel::kCcomp) {
+        continue;
+      }
+      if (sentence.tokens[static_cast<size_t>(clause.subject.head)].pos ==
+          PosTag::kPRP) {
+        continue;
+      }
+      FactArg subject = make_arg(clause.subject.span, clause.subject.head);
+
+      auto emit = [&](const std::string& pattern, const Constituent& c) {
+        Fact fact;
+        fact.relation = kInvalidRelation;  // predicates stay surface-level
+        fact.relation_pattern = pattern;
+        fact.negated = clause.negated;
+        fact.subject = subject;
+        fact.args.push_back(make_arg(c.span, c.head));
+        fact.doc_id = doc.id;
+        fact.sentence = s;
+        result.facts.push_back(std::move(fact));
+      };
+      for (const Constituent& obj : clause.objects) emit(clause.relation, obj);
+      if (clause.complement) emit(clause.relation, *clause.complement);
+      for (const Constituent& adv : clause.adverbials) {
+        emit(adv.preposition.empty() ? clause.relation
+                                     : clause.relation + " " + adv.preposition,
+             adv);
+      }
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,68 @@
+// DEFIE (Delli Bovi et al. 2015), the paper's main baseline: a two-stage
+// pipeline of triple-only Open IE followed by Babelfy-style NED. Entities
+// are linked to the repository, but relational predicates stay surface-level
+// (uncanonicalized), and there is no co-reference resolution — the paper's
+// explanation for its weaker numbers on complex text.
+#ifndef QKBFLY_OPENIE_DEFIE_H_
+#define QKBFLY_OPENIE_DEFIE_H_
+
+#include <vector>
+
+#include "canon/fact.h"
+#include "corpus/background_stats.h"
+#include "corpus/document.h"
+#include "kb/entity_repository.h"
+#include "nlp/pipeline.h"
+#include "parser/malt_parser.h"
+
+namespace qkbfly {
+
+/// Babelfy-style NED: loose candidate identification plus a densest-subgraph
+/// heuristic over prior, context similarity and pairwise coherence — but no
+/// type signatures and no pronouns.
+class BabelfyNed {
+ public:
+  BabelfyNed(const EntityRepository* repository, const BackgroundStats* stats)
+      : repository_(repository), stats_(stats) {}
+
+  struct Link {
+    int sentence = -1;
+    std::string surface;
+    EntityId entity = kInvalidEntity;
+    double score = 0.0;
+  };
+
+  /// Disambiguates all repository-known name mentions of a document.
+  std::vector<Link> Disambiguate(const AnnotatedDocument& doc) const;
+
+ private:
+  const EntityRepository* repository_;
+  const BackgroundStats* stats_;
+};
+
+/// The full DEFIE pipeline.
+class DefieSystem {
+ public:
+  DefieSystem(const EntityRepository* repository, const BackgroundStats* stats)
+      : repository_(repository), stats_(stats), nlp_(repository),
+        ned_(repository, stats) {}
+
+  struct Result {
+    std::vector<Fact> facts;          ///< Triples; relation ids unset.
+    std::vector<BabelfyNed::Link> links;
+    double seconds = 0.0;
+  };
+
+  Result Process(const Document& doc) const;
+
+ private:
+  const EntityRepository* repository_;
+  const BackgroundStats* stats_;
+  NlpPipeline nlp_;
+  BabelfyNed ned_;
+  MaltLikeParser parser_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_OPENIE_DEFIE_H_

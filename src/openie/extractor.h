@@ -1,0 +1,22 @@
+// Common interface for the Open IE systems compared in Table 5.
+#ifndef QKBFLY_OPENIE_EXTRACTOR_H_
+#define QKBFLY_OPENIE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "clausie/proposition.h"
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// An Open IE system: POS-tagged sentence in, surface propositions out.
+class OpenIeExtractor {
+ public:
+  virtual ~OpenIeExtractor() = default;
+  virtual std::vector<Proposition> Extract(const std::vector<Token>& tokens) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_OPENIE_EXTRACTOR_H_

@@ -1,0 +1,109 @@
+#include "openie/ollie.h"
+
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Minimal NP span around a head: contiguous det/adj/noun run.
+TokenSpan SpanAround(const std::vector<Token>& tokens, int head) {
+  int lo = head;
+  int hi = head;
+  while (lo > 0) {
+    PosTag t = tokens[static_cast<size_t>(lo - 1)].pos;
+    if (IsNounTag(t) || t == PosTag::kJJ || t == PosTag::kDT ||
+        t == PosTag::kCD || t == PosTag::kPRPS) {
+      --lo;
+    } else {
+      break;
+    }
+  }
+  return {lo, hi + 1};
+}
+
+PropositionArg MakeArg(const std::vector<Token>& tokens, int head) {
+  PropositionArg arg;
+  arg.span = SpanAround(tokens, head);
+  arg.head = head;
+  arg.text = SpanText(tokens, arg.span);
+  return arg;
+}
+
+}  // namespace
+
+std::vector<Proposition> OllieExtractor::Extract(
+    const std::vector<Token>& tokens) const {
+  std::vector<Proposition> props;
+  DependencyParse parse = parser_.Parse(tokens);
+  const int n = static_cast<int>(tokens.size());
+
+  for (int v = 0; v < n; ++v) {
+    if (!IsVerbTag(tokens[static_cast<size_t>(v)].pos)) continue;
+    DepLabel vl = parse.LabelOf(v);
+    if (vl == DepLabel::kAux || vl == DepLabel::kAuxPass) continue;
+
+    // Subject: own nsubj/nsubjpass only (Ollie does not share conjunct
+    // subjects or resolve relative pronouns — a recall and precision gap
+    // against clause-based systems).
+    int subject = -1;
+    for (int d : parse.Dependents(v)) {
+      DepLabel l = parse.LabelOf(d);
+      if (l == DepLabel::kNsubj || l == DepLabel::kNsubjPass) subject = d;
+    }
+    if (subject < 0) continue;
+    if (tokens[static_cast<size_t>(subject)].pos == PosTag::kWP ||
+        tokens[static_cast<size_t>(subject)].pos == PosTag::kWDT) {
+      continue;
+    }
+
+    const std::string& lemma = tokens[static_cast<size_t>(v)].lemma;
+    auto emit = [&](const std::string& relation, int arg_head) {
+      Proposition p;
+      p.relation = relation;
+      p.subject = MakeArg(tokens, subject);
+      p.args.push_back(MakeArg(tokens, arg_head));
+      props.push_back(std::move(p));
+    };
+
+    int dobj = -1;
+    int first_pobj = -1;
+    int first_prep = -1;
+    for (int d : parse.Dependents(v)) {
+      DepLabel l = parse.LabelOf(d);
+      // Copular clauses are skipped: Ollie targets verbal relations only.
+      if (l == DepLabel::kDobj || l == DepLabel::kIobj) {
+        emit(lemma, d);
+        if (l == DepLabel::kDobj) dobj = d;
+      } else if (l == DepLabel::kPrep) {
+        auto pobjs = parse.DependentsWithLabel(d, DepLabel::kPobj);
+        if (!pobjs.empty()) {
+          emit(lemma + " " + Lowercase(tokens[static_cast<size_t>(d)].text),
+               pobjs[0]);
+          if (first_pobj < 0) {
+            first_pobj = pobjs[0];
+            first_prep = d;
+          }
+        }
+      }
+    }
+    // Characteristic Ollie boundary error: when a direct object is followed
+    // by a prepositional argument, the pattern matcher also produces a
+    // triple whose object span swallows the whole postverbal material.
+    if (dobj >= 0 && first_pobj > dobj && first_prep > dobj) {
+      Proposition p;
+      p.relation = lemma;
+      p.subject = MakeArg(tokens, subject);
+      PropositionArg merged;
+      merged.span = {SpanAround(tokens, dobj).begin,
+                     SpanAround(tokens, first_pobj).end};
+      merged.head = dobj;
+      merged.text = SpanText(tokens, merged.span);
+      p.args.push_back(std::move(merged));
+      props.push_back(std::move(p));
+    }
+  }
+  return props;
+}
+
+}  // namespace qkbfly

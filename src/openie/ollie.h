@@ -1,0 +1,22 @@
+// Ollie-style Open IE (Mausam et al. 2012): dependency-parse-based triple
+// extraction over verbal patterns. Triples only; no clause typing.
+#ifndef QKBFLY_OPENIE_OLLIE_H_
+#define QKBFLY_OPENIE_OLLIE_H_
+
+#include "openie/extractor.h"
+#include "parser/malt_parser.h"
+
+namespace qkbfly {
+
+class OllieExtractor : public OpenIeExtractor {
+ public:
+  std::vector<Proposition> Extract(const std::vector<Token>& tokens) const override;
+  const char* Name() const override { return "Ollie"; }
+
+ private:
+  MaltLikeParser parser_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_OPENIE_OLLIE_H_

@@ -1,0 +1,62 @@
+#include "openie/openie4.h"
+
+#include "clausie/proposition.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Frame validation: an argument span is plausible when it contains a nominal
+// head and its boundary tokens are NP material. SRL systems run feature
+// scoring per candidate span; this linear re-check per (arg, token) is the
+// analogous cost.
+bool ValidateSpan(const std::vector<Token>& tokens, const TokenSpan& span) {
+  if (span.empty()) return false;
+  bool has_nominal = false;
+  for (int i = span.begin; i < span.end; ++i) {
+    PosTag t = tokens[static_cast<size_t>(i)].pos;
+    if (IsNounTag(t) || t == PosTag::kPRP || t == PosTag::kCD ||
+        t == PosTag::kSYM) {
+      has_nominal = true;
+    }
+    if (IsVerbTag(t)) return false;  // spans never cross verbs
+  }
+  return has_nominal;
+}
+
+}  // namespace
+
+std::vector<Proposition> OpenIe4Extractor::Extract(
+    const std::vector<Token>& tokens) const {
+  DependencyParse parse = parser_.Parse(tokens);
+  std::vector<Clause> clauses = detector_.Detect(tokens, parse);
+
+  // SRL-style frames do not recover antecedents of relative pronouns, so
+  // relative-clause frames are dropped (a recall gap vs clause splitting).
+  std::vector<Clause> kept;
+  for (Clause& c : clauses) {
+    if (c.link == DepLabel::kRcmod) continue;
+    kept.push_back(std::move(c));
+  }
+
+  PropositionGenerator generator;
+  PropositionGenerator::Options options;
+  options.all_adverbial_subsets = false;
+  std::vector<Proposition> raw = generator.Generate(tokens, kept, options);
+
+  // Frame validation pass.
+  std::vector<Proposition> props;
+  for (Proposition& p : raw) {
+    if (!ValidateSpan(tokens, p.subject.span)) continue;
+    bool args_ok = true;
+    for (const PropositionArg& arg : p.args) {
+      if (!ValidateSpan(tokens, arg.span)) args_ok = false;
+    }
+    if (!args_ok) continue;
+    props.push_back(std::move(p));
+  }
+  return props;
+}
+
+}  // namespace qkbfly

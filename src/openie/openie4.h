@@ -1,0 +1,26 @@
+// Open IE 4.x-style extraction: SRL-flavoured n-ary frames built on a
+// dependency parse, with an extra frame-validation pass that re-scores every
+// argument span (the cost overhead SRL systems pay over plain clause
+// splitting).
+#ifndef QKBFLY_OPENIE_OPENIE4_H_
+#define QKBFLY_OPENIE_OPENIE4_H_
+
+#include "clausie/clause_detector.h"
+#include "openie/extractor.h"
+#include "parser/malt_parser.h"
+
+namespace qkbfly {
+
+class OpenIe4Extractor : public OpenIeExtractor {
+ public:
+  std::vector<Proposition> Extract(const std::vector<Token>& tokens) const override;
+  const char* Name() const override { return "Open IE 4.2"; }
+
+ private:
+  MaltLikeParser parser_;
+  ClauseDetector detector_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_OPENIE_OPENIE4_H_

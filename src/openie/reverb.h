@@ -1,0 +1,19 @@
+// ReVerb-style Open IE (Fader et al. 2011): purely POS-pattern based, no
+// parsing. Relations match V | VP | VW*P over the tag sequence; arguments
+// are the nearest noun phrases. Fastest and lowest-recall system in Table 5.
+#ifndef QKBFLY_OPENIE_REVERB_H_
+#define QKBFLY_OPENIE_REVERB_H_
+
+#include "openie/extractor.h"
+
+namespace qkbfly {
+
+class ReverbExtractor : public OpenIeExtractor {
+ public:
+  std::vector<Proposition> Extract(const std::vector<Token>& tokens) const override;
+  const char* Name() const override { return "Reverb"; }
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_OPENIE_REVERB_H_

@@ -1,0 +1,84 @@
+#include "parser/dependency.h"
+
+#include <sstream>
+
+namespace qkbfly {
+
+const char* DepLabelName(DepLabel label) {
+  switch (label) {
+    case DepLabel::kRoot: return "root";
+    case DepLabel::kNsubj: return "nsubj";
+    case DepLabel::kNsubjPass: return "nsubjpass";
+    case DepLabel::kDobj: return "dobj";
+    case DepLabel::kIobj: return "iobj";
+    case DepLabel::kAttr: return "attr";
+    case DepLabel::kPrep: return "prep";
+    case DepLabel::kPobj: return "pobj";
+    case DepLabel::kDet: return "det";
+    case DepLabel::kAmod: return "amod";
+    case DepLabel::kNn: return "nn";
+    case DepLabel::kNum: return "num";
+    case DepLabel::kPoss: return "poss";
+    case DepLabel::kPossMark: return "possmark";
+    case DepLabel::kAux: return "aux";
+    case DepLabel::kAuxPass: return "auxpass";
+    case DepLabel::kCop: return "cop";
+    case DepLabel::kAdvmod: return "advmod";
+    case DepLabel::kNeg: return "neg";
+    case DepLabel::kCc: return "cc";
+    case DepLabel::kConj: return "conj";
+    case DepLabel::kMark: return "mark";
+    case DepLabel::kRcmod: return "rcmod";
+    case DepLabel::kAdvcl: return "advcl";
+    case DepLabel::kCcomp: return "ccomp";
+    case DepLabel::kXcomp: return "xcomp";
+    case DepLabel::kAppos: return "appos";
+    case DepLabel::kTmod: return "tmod";
+    case DepLabel::kPunct: return "punct";
+    case DepLabel::kDep: return "dep";
+  }
+  return "?";
+}
+
+std::vector<int> DependencyParse::DependentsWithLabel(int head, DepLabel label) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].head == head && arcs[i].label == label) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> DependencyParse::Dependents(int head) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].head == head) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int DependencyParse::Root() const {
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].head == -1 && arcs[i].label == DepLabel::kRoot) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string DependencyParse::ToString(const std::vector<Token>& tokens) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    os << i << ":" << tokens[i].text << " -" << DepLabelName(arcs[i].label) << "-> ";
+    if (arcs[i].head < 0) {
+      os << "ROOT";
+    } else {
+      os << arcs[i].head << ":" << tokens[static_cast<size_t>(arcs[i].head)].text;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qkbfly

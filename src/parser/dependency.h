@@ -1,0 +1,95 @@
+// Dependency-parse representation shared by both parser backends and by the
+// clause detector built on top of them.
+#ifndef QKBFLY_PARSER_DEPENDENCY_H_
+#define QKBFLY_PARSER_DEPENDENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Stanford-typed-dependency-flavoured arc labels (the subset the clause
+/// detector consumes).
+enum class DepLabel : uint8_t {
+  kRoot,      // head of the sentence
+  kNsubj,     // nominal subject
+  kNsubjPass, // passive nominal subject
+  kDobj,      // direct object
+  kIobj,      // indirect object
+  kAttr,      // copular complement ("is an actor")
+  kPrep,      // preposition attached to a verb or noun
+  kPobj,      // object of a preposition
+  kDet,       // determiner
+  kAmod,      // adjectival modifier
+  kNn,        // noun compound modifier
+  kNum,       // numeric modifier
+  kPoss,      // possessive modifier ("Pitt 's ex-wife")
+  kPossMark,  // the "'s" marker itself
+  kAux,       // auxiliary ("has married")
+  kAuxPass,   // passive auxiliary ("was born")
+  kCop,       // copula verb attached to its complement clause
+  kAdvmod,    // adverbial modifier
+  kNeg,       // negation
+  kCc,        // coordinating conjunction word
+  kConj,      // conjunct
+  kMark,      // subordinating marker ("because", "that")
+  kRcmod,     // relative-clause modifier (clause verb -> noun)
+  kAdvcl,     // adverbial clause verb -> main verb
+  kCcomp,     // clausal complement ("announced that ...")
+  kXcomp,     // open clausal complement ("wants to play")
+  kAppos,     // apposition ("his father, William Pitt")
+  kTmod,      // bare temporal modifier ("in 2012" handled as prep; "May 2012" bare)
+  kPunct,     // punctuation
+  kDep,       // unclassified dependency
+};
+
+/// Returns the conventional label string ("nsubj", "dobj", ...).
+const char* DepLabelName(DepLabel label);
+
+/// One dependency arc: token i has head `head` (or -1 for the root) with the
+/// given label.
+struct DepArc {
+  int head = -1;
+  DepLabel label = DepLabel::kDep;
+};
+
+/// A full parse: one arc per token, parallel to the token vector.
+struct DependencyParse {
+  std::vector<DepArc> arcs;
+
+  int HeadOf(int i) const { return arcs[static_cast<size_t>(i)].head; }
+  DepLabel LabelOf(int i) const { return arcs[static_cast<size_t>(i)].label; }
+
+  /// Indices of the direct dependents of `head` carrying `label`.
+  std::vector<int> DependentsWithLabel(int head, DepLabel label) const;
+
+  /// All direct dependents of `head`.
+  std::vector<int> Dependents(int head) const;
+
+  /// Index of the root token, or -1 for an empty parse.
+  int Root() const;
+
+  /// Renders "token -label-> head-token" lines for debugging.
+  std::string ToString(const std::vector<Token>& tokens) const;
+};
+
+/// Parser interface: both the fast transition-style parser (MaltParser
+/// stand-in) and the slow chart parser (Stanford-parser stand-in) implement
+/// this.
+class DependencyParser {
+ public:
+  virtual ~DependencyParser() = default;
+
+  /// Parses one POS-tagged sentence.
+  virtual DependencyParse Parse(const std::vector<Token>& tokens) const = 0;
+
+  /// Human-readable backend name for experiment logs.
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_PARSER_DEPENDENCY_H_

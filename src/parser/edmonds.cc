@@ -1,0 +1,140 @@
+#include "parser/edmonds.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Recursive contraction step. `active` marks live (non-contracted) nodes;
+// `score` is the current (possibly adjusted) arc matrix. Returns parent
+// choices for live nodes.
+std::vector<int> Solve(std::vector<std::vector<double>> score, int n) {
+  // 1. Greedy best incoming arc per node.
+  std::vector<int> best_in(static_cast<size_t>(n), -1);
+  for (int d = 1; d < n; ++d) {
+    double best = kNegInf;
+    for (int h = 0; h < n; ++h) {
+      if (h == d) continue;
+      if (score[static_cast<size_t>(h)][static_cast<size_t>(d)] > best) {
+        best = score[static_cast<size_t>(h)][static_cast<size_t>(d)];
+        best_in[static_cast<size_t>(d)] = h;
+      }
+    }
+  }
+
+  // 2. Find a cycle in the best-in graph.
+  std::vector<int> color(static_cast<size_t>(n), 0);  // 0 white 1 gray 2 black
+  std::vector<int> cycle;
+  for (int start = 1; start < n && cycle.empty(); ++start) {
+    if (color[static_cast<size_t>(start)] != 0) continue;
+    int v = start;
+    std::vector<int> path;
+    while (v != -1 && color[static_cast<size_t>(v)] == 0) {
+      color[static_cast<size_t>(v)] = 1;
+      path.push_back(v);
+      v = v == 0 ? -1 : best_in[static_cast<size_t>(v)];
+    }
+    if (v != -1 && color[static_cast<size_t>(v)] == 1) {
+      // Found a cycle: extract it from the path.
+      auto it = path.begin();
+      while (*it != v) ++it;
+      cycle.assign(it, path.end());
+    }
+    for (int u : path) color[static_cast<size_t>(u)] = 2;
+  }
+
+  if (cycle.empty()) return best_in;  // tree already
+
+  // 3. Contract the cycle into a new node `c` = n (index n in a grown matrix).
+  std::vector<bool> in_cycle(static_cast<size_t>(n), false);
+  double cycle_weight = 0.0;
+  for (int v : cycle) {
+    in_cycle[static_cast<size_t>(v)] = true;
+    cycle_weight += score[static_cast<size_t>(best_in[static_cast<size_t>(v)])]
+                         [static_cast<size_t>(v)];
+  }
+  const int c = n;
+  const int m = n + 1;
+  std::vector<std::vector<double>> contracted(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(m), kNegInf));
+  // enter[h]: which cycle node the best h->cycle arc enters;
+  // leave[d]: which cycle node the best cycle->d arc leaves.
+  std::vector<int> enter(static_cast<size_t>(n), -1);
+  std::vector<int> leave(static_cast<size_t>(n), -1);
+
+  for (int h = 0; h < n; ++h) {
+    if (in_cycle[static_cast<size_t>(h)]) continue;
+    for (int d = 0; d < n; ++d) {
+      if (h == d) continue;
+      double s = score[static_cast<size_t>(h)][static_cast<size_t>(d)];
+      if (s == kNegInf) continue;
+      if (in_cycle[static_cast<size_t>(d)]) {
+        // Arc into the cycle: adjusted weight swaps out the cycle arc into d.
+        double adjusted =
+            s - score[static_cast<size_t>(best_in[static_cast<size_t>(d)])]
+                     [static_cast<size_t>(d)];
+        if (adjusted > contracted[static_cast<size_t>(h)][static_cast<size_t>(c)]) {
+          contracted[static_cast<size_t>(h)][static_cast<size_t>(c)] = adjusted;
+          enter[static_cast<size_t>(h)] = d;
+        }
+      } else {
+        contracted[static_cast<size_t>(h)][static_cast<size_t>(d)] = s;
+      }
+    }
+  }
+  for (int d = 0; d < n; ++d) {
+    if (in_cycle[static_cast<size_t>(d)]) continue;
+    for (int v : cycle) {
+      double s = score[static_cast<size_t>(v)][static_cast<size_t>(d)];
+      if (s > contracted[static_cast<size_t>(c)][static_cast<size_t>(d)]) {
+        contracted[static_cast<size_t>(c)][static_cast<size_t>(d)] = s;
+        leave[static_cast<size_t>(d)] = v;
+      }
+    }
+  }
+  (void)cycle_weight;
+
+  // 4. Recurse on the contracted graph.
+  std::vector<int> sub_parent = Solve(std::move(contracted), m);
+
+  // 5. Expand: nodes outside the cycle keep their parents (mapping c back),
+  // the cycle is broken at the node the chosen entering arc points to.
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+  int enter_host = sub_parent[static_cast<size_t>(c)];
+  QKB_CHECK_GE(enter_host, 0);
+  int broken = enter[static_cast<size_t>(enter_host)];
+  QKB_CHECK_GE(broken, 0);
+  for (int v : cycle) {
+    parent[static_cast<size_t>(v)] =
+        v == broken ? enter_host : best_in[static_cast<size_t>(v)];
+  }
+  for (int d = 1; d < n; ++d) {
+    if (in_cycle[static_cast<size_t>(d)]) continue;
+    int p = sub_parent[static_cast<size_t>(d)];
+    parent[static_cast<size_t>(d)] =
+        p == c ? leave[static_cast<size_t>(d)] : p;
+  }
+  return parent;
+}
+
+}  // namespace
+
+std::vector<int> MaxSpanningArborescence(
+    const std::vector<std::vector<double>>& scores) {
+  const int n = static_cast<int>(scores.size());
+  QKB_CHECK_GT(n, 0);
+  if (n == 1) return {-1};
+  std::vector<std::vector<double>> score = scores;
+  // Root must have no incoming arcs.
+  for (int h = 0; h < n; ++h) score[static_cast<size_t>(h)][0] = kNegInf;
+  std::vector<int> parent = Solve(std::move(score), n);
+  parent[0] = -1;
+  return parent;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,22 @@
+// Chu-Liu/Edmonds maximum spanning arborescence, the combinatorial core of
+// the graph-based (McDonald-style) dependency parser that stands in for the
+// paper's "slow but thorough" Stanford parser.
+#ifndef QKBFLY_PARSER_EDMONDS_H_
+#define QKBFLY_PARSER_EDMONDS_H_
+
+#include <vector>
+
+namespace qkbfly {
+
+/// Finds the maximum-weight arborescence rooted at node 0.
+///
+/// `scores[h][d]` is the weight of arc h -> d over nodes 0..n-1; impossible
+/// arcs should carry a large negative weight. Node 0 is the artificial root
+/// and must have no incoming arcs considered. Returns parent[d] for every
+/// node d >= 1 (parent[0] is -1). Complexity O(n^3).
+std::vector<int> MaxSpanningArborescence(
+    const std::vector<std::vector<double>>& scores);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_PARSER_EDMONDS_H_

@@ -1,0 +1,638 @@
+#include "parser/malt_parser.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "nlp/lexicon.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Subordinators that open an adverbial clause.
+const std::unordered_set<std::string>& Subordinators() {
+  static const std::unordered_set<std::string> kSubs = {
+      "because", "although", "while", "after", "before", "when", "since",
+      "if", "as", "during", "until",
+  };
+  return kSubs;
+}
+
+struct VerbGroup {
+  int start = 0;   // first token of the group (first aux or the verb)
+  int head = 0;    // the main verb token
+  bool passive = false;
+  bool copular = false;
+
+  enum class ClauseKind { kMain, kConj, kRel, kAdvcl, kCcomp, kXcomp } kind =
+      ClauseKind::kMain;
+  int marker = -1;      // WP/WDT/IN/"that"/"to" token introducing the clause
+  int attach_to = -1;   // verb or noun this clause hangs off
+};
+
+class ParseState {
+ public:
+  explicit ParseState(const std::vector<Token>& tokens)
+      : tokens_(tokens), n_(static_cast<int>(tokens.size())) {
+    parse_.arcs.assign(static_cast<size_t>(n_), DepArc{});
+    np_head_.assign(static_cast<size_t>(n_), -1);
+  }
+
+  DependencyParse Run() {
+    if (n_ == 0) return parse_;
+    MarkNounPhrases();
+    MarkVerbGroups();
+    ClassifyClauses();
+    AttachSubjects();
+    AttachRightArguments();
+    AttachLeftovers();
+    return parse_;
+  }
+
+ private:
+  void SetArc(int dep, int head, DepLabel label) {
+    parse_.arcs[static_cast<size_t>(dep)] = DepArc{head, label};
+  }
+
+  bool Attached(int i) const {
+    return parse_.arcs[static_cast<size_t>(i)].head != -1 ||
+           parse_.arcs[static_cast<size_t>(i)].label == DepLabel::kRoot;
+  }
+
+  PosTag Pos(int i) const { return tokens_[static_cast<size_t>(i)].pos; }
+  const std::string& Text(int i) const { return tokens_[static_cast<size_t>(i)].text; }
+  std::string Lower(int i) const { return Lowercase(Text(i)); }
+
+  bool IsNominalHeadCandidate(int i) const {
+    PosTag t = Pos(i);
+    return IsNounTag(t) || t == PosTag::kPRP || t == PosTag::kCD ||
+           t == PosTag::kEX || t == PosTag::kSYM;
+  }
+
+  // ---- Pass 1: noun-phrase internal structure -------------------------------
+
+  void MarkNounPhrases() {
+    int i = 0;
+    std::vector<std::pair<int, int>> nps;  // (start, head)
+    while (i < n_) {
+      PosTag t = Pos(i);
+      if (t == PosTag::kPRP) {
+        np_head_[static_cast<size_t>(i)] = i;
+        nps.emplace_back(i, i);
+        ++i;
+        continue;
+      }
+      bool starts_np = t == PosTag::kDT || t == PosTag::kPRPS ||
+                       t == PosTag::kJJ || t == PosTag::kCD ||
+                       t == PosTag::kSYM || IsNounTag(t);
+      if (!starts_np) {
+        ++i;
+        continue;
+      }
+      int start = i;
+      int j = i;
+      if (Pos(j) == PosTag::kDT || Pos(j) == PosTag::kPRPS) ++j;
+      while (j < n_ && (Pos(j) == PosTag::kJJ || Pos(j) == PosTag::kCD ||
+                        Pos(j) == PosTag::kSYM)) {
+        ++j;
+      }
+      int noun_start = j;
+      while (j < n_ && IsNounTag(Pos(j))) {
+        // Case shift from common noun to proper noun marks an apposition
+        // boundary: "ex-wife | Angelina Jolie", "warrior | Achilles".
+        if (j > noun_start && Pos(j) == PosTag::kNNP &&
+            Pos(j - 1) != PosTag::kNNP) {
+          break;
+        }
+        ++j;
+      }
+      int head;
+      if (j > noun_start) {
+        head = j - 1;
+        // Absorb a trailing date tail into the NP: "December | 1936",
+        // "May | 3 | , | 1985".
+        if (j < n_ && Pos(j) == PosTag::kCD &&
+            Lexicon::Get().IsMonthName(Text(j - 1))) {
+          ++j;
+          if (j + 1 < n_ && Text(j) == "," && Pos(j + 1) == PosTag::kCD &&
+              Text(j + 1).size() == 4) {
+            SetArc(j, head, DepLabel::kPunct);
+            j += 2;
+          }
+        }
+      } else if (noun_start > start &&
+                 (Pos(noun_start - 1) == PosTag::kCD ||
+                  Pos(noun_start - 1) == PosTag::kSYM)) {
+        head = noun_start - 1;  // bare literal: "$100,000", "2016"
+        j = noun_start;
+      } else {
+        ++i;
+        continue;
+      }
+      for (int k = start; k < j; ++k) {
+        np_head_[static_cast<size_t>(k)] = head;
+        if (k == head) continue;
+        PosTag kt = Pos(k);
+        DepLabel label = DepLabel::kDep;
+        if (kt == PosTag::kDT) label = DepLabel::kDet;
+        else if (kt == PosTag::kPRPS) label = DepLabel::kPoss;
+        else if (kt == PosTag::kJJ) label = DepLabel::kAmod;
+        else if (kt == PosTag::kCD || kt == PosTag::kSYM) label = DepLabel::kNum;
+        else if (IsNounTag(kt)) label = DepLabel::kNn;
+        SetArc(k, head, label);
+      }
+      nps.emplace_back(start, head);
+      i = j;
+    }
+
+    // Possessives: NP "'s" NP -> poss.
+    for (size_t a = 0; a + 1 < nps.size(); ++a) {
+      int head_a = nps[a].second;
+      int pos_tok = head_a + 1;
+      if (pos_tok < n_ && Pos(pos_tok) == PosTag::kPOS &&
+          a + 1 < nps.size() && nps[a + 1].first == pos_tok + 1) {
+        int head_b = nps[a + 1].second;
+        SetArc(head_a, head_b, DepLabel::kPoss);
+        SetArc(pos_tok, head_a, DepLabel::kPossMark);
+      }
+    }
+
+    // Apposition: [NP-common] [NP-proper] juxtaposed ("ex-wife Angelina
+    // Jolie"), or [NP] , [NP] , with the second not opening a clause.
+    for (size_t a = 0; a + 1 < nps.size(); ++a) {
+      int head_a = nps[a].second;
+      if (Attached(head_a)) continue;
+      int next_start = nps[a + 1].first;
+      int head_b = nps[a + 1].second;
+      if (next_start == head_a + 1 && IsNounTag(Pos(head_a)) &&
+          Pos(head_a) != PosTag::kNNP && Pos(head_b) == PosTag::kNNP) {
+        SetArc(head_b, head_a, DepLabel::kAppos);
+      } else if (next_start == head_a + 2 && Pos(head_a + 1) == PosTag::kPUNCT &&
+                 Text(head_a + 1) == "," && head_b + 1 < n_ &&
+                 Pos(head_b + 1) == PosTag::kPUNCT && Text(head_b + 1) == "," &&
+                 Pos(nps[a + 1].first) == PosTag::kDT) {
+        // "William Pitt, the father of X," -- DT-initiated apposition.
+        SetArc(head_b, head_a, DepLabel::kAppos);
+      }
+    }
+
+    np_list_ = std::move(nps);
+  }
+
+  // ---- Pass 2: verb groups ---------------------------------------------------
+
+  void MarkVerbGroups() {
+    const Lexicon& lex = Lexicon::Get();
+    int i = 0;
+    while (i < n_) {
+      PosTag t = Pos(i);
+      bool verbal_start = IsVerbTag(t) || t == PosTag::kMD;
+      if (!verbal_start || Attached(i)) {
+        ++i;
+        continue;
+      }
+      // Absorb the chain of auxiliaries / adverbs / negation up to the main
+      // verb: "has recently been married", "will not play".
+      VerbGroup vg;
+      vg.start = i;
+      int j = i;
+      int main_verb = i;
+      while (j < n_) {
+        PosTag tj = Pos(j);
+        if (IsVerbTag(tj) || tj == PosTag::kMD) {
+          main_verb = j;
+          ++j;
+        } else if (tj == PosTag::kRB && j + 1 < n_ &&
+                   (IsVerbTag(Pos(j + 1)) || Pos(j + 1) == PosTag::kMD)) {
+          ++j;  // adverb inside the group
+        } else {
+          break;
+        }
+      }
+      vg.head = main_verb;
+      // Classify auxiliaries.
+      bool head_is_participle = Pos(main_verb) == PosTag::kVBN;
+      for (int k = vg.start; k < main_verb; ++k) {
+        PosTag tk = Pos(k);
+        if (tk == PosTag::kMD) {
+          SetArc(k, main_verb, DepLabel::kAux);
+        } else if (IsVerbTag(tk)) {
+          bool be = lex.IsBeForm(Lower(k));
+          if (be && head_is_participle) {
+            SetArc(k, main_verb, DepLabel::kAuxPass);
+            vg.passive = true;
+          } else {
+            SetArc(k, main_verb, DepLabel::kAux);
+          }
+        } else if (tk == PosTag::kRB) {
+          SetArc(k, main_verb,
+                 Lower(k) == "not" || Lower(k) == "n't" ? DepLabel::kNeg
+                                                        : DepLabel::kAdvmod);
+        }
+      }
+      // "born" behaves passively even though its auxiliary analysis may have
+      // consumed "was" as aux: double-check.
+      if (head_is_participle && !vg.passive && vg.start == main_verb && main_verb > 0 &&
+          lex.IsBeForm(Lower(main_verb - 1))) {
+        vg.passive = true;
+      }
+      std::string head_lemma = tokens_[static_cast<size_t>(main_verb)].lemma;
+      vg.copular = lex.IsCopularVerb(head_lemma) && !vg.passive;
+      verbs_.push_back(vg);
+      i = j;
+    }
+  }
+
+  // ---- Pass 3: clause classification ----------------------------------------
+
+  void ClassifyClauses() {
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      VerbGroup& vg = verbs_[v];
+      // Scan left from the group start for a clause-introducing marker,
+      // stopping at another verb or a clause boundary.
+      int k = vg.start - 1;
+      // Allow the subject NP (and its modifiers) between marker and verb.
+      int steps = 0;
+      while (k >= 0 && steps < 8) {
+        PosTag tk = Pos(k);
+        std::string lk = Lower(k);
+        if (IsVerbTag(tk) || tk == PosTag::kMD) break;
+        if (tk == PosTag::kWP || tk == PosTag::kWDT) {
+          vg.kind = VerbGroup::ClauseKind::kRel;
+          vg.marker = k;
+          break;
+        }
+        if (tk == PosTag::kTO && k == vg.start - 1 && Pos(vg.start) == PosTag::kVB) {
+          vg.kind = VerbGroup::ClauseKind::kXcomp;
+          vg.marker = k;
+          break;
+        }
+        if (lk == "that" && v > 0) {
+          vg.kind = VerbGroup::ClauseKind::kCcomp;
+          vg.marker = k;
+          break;
+        }
+        if (tk == PosTag::kIN && Subordinators().count(lk) > 0) {
+          // Only treat as a clause opener if a nominal + this verb follow
+          // (i.e. it is not a plain preposition).
+          vg.kind = VerbGroup::ClauseKind::kAdvcl;
+          vg.marker = k;
+          break;
+        }
+        if (tk == PosTag::kPUNCT && Text(k) != ",") break;
+        ++k;  // never move right; kept for clarity
+        break;
+      }
+      if (vg.kind != VerbGroup::ClauseKind::kMain) continue;
+      // Re-scan allowing the subject NP between the marker and the verb:
+      // "because Angelina Jolie filed ...".
+      k = vg.start - 1;
+      while (k >= 0) {
+        PosTag tk = Pos(k);
+        std::string lk = Lower(k);
+        if (IsVerbTag(tk) || tk == PosTag::kMD || tk == PosTag::kPOS) break;
+        if (tk == PosTag::kPUNCT && Text(k) != ",") break;
+        if (tk == PosTag::kWP || tk == PosTag::kWDT) {
+          vg.kind = VerbGroup::ClauseKind::kRel;
+          vg.marker = k;
+          break;
+        }
+        if (tk == PosTag::kIN && Subordinators().count(lk) > 0) {
+          vg.kind = VerbGroup::ClauseKind::kAdvcl;
+          vg.marker = k;
+          break;
+        }
+        if (lk == "that" && v > 0) {
+          vg.kind = VerbGroup::ClauseKind::kCcomp;
+          vg.marker = k;
+          break;
+        }
+        if (tk == PosTag::kPUNCT && Text(k) == ",") {
+          // Stop at a comma unless it merely separates the marker:
+          // ", who ..." was handled above because WP sits right after it.
+          break;
+        }
+        --k;
+      }
+    }
+
+    // Pick the root: the first MAIN verb; later MAIN verbs become conj if a
+    // CC intervenes, otherwise they stay independent clauses attached as conj
+    // too (run-on coordination).
+    int root = -1;
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      VerbGroup& vg = verbs_[v];
+      if (vg.kind != VerbGroup::ClauseKind::kMain) continue;
+      if (root == -1) {
+        root = vg.head;
+        SetArc(vg.head, -1, DepLabel::kRoot);
+        parse_.arcs[static_cast<size_t>(vg.head)].head = -1;
+        parse_.arcs[static_cast<size_t>(vg.head)].label = DepLabel::kRoot;
+      } else {
+        vg.kind = VerbGroup::ClauseKind::kConj;
+        vg.attach_to = root;
+        SetArc(vg.head, root, DepLabel::kConj);
+        // Attach the CC word if directly before this group (possibly with a
+        // comma): "..., and later divorced ..."
+        for (int k = vg.start - 1; k >= 0 && k >= vg.start - 3; --k) {
+          if (Pos(k) == PosTag::kCC) {
+            SetArc(k, vg.head, DepLabel::kCc);
+            break;
+          }
+        }
+      }
+    }
+    root_ = root;
+
+    // Attach subordinate clauses.
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      VerbGroup& vg = verbs_[v];
+      switch (vg.kind) {
+        case VerbGroup::ClauseKind::kRel: {
+          // Antecedent: nearest NP head left of the marker.
+          int ant = NearestNpHeadLeft(vg.marker);
+          vg.attach_to = ant;
+          if (ant >= 0) {
+            SetArc(vg.head, ant, DepLabel::kRcmod);
+          } else if (root_ >= 0 && vg.head != root_) {
+            SetArc(vg.head, root_, DepLabel::kDep);
+          }
+          break;
+        }
+        case VerbGroup::ClauseKind::kAdvcl:
+        case VerbGroup::ClauseKind::kCcomp:
+        case VerbGroup::ClauseKind::kXcomp: {
+          // Attach to the nearest verb head before the marker, else the
+          // nearest after (fronted adverbial clause), else root.
+          int host = NearestVerbHead(vg.marker, static_cast<int>(v));
+          vg.attach_to = host;
+          DepLabel label = vg.kind == VerbGroup::ClauseKind::kAdvcl
+                               ? DepLabel::kAdvcl
+                               : vg.kind == VerbGroup::ClauseKind::kCcomp
+                                     ? DepLabel::kCcomp
+                                     : DepLabel::kXcomp;
+          if (host >= 0) {
+            SetArc(vg.head, host, label);
+          } else if (root_ >= 0 && vg.head != root_) {
+            SetArc(vg.head, root_, label);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (vg.marker >= 0 && !Attached(vg.marker) &&
+          vg.kind != VerbGroup::ClauseKind::kRel) {
+        SetArc(vg.marker, vg.head, DepLabel::kMark);
+      }
+    }
+  }
+
+  int NearestNpHeadLeft(int pos) const {
+    for (int k = pos - 1; k >= 0; --k) {
+      if (np_head_[static_cast<size_t>(k)] == k) return k;
+      // Do not cross another verb.
+      if (IsVerbTag(Pos(k))) break;
+    }
+    return -1;
+  }
+
+  // Nearest verb head left of `pos` belonging to a different group; if none,
+  // the nearest to the right.
+  int NearestVerbHead(int pos, int self) const {
+    int best = -1;
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      if (static_cast<int>(v) == self) continue;
+      if (verbs_[v].head < pos) best = verbs_[v].head;
+    }
+    if (best >= 0) return best;
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      if (static_cast<int>(v) == self) continue;
+      if (verbs_[v].head > pos) return verbs_[v].head;
+    }
+    return -1;
+  }
+
+  // ---- Pass 4: subjects -------------------------------------------------------
+
+  // Token ranges covered by subordinate clauses; subjects of outer clauses
+  // must not be picked from inside them.
+  std::vector<std::pair<int, int>> SubordinateSpans() const {
+    std::vector<std::pair<int, int>> spans;
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      const VerbGroup& vg = verbs_[v];
+      if (vg.kind == VerbGroup::ClauseKind::kMain ||
+          vg.kind == VerbGroup::ClauseKind::kConj) {
+        continue;
+      }
+      int start = vg.marker >= 0 ? vg.marker : vg.start;
+      spans.emplace_back(start, ArgumentRegionEnd(v));
+    }
+    return spans;
+  }
+
+  void AttachSubjects() {
+    const auto subordinate_spans = SubordinateSpans();
+    for (VerbGroup& vg : verbs_) {
+      DepLabel subj_label =
+          vg.passive ? DepLabel::kNsubjPass : DepLabel::kNsubj;
+      if (vg.kind == VerbGroup::ClauseKind::kRel && vg.marker >= 0) {
+        // "who played Achilles": the WP is the grammatical subject.
+        if (!Attached(vg.marker)) SetArc(vg.marker, vg.head, subj_label);
+        continue;
+      }
+      if (vg.kind == VerbGroup::ClauseKind::kXcomp) continue;  // no own subject
+      // Scan left for the subject NP head, skipping over relative clauses
+      // and appositions attached to nouns.
+      int limit = vg.kind == VerbGroup::ClauseKind::kMain ||
+                          vg.kind == VerbGroup::ClauseKind::kConj
+                      ? 0
+                      : vg.marker + 1;
+      int subject = -1;
+      for (int k = vg.start - 1; k >= limit; --k) {
+        // Never take a subject from inside someone else's subordinate clause.
+        bool inside_sub = false;
+        for (const auto& [s, e] : subordinate_spans) {
+          if (k >= s && k < e && !(vg.marker >= 0 && vg.marker == s)) {
+            inside_sub = true;
+            k = s;  // jump to just before the clause (loop decrements)
+            break;
+          }
+        }
+        if (inside_sub) continue;
+        // A coordinating conjunction ends the search: the conjunct shares
+        // the host verb's subject instead ("married X and divorced Y").
+        if (Pos(k) == PosTag::kCC) break;
+        if (IsVerbTag(Pos(k)) || Pos(k) == PosTag::kMD) {
+          // Crossed into another clause; allow skipping a full relative
+          // clause span: jump to before its marker.
+          const VerbGroup* other = GroupOfHead(k);
+          if (other != nullptr && other->kind == VerbGroup::ClauseKind::kRel &&
+              other->marker >= 0) {
+            k = other->marker;  // loop decrement moves past the marker
+            continue;
+          }
+          break;
+        }
+        int h = np_head_[static_cast<size_t>(k)];
+        if (h == k && !Attached(k)) {
+          subject = k;
+          break;
+        }
+        if (h >= 0 && h != k) {
+          continue;  // inside an NP; keep scanning to its head
+        }
+      }
+      if (subject >= 0) SetArc(subject, vg.head, subj_label);
+      // For conj verbs without a subject the clause detector inherits the
+      // host verb's subject, matching ClausIE's behaviour.
+    }
+  }
+
+  const VerbGroup* GroupOfHead(int token) const {
+    for (const VerbGroup& vg : verbs_) {
+      if (vg.head == token) return &vg;
+      if (token >= vg.start && token <= vg.head) return &vg;
+    }
+    return nullptr;
+  }
+
+  // ---- Pass 5: right-side arguments -----------------------------------------
+
+  // End of the argument region of verb group v: the next clause marker, CC
+  // starting a new conjunct, another verb group, or sentence end.
+  int ArgumentRegionEnd(size_t v) const {
+    int end = n_;
+    const VerbGroup& vg = verbs_[v];
+    for (size_t u = 0; u < verbs_.size(); ++u) {
+      if (u == v) continue;
+      const VerbGroup& other = verbs_[u];
+      int boundary = other.marker >= 0 ? other.marker : other.start;
+      // An xcomp/ccomp belongs inside our region only up to its marker.
+      if (boundary > vg.head && boundary < end) end = boundary;
+    }
+    return end;
+  }
+
+  void AttachRightArguments() {
+    for (size_t v = 0; v < verbs_.size(); ++v) {
+      VerbGroup& vg = verbs_[v];
+      int end = ArgumentRegionEnd(v);
+      int bare_np_count = 0;
+      int first_bare_np = -1;
+      int current_prep = -1;
+      for (int k = vg.head + 1; k < end; ++k) {
+        if (Attached(k)) {
+          // NP-internal token or already-attached aux etc.; only NP heads
+          // matter below, and they are unattached so far.
+          continue;
+        }
+        PosTag tk = Pos(k);
+        if (tk == PosTag::kIN || tk == PosTag::kTO) {
+          // Name-internal "of" attaches to the preceding noun ("University
+          // of Clearbrook"), not to the verb.
+          if (Lower(k) == "of" && k > 0 && IsNounTag(Pos(k - 1)) && k + 1 < end &&
+              Pos(k + 1) == PosTag::kNNP) {
+            SetArc(k, np_head_[static_cast<size_t>(k - 1)] >= 0
+                          ? np_head_[static_cast<size_t>(k - 1)]
+                          : k - 1,
+                   DepLabel::kPrep);
+            current_prep = k;
+            continue;
+          }
+          current_prep = k;
+          SetArc(k, vg.head, DepLabel::kPrep);
+          continue;
+        }
+        if (tk == PosTag::kRB) {
+          SetArc(k, vg.head, DepLabel::kAdvmod);
+          continue;
+        }
+        if (tk == PosTag::kPUNCT) {
+          if (Text(k) != ",") continue;
+          // A comma usually ends the bare-argument region but prepositional
+          // adjuncts may continue ("..., in Troy,").
+          current_prep = -1;
+          continue;
+        }
+        int h = np_head_[static_cast<size_t>(k)];
+        if (h == k) {
+          if (current_prep >= 0) {
+            SetArc(k, current_prep, DepLabel::kPobj);
+            current_prep = -1;
+          } else if (vg.copular && bare_np_count == 0) {
+            SetArc(k, vg.head, DepLabel::kAttr);
+            ++bare_np_count;
+            first_bare_np = k;
+          } else if (bare_np_count == 0) {
+            SetArc(k, vg.head, DepLabel::kDobj);
+            ++bare_np_count;
+            first_bare_np = k;
+          } else if (bare_np_count == 1) {
+            // Dative shift: "gave [the foundation] [$100,000]".
+            const Lexicon& lex = Lexicon::Get();
+            if (lex.IsDitransitiveVerb(tokens_[static_cast<size_t>(vg.head)].lemma) &&
+                first_bare_np >= 0 &&
+                parse_.arcs[static_cast<size_t>(first_bare_np)].label ==
+                    DepLabel::kDobj) {
+              parse_.arcs[static_cast<size_t>(first_bare_np)].label = DepLabel::kIobj;
+              SetArc(k, vg.head, DepLabel::kDobj);
+              ++bare_np_count;
+            } else {
+              SetArc(k, vg.head, DepLabel::kDep);
+            }
+          } else {
+            SetArc(k, vg.head, DepLabel::kDep);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Pass 6: leftovers ------------------------------------------------------
+
+  void AttachLeftovers() {
+    // Choose a fallback head: the root, else the first NP head, else token 0.
+    int fallback = root_;
+    if (fallback < 0) {
+      for (int k = 0; k < n_; ++k) {
+        if (np_head_[static_cast<size_t>(k)] == k) {
+          fallback = k;
+          break;
+        }
+      }
+    }
+    if (fallback < 0) fallback = 0;
+    if (root_ < 0) {
+      // Verbless fragment: promote the fallback to root.
+      parse_.arcs[static_cast<size_t>(fallback)] = DepArc{-1, DepLabel::kRoot};
+      root_ = fallback;
+    }
+    for (int k = 0; k < n_; ++k) {
+      if (k == root_) continue;
+      if (!Attached(k)) {
+        SetArc(k, root_,
+               Pos(k) == PosTag::kPUNCT ? DepLabel::kPunct : DepLabel::kDep);
+      }
+    }
+  }
+
+  const std::vector<Token>& tokens_;
+  int n_;
+  DependencyParse parse_;
+  std::vector<int> np_head_;
+  std::vector<std::pair<int, int>> np_list_;
+  std::vector<VerbGroup> verbs_;
+  int root_ = -1;
+};
+
+}  // namespace
+
+DependencyParse MaltLikeParser::Parse(const std::vector<Token>& tokens) const {
+  ParseState state(tokens);
+  return state.Run();
+}
+
+}  // namespace qkbfly

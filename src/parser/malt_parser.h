@@ -1,0 +1,25 @@
+// Fast deterministic dependency parser (the MaltParser stand-in). Runs in
+// O(n) passes: noun-phrase structure, verb groups, clause segmentation,
+// then argument attachment.
+#ifndef QKBFLY_PARSER_MALT_PARSER_H_
+#define QKBFLY_PARSER_MALT_PARSER_H_
+
+#include <vector>
+
+#include "parser/dependency.h"
+
+namespace qkbfly {
+
+/// Transition-flavoured rule parser covering the constructions our corpora
+/// (and newswire-like English generally) use: SV(O)(O) clauses, copulas,
+/// prepositional arguments, possessives, appositions, verb and noun
+/// coordination, relative / adverbial / complement / infinitival clauses.
+class MaltLikeParser : public DependencyParser {
+ public:
+  DependencyParse Parse(const std::vector<Token>& tokens) const override;
+  const char* Name() const override { return "malt-like"; }
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_PARSER_MALT_PARSER_H_

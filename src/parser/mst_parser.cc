@@ -1,0 +1,442 @@
+#include "parser/mst_parser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "nlp/lexicon.h"
+#include "parser/edmonds.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+bool IsSubordinator(const std::string& lower) {
+  return lower == "because" || lower == "although" || lower == "while" ||
+         lower == "after" || lower == "before" || lower == "when" ||
+         lower == "since" || lower == "if" || lower == "until";
+}
+
+/// Scores all labelled arcs; keeps the best label per (head, dependent).
+class ArcScorer {
+ public:
+  explicit ArcScorer(const std::vector<Token>& tokens)
+      : tokens_(tokens), n_(static_cast<int>(tokens.size())) {}
+
+  /// Best score for arc h -> d (token indices); fills *label.
+  double Score(int h, int d, DepLabel* label) const {
+    const Token& head = tokens_[static_cast<size_t>(h)];
+    const Token& dep = tokens_[static_cast<size_t>(d)];
+    const PosTag hp = head.pos;
+    const PosTag dp = dep.pos;
+    const int dist = std::abs(h - d);
+    const bool dep_left = d < h;
+    const Lexicon& lex = Lexicon::Get();
+
+    double best = kNegInf;
+    *label = DepLabel::kDep;
+    auto propose = [&best, label](double score, DepLabel l) {
+      if (score > best) {
+        best = score;
+        *label = l;
+      }
+    };
+
+    const bool head_verb = IsVerbTag(hp);
+    const bool dep_nominal = IsNounTag(dp) || dp == PosTag::kPRP ||
+                             dp == PosTag::kCD || dp == PosTag::kSYM;
+
+    if (dp == PosTag::kPUNCT) {
+      propose(0.2, DepLabel::kPunct);
+      return best;
+    }
+
+    // ----- verb-headed arcs -----
+    if (head_verb) {
+      // An auxiliary ("was" in "was shot") must not head nominal arguments.
+      double aux_penalty = IsAuxiliaryPosition(h) ? 5.0 : 0.0;
+      if (dep_nominal && dep_left) {
+        // Subject: prefer close, non-crossing. Passive if "be + VBN".
+        bool passive = hp == PosTag::kVBN && h > 0 &&
+                       lex.IsBeForm(Lowercase(tokens_[static_cast<size_t>(h - 1)].text));
+        double s = 6.0 - 0.45 * dist - 2.0 * AuxAwareVerbsBetween(d, h) - aux_penalty;
+        // A conjunct must not steal the previous clause's object as its
+        // subject ("married X and joined Y").
+        if (CcBetween(d, h)) s -= 3.5;
+        // Nor should a later verb take a post-verbal nominal from an
+        // embedded segment ("..., who joined B, won ..." - B is joined's
+        // object, not won's subject).
+        if (PostVerbalPosition(d)) s -= 3.5;
+        propose(s, passive ? DepLabel::kNsubjPass : DepLabel::kNsubj);
+      }
+      if (dep_nominal && !dep_left) {
+        bool copular = lex.IsCopularVerb(head.lemma);
+        bool prep_between = PrepBetween(h, d) >= 0;
+        double s = 5.0 - 0.5 * dist - 2.0 * VerbsBetween(h, d) -
+                   (prep_between ? 4.0 : 0.0) - aux_penalty;
+        propose(s, copular ? DepLabel::kAttr : DepLabel::kDobj);
+      }
+      if ((dp == PosTag::kIN || dp == PosTag::kTO) && !dep_left) {
+        if (!(dp == PosTag::kTO && d + 1 < n_ &&
+              tokens_[static_cast<size_t>(d + 1)].pos == PosTag::kVB)) {
+          propose(4.2 - 0.25 * dist - 2.0 * VerbsBetween(h, d), DepLabel::kPrep);
+        }
+      }
+      if (dp == PosTag::kRB) {
+        std::string lw = Lowercase(dep.text);
+        DepLabel l = (lw == "not" || lw == "n't") ? DepLabel::kNeg : DepLabel::kAdvmod;
+        propose(3.0 - 0.4 * dist, l);
+      }
+      if ((dp == PosTag::kMD || IsVerbTag(dp)) && dep_left && dist <= 3 &&
+          AllVerbalBetween(d, h)) {
+        bool be = lex.IsBeForm(Lowercase(dep.text));
+        bool head_part = hp == PosTag::kVBN;
+        propose(8.0 - 0.8 * dist,
+                be && head_part ? DepLabel::kAuxPass : DepLabel::kAux);
+      }
+      if (dp == PosTag::kWP || dp == PosTag::kWDT) {
+        if (dep_left && dist <= 2) propose(6.0 - 0.5 * dist, DepLabel::kNsubj);
+      }
+      if (dp == PosTag::kIN && dep_left &&
+          IsSubordinator(Lowercase(dep.text))) {
+        propose(4.0 - 0.3 * dist, DepLabel::kMark);
+      }
+      if (Lowercase(dep.text) == "that" && dep_left && dist <= 2) {
+        propose(4.0, DepLabel::kMark);
+      }
+      if (dp == PosTag::kTO && dep_left && dist == 1) {
+        propose(6.0, DepLabel::kMark);  // infinitival "to"
+      }
+      if (dp == PosTag::kCC && dep_left && dist <= 3) {
+        propose(2.5 - 0.2 * dist, DepLabel::kCc);
+      }
+      // Verb -> verb clausal relations.
+      if (IsVerbTag(dp) && !dep_left) {
+        int m = MarkerBetween(h, d);
+        if (m >= 0) {
+          std::string ml = Lowercase(tokens_[static_cast<size_t>(m)].text);
+          PosTag mp = tokens_[static_cast<size_t>(m)].pos;
+          if (mp == PosTag::kWP || mp == PosTag::kWDT) {
+            propose(2.0 - 0.05 * dist, DepLabel::kRcmod);
+          } else if (mp == PosTag::kTO) {
+            propose(4.5 - 0.1 * dist, DepLabel::kXcomp);
+          } else if (ml == "that") {
+            propose(4.0 - 0.1 * dist, DepLabel::kCcomp);
+          } else if (IsSubordinator(ml)) {
+            propose(3.5 - 0.1 * dist, DepLabel::kAdvcl);
+          }
+        }
+        if (CcBetween(h, d)) propose(3.6 - 0.08 * dist, DepLabel::kConj);
+        propose(1.0 - 0.1 * dist, DepLabel::kDep);
+      }
+      if (IsVerbTag(dp) && dep_left) {
+        // Fronted adverbial clause: "After he left, she cried."
+        int m = FirstMarkerBefore(d);
+        if (m >= 0 && IsSubordinator(Lowercase(tokens_[static_cast<size_t>(m)].text))) {
+          propose(3.5 - 0.05 * dist, DepLabel::kAdvcl);
+        }
+      }
+    }
+
+    // ----- noun-headed arcs -----
+    if (IsNounTag(hp)) {
+      // Prenominal modifiers should attach to the head of the noun phrase
+      // (the last noun of a compound run), so a noun that itself has a noun
+      // right after it is a poor host.
+      double non_head_penalty =
+          (h + 1 < n_ && IsNounTag(tokens_[static_cast<size_t>(h + 1)].pos)) ? 2.5
+                                                                             : 0.0;
+      bool compound_path = OnlyNounsBetween(d, h);
+      if (dp == PosTag::kDT && dep_left && dist <= 5 &&
+          (NoNounBetween(d, h) || compound_path)) {
+        propose(8.0 - 0.4 * dist - non_head_penalty, DepLabel::kDet);
+      }
+      if (dp == PosTag::kJJ && dep_left && dist <= 4 &&
+          (NoNounBetween(d, h) || compound_path)) {
+        propose(7.0 - 0.4 * dist - non_head_penalty, DepLabel::kAmod);
+      }
+      if ((dp == PosTag::kCD || dp == PosTag::kSYM) && dep_left && dist <= 3 &&
+          (NoNounBetween(d, h) || compound_path)) {
+        propose(6.5 - 0.4 * dist - non_head_penalty, DepLabel::kNum);
+      }
+      if (IsNounTag(dp) && dep_left && dist == 1) {
+        propose(7.5 - non_head_penalty, DepLabel::kNn);  // noun compound
+      }
+      // Trailing date tail: "December 1936", "May 3, 1985".
+      if (dp == PosTag::kCD && !dep_left && dist <= 3 &&
+          lex.IsMonthName(head.text)) {
+        bool only_date_tokens = true;
+        for (int k = h + 1; k < d; ++k) {
+          PosTag t = tokens_[static_cast<size_t>(k)].pos;
+          if (t != PosTag::kCD && !(t == PosTag::kPUNCT &&
+                                    tokens_[static_cast<size_t>(k)].text == ",")) {
+            only_date_tokens = false;
+          }
+        }
+        if (only_date_tokens) propose(8.0 - 0.1 * dist, DepLabel::kNum);
+      }
+      if (dp == PosTag::kPRPS && dep_left && dist <= 3 &&
+          (NoNounBetween(d, h) || compound_path)) {
+        propose(7.5 - 0.5 * dist - non_head_penalty, DepLabel::kPoss);
+      }
+      // Possessive NP: "[Pitt] 's [ex-wife]" -> poss(ex-wife, Pitt).
+      if (IsNounTag(dp) && dep_left && d + 1 < n_ &&
+          tokens_[static_cast<size_t>(d + 1)].pos == PosTag::kPOS && dist <= 4) {
+        propose(8.5 - 0.3 * dist, DepLabel::kPoss);
+      }
+      if (dp == PosTag::kPOS && dep_left && dist <= 3) {
+        propose(1.0, DepLabel::kPossMark);
+      }
+      // Apposition: proper-noun NP right after a common-noun head.
+      if (hp != PosTag::kNNP && dp == PosTag::kNNP && !dep_left && dist <= 3 &&
+          NoVerbBetween(h, d)) {
+        propose(5.0 - 0.4 * dist, DepLabel::kAppos);
+      }
+      // Relative clause verb hanging off this noun.
+      if (IsVerbTag(dp) && !dep_left) {
+        int m = MarkerBetween(h, d);
+        if (m >= 0 && (tokens_[static_cast<size_t>(m)].pos == PosTag::kWP ||
+                       tokens_[static_cast<size_t>(m)].pos == PosTag::kWDT)) {
+          propose(5.5 - 0.15 * dist, DepLabel::kRcmod);
+        }
+      }
+      // Noun-attached preposition ("the father of X").
+      if (dp == PosTag::kIN && !dep_left && dist == 1 &&
+          Lowercase(dep.text) == "of") {
+        propose(5.0, DepLabel::kPrep);
+      }
+      if (IsNounTag(dp) && !dep_left && CcBetween(h, d) && dist <= 4) {
+        propose(4.5 - 0.2 * dist, DepLabel::kConj);
+      }
+      if (dp == PosTag::kCC && !dep_left && dist <= 3) {
+        propose(2.0, DepLabel::kCc);
+      }
+    }
+
+    // ----- preposition-headed arcs -----
+    if (hp == PosTag::kIN || hp == PosTag::kTO) {
+      if (dep_nominal && !dep_left) {
+        propose(6.0 - 0.6 * dist - 3.0 * VerbsBetween(h, d), DepLabel::kPobj);
+      }
+    }
+
+    // ----- possessive-marker-headed: nothing hangs off "'s" -----
+
+    // Weak fallback so every token can be attached somewhere.
+    propose(0.01 - 0.001 * dist, DepLabel::kDep);
+    return best;
+  }
+
+ private:
+  // True if token h is an auxiliary: a be/have form with a verb following
+  // (possibly across adverbs) that it supports.
+  bool IsAuxiliaryPosition(int h) const {
+    const Lexicon& lex = Lexicon::Get();
+    std::string lw = Lowercase(tokens_[static_cast<size_t>(h)].text);
+    bool aux_shaped = lex.IsBeForm(lw) || lw == "has" || lw == "have" ||
+                      lw == "had" || tokens_[static_cast<size_t>(h)].pos == PosTag::kMD;
+    if (!aux_shaped) return false;
+    for (int k = h + 1; k < n_ && k <= h + 3; ++k) {
+      PosTag t = tokens_[static_cast<size_t>(k)].pos;
+      if (t == PosTag::kRB) continue;
+      return t == PosTag::kVBN || t == PosTag::kVBG || t == PosTag::kVB;
+    }
+    return false;
+  }
+
+  // True if d directly follows a verb within its comma-delimited segment,
+  // i.e. it sits in object position of that verb.
+  bool PostVerbalPosition(int d) const {
+    for (int k = d - 1; k >= 0; --k) {
+      PosTag t = tokens_[static_cast<size_t>(k)].pos;
+      if (t == PosTag::kPUNCT || t == PosTag::kCC) return false;
+      if (IsVerbTag(t)) return true;
+      if (IsNounTag(t) || t == PosTag::kJJ || t == PosTag::kDT ||
+          t == PosTag::kCD || t == PosTag::kIN || t == PosTag::kTO ||
+          t == PosTag::kPRPS || t == PosTag::kSYM || t == PosTag::kPOS) {
+        continue;  // still inside the postverbal argument region
+      }
+      return false;
+    }
+    return false;
+  }
+
+  // Verbs between a and b, not counting auxiliaries of b itself.
+  int AuxAwareVerbsBetween(int a, int b) const {
+    int count = 0;
+    for (int k = a + 1; k < b; ++k) {
+      if (IsVerbTag(tokens_[static_cast<size_t>(k)].pos) &&
+          !IsAuxiliaryPosition(k)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  int VerbsBetween(int a, int b) const {
+    int count = 0;
+    for (int k = a + 1; k < b; ++k) {
+      if (IsVerbTag(tokens_[static_cast<size_t>(k)].pos)) ++count;
+    }
+    return count;
+  }
+
+  bool AllVerbalBetween(int a, int b) const {
+    for (int k = a + 1; k < b; ++k) {
+      PosTag t = tokens_[static_cast<size_t>(k)].pos;
+      if (!IsVerbTag(t) && t != PosTag::kRB && t != PosTag::kMD) return false;
+    }
+    return true;
+  }
+
+  bool OnlyNounsBetween(int a, int b) const {
+    for (int k = a + 1; k < b; ++k) {
+      if (!IsNounTag(tokens_[static_cast<size_t>(k)].pos)) return false;
+    }
+    return true;
+  }
+
+  bool NoNounBetween(int a, int b) const {
+    for (int k = a + 1; k < b; ++k) {
+      if (IsNounTag(tokens_[static_cast<size_t>(k)].pos)) return false;
+    }
+    return true;
+  }
+
+  bool NoVerbBetween(int a, int b) const { return VerbsBetween(a, b) == 0; }
+
+  int PrepBetween(int a, int b) const {
+    for (int k = a + 1; k < b; ++k) {
+      if (tokens_[static_cast<size_t>(k)].pos == PosTag::kIN) return k;
+    }
+    return -1;
+  }
+
+  bool CcBetween(int a, int b) const {
+    for (int k = a + 1; k < b; ++k) {
+      if (tokens_[static_cast<size_t>(k)].pos == PosTag::kCC) return true;
+    }
+    return false;
+  }
+
+  // Clause marker directly between two positions, ignoring nominal material.
+  int MarkerBetween(int a, int b) const {
+    for (int k = a + 1; k < b; ++k) {
+      PosTag t = tokens_[static_cast<size_t>(k)].pos;
+      if (t == PosTag::kWP || t == PosTag::kWDT || t == PosTag::kTO) return k;
+      std::string lw = Lowercase(tokens_[static_cast<size_t>(k)].text);
+      if (t == PosTag::kIN && (lw == "that" || IsSubordinator(lw))) return k;
+      if (IsVerbTag(t)) return -1;  // crossed another clause
+    }
+    return -1;
+  }
+
+  int FirstMarkerBefore(int d) const {
+    for (int k = d - 1; k >= 0 && k >= d - 8; --k) {
+      PosTag t = tokens_[static_cast<size_t>(k)].pos;
+      if (IsVerbTag(t)) return -1;
+      std::string lw = Lowercase(tokens_[static_cast<size_t>(k)].text);
+      if (t == PosTag::kIN && IsSubordinator(lw)) return k;
+    }
+    return -1;
+  }
+
+  const std::vector<Token>& tokens_;
+  int n_;
+};
+
+}  // namespace
+
+DependencyParse GraphMstParser::Parse(const std::vector<Token>& tokens) const {
+  DependencyParse parse;
+  const int n = static_cast<int>(tokens.size());
+  parse.arcs.assign(static_cast<size_t>(n), DepArc{});
+  if (n == 0) return parse;
+
+  ArcScorer scorer(tokens);
+  // Node 0 is the artificial root; token i is node i + 1.
+  const int m = n + 1;
+  std::vector<std::vector<double>> scores(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(m), kNegInf));
+  std::vector<std::vector<DepLabel>> labels(
+      static_cast<size_t>(m),
+      std::vector<DepLabel>(static_cast<size_t>(m), DepLabel::kDep));
+
+  for (int d = 0; d < n; ++d) {
+    // Root attachment: prefer the first finite verb.
+    const PosTag dp = tokens[static_cast<size_t>(d)].pos;
+    double root_score;
+    if (IsVerbTag(dp) && dp != PosTag::kVBG) {
+      root_score = 7.0 - 0.15 * d;
+      // Later finite verbs are conjuncts or embedded clauses, not roots.
+      for (int k = 0; k < d; ++k) {
+        PosTag t = tokens[static_cast<size_t>(k)].pos;
+        if (t == PosTag::kVBD || t == PosTag::kVBZ || t == PosTag::kVBP) {
+          root_score -= 4.0;
+          break;
+        }
+      }
+      // A verb directly preceded by a clause marker should not be the root.
+      for (int k = d - 1; k >= 0 && k >= d - 6; --k) {
+        PosTag t = tokens[static_cast<size_t>(k)].pos;
+        if (IsVerbTag(t)) break;
+        std::string lw = Lowercase(tokens[static_cast<size_t>(k)].text);
+        if (t == PosTag::kWP || t == PosTag::kWDT || t == PosTag::kTO ||
+            (t == PosTag::kIN && (lw == "that" || IsSubordinator(lw)))) {
+          root_score -= 6.0;
+          break;
+        }
+      }
+    } else {
+      root_score = 0.05;  // verbless fragments
+    }
+    scores[0][static_cast<size_t>(d + 1)] = root_score;
+    labels[0][static_cast<size_t>(d + 1)] = DepLabel::kRoot;
+    for (int h = 0; h < n; ++h) {
+      if (h == d) continue;
+      DepLabel label;
+      double s = scorer.Score(h, d, &label);
+      scores[static_cast<size_t>(h + 1)][static_cast<size_t>(d + 1)] = s;
+      labels[static_cast<size_t>(h + 1)][static_cast<size_t>(d + 1)] = label;
+    }
+  }
+
+  std::vector<int> parent = MaxSpanningArborescence(scores);
+  for (int d = 0; d < n; ++d) {
+    int p = parent[static_cast<size_t>(d + 1)];
+    if (p <= 0) {
+      parse.arcs[static_cast<size_t>(d)] = DepArc{-1, DepLabel::kRoot};
+    } else {
+      parse.arcs[static_cast<size_t>(d)] =
+          DepArc{p - 1, labels[static_cast<size_t>(p)][static_cast<size_t>(d + 1)]};
+    }
+  }
+
+  // Post-pass: keep at most one subject / object per verb, applying the
+  // dative shift for ditransitives.
+  const Lexicon& lex = Lexicon::Get();
+  for (int v = 0; v < n; ++v) {
+    if (!IsVerbTag(tokens[static_cast<size_t>(v)].pos)) continue;
+    auto subjects = parse.DependentsWithLabel(v, DepLabel::kNsubj);
+    for (size_t i = 1; i < subjects.size(); ++i) {
+      parse.arcs[static_cast<size_t>(subjects[i])].label = DepLabel::kDep;
+    }
+    auto objects = parse.DependentsWithLabel(v, DepLabel::kDobj);
+    if (objects.size() >= 2) {
+      if (lex.IsDitransitiveVerb(tokens[static_cast<size_t>(v)].lemma)) {
+        parse.arcs[static_cast<size_t>(objects[0])].label = DepLabel::kIobj;
+      } else {
+        for (size_t i = 1; i < objects.size(); ++i) {
+          parse.arcs[static_cast<size_t>(objects[i])].label = DepLabel::kDep;
+        }
+      }
+    }
+  }
+  return parse;
+}
+
+}  // namespace qkbfly

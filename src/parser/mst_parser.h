@@ -1,0 +1,25 @@
+// Graph-based dependency parser: scores every candidate head-dependent arc
+// with linguistically-motivated features, then finds the globally optimal
+// tree with Chu-Liu/Edmonds. This is the "slow but thorough" parser in the
+// spirit of the Stanford parser the original ClausIE uses; its O(n^2) arc
+// scoring plus O(n^3) search reproduces the runtime gap of the paper's
+// Table 5 against the linear MaltParser stand-in.
+#ifndef QKBFLY_PARSER_MST_PARSER_H_
+#define QKBFLY_PARSER_MST_PARSER_H_
+
+#include <vector>
+
+#include "parser/dependency.h"
+
+namespace qkbfly {
+
+/// McDonald-style first-order MST parser with a hand-weighted arc scorer.
+class GraphMstParser : public DependencyParser {
+ public:
+  DependencyParse Parse(const std::vector<Token>& tokens) const override;
+  const char* Name() const override { return "graph-mst"; }
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_PARSER_MST_PARSER_H_

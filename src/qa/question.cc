@@ -1,0 +1,204 @@
+#include "qa/question.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+/// How to phrase a question about one relation, and which side answers it.
+struct QuestionTemplate {
+  const char* relation;   ///< Canonical relation name.
+  const char* pattern;    ///< "{S}" = subject name, "{O}" = first entity arg.
+  bool answer_is_subject; ///< Otherwise the answer is an argument.
+  int answer_arg = 0;     ///< Which argument answers (when not the subject).
+  const char* answer_type;///< Coarse expected type (NER name or TIME).
+};
+
+const std::vector<QuestionTemplate>& Templates() {
+  static const std::vector<QuestionTemplate> kTemplates = {
+      {"marry", "Who did {S} marry?", false, 0, "PERSON"},
+      {"marry in", "Who did {S} marry?", false, 0, "PERSON"},
+      {"marry in", "When did {S} marry?", false, 1, "TIME"},
+      {"divorce from", "Who did {S} divorce?", false, 0, "PERSON"},
+      {"born in", "Where was {S} born?", false, 0, "LOCATION"},
+      {"born in on", "Where was {S} born?", false, 0, "LOCATION"},
+      {"born in on", "When was {S} born?", false, 1, "TIME"},
+      {"play for", "Which club did {S} play for?", false, 0, "ORGANIZATION"},
+      {"join", "Which club did {S} join?", false, 0, "ORGANIZATION"},
+      {"join in", "Which club did {S} join?", false, 0, "ORGANIZATION"},
+      {"win", "Which award did {S} win?", false, 0, "MISC"},
+      {"win in", "Which award did {S} win?", false, 0, "MISC"},
+      {"support", "Which charity did {S} support?", false, 0, "ORGANIZATION"},
+      {"study at", "Where did {S} study?", false, 0, "ORGANIZATION"},
+      {"release", "Which album did {S} release?", false, 0, "MISC"},
+      {"release in", "Which album did {S} release?", false, 0, "MISC"},
+      {"perform at", "Where did {S} perform?", false, 0, "MISC"},
+      {"live in", "Where does {S} live?", false, 0, "LOCATION"},
+      {"direct", "Who directed {O}?", true, 0, "PERSON"},
+      {"play in", "Who played {O1} in {O2}?", true, 0, "PERSON"},
+      {"accuse of", "Who accused {O}?", true, 0, "PERSON"},
+      {"shoot", "Who shot {O}?", true, 0, "PERSON"},
+      {"found", "Who founded {O}?", true, 0, "PERSON"},
+      {"coach", "Who coached {O}?", true, 0, "PERSON"},
+      {"defeat", "Who defeated {O}?", true, 0, "PERSON"},
+  };
+  return kTemplates;
+}
+
+}  // namespace
+
+std::vector<QaQuestion> GenerateQuestions(
+    const SynthDataset& dataset, const std::vector<const GoldDocument*>& corpus,
+    int count, uint64_t seed, bool emerging_only) {
+  const World& world = *dataset.world;
+
+  // Index the corpus's gold extractions by (subject, base pattern).
+  struct Instance {
+    const GoldExtraction* gold;
+  };
+  std::vector<const GoldExtraction*> all;
+  for (const GoldDocument* gd : corpus) {
+    for (const GoldExtraction& g : gd->extractions) {
+      all.push_back(&g);
+    }
+  }
+
+  // Map canonical relation -> base patterns of its fragments.
+  auto bases_of = [](const std::string& canonical) {
+    std::set<std::string> bases;
+    for (const RelationSpec& spec : RelationCatalog()) {
+      if (spec.canonical != canonical) continue;
+      for (const FragmentSpec& frag : spec.fragments) bases.insert(frag.base);
+    }
+    return bases;
+  };
+
+  auto arg_name = [&world](const GoldArgMatch& arg) {
+    return arg.is_entity ? world.entity(arg.entity).name : arg.normalized;
+  };
+
+  Rng rng(seed);
+  std::vector<QaQuestion> questions;
+  std::set<std::string> used_texts;
+
+  // Walk templates round-robin over shuffled extraction lists until we have
+  // enough questions.
+  std::vector<const GoldExtraction*> shuffled = all;
+  rng.Shuffle(&shuffled);
+
+  for (int round = 0; round < 4 && static_cast<int>(questions.size()) < count;
+       ++round) {
+    for (const QuestionTemplate& tmpl : Templates()) {
+      if (static_cast<int>(questions.size()) >= count) break;
+      auto bases = bases_of(tmpl.relation);
+      // Arity of the relation spec (number of args) for matching extractions.
+      const RelationSpec* spec = nullptr;
+      for (const RelationSpec& s : RelationCatalog()) {
+        if (s.canonical == tmpl.relation &&
+            (spec == nullptr || s.args.size() > spec->args.size())) {
+          spec = &s;
+        }
+      }
+      if (spec == nullptr) continue;
+
+      for (const GoldExtraction* g : shuffled) {
+        size_t arity = g->core_args.size() + g->adverbial_args.size();
+        if (bases.count(g->base_pattern) == 0) continue;
+        if (arity != spec->args.size()) continue;
+        // Emerging-only filter: the asked-about fact must be post-snapshot,
+        // approximated by "the subject or an argument is emerging" or a
+        // recent (2015+) date argument.
+        if (emerging_only) {
+          bool emerging = world.entity(g->subject).emerging;
+          for (const auto& a : g->core_args) {
+            if (a.is_entity && world.entity(a.entity).emerging) emerging = true;
+          }
+          for (const auto& [p, a] : g->adverbial_args) {
+            if (a.is_entity && world.entity(a.entity).emerging) emerging = true;
+            if (!a.is_entity && a.normalized.size() >= 4 &&
+                a.normalized.substr(0, 4) >= "2015") {
+              emerging = true;
+            }
+          }
+          if (!emerging) continue;
+        }
+
+        // Assemble ordered args (core then adverbial).
+        std::vector<const GoldArgMatch*> args;
+        for (const auto& a : g->core_args) args.push_back(&a);
+        for (const auto& [p, a] : g->adverbial_args) args.push_back(&a);
+
+        QaQuestion q;
+        q.relation_canonical = tmpl.relation;
+        q.expected_types = {tmpl.answer_type};
+        std::string text = tmpl.pattern;
+        if (text.find("{S}") != std::string::npos) {
+          q.focus_entity = world.entity(g->subject).name;
+          text = ReplaceAll(text, "{S}", q.focus_entity);
+        }
+        bool ok = true;
+        for (const char* placeholder : {"{O}", "{O1}", "{O2}"}) {
+          if (text.find(placeholder) == std::string::npos) continue;
+          size_t index = placeholder[2] == '2' ? 1 : 0;
+          if (index >= args.size()) {
+            ok = false;
+            break;
+          }
+          std::string name = arg_name(*args[index]);
+          text = ReplaceAll(text, placeholder, name);
+          if (q.focus_entity.empty()) q.focus_entity = name;
+        }
+        if (!ok || used_texts.count(text) > 0) continue;
+
+        // Gold answers: every corpus extraction of the same relation that
+        // matches the question's fixed parts.
+        std::set<std::string> answers;
+        for (const GoldExtraction* other : all) {
+          if (bases.count(other->base_pattern) == 0) continue;
+          size_t other_arity =
+              other->core_args.size() + other->adverbial_args.size();
+          if (other_arity < (tmpl.answer_is_subject
+                                 ? args.size()
+                                 : static_cast<size_t>(tmpl.answer_arg) + 1)) {
+            continue;
+          }
+          std::vector<const GoldArgMatch*> other_args;
+          for (const auto& a : other->core_args) other_args.push_back(&a);
+          for (const auto& [p, a] : other->adverbial_args) other_args.push_back(&a);
+          if (tmpl.answer_is_subject) {
+            // Fixed parts: the argument(s) in the question.
+            bool match = true;
+            for (size_t i = 0; i < args.size() && i < other_args.size(); ++i) {
+              if (arg_name(*args[i]) != arg_name(*other_args[i])) match = false;
+            }
+            if (match && other_args.size() == args.size()) {
+              answers.insert(world.entity(other->subject).name);
+            }
+          } else {
+            if (other->subject == g->subject &&
+                static_cast<size_t>(tmpl.answer_arg) < other_args.size()) {
+              answers.insert(
+                  arg_name(*other_args[static_cast<size_t>(tmpl.answer_arg)]));
+            }
+          }
+        }
+        if (answers.empty()) continue;
+        q.text = text;
+        q.gold_answers.assign(answers.begin(), answers.end());
+        used_texts.insert(q.text);
+        questions.push_back(std::move(q));
+        break;  // next template
+      }
+    }
+  }
+  QKB_LOG(Info) << "generated " << questions.size() << " questions";
+  return questions;
+}
+
+}  // namespace qkbfly

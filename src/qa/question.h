@@ -1,0 +1,32 @@
+// Question representation and generation for the GoogleTrendsQuestions /
+// WebQuestions analogues (Section 7.4 and Appendix B).
+#ifndef QKBFLY_QA_QUESTION_H_
+#define QKBFLY_QA_QUESTION_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/dataset.h"
+
+namespace qkbfly {
+
+/// One benchmark question with its gold answers.
+struct QaQuestion {
+  std::string text;                       ///< "Who did Nancy Davis marry?"
+  std::string focus_entity;               ///< Name mentioned in the question.
+  std::vector<std::string> gold_answers;  ///< Canonical names / literals.
+  std::vector<std::string> expected_types;///< Coarse answer types (NER names).
+  std::string relation_canonical;         ///< The asked-about relation.
+};
+
+/// Generates questions from gold extractions of a document collection (the
+/// corpus the QA system will search), so every question is answerable from
+/// text. `emerging_only` restricts to post-snapshot facts — the Google
+/// Trends regime where static KBs fail.
+std::vector<QaQuestion> GenerateQuestions(
+    const SynthDataset& dataset, const std::vector<const GoldDocument*>& corpus,
+    int count, uint64_t seed, bool emerging_only);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_QA_QUESTION_H_

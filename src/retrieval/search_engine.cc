@@ -1,0 +1,122 @@
+#include "retrieval/search_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+std::vector<std::string> TokenizeForIndex(std::string_view text) {
+  std::vector<std::string> terms;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      terms.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) terms.push_back(std::move(current));
+  return terms;
+}
+
+}  // namespace
+
+void Bm25Index::Build(const DocumentStore* store) {
+  store_ = store;
+  postings_.clear();
+  doc_lengths_.clear();
+  uint64_t total_length = 0;
+  for (size_t d = 0; d < store->size(); ++d) {
+    const Document& doc = store->at(d);
+    auto terms = TokenizeForIndex(doc.title + " " + doc.text);
+    std::unordered_map<uint32_t, uint32_t> tf;
+    for (const std::string& term : terms) {
+      ++tf[terms_.Intern(term)];
+    }
+    for (const auto& [term, freq] : tf) {
+      if (term >= postings_.size()) postings_.resize(term + 1);
+      postings_[term].emplace_back(static_cast<uint32_t>(d), freq);
+    }
+    doc_lengths_.push_back(static_cast<uint32_t>(terms.size()));
+    total_length += terms.size();
+  }
+  avg_doc_length_ = doc_lengths_.empty()
+                        ? 1.0
+                        : static_cast<double>(total_length) / doc_lengths_.size();
+}
+
+std::vector<std::string> Bm25Index::QueryTerms(std::string_view query) const {
+  return TokenizeForIndex(query);
+}
+
+std::vector<Bm25Index::Hit> Bm25Index::Search(std::string_view query,
+                                              size_t k) const {
+  QKB_CHECK(store_ != nullptr) << "index not built";
+  std::unordered_map<uint32_t, double> scores;
+  const double n = static_cast<double>(doc_lengths_.size());
+  for (const std::string& term : QueryTerms(query)) {
+    auto id = terms_.Lookup(term);
+    if (!id || *id >= postings_.size()) continue;
+    const auto& posting = postings_[*id];
+    double df = static_cast<double>(posting.size());
+    double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const auto& [doc, tf] : posting) {
+      double dl = doc_lengths_[doc];
+      double denom =
+          tf + params_.k1 * (1.0 - params_.b + params_.b * dl / avg_doc_length_);
+      scores[doc] += idf * (tf * (params_.k1 + 1.0)) / denom;
+    }
+  }
+  std::vector<Hit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back({&store_->at(doc), score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc->id < b.doc->id;  // deterministic tie-break
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+SearchEngine::SearchEngine(const DocumentStore* wikipedia,
+                           const DocumentStore* news)
+    : wikipedia_(wikipedia), news_(news) {
+  wikipedia_index_.Build(wikipedia);
+  news_index_.Build(news);
+}
+
+std::vector<Bm25Index::Hit> SearchEngine::Search(std::string_view query,
+                                                 Source source, size_t k) const {
+  return (source == Source::kWikipedia ? wikipedia_index_ : news_index_)
+      .Search(query, k);
+}
+
+std::vector<const Document*> SearchEngine::Retrieve(std::string_view query,
+                                                    Source source,
+                                                    size_t k) const {
+  std::vector<const Document*> out;
+  const DocumentStore* store = source == Source::kWikipedia ? wikipedia_ : news_;
+  // Exact-title match first.
+  for (const Document& doc : store->all()) {
+    if (EqualsIgnoreCase(doc.title, query)) {
+      out.push_back(&doc);
+      break;
+    }
+  }
+  for (const auto& hit : Search(query, source, k + out.size())) {
+    if (!out.empty() && hit.doc == out.front()) continue;
+    out.push_back(hit.doc);
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,80 @@
+// BM25 document retrieval — the stand-in for the paper's Wikipedia / Google
+// News search step (Figure 1's document acquisition and Appendix B Step 1).
+#ifndef QKBFLY_RETRIEVAL_SEARCH_ENGINE_H_
+#define QKBFLY_RETRIEVAL_SEARCH_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/document.h"
+#include "util/interner.h"
+
+namespace qkbfly {
+
+/// Classic BM25 inverted index over one document collection.
+class Bm25Index {
+ public:
+  struct Params {
+    double k1 = 1.2;
+    double b = 0.75;
+  };
+
+  explicit Bm25Index(Params params) : params_(params) {}
+  Bm25Index() : Bm25Index(Params()) {}
+
+  /// Indexes a document store (keeps a pointer; the store must outlive the
+  /// index).
+  void Build(const DocumentStore* store);
+
+  struct Hit {
+    const Document* doc = nullptr;
+    double score = 0.0;
+  };
+
+  /// Top-k documents for a free-text query.
+  std::vector<Hit> Search(std::string_view query, size_t k) const;
+
+  size_t document_count() const { return doc_lengths_.size(); }
+
+ private:
+  std::vector<std::string> QueryTerms(std::string_view query) const;
+
+  Params params_;
+  const DocumentStore* store_ = nullptr;
+  StringInterner terms_;
+  // term id -> postings (doc index, term frequency)
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> postings_;
+  std::vector<uint32_t> doc_lengths_;
+  double avg_doc_length_ = 0.0;
+};
+
+/// The two-source search frontend of the QKBfly demo: "Wikipedia" and
+/// "news" collections, queried by entity name or question text.
+class SearchEngine {
+ public:
+  SearchEngine(const DocumentStore* wikipedia, const DocumentStore* news);
+
+  enum class Source { kWikipedia, kNews };
+
+  /// Top-k documents from one source.
+  std::vector<Bm25Index::Hit> Search(std::string_view query, Source source,
+                                     size_t k) const;
+
+  /// The article whose title matches the query exactly (the paper retrieves
+  /// "the Wikipedia article that has the id of Vladimir Lenin"), if any,
+  /// followed by BM25 hits.
+  std::vector<const Document*> Retrieve(std::string_view query, Source source,
+                                        size_t k) const;
+
+ private:
+  const DocumentStore* wikipedia_;
+  const DocumentStore* news_;
+  Bm25Index wikipedia_index_;
+  Bm25Index news_index_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_RETRIEVAL_SEARCH_ENGINE_H_

@@ -1,0 +1,144 @@
+#include "synth/dataset.h"
+
+#include <algorithm>
+
+#include "nlp/pipeline.h"
+#include "util/logging.h"
+
+namespace qkbfly {
+
+std::unique_ptr<SynthDataset> BuildDataset(const DatasetConfig& config) {
+  auto ds = std::make_unique<SynthDataset>();
+  ds->config = config;
+  ds->types = TypeSystem::BuildDefault();
+  ds->world = std::make_unique<World>(&ds->types, config.world);
+  ds->patterns = BuildPatternRepository();
+  ds->repository = std::make_unique<EntityRepository>(
+      ds->world->BuildSnapshotRepository(&ds->repo_to_world, &ds->world_to_repo));
+
+  Rng rng(config.seed ^ 0x5EED);
+  Renderer renderer(ds->world.get(), &ds->world_to_repo, config.seed ^ 0xD0C5);
+
+  // ---- background corpus: one article per non-emerging entity ---------------
+  for (const WorldEntity& e : ds->world->entities()) {
+    if (e.emerging) continue;
+    GoldDocument article = renderer.RenderArticle(
+        e.id, /*with_anchors=*/true, /*include_emerging_facts=*/false,
+        Renderer::Style::kWikipedia);
+    Status s = ds->background.Add(std::move(article.doc));
+    if (!s.ok()) QKB_LOG(Warning) << "background doc skipped: " << s;
+  }
+
+  // ---- background statistics -------------------------------------------------
+  {
+    NlpPipeline pipeline(ds->repository.get());
+    StatisticsBuilder builder(ds->repository.get(), &ds->types);
+    ds->stats = builder.Build(ds->background, pipeline);
+  }
+
+  // ---- wiki eval corpus: up-to-date articles (13%-ish emerging args) --------
+  {
+    std::vector<int> candidates;
+    for (const WorldEntity& e : ds->world->entities()) {
+      bool is_character = false;
+      if (auto character = ds->types.Find("CHARACTER")) {
+        for (TypeId t : e.types) is_character = is_character || ds->types.IsA(t, *character);
+      }
+      if (!e.emerging && !is_character &&
+          !ds->world->FactsOfSubject(e.id).empty()) {
+        candidates.push_back(e.id);
+      }
+    }
+    rng.Shuffle(&candidates);
+    int n = std::min<int>(config.wiki_eval_articles,
+                          static_cast<int>(candidates.size()));
+    for (int i = 0; i < n; ++i) {
+      ds->wiki_eval.push_back(renderer.RenderArticle(
+          candidates[static_cast<size_t>(i)], /*with_anchors=*/false,
+          /*include_emerging_facts=*/true, Renderer::Style::kWikipedia));
+      // Eval documents need unique ids distinct from background ids.
+      ds->wiki_eval.back().doc.id = "wiki:" + std::to_string(i);
+    }
+  }
+
+  // ---- news corpus: stories around post-snapshot facts -----------------------
+  {
+    std::vector<int> emerging_facts;
+    for (size_t f = 0; f < ds->world->facts().size(); ++f) {
+      const WorldFact& fact = ds->world->facts()[f];
+      bool character_subject = false;
+      if (auto character = ds->types.Find("CHARACTER")) {
+        for (TypeId t : ds->world->entity(fact.subject).types) {
+          character_subject = character_subject || ds->types.IsA(t, *character);
+        }
+      }
+      if (fact.emerging && !character_subject) {
+        emerging_facts.push_back(static_cast<int>(f));
+      }
+    }
+    rng.Shuffle(&emerging_facts);
+    size_t pos = 0;
+    for (int d = 0; d < config.news_docs && pos < emerging_facts.size(); ++d) {
+      std::vector<int> story;
+      for (int k = 0; k < config.facts_per_news_doc && pos < emerging_facts.size();
+           ++k) {
+        story.push_back(emerging_facts[pos++]);
+      }
+      ds->news.push_back(renderer.RenderNews("news:" + std::to_string(d), story));
+    }
+  }
+
+  // ---- wikia corpus: long episode-recap pages over the character universe
+  // (~71% emerging entities; long documents are what makes the ILP slow in
+  // the paper's Table 6).
+  {
+    std::vector<int> character_facts;
+    if (auto character = ds->types.Find("CHARACTER")) {
+      for (size_t f = 0; f < ds->world->facts().size(); ++f) {
+        const WorldFact& fact = ds->world->facts()[f];
+        for (TypeId t : ds->world->entity(fact.subject).types) {
+          if (ds->types.IsA(t, *character)) {
+            character_facts.push_back(static_cast<int>(f));
+            break;
+          }
+        }
+      }
+    }
+    rng.Shuffle(&character_facts);
+    size_t pos = 0;
+    const int facts_per_page = std::max<int>(
+        config.wikia_facts_per_page, static_cast<int>(character_facts.size()) /
+                                         std::max(1, config.wikia_pages));
+    for (int d = 0; d < config.wikia_pages; ++d) {
+      std::vector<int> page;
+      for (int k = 0; k < facts_per_page; ++k) {
+        if (pos >= character_facts.size()) pos = 0;  // wrap: pages overlap
+        page.push_back(character_facts[pos++]);
+      }
+      if (page.empty()) break;
+      ds->wikia.push_back(renderer.RenderNews("wikia:" + std::to_string(d), page,
+                                              Renderer::Style::kWikia));
+    }
+  }
+
+  // ---- reverb sentences -------------------------------------------------------
+  {
+    std::vector<int> all_facts(ds->world->facts().size());
+    for (size_t f = 0; f < all_facts.size(); ++f) all_facts[f] = static_cast<int>(f);
+    rng.Shuffle(&all_facts);
+    int n = std::min<int>(config.reverb_sentences,
+                          static_cast<int>(all_facts.size()));
+    for (int i = 0; i < n; ++i) {
+      ds->reverb.push_back(renderer.RenderSentence(
+          "reverb:" + std::to_string(i), all_facts[static_cast<size_t>(i)]));
+    }
+  }
+
+  QKB_LOG(Info) << "dataset: background=" << ds->background.size()
+                << " wiki_eval=" << ds->wiki_eval.size()
+                << " news=" << ds->news.size() << " wikia=" << ds->wikia.size()
+                << " reverb=" << ds->reverb.size();
+  return ds;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,252 @@
+#include "synth/relation_catalog.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+const std::vector<RelationSpec>& RelationCatalog() {
+  static const std::vector<RelationSpec>* kCatalog = [] {
+    auto* catalog = new std::vector<RelationSpec>();
+    auto add = [catalog](RelationSpec spec) { catalog->push_back(std::move(spec)); };
+
+    // ---- person biography ---------------------------------------------------
+    add({"born in",
+         {"bear in"},
+         "PERSON",
+         {{"CITY", "in"}},
+         {{"was born in {O1}", "bear"}},
+         0.5});
+    add({"born in on",
+         {"bear in on"},
+         "PERSON",
+         {{"CITY", "in"}, {"TIME", "on"}},
+         {{"was born in {O1} on {O2}", "bear"}},
+         0.35});
+    add({"marry",
+         {"marry", "wed"},
+         "PERSON",
+         {{"PERSON", ""}},
+         {{"married {O1}", "marry"}, {"wed {O1}", "wed"}},
+         0.4,
+         /*symmetric=*/true});
+    add({"marry in",
+         {"marry in", "wed in"},
+         "PERSON",
+         {{"PERSON", ""}, {"TIME", "in"}},
+         {{"married {O1} in {O2}", "marry"}},
+         0.25,
+         /*symmetric=*/true});
+    add({"divorce from",
+         {"divorce", "split from", "file for from"},
+         "PERSON",
+         {{"PERSON", ""}},
+         {{"divorced {O1}", "divorce"}},
+         0.2});
+    add({"split from",
+         {"split from"},  // claimed above; kept for canonical lookup
+         "PERSON",
+         {{"PERSON", "from"}},
+         {{"split from {O1}", "split"}},
+         0.1});
+    add({"live in",
+         {"live in", "reside in"},
+         "PERSON",
+         {{"CITY", "in"}},
+         {{"lives in {O1}", "live"}, {"resides in {O1}", "reside"}},
+         0.35});
+    add({"study at",
+         {"study at", "graduate from", "attend"},
+         "PERSON",
+         {{"UNIVERSITY", "at"}},
+         {{"studied at {O1}", "study"}},
+         0.3});
+    add({"graduate from",
+         {"graduate from"},
+         "PERSON",
+         {{"UNIVERSITY", "from"}},
+         {{"graduated from {O1}", "graduate"}},
+         0.2});
+    add({"win",
+         {"win", "receive"},
+         "PERSON",
+         {{"AWARD", ""}},
+         {{"won {O1}", "win"}, {"received {O1}", "receive"}},
+         0.4});
+    add({"win in",
+         {"win in", "receive in"},
+         "PERSON",
+         {{"AWARD", ""}, {"TIME", "in"}},
+         {{"won {O1} in {O2}", "win"}},
+         0.25});
+    add({"receive in from",
+         {"receive in from"},
+         "PERSON",
+         {{"AWARD", ""}, {"TIME", "in"}, {"PERSON", "from"}},
+         {{"received {O1} in {O2} from {O3}", "receive"}},
+         0.15});
+    add({"support",
+         {"support", "back", "endorse"},
+         "PERSON",
+         {{"CHARITY", ""}},
+         {{"supported {O1}", "support"}, {"endorsed {O1}", "endorse"}},
+         0.3});
+    add({"donate to",
+         {"donate to", "give to", "donate", "give"},
+         "PERSON",
+         {{"NUMBER", ""}, {"CHARITY", "to"}},
+         {{"donated {O1} to {O2}", "donate"}},
+         0.25});
+    add({"accuse of",
+         {"accuse", "accuse of"},
+         "PERSON",
+         {{"PERSON", ""}, {"QUOTE", "of"}},
+         {{"accused {O1} of {O2}", "accuse"}},
+         0.08});
+    add({"shoot",
+         {"shoot"},
+         "PERSON",
+         {{"PERSON", ""}},
+         {{"shot {O1}", "shoot"}},
+         0.04});
+
+    // ---- film & music -------------------------------------------------------
+    add({"play in",
+         {"play in", "star in", "act in", "appear in", "play", "star as",
+          "star as in", "have role in"},
+         "ACTOR",
+         {{"FILM", "in"}},
+         {{"starred in {O1}", "star"},
+          {"acted in {O1}", "act"},
+          {"appeared in {O1}", "appear"}},
+         0.7});
+    add({"play in",  // ternary frame: character + film
+         {},
+         "ACTOR",
+         {{"CHARACTER", ""}, {"FILM", "in"}},
+         {{"played {O1} in {O2}", "play"}},
+         0.45});
+    add({"direct",
+         {"direct"},
+         "DIRECTOR",
+         {{"FILM", ""}},
+         {{"directed {O1}", "direct"}},
+         0.8});
+    add({"release",
+         {"release", "record"},
+         "MUSICAL_ARTIST",
+         {{"ALBUM", ""}},
+         {{"released {O1}", "release"}, {"recorded {O1}", "record"}},
+         0.7});
+    add({"release in",
+         {"release in", "record in"},
+         "MUSICAL_ARTIST",
+         {{"ALBUM", ""}, {"TIME", "in"}},
+         {{"released {O1} in {O2}", "release"}},
+         0.35});
+    add({"perform at",
+         {"perform at", "play at", "sing at"},
+         "MUSICAL_ARTIST",
+         {{"FESTIVAL", "at"}},
+         {{"performed at {O1}", "perform"}},
+         0.4});
+
+    // ---- football -----------------------------------------------------------
+    add({"play for",
+         {"play for", "score for", "appear for", "sign for"},
+         "FOOTBALLER",
+         {{"FOOTBALL_CLUB", "for"}},
+         {{"played for {O1}", "play"}, {"scored for {O1}", "score"}},
+         0.75});
+    add({"join",
+         {"join", "move to", "transfer to"},
+         "FOOTBALLER",
+         {{"FOOTBALL_CLUB", ""}},
+         {{"joined {O1}", "join"}},
+         0.4});
+    add({"join in",
+         {"join in"},
+         "FOOTBALLER",
+         {{"FOOTBALL_CLUB", ""}, {"TIME", "in"}},
+         {{"joined {O1} in {O2}", "join"}},
+         0.3});
+    add({"coach",
+         {"coach", "manage"},
+         "COACH",
+         {{"FOOTBALL_CLUB", ""}},
+         {{"coached {O1}", "coach"}, {"managed {O1}", "manage"}},
+         0.8});
+
+    // ---- business -----------------------------------------------------------
+    add({"found",
+         {"found", "establish", "launch"},
+         "BUSINESSPERSON",
+         {{"COMPANY", ""}},
+         {{"founded {O1}", "found"}, {"established {O1}", "establish"}},
+         0.7});
+    add({"found in",
+         {"found in", "establish in", "launch in"},
+         "BUSINESSPERSON",
+         {{"COMPANY", ""}, {"TIME", "in"}},
+         {{"founded {O1} in {O2}", "found"}},
+         0.4});
+    add({"lead",
+         {"lead", "head"},
+         "BUSINESSPERSON",
+         {{"COMPANY", ""}},
+         {{"leads {O1}", "lead"}},
+         0.4});
+
+    // ---- fictional characters (the Wikia-style corpus) -----------------------
+    add({"defeat",
+         {"defeat", "kill", "beat"},
+         "CHARACTER",
+         {{"CHARACTER", ""}},
+         {{"defeated {O1}", "defeat"}, {"killed {O1}", "kill"}},
+         0.6});
+    add({"travel to",
+         {"travel to", "return to"},
+         "CHARACTER",
+         {{"CITY", "to"}},
+         {{"traveled to {O1}", "travel"}},
+         0.5});
+    add({"serve",
+         {"serve"},
+         "CHARACTER",
+         {{"CHARACTER", ""}},
+         {{"served {O1}", "serve"}},
+         0.35});
+
+    return catalog;
+  }();
+  return *kCatalog;
+}
+
+PatternRepository BuildPatternRepository() {
+  PatternRepository repo;
+  // Merge specs by canonical name into single synsets.
+  std::map<std::string, std::vector<std::string>> synsets;
+  std::vector<std::string> order;
+  for (const RelationSpec& spec : RelationCatalog()) {
+    auto [it, inserted] = synsets.try_emplace(spec.canonical);
+    if (inserted) order.push_back(spec.canonical);
+    for (const std::string& p : spec.patterns) it->second.push_back(p);
+  }
+  // Prefix patterns licensed by multi-adverbial fragments plus the copula
+  // (intro sentences produce "be" facts).
+  synsets["file for"].push_back("file for");
+  if (synsets.count("file for") && synsets["file for"].size() == 1) {
+    order.push_back("file for");
+  }
+  synsets["be"].push_back("be");
+  order.push_back("be");
+  synsets["die in"].push_back("die in");
+  order.push_back("die in");
+  for (const std::string& name : order) {
+    repo.AddSynset(name, synsets[name]);
+  }
+  return repo;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,50 @@
+// The synthetic world's relation catalogue: for every relation, the PATTY
+// synset (canonical name + paraphrase patterns), the type signature, and the
+// verb-phrase fragments the renderer uses to express it in text. Fragments
+// are annotated with the clause structure they produce so that gold
+// "licensed extractions" can be enumerated exactly.
+#ifndef QKBFLY_SYNTH_RELATION_CATALOG_H_
+#define QKBFLY_SYNTH_RELATION_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/pattern_repository.h"
+
+namespace qkbfly {
+
+/// What kind of value fills an argument slot.
+struct ArgSlot {
+  std::string type;  ///< A type-system name, or "TIME", "NUMBER", "QUOTE".
+  std::string prep;  ///< "" for a core (direct/indirect) object, else the
+                     ///< preposition introducing the adverbial argument.
+};
+
+/// One way of expressing the relation as a verb phrase. "{O1}".."{O3}" mark
+/// the argument slots in `text`; `base` is the lemma pattern of the verb.
+struct FragmentSpec {
+  std::string text;  ///< e.g. "married {O1} in {O2}"
+  std::string base;  ///< e.g. "marry"
+};
+
+/// One relation of the synthetic world.
+struct RelationSpec {
+  std::string canonical;               ///< Synset display name ("play in").
+  std::vector<std::string> patterns;   ///< All patterns of the synset.
+  std::string subject_type;            ///< Type-system name.
+  std::vector<ArgSlot> args;           ///< Argument slots in surface order.
+  std::vector<FragmentSpec> fragments; ///< Renderable paraphrases.
+  double frequency = 0.5;  ///< Chance a type-matching subject has this fact.
+  bool symmetric = false;  ///< Also generate the inverse fact (marriage).
+};
+
+/// The full catalogue (stable order; indices are world relation ids).
+const std::vector<RelationSpec>& RelationCatalog();
+
+/// Builds the PATTY-like pattern repository from the catalogue: one synset
+/// per distinct canonical name, merging pattern lists.
+PatternRepository BuildPatternRepository();
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_SYNTH_RELATION_CATALOG_H_

@@ -1,0 +1,309 @@
+#include "synth/renderer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+
+// Entity types whose names are rendered with a definite article.
+bool NeedsThe(const TypeSystem& types, const WorldEntity& e) {
+  for (const char* name : {"AWARD", "CHARITY", "FESTIVAL"}) {
+    auto id = types.Find(name);
+    if (!id) continue;
+    for (TypeId t : e.types) {
+      if (types.IsA(t, *id)) return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string>& FillerSentences() {
+  static const std::vector<std::string> kFillers = {
+      "Fans admired the performance.",
+      "The news surprised many people.",
+      "Critics praised the work.",
+      "The announcement attracted wide attention.",
+      "Many reporters covered the story.",
+  };
+  return kFillers;
+}
+
+}  // namespace
+
+/// Collects sentences, mentions, anchors and gold extractions for one doc.
+struct Renderer::Sink {
+  const World* world = nullptr;
+  const std::unordered_map<int, EntityId>* world_to_repo = nullptr;
+  bool with_anchors = false;
+
+  GoldDocument out;
+  std::string text;
+  int sentence = 0;
+
+  // Mentions recorded while building the *current* sentence.
+  std::vector<std::pair<std::string, int>> pending_mentions;
+
+  void Mention(const std::string& surface, int entity) {
+    pending_mentions.emplace_back(surface, entity);
+  }
+
+  void EndSentence(const std::string& sentence_text) {
+    if (!text.empty()) text += ' ';
+    text += sentence_text;
+    for (const auto& [surface, entity] : pending_mentions) {
+      out.mentions.push_back({sentence, surface, entity});
+      if (with_anchors && !world->entity(entity).emerging) {
+        auto it = world_to_repo->find(entity);
+        if (it != world_to_repo->end()) {
+          out.doc.anchors.push_back({sentence, surface, it->second});
+        }
+      }
+    }
+    pending_mentions.clear();
+    ++sentence;
+  }
+
+  void Extraction(GoldExtraction extraction) {
+    extraction.sentence = sentence;  // sentence being built
+    out.extractions.push_back(std::move(extraction));
+  }
+};
+
+std::string Renderer::TypeNoun(const TypeSystem& types, const WorldEntity& e) {
+  static const std::vector<std::pair<const char*, const char*>> kNouns = {
+      {"ACTOR", "an American actor"},
+      {"SINGER", "an American singer"},
+      {"FOOTBALLER", "a professional footballer"},
+      {"COACH", "a football coach"},
+      {"ENTREPRENEUR", "an entrepreneur"},
+      {"DIRECTOR", "a film director"},
+      {"CHARACTER", "a legendary warrior"},
+      {"CITY", "a large city"},
+      {"FOOTBALL_CLUB", "a football club"},
+      {"FILM", "a popular film"},
+      {"ALBUM", "a studio album"},
+      {"AWARD", "a famous award"},
+      {"UNIVERSITY", "a public university"},
+      {"FOUNDATION", "a charity"},
+      {"COMPANY", "a technology company"},
+      {"FESTIVAL", "a music festival"},
+      {"COUNTRY", "a country"},
+      {"PERSON", "a public figure"},
+  };
+  for (const auto& [type_name, noun] : kNouns) {
+    auto id = types.Find(type_name);
+    if (!id) continue;
+    for (TypeId t : e.types) {
+      if (types.IsA(t, *id)) return noun;
+    }
+  }
+  return "a public figure";
+}
+
+std::string Renderer::EntitySurface(int entity, bool allow_alias) {
+  const WorldEntity& e = world_->entity(entity);
+  if (allow_alias && e.aliases.size() > 1 && rng_.NextBool(alias_probability_)) {
+    return e.aliases[1 + rng_.NextUint64(e.aliases.size() - 1)];
+  }
+  return e.name;
+}
+
+std::string Renderer::ArgSurface(const WorldArg& arg, Sink* sink) {
+  if (!arg.is_entity) return arg.literal;
+  const WorldEntity& e = world_->entity(arg.entity);
+  std::string surface = EntitySurface(arg.entity, /*allow_alias=*/true);
+  sink->Mention(surface, arg.entity);
+  if (NeedsThe(world_->types(), e)) return "the " + surface;
+  return surface;
+}
+
+void Renderer::EmitFactSentence(Sink* sink, const WorldFact& fact,
+                                const std::string& subject_surface,
+                                bool subject_pronoun, const WorldFact* conjoined) {
+  const RelationSpec& spec = RelationCatalog()[static_cast<size_t>(fact.relation)];
+  const FragmentSpec& fragment =
+      spec.fragments[rng_.NextUint64(spec.fragments.size())];
+
+  auto instantiate = [this, sink](const WorldFact& f, const FragmentSpec& frag,
+                                  const RelationSpec& s) {
+    std::string text = frag.text;
+    GoldExtraction gold;
+    gold.subject = f.subject;
+    gold.base_pattern = frag.base;
+    for (size_t i = 0; i < f.args.size(); ++i) {
+      std::string placeholder = "{O" + std::to_string(i + 1) + "}";
+      std::string surface = ArgSurface(f.args[i], sink);
+      text = ReplaceAll(text, placeholder, surface);
+      GoldArgMatch match;
+      if (f.args[i].is_entity) {
+        match.is_entity = true;
+        match.entity = f.args[i].entity;
+      } else {
+        match.normalized = f.args[i].normalized;
+      }
+      const std::string& prep = s.args[i].prep;
+      if (prep.empty()) {
+        gold.core_args.push_back(std::move(match));
+      } else {
+        gold.adverbial_args.emplace_back(prep, std::move(match));
+      }
+    }
+    sink->Extraction(std::move(gold));
+    return text;
+  };
+
+  std::string sentence = subject_surface + " " + instantiate(fact, fragment, spec);
+  if (conjoined != nullptr) {
+    const RelationSpec& spec2 =
+        RelationCatalog()[static_cast<size_t>(conjoined->relation)];
+    const FragmentSpec& fragment2 =
+        spec2.fragments[rng_.NextUint64(spec2.fragments.size())];
+    if (rng_.NextBool(0.5) && !subject_pronoun) {
+      // Relative clause: "S, who frag2, frag1." -> rebuild in that order.
+      std::string rel = subject_surface + ", who " +
+                        instantiate(*conjoined, fragment2, spec2) + ", " +
+                        sentence.substr(subject_surface.size() + 1);
+      sentence = rel;
+    } else {
+      sentence += " and " + instantiate(*conjoined, fragment2, spec2);
+    }
+  }
+  sentence += ".";
+  sink->EndSentence(sentence);
+}
+
+GoldDocument Renderer::RenderArticle(int subject, bool with_anchors,
+                                     bool include_emerging_facts, Style style) {
+  // Wikia-style pages refer to characters by short names most of the time,
+  // which stresses co-reference exactly as the paper observed.
+  alias_probability_ = style == Style::kWikia ? 0.55 : 0.3;
+  const WorldEntity& e = world_->entity(subject);
+  Sink sink;
+  sink.world = world_;
+  sink.world_to_repo = world_to_repo_;
+  sink.with_anchors = with_anchors;
+  sink.out.doc.title = e.name;
+  sink.out.doc.id = (with_anchors ? "bg:" : "eval:") + e.name;
+
+  // Intro sentence: "<Name> is a <type noun>."
+  {
+    std::string noun = TypeNoun(world_->types(), e);
+    sink.Mention(e.name, subject);
+    GoldExtraction intro;
+    intro.subject = subject;
+    intro.base_pattern = "be";
+    GoldArgMatch match;
+    // The extracted literal strips the article.
+    auto words = SplitWhitespace(noun);
+    match.normalized = Join({words.begin() + 1, words.end()}, " ");
+    intro.core_args.push_back(std::move(match));
+    sink.Extraction(std::move(intro));
+    sink.EndSentence(e.name + " is " + noun + ".");
+  }
+
+  // Fact sentences.
+  std::vector<int> fact_ids = world_->FactsOfSubject(subject);
+  size_t i = 0;
+  while (i < fact_ids.size()) {
+    const WorldFact& fact = world_->facts()[static_cast<size_t>(fact_ids[i])];
+    if (!include_emerging_facts && fact.emerging) {
+      ++i;
+      continue;
+    }
+    // Subject form: alias / full name / pronoun.
+    bool pronoun = e.gender != Gender::kUnknown && rng_.NextBool(0.35);
+    std::string subject_surface;
+    if (pronoun) {
+      subject_surface = e.gender == Gender::kMale ? "He" : "She";
+    } else {
+      subject_surface = EntitySurface(subject, /*allow_alias=*/true);
+      sink.Mention(subject_surface, subject);
+    }
+
+    // Occasionally merge the next fact into the same sentence.
+    const WorldFact* conjoined = nullptr;
+    if (i + 1 < fact_ids.size() && rng_.NextBool(0.3)) {
+      const WorldFact& next = world_->facts()[static_cast<size_t>(fact_ids[i + 1])];
+      if (include_emerging_facts || !next.emerging) {
+        conjoined = &next;
+        ++i;
+      }
+    }
+    EmitFactSentence(&sink, fact, subject_surface, pronoun, conjoined);
+    ++i;
+
+    // Filler noise between facts (no gold extraction).
+    if (style != Style::kNews && rng_.NextBool(0.12)) {
+      sink.EndSentence(FillerSentences()[rng_.NextUint64(FillerSentences().size())]);
+    }
+  }
+
+  sink.out.doc.text = std::move(sink.text);
+  return sink.out;
+}
+
+GoldDocument Renderer::RenderNews(const std::string& doc_id,
+                                  const std::vector<int>& fact_indices,
+                                  Style style) {
+  alias_probability_ = style == Style::kWikia ? 0.55 : 0.2;
+  Sink sink;
+  sink.world = world_;
+  sink.world_to_repo = world_to_repo_;
+  sink.with_anchors = false;
+  sink.out.doc.id = doc_id;
+  sink.out.doc.title = doc_id;
+
+  int last_subject = -1;
+  for (int f : fact_indices) {
+    const WorldFact& fact = world_->facts()[static_cast<size_t>(f)];
+    const WorldEntity& subject = world_->entity(fact.subject);
+    bool pronoun = fact.subject == last_subject &&
+                   subject.gender != Gender::kUnknown && rng_.NextBool(0.5);
+    std::string surface;
+    if (pronoun) {
+      surface = subject.gender == Gender::kMale ? "He" : "She";
+    } else {
+      // News introduces people by full name; episode recaps use short names.
+      surface = style == Style::kWikia
+                    ? EntitySurface(fact.subject, /*allow_alias=*/true)
+                    : subject.name;
+      sink.Mention(surface, fact.subject);
+    }
+    EmitFactSentence(&sink, fact, surface, pronoun, nullptr);
+    last_subject = fact.subject;
+  }
+  sink.out.doc.text = std::move(sink.text);
+  return sink.out;
+}
+
+GoldDocument Renderer::RenderSentence(const std::string& doc_id, int fact_index) {
+  Sink sink;
+  sink.world = world_;
+  sink.world_to_repo = world_to_repo_;
+  sink.with_anchors = false;
+  sink.out.doc.id = doc_id;
+  const WorldFact& fact = world_->facts()[static_cast<size_t>(fact_index)];
+  std::string surface = world_->entity(fact.subject).name;
+  sink.Mention(surface, fact.subject);
+  // Mixed-register sentences: a good share carries a second clause
+  // (conjunction or relative), like the web sentences of the Reverb set.
+  const WorldFact* conjoined = nullptr;
+  const auto& siblings = world_->FactsOfSubject(fact.subject);
+  if (siblings.size() > 1 && rng_.NextBool(0.45)) {
+    for (int f : siblings) {
+      if (f != fact_index) {
+        conjoined = &world_->facts()[static_cast<size_t>(f)];
+        break;
+      }
+    }
+  }
+  EmitFactSentence(&sink, fact, surface, false, conjoined);
+  sink.out.doc.text = std::move(sink.text);
+  return sink.out;
+}
+
+}  // namespace qkbfly

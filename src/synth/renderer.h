@@ -1,0 +1,102 @@
+// Renders world facts into natural-language documents with exact gold
+// annotations: which entity each name mention denotes (for NED evaluation
+// and for background-corpus anchors) and which extractions each sentence
+// licenses (for precision evaluation of the extractors).
+#ifndef QKBFLY_SYNTH_RENDERER_H_
+#define QKBFLY_SYNTH_RENDERER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/document.h"
+#include "synth/world.h"
+#include "util/rng.h"
+
+namespace qkbfly {
+
+/// A gold name mention (pronouns are not mentions).
+struct GoldMention {
+  int sentence = -1;
+  std::string surface;
+  int entity = -1;  ///< World entity id.
+};
+
+/// How one gold argument may be matched by an extracted argument.
+struct GoldArgMatch {
+  bool is_entity = false;
+  int entity = -1;         ///< World entity id when is_entity.
+  std::string normalized;  ///< Expected literal value otherwise.
+};
+
+/// One rendered fact instance: the extractions it licenses are the base
+/// pattern with any prefix of the adverbial arguments, plus single-argument
+/// triples (see eval/fact_matching).
+struct GoldExtraction {
+  int sentence = -1;
+  int subject = -1;  ///< World entity id.
+  std::string base_pattern;  ///< Lemma pattern of the verb ("marry").
+  std::vector<GoldArgMatch> core_args;
+  std::vector<std::pair<std::string, GoldArgMatch>> adverbial_args;
+};
+
+/// A rendered document plus its gold annotations.
+struct GoldDocument {
+  Document doc;
+  std::vector<GoldMention> mentions;
+  std::vector<GoldExtraction> extractions;
+};
+
+/// Deterministic text renderer over a world.
+class Renderer {
+ public:
+  enum class Style { kWikipedia, kNews, kWikia };
+
+  /// `world_to_repo` provides repository ids for anchors (may be empty when
+  /// no anchors will be requested).
+  Renderer(const World* world,
+           const std::unordered_map<int, EntityId>* world_to_repo, uint64_t seed)
+      : world_(world), world_to_repo_(world_to_repo), rng_(seed) {}
+
+  /// An encyclopedia-style article about one entity. When `with_anchors`,
+  /// non-emerging mentions become Document anchors (background corpus mode).
+  /// `include_emerging_facts` controls whether post-snapshot facts appear
+  /// (false for the background snapshot, true for up-to-date eval articles).
+  GoldDocument RenderArticle(int subject, bool with_anchors,
+                             bool include_emerging_facts, Style style);
+
+  /// A news-style document narrating the given facts. kWikia style renders
+  /// an episode-recap page (short character names, many facts).
+  GoldDocument RenderNews(const std::string& doc_id,
+                          const std::vector<int>& fact_indices,
+                          Style style = Style::kNews);
+
+  /// A single-sentence document for one fact (the Reverb-dataset analogue).
+  GoldDocument RenderSentence(const std::string& doc_id, int fact_index);
+
+  /// The indefinite type-noun phrase used in intro sentences ("an American
+  /// actor"); exposed for the QA module's answer typing.
+  static std::string TypeNoun(const TypeSystem& types, const WorldEntity& e);
+
+ private:
+  struct Sink;
+
+  /// Appends one sentence expressing `fact` with the given subject surface.
+  void EmitFactSentence(Sink* sink, const WorldFact& fact,
+                        const std::string& subject_surface, bool subject_pronoun,
+                        const WorldFact* conjoined);
+
+  /// Renders an argument; records its mention when it is an entity.
+  std::string ArgSurface(const WorldArg& arg, Sink* sink);
+
+  std::string EntitySurface(int entity, bool allow_alias);
+
+  const World* world_;
+  const std::unordered_map<int, EntityId>* world_to_repo_;
+  Rng rng_;
+  double alias_probability_ = 0.3;  ///< Chance a mention uses a short alias.
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_SYNTH_RENDERER_H_

@@ -1,0 +1,70 @@
+#include "text/sentence_splitter.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace qkbfly {
+
+namespace {
+const std::unordered_set<std::string>& Abbreviations() {
+  static const std::unordered_set<std::string> kAbbrev = {
+      "mr", "mrs", "ms", "dr", "prof", "st", "jr", "sr", "vs", "etc", "inc",
+      "ltd", "co", "corp", "u.s", "u.k", "e.g", "i.e", "no", "vol", "fig",
+  };
+  return kAbbrev;
+}
+}  // namespace
+
+bool SentenceSplitter::IsAbbreviation(std::string_view word) const {
+  return Abbreviations().count(Lowercase(word)) > 0;
+}
+
+std::vector<std::string> SentenceSplitter::Split(std::string_view text) const {
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    if (c == '.') {
+      // Look back at the word ending here; suppress if abbreviation.
+      size_t w = i;
+      while (w > start && !std::isspace(static_cast<unsigned char>(text[w - 1]))) --w;
+      std::string_view word = text.substr(w, i - w);
+      if (IsAbbreviation(word)) continue;
+      // Decimal number "3.5" or initial "J." inside a name.
+      if (i + 1 < text.size() && std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        continue;
+      }
+      if (word.size() == 1 && std::isupper(static_cast<unsigned char>(word[0]))) {
+        continue;  // single initial, e.g. "J. Smith"
+      }
+    }
+    // Consume trailing closing quotes/parens.
+    size_t end = i + 1;
+    while (end < text.size() && (text[end] == '"' || text[end] == '\'' ||
+                                 text[end] == ')' )) {
+      ++end;
+    }
+    // Boundary requires whitespace + uppercase/digit/quote, or end of input.
+    size_t next = end;
+    while (next < text.size() && std::isspace(static_cast<unsigned char>(text[next]))) {
+      ++next;
+    }
+    if (next < text.size()) {
+      if (next == end) continue;  // no whitespace after the period
+      unsigned char nc = text[next];
+      if (!std::isupper(nc) && !std::isdigit(nc) && nc != '"' && nc != '\'') continue;
+    }
+    std::string sentence = Trim(text.substr(start, end - start));
+    if (!sentence.empty()) sentences.push_back(std::move(sentence));
+    start = next;
+    i = end - 1;
+  }
+  std::string tail = Trim(text.substr(start));
+  if (!tail.empty()) sentences.push_back(std::move(tail));
+  return sentences;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,24 @@
+// Rule-based sentence boundary detection.
+#ifndef QKBFLY_TEXT_SENTENCE_SPLITTER_H_
+#define QKBFLY_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qkbfly {
+
+/// Splits running text into sentences at ".", "!" and "?" followed by
+/// whitespace and an uppercase letter (or end of input), with an abbreviation
+/// list ("Mr.", "Dr.", "U.S.", ...) to suppress false boundaries.
+class SentenceSplitter {
+ public:
+  std::vector<std::string> Split(std::string_view text) const;
+
+ private:
+  bool IsAbbreviation(std::string_view word) const;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_TEXT_SENTENCE_SPLITTER_H_

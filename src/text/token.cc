@@ -1,0 +1,69 @@
+#include "text/token.h"
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+const char* PosTagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNN: return "NN";
+    case PosTag::kNNS: return "NNS";
+    case PosTag::kNNP: return "NNP";
+    case PosTag::kVB: return "VB";
+    case PosTag::kVBD: return "VBD";
+    case PosTag::kVBZ: return "VBZ";
+    case PosTag::kVBP: return "VBP";
+    case PosTag::kVBG: return "VBG";
+    case PosTag::kVBN: return "VBN";
+    case PosTag::kMD: return "MD";
+    case PosTag::kDT: return "DT";
+    case PosTag::kIN: return "IN";
+    case PosTag::kTO: return "TO";
+    case PosTag::kPRP: return "PRP";
+    case PosTag::kPRPS: return "PRP$";
+    case PosTag::kJJ: return "JJ";
+    case PosTag::kRB: return "RB";
+    case PosTag::kCC: return "CC";
+    case PosTag::kCD: return "CD";
+    case PosTag::kPOS: return "POS";
+    case PosTag::kWP: return "WP";
+    case PosTag::kWDT: return "WDT";
+    case PosTag::kWRB: return "WRB";
+    case PosTag::kEX: return "EX";
+    case PosTag::kPUNCT: return "PUNCT";
+    case PosTag::kSYM: return "SYM";
+    case PosTag::kUNK: return "UNK";
+  }
+  return "?";
+}
+
+bool IsVerbTag(PosTag tag) {
+  switch (tag) {
+    case PosTag::kVB:
+    case PosTag::kVBD:
+    case PosTag::kVBZ:
+    case PosTag::kVBP:
+    case PosTag::kVBG:
+    case PosTag::kVBN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNounTag(PosTag tag) {
+  return tag == PosTag::kNN || tag == PosTag::kNNS || tag == PosTag::kNNP;
+}
+
+std::string SpanText(const std::vector<Token>& tokens, const TokenSpan& span) {
+  QKB_CHECK_GE(span.begin, 0);
+  QKB_CHECK_LE(static_cast<size_t>(span.end), tokens.size());
+  std::string out;
+  for (int i = span.begin; i < span.end; ++i) {
+    if (i > span.begin) out += ' ';
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,123 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace qkbfly {
+
+namespace {
+
+bool IsWordChar(unsigned char c) { return std::isalnum(c) || c == '_'; }
+
+// True if text[i..] starts a currency-amount token like "$100,000" or
+// "$3.5"; returns its length in `len`.
+bool MatchCurrency(std::string_view text, size_t i, size_t* len) {
+  if (text[i] != '$') return false;
+  size_t j = i + 1;
+  bool saw_digit = false;
+  while (j < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[j])) || text[j] == ',' ||
+          text[j] == '.')) {
+    if (std::isdigit(static_cast<unsigned char>(text[j]))) saw_digit = true;
+    ++j;
+  }
+  if (!saw_digit) return false;
+  // Trim a trailing '.' or ',' that belongs to the sentence, not the amount.
+  while (j > i + 1 && (text[j - 1] == '.' || text[j - 1] == ',')) --j;
+  *len = j - i;
+  return true;
+}
+
+// True if text[i..] is a number with optional grouping/decimals ("100,000",
+// "3.5", "1980s"); returns its length.
+bool MatchNumber(std::string_view text, size_t i, size_t* len) {
+  if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+  size_t j = i;
+  while (j < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[j])) || text[j] == ',' ||
+          text[j] == '.')) {
+    ++j;
+  }
+  while (j > i && (text[j - 1] == '.' || text[j - 1] == ',')) --j;
+  // Decade suffix: "1980s".
+  if (j < text.size() && text[j] == 's' && j - i == 4) ++j;
+  *len = j - i;
+  return true;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto emit = [&tokens](std::string_view piece) {
+    if (piece.empty()) return;
+    Token t;
+    t.text = std::string(piece);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < text.size()) {
+    unsigned char c = text[i];
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    size_t len = 0;
+    if (MatchCurrency(text, i, &len) || MatchNumber(text, i, &len)) {
+      emit(text.substr(i, len));
+      i += len;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < text.size()) {
+        unsigned char cj = text[j];
+        if (IsWordChar(cj)) {
+          ++j;
+        } else if (cj == '-' && j + 1 < text.size() &&
+                   IsWordChar(static_cast<unsigned char>(text[j + 1]))) {
+          ++j;  // hyphenated word
+        } else if (cj == '.' && j + 1 < text.size() &&
+                   std::isupper(static_cast<unsigned char>(text[j + 1])) &&
+                   j >= 1 && std::isupper(static_cast<unsigned char>(text[j - 1]))) {
+          ++j;  // acronym like "U.S"
+        } else {
+          break;
+        }
+      }
+      std::string_view word = text.substr(i, j - i);
+      // Clitic splitting: "'s" possessive and "n't" negation.
+      if (j + 1 < text.size() && text[j] == '\'' &&
+          (text[j + 1] == 's' || text[j + 1] == 'S') &&
+          (j + 2 >= text.size() || !IsWordChar(static_cast<unsigned char>(text[j + 2])))) {
+        emit(word);
+        emit(text.substr(j, 2));
+        i = j + 2;
+        continue;
+      }
+      if (word.size() > 3 && (word.substr(word.size() - 3) == "n_t")) {
+        // never produced by our renderers; kept for safety
+      }
+      emit(word);
+      i = j;
+      continue;
+    }
+    // "n't" after apostrophe-free handling: treat an apostrophe followed by
+    // letters as its own clitic token ("'s" handled above; "'t", "'re", ...).
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < text.size() && std::isalpha(static_cast<unsigned char>(text[j]))) ++j;
+      if (j > i + 1) {
+        emit(text.substr(i, j - i));
+        i = j;
+        continue;
+      }
+    }
+    // Any other single character is a standalone token (punctuation/symbol).
+    emit(text.substr(i, 1));
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,27 @@
+// Rule-based word tokenizer (the CoreNLP-tokenizer stand-in).
+#ifndef QKBFLY_TEXT_TOKENIZER_H_
+#define QKBFLY_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace qkbfly {
+
+/// Splits raw text into tokens. Handles:
+///  - punctuation separation ("Pitt," -> "Pitt" ","),
+///  - possessive and contraction clitics ("Pitt's" -> "Pitt" "'s",
+///    "didn't" -> "did" "n't"),
+///  - currency amounts kept whole ("$100,000"),
+///  - hyphenated words kept whole ("co-founder").
+class Tokenizer {
+ public:
+  /// Tokenizes one piece of text (typically a single sentence).
+  std::vector<Token> Tokenize(std::string_view text) const;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_TEXT_TOKENIZER_H_

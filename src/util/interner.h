@@ -1,0 +1,48 @@
+// String interning: maps strings to dense uint32 ids. Used for vocabulary
+// terms (TF-IDF dimensions), relation patterns, and ML feature names.
+#ifndef QKBFLY_UTIL_INTERNER_H_
+#define QKBFLY_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qkbfly {
+
+/// Bidirectional string <-> dense-id map. Ids are assigned in insertion order
+/// starting at 0. Not thread-safe; builders own one per corpus pass.
+class StringInterner {
+ public:
+  /// Returns the id of `s`, inserting it if new.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `s` if present, without inserting.
+  std::optional<uint32_t> Lookup(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Returns the string for an id; id must be < size().
+  const std::string& ToString(uint32_t id) const { return strings_.at(id); }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_INTERNER_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logging plus CHECK macros, in the spirit of glog as used by
+// Arrow and RocksDB. Logging defaults to WARNING so library consumers are not
+// spammed; benches and examples raise it to INFO.
+#ifndef QKBFLY_UTIL_LOGGING_H_
+#define QKBFLY_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qkbfly {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level a message must meet to be emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qkbfly
+
+#define QKB_LOG(level)                                                      \
+  ::qkbfly::internal::LogMessage(::qkbfly::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a KB pipeline should fail fast, not corrupt output.
+#define QKB_CHECK(condition)                                                \
+  if (!(condition))                                                         \
+  QKB_LOG(Fatal) << "Check failed: " #condition " "
+
+#define QKB_CHECK_EQ(a, b) QKB_CHECK((a) == (b))
+#define QKB_CHECK_NE(a, b) QKB_CHECK((a) != (b))
+#define QKB_CHECK_LT(a, b) QKB_CHECK((a) < (b))
+#define QKB_CHECK_LE(a, b) QKB_CHECK((a) <= (b))
+#define QKB_CHECK_GT(a, b) QKB_CHECK((a) > (b))
+#define QKB_CHECK_GE(a, b) QKB_CHECK((a) >= (b))
+
+#endif  // QKBFLY_UTIL_LOGGING_H_

@@ -1,0 +1,22 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace qkbfly {
+
+size_t Rng::NextZipf(size_t n, double s) {
+  QKB_CHECK_GT(n, 0u);
+  // Inverse-CDF sampling over the (small) support. n is at most a few
+  // thousand in our generators, so the linear scan is fine and exact.
+  double norm = 0.0;
+  for (size_t r = 0; r < n; ++r) norm += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (u <= acc) return r;
+  }
+  return n - 1;
+}
+
+}  // namespace qkbfly

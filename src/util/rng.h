@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation. Every stochastic choice in
+// the synthetic-data generators flows through Rng so that all experiment
+// tables regenerate bit-identically from a fixed seed.
+#ifndef QKBFLY_UTIL_RNG_H_
+#define QKBFLY_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+/// SplitMix64-seeded xorshift generator: tiny, fast, and identical across
+/// platforms (unlike std::mt19937 distributions, whose mapping to ranges is
+/// implementation-defined through std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(SplitMix(seed + 0x9E3779B97F4A7C15ULL)) {
+    if (state_ == 0) state_ = 0x853C49E6748FEA9BULL;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextUint64(uint64_t bound) {
+    QKB_CHECK_GT(bound, 0u);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    QKB_CHECK_LE(lo, hi);
+    return lo + static_cast<int>(NextUint64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n): rank r is drawn with probability
+  /// proportional to 1/(r+1)^s. Used for entity popularity so that mention
+  /// priors have the heavy-tailed shape of real Wikipedia anchors.
+  size_t NextZipf(size_t n, double s);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choose(const std::vector<T>& items) {
+    QKB_CHECK(!items.empty());
+    return items[NextUint64(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      std::swap((*items)[i - 1], (*items)[NextUint64(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each document
+  /// or entity its own deterministic stream.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t SplitMix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t state_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_RNG_H_

@@ -1,0 +1,93 @@
+#include "util/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+void SparseVector::Finalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (!merged.empty() && merged.back().id == e.id) {
+      merged.back().value += e.value;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Entry& e) { return e.value == 0.0; }),
+               merged.end());
+  entries_ = std::move(merged);
+  finalized_ = true;
+}
+
+double SparseVector::Sum() const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) sum += e.value;
+  return sum;
+}
+
+double SparseVector::Norm() const {
+  double ss = 0.0;
+  for (const Entry& e : entries_) ss += e.value * e.value;
+  return std::sqrt(ss);
+}
+
+void SparseVector::Scale(double factor) {
+  for (Entry& e : entries_) e.value *= factor;
+}
+
+namespace {
+
+// Applies `fn(a_value, b_value)` over the id-aligned intersection.
+template <typename Fn>
+void ForEachCommon(const SparseVector& a, const SparseVector& b, Fn fn) {
+  QKB_CHECK(a.finalized() && b.finalized());
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].id < eb[j].id) {
+      ++i;
+    } else if (eb[j].id < ea[i].id) {
+      ++j;
+    } else {
+      fn(ea[i].value, eb[j].value);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+double Dot(const SparseVector& a, const SparseVector& b) {
+  double sum = 0.0;
+  ForEachCommon(a, b, [&sum](double x, double y) { sum += x * y; });
+  return sum;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double na = a.Norm();
+  double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double WeightedOverlap(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double overlap = 0.0;
+  ForEachCommon(a, b,
+                [&overlap](double x, double y) { overlap += std::min(x, y); });
+  double denom = std::min(a.Sum(), b.Sum());
+  if (denom <= 0.0) return 0.0;
+  return overlap / denom;
+}
+
+}  // namespace qkbfly

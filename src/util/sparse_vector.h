@@ -1,0 +1,62 @@
+// Sparse feature vectors keyed by interned term ids. Used for TF-IDF context
+// vectors (Section 4 edge weights) and for the ML models in src/ml.
+#ifndef QKBFLY_UTIL_SPARSE_VECTOR_H_
+#define QKBFLY_UTIL_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qkbfly {
+
+/// A sparse vector stored as (id, value) pairs sorted by id. Construction via
+/// Add() may be unordered; Finalize() sorts and merges duplicate ids.
+class SparseVector {
+ public:
+  struct Entry {
+    uint32_t id;
+    double value;
+  };
+
+  /// Appends a term contribution; duplicates are merged by Finalize().
+  void Add(uint32_t id, double value) {
+    entries_.push_back({id, value});
+    finalized_ = false;
+  }
+
+  /// Sorts entries by id and sums duplicates; drops zero entries.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Sum of all values (the denominator of the weighted-overlap measure).
+  double Sum() const;
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Multiplies every value by `factor`.
+  void Scale(double factor);
+
+ private:
+  std::vector<Entry> entries_;
+  bool finalized_ = false;
+};
+
+/// Dot product of two finalized vectors.
+double Dot(const SparseVector& a, const SparseVector& b);
+
+/// Cosine similarity of two finalized vectors (0 if either is empty).
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// The paper's weighted overlap coefficient:
+///   sim(a, b) = sum_k min(a_k, b_k) / min(sum_k a_k, sum_k b_k).
+/// Returns 0 for empty vectors. Both inputs must be finalized.
+double WeightedOverlap(const SparseVector& a, const SparseVector& b);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_SPARSE_VECTOR_H_

@@ -1,0 +1,150 @@
+// Status and StatusOr: exception-free error handling in the Arrow/RocksDB
+// tradition. Library code returns Status (or StatusOr<T> for value-producing
+// operations) across public boundaries instead of throwing.
+#ifndef QKBFLY_UTIL_STATUS_H_
+#define QKBFLY_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qkbfly {
+
+/// Coarse error taxonomy, modelled on the codes shared by Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result. An OK status carries no message and
+/// is cheap to copy; error statuses carry a code and a context message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats the status as "Code: message" ("OK" for success).
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts, so callers must check ok() first (or use
+/// QKB_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error status. Aborts if given an OK
+  /// status: an OK StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) std::abort();
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qkbfly
+
+/// Propagates an error status out of the current function.
+#define QKB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::qkbfly::Status _qkb_status = (expr);         \
+    if (!_qkb_status.ok()) return _qkb_status;     \
+  } while (0)
+
+#define QKB_CONCAT_IMPL(x, y) x##y
+#define QKB_CONCAT(x, y) QKB_CONCAT_IMPL(x, y)
+
+/// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+/// otherwise returns the error from the current function.
+#define QKB_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto QKB_CONCAT(_qkb_statusor_, __LINE__) = (expr);              \
+  if (!QKB_CONCAT(_qkb_statusor_, __LINE__).ok())                  \
+    return QKB_CONCAT(_qkb_statusor_, __LINE__).status();          \
+  lhs = std::move(QKB_CONCAT(_qkb_statusor_, __LINE__)).value()
+
+#endif  // QKBFLY_UTIL_STATUS_H_

@@ -1,0 +1,55 @@
+// String helpers shared across the NLP and KB layers. All functions are
+// ASCII-oriented: the synthetic corpora this reproduction generates are ASCII,
+// which keeps tokenization and case folding simple and fast.
+#ifndef QKBFLY_UTIL_STRING_UTIL_H_
+#define QKBFLY_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qkbfly {
+
+/// Returns a lowercased copy (ASCII case folding).
+std::string Lowercase(std::string_view s);
+
+/// Returns an uppercased copy (ASCII case folding).
+std::string Uppercase(std::string_view s);
+
+/// True if `s` begins with an ASCII uppercase letter.
+bool IsCapitalized(std::string_view s);
+
+/// True if every character is an ASCII digit (and the string is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// True if the string parses as a number, optionally signed / decimal /
+/// comma-grouped (e.g. "100,000", "-3.5", "$100,000" is *not* numeric).
+bool IsNumeric(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins the pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+/// Levenshtein edit distance; used for fuzzy alias matching diagnostics.
+int EditDistance(std::string_view a, std::string_view b);
+
+/// True if `a` and `b` are equal after ASCII case folding.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_STRING_UTIL_H_

@@ -1,0 +1,72 @@
+// Wall-clock timing for the experiment harnesses (runtime columns of
+// Tables 3, 5, 6, 7).
+#ifndef QKBFLY_UTIL_TIMER_H_
+#define QKBFLY_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace qkbfly {
+
+/// Measures elapsed wall time from construction (or the last Restart).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates per-item timings and reports mean and a 95% confidence
+/// half-width, matching how the paper reports "0.88 +- 0.03 s per document".
+class TimingStats {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) return 0.0;
+    double mean = Mean();
+    double ss = 0.0;
+    for (double s : samples_) ss += (s - mean) * (s - mean);
+    return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double HalfWidth95() const {
+    if (samples_.size() < 2) return 0.0;
+    return 1.96 * StdDev() / std::sqrt(static_cast<double>(samples_.size()));
+  }
+
+  double Total() const {
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_TIMER_H_

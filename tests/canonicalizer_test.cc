@@ -1,0 +1,132 @@
+// Focused tests of Stage 3: fact assembly, thresholds, triples-only mode
+// and emerging-entity clustering.
+#include "canon/canonicalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "densify/greedy_densifier.h"
+#include "graph/graph_builder.h"
+#include "nlp/pipeline.h"
+#include "parser/malt_parser.h"
+#include "synth/dataset.h"
+
+namespace qkbfly {
+namespace {
+
+const SynthDataset& Dataset() {
+  static const SynthDataset* ds = [] {
+    DatasetConfig config;
+    config.wiki_eval_articles = 10;
+    return BuildDataset(config).release();
+  }();
+  return *ds;
+}
+
+struct Pipeline {
+  AnnotatedDocument annotated;
+  SemanticGraph graph;
+  DensifyResult densified;
+};
+
+Pipeline RunStages12(const std::string& text) {
+  const auto& ds = Dataset();
+  NlpPipeline nlp(ds.repository.get());
+  Pipeline p;
+  p.annotated = nlp.Annotate("t", "", text);
+  GraphBuilder builder(ds.repository.get(), std::make_unique<MaltLikeParser>(),
+                       GraphBuilder::Options());
+  p.graph = builder.Build(p.annotated);
+  GreedyDensifier densifier(&ds.stats, ds.repository.get(), DensifyParams());
+  p.densified = densifier.Densify(&p.graph, p.annotated);
+  return p;
+}
+
+TEST(CanonicalizerTest, ThresholdSuppressesLowConfidenceFacts) {
+  const auto& ds = Dataset();
+  // A maximally ambiguous surname-only mention: confidence is split.
+  std::string shared_surname;
+  for (const WorldEntity& e : ds.world->entities()) {
+    if (e.aliases.size() < 2) continue;
+    if (ds.repository->CandidatesForAlias(e.aliases[1]).size() >= 3) {
+      shared_surname = e.aliases[1];
+      break;
+    }
+  }
+  if (shared_surname.empty()) GTEST_SKIP() << "no 3-way ambiguous alias";
+  Pipeline p = RunStages12(shared_surname + " married Anna Lewis.");
+
+  Canonicalizer::Options strict;
+  strict.confidence_threshold = 0.99;
+  OnTheFlyKb strict_kb(ds.repository.get(), &ds.patterns);
+  Canonicalizer(ds.repository.get(), &ds.patterns, strict)
+      .Populate(&strict_kb, p.graph, p.densified, p.annotated);
+
+  Canonicalizer::Options lax;
+  lax.confidence_threshold = 0.0;
+  OnTheFlyKb lax_kb(ds.repository.get(), &ds.patterns);
+  Canonicalizer(ds.repository.get(), &ds.patterns, lax)
+      .Populate(&lax_kb, p.graph, p.densified, p.annotated);
+
+  EXPECT_LE(strict_kb.size(), lax_kb.size());
+}
+
+TEST(CanonicalizerTest, TriplesOnlySplitsHigherArity) {
+  const auto& ds = Dataset();
+  const Entity& a = ds.repository->Get(0);
+  Pipeline p = RunStages12(a.canonical_name + " married Anna Lewis in 2012.");
+
+  Canonicalizer::Options nary;
+  nary.confidence_threshold = 0.0;
+  OnTheFlyKb nary_kb(ds.repository.get(), &ds.patterns);
+  Canonicalizer(ds.repository.get(), &ds.patterns, nary)
+      .Populate(&nary_kb, p.graph, p.densified, p.annotated);
+
+  Pipeline p2 = RunStages12(a.canonical_name + " married Anna Lewis in 2012.");
+  Canonicalizer::Options triples;
+  triples.confidence_threshold = 0.0;
+  triples.triples_only = true;
+  OnTheFlyKb triples_kb(ds.repository.get(), &ds.patterns);
+  Canonicalizer(ds.repository.get(), &ds.patterns, triples)
+      .Populate(&triples_kb, p2.graph, p2.densified, p2.annotated);
+
+  EXPECT_GE(nary_kb.higher_arity_count(), 1u);
+  EXPECT_EQ(triples_kb.higher_arity_count(), 0u);
+  EXPECT_GE(triples_kb.triple_count(), nary_kb.triple_count());
+}
+
+TEST(CanonicalizerTest, CoreferentMentionsShareOneEmergingEntity) {
+  const auto& ds = Dataset();
+  Pipeline p = RunStages12(
+      "Zanthor Vexwing won an award. Zanthor Vexwing married Anna Lewis.");
+  Canonicalizer::Options options;
+  options.confidence_threshold = 0.0;
+  OnTheFlyKb kb(ds.repository.get(), &ds.patterns);
+  Canonicalizer(ds.repository.get(), &ds.patterns, options)
+      .Populate(&kb, p.graph, p.densified, p.annotated);
+  // The two "Zanthor Vexwing" mentions form one co-reference cluster and
+  // hence one emerging entity.
+  int zanthors = 0;
+  for (const EmergingEntity& e : kb.emerging_entities()) {
+    if (e.representative == "Zanthor Vexwing") ++zanthors;
+  }
+  EXPECT_EQ(zanthors, 1);
+}
+
+TEST(CanonicalizerTest, FactProvenanceRecorded) {
+  const auto& ds = Dataset();
+  const Entity& a = ds.repository->Get(0);
+  Pipeline p = RunStages12(a.canonical_name + " married Anna Lewis.");
+  Canonicalizer::Options options;
+  options.confidence_threshold = 0.0;
+  OnTheFlyKb kb(ds.repository.get(), &ds.patterns);
+  Canonicalizer(ds.repository.get(), &ds.patterns, options)
+      .Populate(&kb, p.graph, p.densified, p.annotated);
+  ASSERT_FALSE(kb.facts().empty());
+  for (const Fact& f : kb.facts()) {
+    EXPECT_EQ(f.doc_id, "t");
+    EXPECT_GE(f.sentence, 0);
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,165 @@
+#include "clausie/clausie.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace qkbfly {
+namespace {
+
+std::vector<Token> Prepare(const std::string& text) {
+  Tokenizer tok;
+  PosTagger tagger;
+  auto tokens = tok.Tokenize(text);
+  tagger.Tag(&tokens);
+  return tokens;
+}
+
+class ClausIeTest : public ::testing::Test {
+ protected:
+  ClausIe clausie_ = ClausIe::Fast();
+};
+
+TEST_F(ClausIeTest, SvoClause) {
+  auto tokens = Prepare("Brad Pitt supports the ONE Campaign");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].type, ClauseType::kSVO);
+  EXPECT_EQ(clauses[0].relation, "support");
+  EXPECT_EQ(SpanText(tokens, clauses[0].subject.span), "Brad Pitt");
+  ASSERT_EQ(clauses[0].objects.size(), 1u);
+  EXPECT_EQ(SpanText(tokens, clauses[0].objects[0].span), "the ONE Campaign");
+}
+
+TEST_F(ClausIeTest, SvcClause) {
+  auto tokens = Prepare("Brad Pitt is an actor");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].type, ClauseType::kSVC);
+  EXPECT_EQ(clauses[0].relation, "be");
+  ASSERT_TRUE(clauses[0].complement.has_value());
+  EXPECT_EQ(SpanText(tokens, clauses[0].complement->span), "an actor");
+}
+
+TEST_F(ClausIeTest, SvoaClauseWithPreposition) {
+  auto tokens = Prepare("Pitt donated $100,000 to the Daniel Pearl Foundation");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].type, ClauseType::kSVOA);
+  EXPECT_EQ(clauses[0].RelationPattern(), "donate to");
+  ASSERT_EQ(clauses[0].adverbials.size(), 1u);
+  EXPECT_EQ(clauses[0].adverbials[0].preposition, "to");
+}
+
+TEST_F(ClausIeTest, SvooClause) {
+  auto tokens = Prepare("Pitt gave the foundation $100,000");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].type, ClauseType::kSVOO);
+  ASSERT_EQ(clauses[0].objects.size(), 2u);
+  // Indirect object first.
+  EXPECT_EQ(SpanText(tokens, clauses[0].objects[0].span), "the foundation");
+  EXPECT_EQ(SpanText(tokens, clauses[0].objects[1].span), "$100,000");
+}
+
+TEST_F(ClausIeTest, SvaClause) {
+  auto tokens = Prepare("Pope Francis lives in Rome");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].type, ClauseType::kSVA);
+  EXPECT_EQ(clauses[0].RelationPattern(), "live in");
+}
+
+TEST_F(ClausIeTest, PassiveWithTwoAdverbials) {
+  auto tokens = Prepare("Pope Francis was born in Buenos Aires on 17 December 1936");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 1u);
+  EXPECT_EQ(clauses[0].relation, "bear");
+  EXPECT_EQ(clauses[0].RelationPattern(), "bear in on");
+  EXPECT_EQ(clauses[0].adverbials.size(), 2u);
+}
+
+TEST_F(ClausIeTest, TwoClausesWithConjunction) {
+  auto tokens = Prepare("Pitt married Aniston and divorced Jolie");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_EQ(clauses[0].relation, "marry");
+  EXPECT_EQ(clauses[1].relation, "divorce");
+  // Conjoined clause inherits the subject.
+  ASSERT_TRUE(clauses[1].has_subject);
+  EXPECT_EQ(SpanText(tokens, clauses[1].subject.span), "Pitt");
+  EXPECT_EQ(clauses[1].parent, 0);
+  EXPECT_EQ(clauses[1].link, DepLabel::kConj);
+}
+
+TEST_F(ClausIeTest, RelativeClauseSubjectResolution) {
+  auto tokens = Prepare("Brad Pitt, who played Achilles, supports the campaign");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_EQ(clauses.size(), 2u);
+  const Clause* rel = nullptr;
+  for (const auto& c : clauses) {
+    if (c.relation == "play") rel = &c;
+  }
+  ASSERT_NE(rel, nullptr);
+  ASSERT_TRUE(rel->has_subject);
+  // The WP subject is resolved to the antecedent.
+  EXPECT_EQ(SpanText(tokens, rel->subject.span), "Brad Pitt");
+  EXPECT_EQ(rel->link, DepLabel::kRcmod);
+}
+
+TEST_F(ClausIeTest, NegatedClause) {
+  auto tokens = Prepare("Pitt did not support the campaign");
+  auto clauses = clausie_.DetectClauses(tokens);
+  ASSERT_GE(clauses.size(), 1u);
+  const Clause* main = nullptr;
+  for (const auto& c : clauses) {
+    if (c.relation == "support") main = &c;
+  }
+  ASSERT_NE(main, nullptr);
+  EXPECT_TRUE(main->negated);
+  EXPECT_EQ(main->RelationPattern(), "not support");
+}
+
+TEST_F(ClausIeTest, PropositionFromSvoa) {
+  auto tokens = Prepare("Pitt donated $100,000 to the Daniel Pearl Foundation");
+  auto props = clausie_.Extract(tokens);
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0].relation, "donate to");
+  EXPECT_EQ(props[0].subject.text, "Pitt");
+  ASSERT_EQ(props[0].args.size(), 2u);
+  EXPECT_EQ(props[0].args[0].text, "$100,000");
+  EXPECT_EQ(props[0].args[1].text, "the Daniel Pearl Foundation");
+  EXPECT_EQ(props[0].Arity(), 3);
+}
+
+TEST_F(ClausIeTest, PropositionToString) {
+  auto tokens = Prepare("Brad Pitt is an actor");
+  auto props = clausie_.Extract(tokens);
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0].ToString(), "(Brad Pitt; be; an actor)");
+}
+
+TEST(ClausIeOriginalTest, AdverbialSubsetsMultiplyExtractions) {
+  auto tokens = Prepare("Pope Francis was born in Buenos Aires on 17 December 1936");
+  auto fast_props = ClausIe::Fast().Extract(tokens);
+  auto orig_props = ClausIe::Original().Extract(tokens);
+  // Fast mode: one consolidated n-ary proposition. Original mode: one per
+  // adverbial prefix.
+  ASSERT_EQ(fast_props.size(), 1u);
+  EXPECT_EQ(fast_props[0].args.size(), 2u);
+  EXPECT_GT(orig_props.size(), fast_props.size());
+}
+
+TEST(ClausIeOriginalTest, EmptySentence) {
+  std::vector<Token> empty;
+  EXPECT_TRUE(ClausIe::Fast().Extract(empty).empty());
+}
+
+TEST(ClausIeOriginalTest, VerblessFragmentYieldsNothing) {
+  auto tokens = Prepare("an unterminated fragment");
+  EXPECT_TRUE(ClausIe::Fast().Extract(tokens).empty());
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,98 @@
+#include "deepdive/spouse_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+
+namespace qkbfly {
+namespace {
+
+struct SpouseFixture {
+  std::unique_ptr<SynthDataset> ds;
+  std::vector<std::pair<EntityId, EntityId>> married;
+  std::vector<const Document*> corpus;
+
+  SpouseFixture() {
+    DatasetConfig config;
+    config.wiki_eval_articles = 60;
+    ds = BuildDataset(config);
+    int marry = -1;
+    int marry_in = -1;
+    for (size_t r = 0; r < RelationCatalog().size(); ++r) {
+      if (RelationCatalog()[r].canonical == "marry") marry = static_cast<int>(r);
+      if (RelationCatalog()[r].canonical == "marry in") {
+        marry_in = static_cast<int>(r);
+      }
+    }
+    for (const WorldFact& f : ds->world->facts()) {
+      if (f.relation != marry && f.relation != marry_in) continue;
+      if (f.emerging) continue;
+      auto s = ds->world_to_repo.find(f.subject);
+      if (s == ds->world_to_repo.end()) continue;
+      for (const WorldArg& a : f.args) {
+        if (!a.is_entity) continue;
+        auto o = ds->world_to_repo.find(a.entity);
+        if (o != ds->world_to_repo.end()) married.emplace_back(s->second, o->second);
+      }
+    }
+    for (const GoldDocument& gd : ds->wiki_eval) corpus.push_back(&gd.doc);
+  }
+};
+
+const SpouseFixture& Fixture() {
+  static const SpouseFixture* f = new SpouseFixture();
+  return *f;
+}
+
+TEST(DeepDiveSpouseTest, TrainsFromDistantSupervision) {
+  const auto& f = Fixture();
+  ASSERT_FALSE(f.married.empty());
+  DeepDiveSpouse dd(f.ds->repository.get(), &f.ds->stats);
+  ASSERT_TRUE(dd.Train(f.corpus, f.married).ok());
+  EXPECT_TRUE(dd.trained());
+}
+
+TEST(DeepDiveSpouseTest, HighConfidenceOnMarriageSentence) {
+  const auto& f = Fixture();
+  DeepDiveSpouse dd(f.ds->repository.get(), &f.ds->stats);
+  ASSERT_TRUE(dd.Train(f.corpus, f.married).ok());
+
+  // A synthetic sentence with a clear marriage pattern between two
+  // repository persons.
+  const Entity& a = f.ds->repository->Get(0);
+  const Entity& b = f.ds->repository->Get(1);
+  Document doc;
+  doc.id = "probe";
+  doc.text = a.canonical_name + " married " + b.canonical_name + ".";
+  auto candidates = dd.Extract(doc);
+  ASSERT_FALSE(candidates.empty());
+  double best = 0.0;
+  for (const SpouseCandidate& c : candidates) best = std::max(best, c.probability);
+  EXPECT_GT(best, 0.5);
+}
+
+TEST(DeepDiveSpouseTest, LowConfidenceOnUnrelatedSentence) {
+  const auto& f = Fixture();
+  DeepDiveSpouse dd(f.ds->repository.get(), &f.ds->stats);
+  ASSERT_TRUE(dd.Train(f.corpus, f.married).ok());
+  const Entity& a = f.ds->repository->Get(0);
+  const Entity& b = f.ds->repository->Get(1);
+  Document doc;
+  doc.id = "probe2";
+  doc.text = a.canonical_name + " accused " + b.canonical_name + " of fraud.";
+  auto candidates = dd.Extract(doc);
+  ASSERT_FALSE(candidates.empty());
+  for (const SpouseCandidate& c : candidates) {
+    EXPECT_LT(c.probability, 0.5) << c.surface1 << " / " << c.surface2;
+  }
+}
+
+TEST(DeepDiveSpouseTest, FailsWithoutCandidates) {
+  const auto& f = Fixture();
+  DeepDiveSpouse dd(f.ds->repository.get(), &f.ds->stats);
+  std::vector<const Document*> empty_corpus;
+  EXPECT_FALSE(dd.Train(empty_corpus, f.married).ok());
+}
+
+}  // namespace
+}  // namespace qkbfly

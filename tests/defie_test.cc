@@ -1,0 +1,87 @@
+#include "openie/defie.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+
+namespace qkbfly {
+namespace {
+
+const SynthDataset& Dataset() {
+  static const SynthDataset* ds = [] {
+    DatasetConfig config;
+    config.wiki_eval_articles = 10;
+    return BuildDataset(config).release();
+  }();
+  return *ds;
+}
+
+TEST(DefieTest, ExtractsTriplesWithLinks) {
+  const auto& ds = Dataset();
+  DefieSystem defie(ds.repository.get(), &ds.stats);
+  auto result = defie.Process(ds.wiki_eval.front().doc);
+  EXPECT_FALSE(result.facts.empty());
+  EXPECT_FALSE(result.links.empty());
+  for (const Fact& f : result.facts) {
+    EXPECT_EQ(f.args.size(), 1u);  // DEFIE emits triples only
+    EXPECT_EQ(f.relation, kInvalidRelation);  // predicates stay surface-level
+    EXPECT_FALSE(f.relation_pattern.empty());
+  }
+}
+
+TEST(DefieTest, SkipsPronounSubjects) {
+  const auto& ds = Dataset();
+  DefieSystem defie(ds.repository.get(), &ds.stats);
+  Document doc;
+  doc.id = "pron";
+  doc.text = "He married Anna Lewis.";
+  auto result = defie.Process(doc);
+  EXPECT_TRUE(result.facts.empty());  // no co-reference, no pronoun facts
+}
+
+TEST(DefieTest, SkipsSubordinateClauses) {
+  const auto& ds = Dataset();
+  DefieSystem defie(ds.repository.get(), &ds.stats);
+  const Entity& a = ds.repository->Get(0);
+  Document doc;
+  doc.id = "sub";
+  doc.text = a.canonical_name + ", who married Anna Lewis, won an award.";
+  auto result = defie.Process(doc);
+  for (const Fact& f : result.facts) {
+    // The relative-clause fact ("marry") must not be extracted.
+    EXPECT_EQ(f.relation_pattern.find("marry"), std::string::npos)
+        << f.relation_pattern;
+  }
+}
+
+TEST(BabelfyTest, DisambiguatesKnownMention) {
+  const auto& ds = Dataset();
+  BabelfyNed ned(ds.repository.get(), &ds.stats);
+  NlpPipeline nlp(ds.repository.get());
+  const Entity& e = ds.repository->Get(0);
+  auto doc = nlp.Annotate("d", "", e.canonical_name + " won an award.");
+  auto links = ned.Disambiguate(doc);
+  ASSERT_FALSE(links.empty());
+  bool found = false;
+  for (const auto& link : links) {
+    if (link.entity == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BabelfyTest, OneLinkPerMention) {
+  const auto& ds = Dataset();
+  BabelfyNed ned(ds.repository.get(), &ds.stats);
+  NlpPipeline nlp(ds.repository.get());
+  auto doc = nlp.Annotate("d", "", ds.wiki_eval.front().doc.text);
+  auto links = ned.Disambiguate(doc);
+  // No (sentence, surface) pair may be linked twice.
+  std::set<std::pair<int, std::string>> seen;
+  for (const auto& link : links) {
+    EXPECT_TRUE(seen.emplace(link.sentence, link.surface).second)
+        << link.surface;
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,173 @@
+#include "parser/edmonds.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace qkbfly {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double TreeWeight(const std::vector<std::vector<double>>& scores,
+                  const std::vector<int>& parent) {
+  double total = 0.0;
+  for (size_t d = 1; d < parent.size(); ++d) {
+    total += scores[static_cast<size_t>(parent[d])][d];
+  }
+  return total;
+}
+
+bool IsArborescence(const std::vector<int>& parent) {
+  // Every non-root node must reach node 0 by following parents.
+  for (size_t d = 1; d < parent.size(); ++d) {
+    size_t steps = 0;
+    int v = static_cast<int>(d);
+    while (v != 0) {
+      if (v < 0 || steps++ > parent.size()) return false;
+      v = parent[static_cast<size_t>(v)];
+    }
+  }
+  return true;
+}
+
+TEST(EdmondsTest, SingleNode) {
+  auto parent = MaxSpanningArborescence({{0.0}});
+  ASSERT_EQ(parent.size(), 1u);
+  EXPECT_EQ(parent[0], -1);
+}
+
+TEST(EdmondsTest, TwoNodeChain) {
+  std::vector<std::vector<double>> s = {{kNegInf, 5.0}, {kNegInf, kNegInf}};
+  auto parent = MaxSpanningArborescence(s);
+  EXPECT_EQ(parent[1], 0);
+}
+
+TEST(EdmondsTest, PrefersHeavierArc) {
+  // 0->1: 1, 0->2: 1, 1->2: 10 => 2 should hang off 1.
+  std::vector<std::vector<double>> s(3, std::vector<double>(3, kNegInf));
+  s[0][1] = 1.0;
+  s[0][2] = 1.0;
+  s[1][2] = 10.0;
+  auto parent = MaxSpanningArborescence(s);
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(parent[2], 1);
+}
+
+TEST(EdmondsTest, BreaksTwoCycle) {
+  // 1 and 2 prefer each other; the root arc must break the cycle optimally.
+  std::vector<std::vector<double>> s(3, std::vector<double>(3, kNegInf));
+  s[0][1] = 1.0;
+  s[0][2] = 2.0;
+  s[1][2] = 10.0;
+  s[2][1] = 10.0;
+  auto parent = MaxSpanningArborescence(s);
+  ASSERT_TRUE(IsArborescence(parent));
+  // Optimal: 0->2 (2) + 2->1 (10) = 12 beats 0->1 (1) + 1->2 (10) = 11.
+  EXPECT_EQ(parent[2], 0);
+  EXPECT_EQ(parent[1], 2);
+  EXPECT_DOUBLE_EQ(TreeWeight(s, parent), 12.0);
+}
+
+TEST(EdmondsTest, BreaksThreeCycle) {
+  std::vector<std::vector<double>> s(4, std::vector<double>(4, kNegInf));
+  s[0][1] = 1.0;
+  s[0][2] = 0.5;
+  s[0][3] = 0.4;
+  s[1][2] = 8.0;
+  s[2][3] = 8.0;
+  s[3][1] = 8.0;
+  auto parent = MaxSpanningArborescence(s);
+  ASSERT_TRUE(IsArborescence(parent));
+  // Best: enter the cycle at 1 (root arc 1.0), keep 1->2->3.
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(parent[2], 1);
+  EXPECT_EQ(parent[3], 2);
+}
+
+TEST(EdmondsTest, NestedCycles) {
+  // Two cycles sharing structure; just check validity and optimality vs
+  // brute force.
+  const int n = 5;
+  std::vector<std::vector<double>> s(n, std::vector<double>(n, kNegInf));
+  s[0][1] = 2.0;
+  s[1][2] = 5.0;
+  s[2][1] = 5.0;
+  s[2][3] = 4.0;
+  s[3][4] = 3.0;
+  s[4][2] = 6.0;
+  s[0][3] = 1.0;
+  s[1][4] = 2.5;
+  auto parent = MaxSpanningArborescence(s);
+  ASSERT_TRUE(IsArborescence(parent));
+
+  // Brute force over all parent assignments.
+  double best = kNegInf;
+  std::vector<int> p(n, -1);
+  std::function<void(int)> rec = [&](int d) {
+    if (d == n) {
+      std::vector<int> cand(p.begin(), p.end());
+      if (!IsArborescence(cand)) return;
+      double w = 0.0;
+      for (int i = 1; i < n; ++i) {
+        double arc = s[static_cast<size_t>(cand[static_cast<size_t>(i)])]
+                      [static_cast<size_t>(i)];
+        if (arc == kNegInf) return;
+        w += arc;
+      }
+      if (w > best) best = w;
+      return;
+    }
+    for (int h = 0; h < n; ++h) {
+      if (h == d) continue;
+      p[static_cast<size_t>(d)] = h;
+      rec(d + 1);
+    }
+  };
+  rec(1);
+  EXPECT_DOUBLE_EQ(TreeWeight(s, parent), best);
+}
+
+TEST(EdmondsTest, DenseRandomMatchesBruteForce) {
+  // Deterministic pseudo-random dense instance, n = 5.
+  const int n = 5;
+  std::vector<std::vector<double>> s(n, std::vector<double>(n, kNegInf));
+  unsigned state = 12345;
+  auto next = [&state]() {
+    state = state * 1103515245u + 12345u;
+    return static_cast<double>((state >> 16) % 1000) / 100.0;
+  };
+  for (int h = 0; h < n; ++h) {
+    for (int d = 1; d < n; ++d) {
+      if (h != d) s[static_cast<size_t>(h)][static_cast<size_t>(d)] = next();
+    }
+  }
+  auto parent = MaxSpanningArborescence(s);
+  ASSERT_TRUE(IsArborescence(parent));
+
+  double best = kNegInf;
+  std::vector<int> p(n, -1);
+  std::function<void(int)> rec = [&](int d) {
+    if (d == n) {
+      std::vector<int> cand(p.begin(), p.end());
+      if (!IsArborescence(cand)) return;
+      double w = 0.0;
+      for (int i = 1; i < n; ++i) {
+        w += s[static_cast<size_t>(cand[static_cast<size_t>(i)])]
+              [static_cast<size_t>(i)];
+      }
+      if (w > best) best = w;
+      return;
+    }
+    for (int h = 0; h < n; ++h) {
+      if (h == d) continue;
+      p[static_cast<size_t>(d)] = h;
+      rec(d + 1);
+    }
+  };
+  rec(1);
+  EXPECT_NEAR(TreeWeight(s, parent), best, 1e-9);
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,309 @@
+// End-to-end tests of the QkbflyEngine over a handcrafted mini-world that
+// reproduces the paper's key phenomena: ambiguous aliases resolved by joint
+// inference, pronoun co-reference, emerging entities, higher-arity facts and
+// predicate canonicalization.
+#include "core/qkbfly.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+class MiniWorld {
+ public:
+  MiniWorld()
+      : types_(TypeSystem::BuildDefault()), repo_(&types_) {
+    auto type = [this](const char* name) { return *types_.Find(name); };
+    brad_ = repo_.AddEntity("Brad Pitt", {"Pitt", "Brad", "William Bradley Pitt"},
+                            {type("ACTOR")}, Gender::kMale);
+    michael_ = repo_.AddEntity("Michael Pitt", {"Pitt"}, {type("ACTOR")},
+                               Gender::kMale);
+    jolie_ = repo_.AddEntity("Angelina Jolie", {"Jolie"}, {type("ACTOR")},
+                             Gender::kFemale);
+    troy_ = repo_.AddEntity("Troy", {}, {type("FILM")});
+    city_ = repo_.AddEntity("Liverpool", {}, {type("CITY")});
+    club_ = repo_.AddEntity("Liverpool F.C.", {"Liverpool"},
+                            {type("FOOTBALL_CLUB")});
+    gerrard_ = repo_.AddEntity("Steven Gerrard", {"Gerrard"},
+                               {type("FOOTBALLER")}, Gender::kMale);
+    carragher_ = repo_.AddEntity("Jamie Carragher", {"Carragher"},
+                                 {type("FOOTBALLER")}, Gender::kMale);
+    trump_ = repo_.AddEntity("Donald Trump", {"Trump"}, {type("POLITICIAN")},
+                             Gender::kMale);
+
+    patterns_.AddSynset("play in", {"act in", "star in", "have role in"});
+    patterns_.AddSynset("marry", {"wed", "be married to"});
+    patterns_.AddSynset("play for", {"score for", "appear for"});
+    patterns_.AddSynset("accuse of", {"accuse"});
+    patterns_.AddSynset("support", {"back", "endorse"});
+    patterns_.AddSynset("divorce from", {"split from", "file for divorce from"});
+
+    BuildBackgroundCorpus();
+    NlpPipeline pipeline(&repo_);
+    StatisticsBuilder builder(&repo_, &types_);
+    stats_ = builder.Build(background_, pipeline);
+  }
+
+  QkbflyEngine MakeEngine(InferenceMode mode) const {
+    EngineConfig config;
+    config.mode = mode;
+    config.canon.confidence_threshold = 0.3;
+    return QkbflyEngine(&repo_, &patterns_, &stats_, config);
+  }
+
+  TypeSystem types_;
+  EntityRepository repo_;
+  PatternRepository patterns_;
+  DocumentStore background_;
+  BackgroundStats stats_;
+  EntityId brad_, michael_, jolie_, troy_, city_, club_, gerrard_, trump_;
+  EntityId carragher_;
+
+ private:
+  void AddDoc(const std::string& title, const std::string& text,
+              std::vector<Anchor> anchors) {
+    Document doc;
+    doc.id = "bg:" + title;
+    doc.title = title;
+    doc.text = text;
+    doc.anchors = std::move(anchors);
+    ASSERT_TRUE(background_.Add(std::move(doc)).ok());
+  }
+
+  void BuildBackgroundCorpus() {
+    // Brad Pitt is the dominant sense of "Pitt" (more anchors), and his
+    // article talks about films and Angelina Jolie.
+    AddDoc("Brad Pitt",
+           "Brad Pitt is an American actor. Pitt starred in Troy. "
+           "Pitt married Angelina Jolie in 2014. Pitt supported the campaign.",
+           {{0, "Brad Pitt", brad_},
+            {1, "Pitt", brad_},
+            {1, "Troy", troy_},
+            {2, "Pitt", brad_},
+            {2, "Angelina Jolie", jolie_},
+            {3, "Pitt", brad_}});
+    AddDoc("Michael Pitt",
+           "Michael Pitt is an American actor. Pitt appeared in a film.",
+           {{0, "Michael Pitt", michael_}, {1, "Pitt", michael_}});
+    AddDoc("Angelina Jolie",
+           "Angelina Jolie is an American actress. Jolie married Brad Pitt. "
+           "Jolie starred in a film.",
+           {{0, "Angelina Jolie", jolie_},
+            {1, "Jolie", jolie_},
+            {1, "Brad Pitt", brad_},
+            {2, "Jolie", jolie_}});
+    // The city is the dominant sense of "Liverpool". Its article also uses
+    // the verb "score" so that context similarity alone cannot separate the
+    // city from the club — only the type signature can (the paper's
+    // Liverpool-vs-Liverpool-F.C. example).
+    AddDoc("Liverpool",
+           "Liverpool is a city in England. Many people live in Liverpool. "
+           "Liverpool is a large city. Tourists visit Liverpool. "
+           "The tourists scored cheap hotels in Liverpool.",
+           {{0, "Liverpool", city_},
+            {1, "Liverpool", city_},
+            {2, "Liverpool", city_},
+            {3, "Liverpool", city_},
+            {4, "Liverpool", city_}});
+    AddDoc("Liverpool F.C.",
+           "Liverpool F.C. is a football club. Steven Gerrard played for "
+           "Liverpool. Gerrard scored for Liverpool in a match.",
+           {{0, "Liverpool F.C.", club_},
+            {1, "Steven Gerrard", gerrard_},
+            {1, "Liverpool", club_},
+            {2, "Gerrard", gerrard_},
+            {2, "Liverpool", club_}});
+    AddDoc("Steven Gerrard",
+           "Steven Gerrard is an English footballer. Gerrard played for "
+           "Liverpool. Gerrard scored for Liverpool in 2005.",
+           {{0, "Steven Gerrard", gerrard_},
+            {1, "Gerrard", gerrard_},
+            {1, "Liverpool", club_},
+            {2, "Gerrard", gerrard_},
+            {2, "Liverpool", club_}});
+    // A footballer whose article never mentions Liverpool, so his context
+    // vector cannot separate the city from the club.
+    AddDoc("Jamie Carragher",
+           "Jamie Carragher is an English footballer. Carragher scored a goal.",
+           {{0, "Jamie Carragher", carragher_}, {1, "Carragher", carragher_}});
+    AddDoc("Troy", "Troy is a film. Brad Pitt starred in Troy.",
+           {{0, "Troy", troy_}, {1, "Brad Pitt", brad_}, {1, "Troy", troy_}});
+  }
+};
+
+const MiniWorld& World() {
+  static const MiniWorld* world = new MiniWorld();
+  return *world;
+}
+
+Document MakeDoc(const std::string& id, const std::string& text) {
+  Document doc;
+  doc.id = id;
+  doc.text = text;
+  return doc;
+}
+
+bool KbHasFact(const OnTheFlyKb& kb, const std::string& rendered) {
+  for (const Fact& f : kb.facts()) {
+    if (kb.FactToString(f) == rendered) return true;
+  }
+  return false;
+}
+
+std::string KbDump(const OnTheFlyKb& kb) {
+  std::string out;
+  for (const Fact& f : kb.facts()) out += kb.FactToString(f) + "\n";
+  return out;
+}
+
+TEST(EngineTest, SimpleSvoFactCanonicalized) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb = engine.BuildKb({MakeDoc("d1", "Brad Pitt married Angelina Jolie.")});
+  ASSERT_GE(kb.size(), 1u) << KbDump(kb);
+  EXPECT_TRUE(KbHasFact(kb, "<Brad Pitt, marry, Angelina Jolie>")) << KbDump(kb);
+}
+
+TEST(EngineTest, ParaphraseMapsToSameRelation) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb1 = engine.BuildKb({MakeDoc("d1", "Brad Pitt starred in Troy.")});
+  auto kb2 = engine.BuildKb({MakeDoc("d2", "Brad Pitt acted in Troy.")});
+  EXPECT_TRUE(KbHasFact(kb1, "<Brad Pitt, play in, Troy>")) << KbDump(kb1);
+  EXPECT_TRUE(KbHasFact(kb2, "<Brad Pitt, play in, Troy>")) << KbDump(kb2);
+}
+
+TEST(EngineTest, PriorDisambiguatesDominantSense) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  // "Pitt" alone: the anchor prior strongly favours Brad Pitt.
+  auto kb = engine.BuildKb({MakeDoc("d1", "Pitt married Angelina Jolie.")});
+  EXPECT_TRUE(KbHasFact(kb, "<Brad Pitt, marry, Angelina Jolie>")) << KbDump(kb);
+}
+
+TEST(EngineTest, TypeSignatureResolvesLiverpool) {
+  // "Gerrard scored for Liverpool": the type signature of "score for"
+  // (FOOTBALLER, FOOTBALL_CLUB) must override the city's higher prior.
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto docs = std::vector<Document>{MakeDoc("d1", "Gerrard scored for Liverpool.")};
+  auto kb = engine.BuildKb(docs);
+  EXPECT_TRUE(KbHasFact(kb, "<Steven Gerrard, play for, Liverpool F.C.>"))
+      << KbDump(kb);
+}
+
+TEST(EngineTest, PipelineWithoutTypeSignaturePicksCity) {
+  // The pipeline variant (no type signatures, mention-local NED) falls back
+  // to the prior and links the city — the paper's Liverpool example.
+  auto engine = World().MakeEngine(InferenceMode::kPipeline);
+  auto kb = engine.BuildKb({MakeDoc("d1", "Carragher scored for Liverpool.")});
+  EXPECT_TRUE(KbHasFact(kb, "<Jamie Carragher, play for, Liverpool>"))
+      << KbDump(kb);
+  // The joint model with type signatures gets the same sentence right.
+  auto joint = World().MakeEngine(InferenceMode::kJoint);
+  auto kb2 = joint.BuildKb({MakeDoc("d1", "Carragher scored for Liverpool.")});
+  EXPECT_TRUE(KbHasFact(kb2, "<Jamie Carragher, play for, Liverpool F.C.>"))
+      << KbDump(kb2);
+}
+
+TEST(EngineTest, PronounCoreference) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb = engine.BuildKb(
+      {MakeDoc("d1", "Brad Pitt is an actor. He married Angelina Jolie.")});
+  EXPECT_TRUE(KbHasFact(kb, "<Brad Pitt, marry, Angelina Jolie>")) << KbDump(kb);
+}
+
+TEST(EngineTest, GenderConstraintOnPronouns) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  // "She" must resolve to Angelina Jolie, not Brad Pitt.
+  auto kb = engine.BuildKb(
+      {MakeDoc("d1", "Angelina Jolie met Brad Pitt. She starred in Troy.")});
+  EXPECT_TRUE(KbHasFact(kb, "<Angelina Jolie, play in, Troy>")) << KbDump(kb);
+  EXPECT_FALSE(KbHasFact(kb, "<Brad Pitt, play in, Troy>")) << KbDump(kb);
+}
+
+TEST(EngineTest, NounOnlyModeDropsPronounFacts) {
+  auto engine = World().MakeEngine(InferenceMode::kNounOnly);
+  auto kb = engine.BuildKb(
+      {MakeDoc("d1", "Brad Pitt is an actor. He married Angelina Jolie.")});
+  EXPECT_FALSE(KbHasFact(kb, "<Brad Pitt, marry, Angelina Jolie>")) << KbDump(kb);
+}
+
+TEST(EngineTest, EmergingEntityDetected) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb = engine.BuildKb({MakeDoc("d1", "Jessica Leeds accused Donald Trump.")});
+  EXPECT_TRUE(KbHasFact(kb, "<Jessica Leeds*, accuse of, Donald Trump>"))
+      << KbDump(kb);
+  ASSERT_EQ(kb.emerging_entities().size(), 1u);
+  EXPECT_EQ(kb.emerging_entities()[0].representative, "Jessica Leeds");
+  EXPECT_EQ(kb.emerging_entities()[0].ner, NerType::kPerson);
+}
+
+TEST(EngineTest, HigherArityFact) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb = engine.BuildKb(
+      {MakeDoc("d1", "Brad Pitt married Angelina Jolie in 2014.")});
+  bool found = false;
+  for (const Fact& f : kb.facts()) {
+    if (f.Arity() == 3 && kb.FactToString(f) ==
+                              "<Brad Pitt, marry in, Angelina Jolie, \"2014\">") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << KbDump(kb);
+  EXPECT_GE(kb.higher_arity_count(), 1u);
+}
+
+TEST(EngineTest, TriplesOnlyModeSplitsFacts) {
+  EngineConfig config;
+  config.mode = InferenceMode::kJoint;
+  config.canon.confidence_threshold = 0.3;
+  config.canon.triples_only = true;
+  QkbflyEngine engine(&World().repo_, &World().patterns_, &World().stats_, config);
+  auto kb = engine.BuildKb(
+      {MakeDoc("d1", "Brad Pitt married Angelina Jolie in 2014.")});
+  EXPECT_EQ(kb.higher_arity_count(), 0u) << KbDump(kb);
+  EXPECT_TRUE(KbHasFact(kb, "<Brad Pitt, marry, Angelina Jolie>")) << KbDump(kb);
+}
+
+TEST(EngineTest, IlpAgreesWithGreedyOnEasyCases) {
+  auto greedy = World().MakeEngine(InferenceMode::kJoint);
+  auto ilp = World().MakeEngine(InferenceMode::kIlp);
+  const char* text = "Gerrard scored for Liverpool.";
+  auto kb_greedy = greedy.BuildKb({MakeDoc("d1", text)});
+  auto kb_ilp = ilp.BuildKb({MakeDoc("d1", text)});
+  EXPECT_TRUE(KbHasFact(kb_ilp, "<Steven Gerrard, play for, Liverpool F.C.>"))
+      << KbDump(kb_ilp);
+  EXPECT_EQ(kb_greedy.size(), kb_ilp.size());
+}
+
+TEST(EngineTest, DuplicateFactsMerged) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb = engine.BuildKb({MakeDoc(
+      "d1", "Brad Pitt starred in Troy. Brad Pitt acted in Troy.")});
+  int count = 0;
+  for (const Fact& f : kb.facts()) {
+    if (kb.FactToString(f) == "<Brad Pitt, play in, Troy>") ++count;
+  }
+  EXPECT_EQ(count, 1) << KbDump(kb);
+}
+
+TEST(EngineTest, SearchByTypeAndPredicate) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto kb = engine.BuildKb({MakeDoc(
+      "d1", "Brad Pitt starred in Troy. Gerrard scored for Liverpool.")});
+  auto hits = kb.Search("Type:ACTOR", "play in", "");
+  ASSERT_EQ(hits.size(), 1u) << KbDump(kb);
+  EXPECT_EQ(kb.FactToString(*hits[0]), "<Brad Pitt, play in, Troy>");
+  EXPECT_TRUE(kb.Search("Type:CITY", "", "").empty());
+}
+
+TEST(EngineTest, ConfidencesAreProbabilities) {
+  auto engine = World().MakeEngine(InferenceMode::kJoint);
+  auto result = engine.ProcessDocument(
+      MakeDoc("d1", "Pitt married Angelina Jolie. Gerrard scored for Liverpool."));
+  ASSERT_FALSE(result.densified.assignments.empty());
+  for (const auto& a : result.densified.assignments) {
+    EXPECT_GE(a.confidence, 0.0);
+    EXPECT_LE(a.confidence, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly

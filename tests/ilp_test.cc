@@ -1,0 +1,192 @@
+#include "ilp/ilp.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IlpTest, EmptyModel) {
+  IlpModel model;
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->optimal);
+  EXPECT_DOUBLE_EQ(solution->objective, 0.0);
+}
+
+TEST(IlpTest, UnconstrainedPicksPositive) {
+  IlpModel model;
+  int a = model.AddVariable(3.0);
+  int b = model.AddVariable(-2.0);
+  int c = model.AddVariable(1.0);
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->values[a], 1);
+  EXPECT_EQ(solution->values[b], 0);
+  EXPECT_EQ(solution->values[c], 1);
+  EXPECT_DOUBLE_EQ(solution->objective, 4.0);
+}
+
+TEST(IlpTest, ExactlyOneConstraint) {
+  IlpModel model;
+  int a = model.AddVariable(1.0);
+  int b = model.AddVariable(5.0);
+  int c = model.AddVariable(3.0);
+  model.AddConstraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, 1.0, 1.0);
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->values[a] + solution->values[b] + solution->values[c], 1);
+  EXPECT_EQ(solution->values[b], 1);
+  EXPECT_DOUBLE_EQ(solution->objective, 5.0);
+}
+
+TEST(IlpTest, AtMostConstraint) {
+  IlpModel model;
+  int a = model.AddVariable(4.0);
+  int b = model.AddVariable(3.0);
+  model.AddConstraint({{a, 1.0}, {b, 1.0}}, -kInf, 1.0);
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->values[a], 1);
+  EXPECT_EQ(solution->values[b], 0);
+}
+
+TEST(IlpTest, ImplicationChain) {
+  // jr <= c1, jr <= c2: jr only pays off when both chosen.
+  IlpModel model;
+  int c1 = model.AddVariable(-1.0);
+  int c2 = model.AddVariable(-1.0);
+  int jr = model.AddVariable(5.0);
+  model.AddConstraint({{jr, 1.0}, {c1, -1.0}}, -kInf, 0.0);
+  model.AddConstraint({{jr, 1.0}, {c2, -1.0}}, -kInf, 0.0);
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  // Taking all three yields 3; taking none yields 0... 3 > 0 so all chosen.
+  EXPECT_EQ(solution->values[jr], 1);
+  EXPECT_EQ(solution->values[c1], 1);
+  EXPECT_EQ(solution->values[c2], 1);
+  EXPECT_DOUBLE_EQ(solution->objective, 3.0);
+}
+
+TEST(IlpTest, ImplicationNotWorthIt) {
+  IlpModel model;
+  int c1 = model.AddVariable(-4.0);
+  int c2 = model.AddVariable(-4.0);
+  int jr = model.AddVariable(5.0);
+  model.AddConstraint({{jr, 1.0}, {c1, -1.0}}, -kInf, 0.0);
+  model.AddConstraint({{jr, 1.0}, {c2, -1.0}}, -kInf, 0.0);
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->values[jr], 0);
+  EXPECT_DOUBLE_EQ(solution->objective, 0.0);
+}
+
+TEST(IlpTest, InfeasibleModel) {
+  IlpModel model;
+  int a = model.AddVariable(1.0);
+  model.AddConstraint({{a, 1.0}}, 2.0, 3.0);  // x = 2..3 impossible for binary
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  EXPECT_FALSE(solution.ok());
+}
+
+TEST(IlpTest, EqualityCoupling) {
+  IlpModel model;
+  int a = model.AddVariable(2.0);
+  int b = model.AddVariable(-1.0);
+  model.AddConstraint({{a, 1.0}, {b, -1.0}}, 0.0, 0.0);  // a == b
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->values[a], solution->values[b]);
+  EXPECT_DOUBLE_EQ(solution->objective, 1.0);  // both 1: 2 - 1 = 1 > 0
+}
+
+TEST(IlpTest, MentionDisambiguationShape) {
+  // Two mentions, two candidates each, coherence bonus for the consistent
+  // pair: the classic NED coupling. Mention 1: prior favours A1; mention 2
+  // neutral; coherence (A1,B2) large.
+  IlpModel model;
+  int a1 = model.AddVariable(0.6);
+  int a2 = model.AddVariable(0.4);
+  int b1 = model.AddVariable(0.5);
+  int b2 = model.AddVariable(0.5);
+  model.AddConstraint({{a1, 1.0}, {a2, 1.0}}, 1.0, 1.0);
+  model.AddConstraint({{b1, 1.0}, {b2, 1.0}}, 1.0, 1.0);
+  int jr = model.AddVariable(2.0);  // coherence of (a1, b2)
+  model.AddConstraint({{jr, 1.0}, {a1, -1.0}}, -kInf, 0.0);
+  model.AddConstraint({{jr, 1.0}, {b2, -1.0}}, -kInf, 0.0);
+  BranchAndBoundSolver solver;
+  auto solution = solver.Maximize(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->values[a1], 1);
+  EXPECT_EQ(solution->values[b2], 1);
+  EXPECT_EQ(solution->values[jr], 1);
+  EXPECT_DOUBLE_EQ(solution->objective, 0.6 + 0.5 + 2.0);
+}
+
+TEST(IlpTest, BacktrackingKeepsConstraintStateConsistent) {
+  // Regression: an infeasible assignment used to leave constraint bounds
+  // half-updated, letting later branches violate implication constraints
+  // (jr = 1 with its gating variable 0).
+  IlpModel model;
+  int a1 = model.AddVariable(0.1);
+  int a2 = model.AddVariable(0.1);
+  model.AddConstraint({{a1, 1.0}, {a2, 1.0}}, 1.0, 1.0);
+  int b1 = model.AddVariable(0.5);
+  int b2 = model.AddVariable(0.01);
+  model.AddConstraint({{b1, 1.0}, {b2, 1.0}}, 1.0, 1.0);
+  // jr(a_i, b_j) rewards with implications to both sides.
+  std::vector<std::vector<int>> jr(2, std::vector<int>(2));
+  double w[2][2] = {{0.05, 0.001}, {0.04, 0.001}};
+  int cnds[2] = {a1, a2};
+  int bs[2] = {b1, b2};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      jr[i][j] = model.AddVariable(w[i][j]);
+      model.AddConstraint({{jr[i][j], 1.0}, {cnds[i], -1.0}}, -kInf, 0.0);
+      model.AddConstraint({{jr[i][j], 1.0}, {bs[j], -1.0}}, -kInf, 0.0);
+    }
+  }
+  model.SetBranchOrder({a1, a2, b1, b2, jr[0][0], jr[0][1], jr[1][0], jr[1][1]});
+  BranchAndBoundSolver solver;
+  auto sol = solver.Maximize(model);
+  ASSERT_TRUE(sol.ok());
+  // The optimum picks a1 and b1 with their joint reward only.
+  EXPECT_EQ(sol->values[a1], 1);
+  EXPECT_EQ(sol->values[b1], 1);
+  EXPECT_NEAR(sol->objective, 0.1 + 0.5 + 0.05, 1e-9);
+  // No jr may be active without both gates.
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (sol->values[jr[i][j]] == 1) {
+        EXPECT_EQ(sol->values[cnds[i]], 1);
+        EXPECT_EQ(sol->values[bs[j]], 1);
+      }
+    }
+  }
+}
+
+TEST(IlpTest, NodeBudgetReturnsIncumbent) {
+  BranchAndBoundSolver::Options options;
+  options.max_nodes = 3;
+  BranchAndBoundSolver solver(options);
+  IlpModel model;
+  for (int i = 0; i < 20; ++i) model.AddVariable(1.0);
+  auto solution = solver.Maximize(model);
+  // With a tiny budget we may or may not complete, but we never crash and
+  // any returned solution respects the constraint set (there are none).
+  if (solution.ok()) {
+    EXPECT_LE(solution->nodes_explored, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,76 @@
+#include "nlp/lemmatizer.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+class LemmatizerTest : public ::testing::Test {
+ protected:
+  Lemmatizer lemmatizer_;
+};
+
+TEST_F(LemmatizerTest, IrregularVerbs) {
+  EXPECT_EQ(lemmatizer_.VerbLemma("was"), "be");
+  EXPECT_EQ(lemmatizer_.VerbLemma("is"), "be");
+  EXPECT_EQ(lemmatizer_.VerbLemma("won"), "win");
+  EXPECT_EQ(lemmatizer_.VerbLemma("shot"), "shoot");
+  EXPECT_EQ(lemmatizer_.VerbLemma("born"), "bear");
+  EXPECT_EQ(lemmatizer_.VerbLemma("went"), "go");
+  EXPECT_EQ(lemmatizer_.VerbLemma("forgot"), "forget");
+}
+
+TEST_F(LemmatizerTest, ThirdPersonSingular) {
+  EXPECT_EQ(lemmatizer_.VerbLemma("supports"), "support");
+  EXPECT_EQ(lemmatizer_.VerbLemma("plays"), "play");
+  EXPECT_EQ(lemmatizer_.VerbLemma("marries"), "marry");
+  EXPECT_EQ(lemmatizer_.VerbLemma("watches"), "watch");
+  EXPECT_EQ(lemmatizer_.VerbLemma("goes"), "go");
+}
+
+TEST_F(LemmatizerTest, PastTenseRegular) {
+  EXPECT_EQ(lemmatizer_.VerbLemma("donated"), "donate");
+  EXPECT_EQ(lemmatizer_.VerbLemma("played"), "play");
+  EXPECT_EQ(lemmatizer_.VerbLemma("married"), "marry");
+  EXPECT_EQ(lemmatizer_.VerbLemma("starred"), "star");
+  EXPECT_EQ(lemmatizer_.VerbLemma("performed"), "perform");
+  EXPECT_EQ(lemmatizer_.VerbLemma("accused"), "accuse");
+  EXPECT_EQ(lemmatizer_.VerbLemma("divorced"), "divorce");
+  EXPECT_EQ(lemmatizer_.VerbLemma("announced"), "announce");
+  EXPECT_EQ(lemmatizer_.VerbLemma("released"), "release");
+}
+
+TEST_F(LemmatizerTest, Gerunds) {
+  EXPECT_EQ(lemmatizer_.VerbLemma("playing"), "play");
+  EXPECT_EQ(lemmatizer_.VerbLemma("running"), "run");
+  EXPECT_EQ(lemmatizer_.VerbLemma("making"), "make");
+  EXPECT_EQ(lemmatizer_.VerbLemma("supporting"), "support");
+  EXPECT_EQ(lemmatizer_.VerbLemma("groping"), "grope");
+}
+
+TEST_F(LemmatizerTest, NounPlurals) {
+  EXPECT_EQ(lemmatizer_.NounLemma("actors"), "actor");
+  EXPECT_EQ(lemmatizer_.NounLemma("movies"), "movy");  // regular-rule artifact
+  EXPECT_EQ(lemmatizer_.NounLemma("children"), "child");
+  EXPECT_EQ(lemmatizer_.NounLemma("wives"), "wife");
+  EXPECT_EQ(lemmatizer_.NounLemma("matches"), "match");
+  EXPECT_EQ(lemmatizer_.NounLemma("series"), "series");
+}
+
+TEST_F(LemmatizerTest, LemmaDispatchByPos) {
+  EXPECT_EQ(lemmatizer_.Lemma("supports", PosTag::kVBZ), "support");
+  EXPECT_EQ(lemmatizer_.Lemma("actors", PosTag::kNNS), "actor");
+  // Proper nouns keep their case.
+  EXPECT_EQ(lemmatizer_.Lemma("Pitt", PosTag::kNNP), "Pitt");
+  // Other categories are lowercased.
+  EXPECT_EQ(lemmatizer_.Lemma("The", PosTag::kDT), "the");
+}
+
+TEST_F(LemmatizerTest, BaseFormsUnchanged) {
+  EXPECT_EQ(lemmatizer_.VerbLemma("support"), "support");
+  EXPECT_EQ(lemmatizer_.VerbLemma("play"), "play");
+  EXPECT_EQ(lemmatizer_.VerbLemma("win"), "win");
+}
+
+}  // namespace
+}  // namespace qkbfly

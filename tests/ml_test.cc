@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/lbfgs.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+namespace qkbfly {
+namespace {
+
+TEST(LbfgsTest, MinimizesQuadratic) {
+  // f(x) = (x0 - 3)^2 + 2 (x1 + 1)^2
+  auto objective = [](const std::vector<double>& x, std::vector<double>* g) {
+    (*g)[0] = 2.0 * (x[0] - 3.0);
+    (*g)[1] = 4.0 * (x[1] + 1.0);
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  auto result = MinimizeLbfgs(objective, {0.0, 0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result->x[1], -1.0, 1e-4);
+  EXPECT_NEAR(result->objective, 0.0, 1e-7);
+}
+
+TEST(LbfgsTest, MinimizesRosenbrock) {
+  auto objective = [](const std::vector<double>& x, std::vector<double>* g) {
+    double a = 1.0 - x[0];
+    double b = x[1] - x[0] * x[0];
+    (*g)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*g)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions options;
+  options.max_iterations = 2000;
+  auto result = MinimizeLbfgs(objective, {-1.2, 1.0}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result->x[1], 1.0, 1e-3);
+}
+
+TEST(LbfgsTest, EmptyInputRejected) {
+  auto objective = [](const std::vector<double>&, std::vector<double>*) {
+    return 0.0;
+  };
+  EXPECT_FALSE(MinimizeLbfgs(objective, {}).ok());
+}
+
+SparseVector Features(std::initializer_list<std::pair<uint32_t, double>> fs) {
+  SparseVector v;
+  for (auto [id, val] : fs) v.Add(id, val);
+  v.Finalize();
+  return v;
+}
+
+std::vector<LabeledExample> LinearlySeparableData(int n, uint64_t seed) {
+  // label = (2 x0 - x1 + 0.5 > 0) over features 0 and 1.
+  Rng rng(seed);
+  std::vector<LabeledExample> data;
+  for (int i = 0; i < n; ++i) {
+    double x0 = rng.NextDouble() * 4.0 - 2.0;
+    double x1 = rng.NextDouble() * 4.0 - 2.0;
+    LabeledExample ex;
+    ex.features = Features({{0, x0}, {1, x1}});
+    ex.label = 2.0 * x0 - x1 + 0.5 > 0;
+    data.push_back(std::move(ex));
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  auto data = LinearlySeparableData(300, 42);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(data).ok());
+  int correct = 0;
+  for (const auto& ex : LinearlySeparableData(200, 77)) {
+    bool predicted = model.Predict(ex.features) > 0.5;
+    if (predicted == ex.label) ++correct;
+  }
+  EXPECT_GE(correct, 190);  // >= 95%
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesCalibratedDirectionally) {
+  auto data = LinearlySeparableData(300, 11);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(data).ok());
+  double p_pos = model.Predict(Features({{0, 2.0}, {1, -2.0}}));
+  double p_neg = model.Predict(Features({{0, -2.0}, {1, 2.0}}));
+  EXPECT_GT(p_pos, 0.9);
+  EXPECT_LT(p_neg, 0.1);
+}
+
+TEST(LogisticRegressionTest, RejectsEmptyTrainingSet) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.Train({}).ok());
+}
+
+TEST(LinearSvmTest, LearnsSeparableData) {
+  auto data = LinearlySeparableData(300, 5);
+  LinearSvm model;
+  ASSERT_TRUE(model.Train(data).ok());
+  int correct = 0;
+  for (const auto& ex : LinearlySeparableData(200, 99)) {
+    if (model.Predict(ex.features) == ex.label) ++correct;
+  }
+  EXPECT_GE(correct, 190);
+}
+
+TEST(LinearSvmTest, DecisionValuesOrderByMargin) {
+  auto data = LinearlySeparableData(300, 5);
+  LinearSvm model;
+  ASSERT_TRUE(model.Train(data).ok());
+  double far_pos = model.Decision(Features({{0, 2.0}, {1, -2.0}}));
+  double near_pos = model.Decision(Features({{0, 0.3}, {1, 0.0}}));
+  EXPECT_GT(far_pos, near_pos);
+  EXPECT_GT(far_pos, 0.0);
+}
+
+TEST(LinearSvmTest, DeterministicAcrossRuns) {
+  auto data = LinearlySeparableData(100, 3);
+  LinearSvm a;
+  LinearSvm b;
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  ASSERT_EQ(a.weights().size(), b.weights().size());
+  for (size_t i = 0; i < a.weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights()[i], b.weights()[i]);
+  }
+}
+
+TEST(LinearSvmTest, RejectsEmptyTrainingSet) {
+  LinearSvm model;
+  EXPECT_FALSE(model.Train({}).ok());
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nlp/pos_tagger.h"
+#include "openie/clausie_adapters.h"
+#include "openie/ollie.h"
+#include "openie/openie4.h"
+#include "openie/reverb.h"
+#include "text/tokenizer.h"
+
+namespace qkbfly {
+namespace {
+
+std::vector<Token> Prepare(const std::string& text) {
+  Tokenizer tok;
+  PosTagger tagger;
+  auto tokens = tok.Tokenize(text);
+  tagger.Tag(&tokens);
+  return tokens;
+}
+
+// All Open IE systems must extract *something* sensible from a plain SVO
+// sentence, and never crash on degenerate input.
+class OpenIeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<OpenIeExtractor> MakeExtractor() const {
+    std::string name = GetParam();
+    if (name == "reverb") return std::make_unique<ReverbExtractor>();
+    if (name == "ollie") return std::make_unique<OllieExtractor>();
+    if (name == "openie4") return std::make_unique<OpenIe4Extractor>();
+    if (name == "clausie") return std::make_unique<ClausIeExtractor>();
+    return std::make_unique<QkbflyOpenIeExtractor>();
+  }
+};
+
+TEST_P(OpenIeTest, ExtractsFromSimpleSvo) {
+  auto extractor = MakeExtractor();
+  auto props = extractor->Extract(Prepare("Anna Lewis married David Cook"));
+  ASSERT_FALSE(props.empty()) << extractor->Name();
+  bool found = false;
+  for (const Proposition& p : props) {
+    if (p.subject.text.find("Lewis") != std::string::npos &&
+        p.relation.find("marry") != std::string::npos && !p.args.empty() &&
+        p.args[0].text.find("Cook") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << extractor->Name();
+}
+
+TEST_P(OpenIeTest, EmptyInputYieldsNothing) {
+  auto extractor = MakeExtractor();
+  std::vector<Token> empty;
+  EXPECT_TRUE(extractor->Extract(empty).empty());
+}
+
+TEST_P(OpenIeTest, VerblessFragmentYieldsNothing) {
+  auto extractor = MakeExtractor();
+  EXPECT_TRUE(extractor->Extract(Prepare("a quiet morning")).empty());
+}
+
+TEST_P(OpenIeTest, PrepositionalRelation) {
+  auto extractor = MakeExtractor();
+  auto props = extractor->Extract(Prepare("Emily Clark studied at University of Northgate"));
+  bool found = false;
+  for (const Proposition& p : props) {
+    if (p.relation.find("study") != std::string::npos && !p.args.empty()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << extractor->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, OpenIeTest,
+                         ::testing::Values("reverb", "ollie", "openie4",
+                                           "clausie", "qkbfly"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ReverbTest, TripleOnly) {
+  ReverbExtractor reverb;
+  for (const Proposition& p :
+       reverb.Extract(Prepare("Pitt donated $100,000 to the foundation"))) {
+    EXPECT_EQ(p.args.size(), 1u);  // ReVerb never emits n-ary facts
+  }
+}
+
+TEST(OllieTest, EmitsMultipleTriplesPerClause) {
+  OllieExtractor ollie;
+  auto props = ollie.Extract(Prepare("Pitt donated $100,000 to the foundation"));
+  // dobj triple + prep triple (+ boundary-error merge).
+  EXPECT_GE(props.size(), 2u);
+}
+
+TEST(ClausIeAdapterTest, OriginalEmitsMoreThanFast) {
+  ClausIeExtractor original;
+  QkbflyOpenIeExtractor fast;
+  auto tokens =
+      Prepare("Emily Clark was born in Clearbrook on May 3, 1985");
+  EXPECT_GE(original.Extract(tokens).size(), fast.Extract(tokens).size());
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,118 @@
+#include "canon/paraphrase_miner.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+class ParaphraseMinerTest : public ::testing::Test {
+ protected:
+  ParaphraseMinerTest() : types_(TypeSystem::BuildDefault()), repo_(&types_) {
+    for (int i = 0; i < 8; ++i) {
+      repo_.AddEntity("Person " + std::to_string(i), {},
+                      {*types_.Find("PERSON")});
+    }
+    patterns_.AddSynset("marry", {"wed"});
+  }
+
+  FactArg EntityArg(EntityId e) {
+    FactArg arg;
+    arg.kind = FactArg::Kind::kEntity;
+    arg.entity = e;
+    return arg;
+  }
+
+  void AddFact(OnTheFlyKb* kb, const std::string& pattern, EntityId s,
+               EntityId o) {
+    Fact f;
+    f.relation_pattern = pattern;
+    f.relation = kb->RelationFor(pattern);
+    f.subject = EntityArg(s);
+    f.args.push_back(EntityArg(o));
+    kb->AddFact(std::move(f));
+  }
+
+  TypeSystem types_;
+  EntityRepository repo_;
+  PatternRepository patterns_;
+};
+
+TEST_F(ParaphraseMinerTest, ClustersPatternsWithSharedArgumentPairs) {
+  OnTheFlyKb kb(&repo_, &patterns_);
+  // "grope" and "harass" connect the same pairs -> one mined synset.
+  for (EntityId s : {0u, 2u, 4u}) {
+    AddFact(&kb, "grope", s, s + 1);
+    AddFact(&kb, "harass", s, s + 1);
+  }
+  // "sue" connects disjoint pairs -> stays apart.
+  AddFact(&kb, "sue", 6, 7);
+  AddFact(&kb, "sue", 7, 6);
+
+  ParaphraseMiner miner;
+  auto synsets = miner.Mine(kb);
+  ASSERT_EQ(synsets.size(), 1u);
+  EXPECT_EQ(synsets[0].patterns.size(), 2u);
+  EXPECT_EQ(synsets[0].support, 3);
+  EXPECT_NE(std::find(synsets[0].patterns.begin(), synsets[0].patterns.end(),
+                      "grope"),
+            synsets[0].patterns.end());
+  EXPECT_NE(std::find(synsets[0].patterns.begin(), synsets[0].patterns.end(),
+                      "harass"),
+            synsets[0].patterns.end());
+}
+
+TEST_F(ParaphraseMinerTest, KnownPatternsAreNotMined) {
+  OnTheFlyKb kb(&repo_, &patterns_);
+  // "marry"/"wed" are PATTY synsets already; even with shared pairs they
+  // must not appear in mined output.
+  for (EntityId s : {0u, 2u, 4u}) {
+    AddFact(&kb, "marry", s, s + 1);
+    AddFact(&kb, "wed", s, s + 1);
+  }
+  ParaphraseMiner miner;
+  EXPECT_TRUE(miner.Mine(kb).empty());
+}
+
+TEST_F(ParaphraseMinerTest, MinSupportFiltersRarePatterns) {
+  OnTheFlyKb kb(&repo_, &patterns_);
+  AddFact(&kb, "grope", 0, 1);  // support 1 each: below min_support = 2
+  AddFact(&kb, "harass", 0, 1);
+  ParaphraseMiner::Options options;
+  options.min_support = 2;
+  ParaphraseMiner miner(options);
+  EXPECT_TRUE(miner.Mine(kb).empty());
+}
+
+TEST_F(ParaphraseMinerTest, OverlapThresholdSeparatesWeakMatches) {
+  OnTheFlyKb kb(&repo_, &patterns_);
+  // Two patterns share only 1 of 4 pairs (Jaccard 1/7 < 0.4).
+  AddFact(&kb, "grope", 0, 1);
+  AddFact(&kb, "grope", 2, 3);
+  AddFact(&kb, "grope", 4, 5);
+  AddFact(&kb, "grope", 6, 7);
+  AddFact(&kb, "harass", 0, 1);
+  AddFact(&kb, "harass", 1, 2);
+  AddFact(&kb, "harass", 3, 4);
+  AddFact(&kb, "harass", 5, 6);
+  ParaphraseMiner miner;
+  EXPECT_TRUE(miner.Mine(kb).empty());
+}
+
+TEST_F(ParaphraseMinerTest, CanonicalIsMostFrequentMember) {
+  OnTheFlyKb kb(&repo_, &patterns_);
+  for (EntityId s : {0u, 2u, 4u, 6u}) {
+    AddFact(&kb, "grope", s, s + 1);
+  }
+  for (EntityId s : {0u, 2u, 4u}) {
+    AddFact(&kb, "harass", s, s + 1);
+  }
+  ParaphraseMiner::Options options;
+  options.min_overlap = 0.3;
+  ParaphraseMiner miner(options);
+  auto synsets = miner.Mine(kb);
+  ASSERT_EQ(synsets.size(), 1u);
+  EXPECT_EQ(synsets[0].canonical, "grope");
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nlp/pos_tagger.h"
+#include "parser/malt_parser.h"
+#include "parser/mst_parser.h"
+#include "text/tokenizer.h"
+
+namespace qkbfly {
+namespace {
+
+struct Parsed {
+  std::vector<Token> tokens;
+  DependencyParse parse;
+};
+
+Parsed ParseWith(const DependencyParser& parser, const std::string& text) {
+  Tokenizer tok;
+  PosTagger tagger;
+  Parsed out;
+  out.tokens = tok.Tokenize(text);
+  tagger.Tag(&out.tokens);
+  out.parse = parser.Parse(out.tokens);
+  return out;
+}
+
+int IndexOf(const std::vector<Token>& tokens, const std::string& word,
+            int nth = 0) {
+  int seen = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == word) {
+      if (seen == nth) return static_cast<int>(i);
+      ++seen;
+    }
+  }
+  ADD_FAILURE() << "token not found: " << word;
+  return -1;
+}
+
+// Both parsers must agree on these core constructions, so the suite is
+// parameterized over the backend.
+class ParserTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<DependencyParser> MakeParser() const {
+    if (std::string(GetParam()) == "malt") {
+      return std::make_unique<MaltLikeParser>();
+    }
+    return std::make_unique<GraphMstParser>();
+  }
+};
+
+TEST_P(ParserTest, SimpleSvo) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Brad Pitt supports the ONE Campaign");
+  int verb = IndexOf(p.tokens, "supports");
+  int subj = IndexOf(p.tokens, "Pitt");
+  int obj = IndexOf(p.tokens, "Campaign");
+  EXPECT_EQ(p.parse.HeadOf(subj), verb);
+  EXPECT_EQ(p.parse.LabelOf(subj), DepLabel::kNsubj);
+  EXPECT_EQ(p.parse.HeadOf(obj), verb);
+  EXPECT_EQ(p.parse.LabelOf(obj), DepLabel::kDobj);
+  EXPECT_EQ(p.parse.HeadOf(verb), -1);
+}
+
+TEST_P(ParserTest, NounCompoundAndDeterminer) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Brad Pitt supports the ONE Campaign");
+  int brad = IndexOf(p.tokens, "Brad");
+  int pitt = IndexOf(p.tokens, "Pitt");
+  int the = IndexOf(p.tokens, "the");
+  int campaign = IndexOf(p.tokens, "Campaign");
+  EXPECT_EQ(p.parse.HeadOf(brad), pitt);
+  EXPECT_EQ(p.parse.LabelOf(brad), DepLabel::kNn);
+  EXPECT_EQ(p.parse.HeadOf(the), campaign);
+  EXPECT_EQ(p.parse.LabelOf(the), DepLabel::kDet);
+}
+
+TEST_P(ParserTest, CopulaComplement) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Brad Pitt is an actor");
+  int is = IndexOf(p.tokens, "is");
+  int actor = IndexOf(p.tokens, "actor");
+  EXPECT_EQ(p.parse.HeadOf(actor), is);
+  EXPECT_EQ(p.parse.LabelOf(actor), DepLabel::kAttr);
+}
+
+TEST_P(ParserTest, PrepositionalArgument) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Pitt donated $100,000 to the Daniel Pearl Foundation");
+  int verb = IndexOf(p.tokens, "donated");
+  int amount = IndexOf(p.tokens, "$100,000");
+  int to = IndexOf(p.tokens, "to");
+  int foundation = IndexOf(p.tokens, "Foundation");
+  EXPECT_EQ(p.parse.HeadOf(amount), verb);
+  EXPECT_EQ(p.parse.LabelOf(amount), DepLabel::kDobj);
+  EXPECT_EQ(p.parse.HeadOf(to), verb);
+  EXPECT_EQ(p.parse.LabelOf(to), DepLabel::kPrep);
+  EXPECT_EQ(p.parse.HeadOf(foundation), to);
+  EXPECT_EQ(p.parse.LabelOf(foundation), DepLabel::kPobj);
+}
+
+TEST_P(ParserTest, PassiveSubject) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Keith Scott was shot by an officer");
+  int shot = IndexOf(p.tokens, "shot");
+  int scott = IndexOf(p.tokens, "Scott");
+  int was = IndexOf(p.tokens, "was");
+  EXPECT_EQ(p.parse.HeadOf(scott), shot);
+  EXPECT_EQ(p.parse.LabelOf(scott), DepLabel::kNsubjPass);
+  EXPECT_EQ(p.parse.HeadOf(was), shot);
+  EXPECT_EQ(p.parse.LabelOf(was), DepLabel::kAuxPass);
+}
+
+TEST_P(ParserTest, PossessiveRelation) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Pitt 's ex-wife supported the campaign");
+  int pitt = IndexOf(p.tokens, "Pitt");
+  int exwife = IndexOf(p.tokens, "ex-wife");
+  EXPECT_EQ(p.parse.HeadOf(pitt), exwife);
+  EXPECT_EQ(p.parse.LabelOf(pitt), DepLabel::kPoss);
+}
+
+TEST_P(ParserTest, PronounSubject) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "He supports the ONE Campaign");
+  int he = IndexOf(p.tokens, "He");
+  int verb = IndexOf(p.tokens, "supports");
+  EXPECT_EQ(p.parse.HeadOf(he), verb);
+  EXPECT_EQ(p.parse.LabelOf(he), DepLabel::kNsubj);
+}
+
+TEST_P(ParserTest, DitransitiveDativeShift) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "Pitt gave the foundation $100,000");
+  int gave = IndexOf(p.tokens, "gave");
+  int foundation = IndexOf(p.tokens, "foundation");
+  int amount = IndexOf(p.tokens, "$100,000");
+  EXPECT_EQ(p.parse.HeadOf(foundation), gave);
+  EXPECT_EQ(p.parse.LabelOf(foundation), DepLabel::kIobj);
+  EXPECT_EQ(p.parse.HeadOf(amount), gave);
+  EXPECT_EQ(p.parse.LabelOf(amount), DepLabel::kDobj);
+}
+
+TEST_P(ParserTest, AuxiliaryChain) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "She will play the role");
+  int will = IndexOf(p.tokens, "will");
+  int play = IndexOf(p.tokens, "play");
+  EXPECT_EQ(p.parse.HeadOf(will), play);
+  EXPECT_EQ(p.parse.LabelOf(will), DepLabel::kAux);
+  EXPECT_EQ(p.parse.HeadOf(play), -1);
+}
+
+TEST_P(ParserTest, EveryTokenHasExactlyOneHead) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser,
+                     "Brad Pitt, who played Achilles in Troy, supports the ONE "
+                     "Campaign and donated $100,000 to the foundation.");
+  int roots = 0;
+  for (size_t i = 0; i < p.tokens.size(); ++i) {
+    int h = p.parse.HeadOf(static_cast<int>(i));
+    EXPECT_GE(h, -1);
+    EXPECT_LT(h, static_cast<int>(p.tokens.size()));
+    EXPECT_NE(h, static_cast<int>(i)) << "self-loop at " << i;
+    if (h == -1) ++roots;
+  }
+  EXPECT_GE(roots, 1);
+}
+
+TEST_P(ParserTest, EmptyInput) {
+  auto parser = MakeParser();
+  std::vector<Token> empty;
+  auto parse = parser->Parse(empty);
+  EXPECT_TRUE(parse.arcs.empty());
+}
+
+TEST_P(ParserTest, VerblessFragmentGetsRoot) {
+  auto parser = MakeParser();
+  auto p = ParseWith(*parser, "an unterminated fragment");
+  EXPECT_GE(p.parse.Root(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ParserTest,
+                         ::testing::Values("malt", "mst"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// Constructions where only the rule parser's behaviour is pinned down
+// exactly (the MST parser may differ in label detail).
+
+TEST(MaltParserTest, RelativeClause) {
+  MaltLikeParser parser;
+  auto p = ParseWith(parser, "Brad Pitt, who played Achilles, supports the campaign");
+  int played = IndexOf(p.tokens, "played");
+  int pitt = IndexOf(p.tokens, "Pitt");
+  int who = IndexOf(p.tokens, "who");
+  int supports = IndexOf(p.tokens, "supports");
+  EXPECT_EQ(p.parse.HeadOf(played), pitt);
+  EXPECT_EQ(p.parse.LabelOf(played), DepLabel::kRcmod);
+  EXPECT_EQ(p.parse.HeadOf(who), played);
+  EXPECT_EQ(p.parse.LabelOf(who), DepLabel::kNsubj);
+  // Main clause subject skips over the relative clause.
+  EXPECT_EQ(p.parse.HeadOf(pitt), supports);
+  EXPECT_EQ(p.parse.LabelOf(pitt), DepLabel::kNsubj);
+}
+
+TEST(MaltParserTest, ConjoinedVerbsShareStructure) {
+  MaltLikeParser parser;
+  auto p = ParseWith(parser, "Pitt married Aniston and divorced Jolie");
+  int married = IndexOf(p.tokens, "married");
+  int divorced = IndexOf(p.tokens, "divorced");
+  int aniston = IndexOf(p.tokens, "Aniston");
+  int jolie = IndexOf(p.tokens, "Jolie");
+  EXPECT_EQ(p.parse.HeadOf(divorced), married);
+  EXPECT_EQ(p.parse.LabelOf(divorced), DepLabel::kConj);
+  EXPECT_EQ(p.parse.HeadOf(aniston), married);
+  EXPECT_EQ(p.parse.HeadOf(jolie), divorced);
+}
+
+TEST(MaltParserTest, CcompClause) {
+  MaltLikeParser parser;
+  auto p = ParseWith(parser, "She announced that Pitt left the film");
+  int announced = IndexOf(p.tokens, "announced");
+  int left = IndexOf(p.tokens, "left");
+  EXPECT_EQ(p.parse.HeadOf(left), announced);
+  EXPECT_EQ(p.parse.LabelOf(left), DepLabel::kCcomp);
+  int pitt = IndexOf(p.tokens, "Pitt");
+  EXPECT_EQ(p.parse.HeadOf(pitt), left);
+  EXPECT_EQ(p.parse.LabelOf(pitt), DepLabel::kNsubj);
+}
+
+TEST(MaltParserTest, XcompClause) {
+  MaltLikeParser parser;
+  auto p = ParseWith(parser, "He wants to play football");
+  int wants = IndexOf(p.tokens, "wants");
+  int play = IndexOf(p.tokens, "play");
+  EXPECT_EQ(p.parse.HeadOf(play), wants);
+  EXPECT_EQ(p.parse.LabelOf(play), DepLabel::kXcomp);
+}
+
+TEST(MaltParserTest, AdverbialClause) {
+  MaltLikeParser parser;
+  auto p = ParseWith(parser, "She filed for divorce because he left the family");
+  int filed = IndexOf(p.tokens, "filed");
+  int left = IndexOf(p.tokens, "left");
+  EXPECT_EQ(p.parse.HeadOf(left), filed);
+  EXPECT_EQ(p.parse.LabelOf(left), DepLabel::kAdvcl);
+}
+
+TEST(MaltParserTest, AppositionJuxtaposed) {
+  MaltLikeParser parser;
+  auto p = ParseWith(parser, "Pitt 's ex-wife Angelina Jolie filed for divorce");
+  int exwife = IndexOf(p.tokens, "ex-wife");
+  int jolie = IndexOf(p.tokens, "Jolie");
+  EXPECT_EQ(p.parse.HeadOf(jolie), exwife);
+  EXPECT_EQ(p.parse.LabelOf(jolie), DepLabel::kAppos);
+}
+
+}  // namespace
+}  // namespace qkbfly

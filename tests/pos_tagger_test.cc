@@ -1,0 +1,139 @@
+#include "nlp/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace qkbfly {
+namespace {
+
+std::vector<Token> TagSentence(const std::string& text) {
+  Tokenizer tok;
+  PosTagger tagger;
+  auto tokens = tok.Tokenize(text);
+  tagger.Tag(&tokens);
+  return tokens;
+}
+
+PosTag TagOf(const std::vector<Token>& tokens, const std::string& word) {
+  for (const Token& t : tokens) {
+    if (t.text == word) return t.pos;
+  }
+  ADD_FAILURE() << "token not found: " << word;
+  return PosTag::kUNK;
+}
+
+TEST(PosTaggerTest, BasicSvoSentence) {
+  auto t = TagSentence("Brad Pitt supports the ONE Campaign");
+  EXPECT_EQ(TagOf(t, "Brad"), PosTag::kNNP);
+  EXPECT_EQ(TagOf(t, "Pitt"), PosTag::kNNP);
+  EXPECT_EQ(TagOf(t, "supports"), PosTag::kVBZ);
+  EXPECT_EQ(TagOf(t, "the"), PosTag::kDT);
+}
+
+TEST(PosTaggerTest, CopulaSentence) {
+  auto t = TagSentence("Brad Pitt is an actor");
+  EXPECT_EQ(TagOf(t, "is"), PosTag::kVBZ);
+  EXPECT_EQ(TagOf(t, "an"), PosTag::kDT);
+  EXPECT_EQ(TagOf(t, "actor"), PosTag::kNN);
+}
+
+TEST(PosTaggerTest, PronounTagging) {
+  auto t = TagSentence("He supports the campaign");
+  EXPECT_EQ(TagOf(t, "He"), PosTag::kPRP);
+}
+
+TEST(PosTaggerTest, PossessivePronounBeforeNoun) {
+  auto t = TagSentence("She thanked her father");
+  EXPECT_EQ(TagOf(t, "her"), PosTag::kPRPS);
+}
+
+TEST(PosTaggerTest, ObjectPronounHer) {
+  auto t = TagSentence("He thanked her");
+  EXPECT_EQ(TagOf(t, "her"), PosTag::kPRP);
+}
+
+TEST(PosTaggerTest, PastTenseVerb) {
+  auto t = TagSentence("Pitt donated money");
+  EXPECT_EQ(TagOf(t, "donated"), PosTag::kVBD);
+}
+
+TEST(PosTaggerTest, PastParticipleAfterBe) {
+  auto t = TagSentence("Pitt was born in Oklahoma");
+  EXPECT_EQ(TagOf(t, "born"), PosTag::kVBN);
+}
+
+TEST(PosTaggerTest, ParticipleAfterHave) {
+  auto t = TagSentence("They have married in 2014");
+  EXPECT_EQ(TagOf(t, "married"), PosTag::kVBN);
+}
+
+TEST(PosTaggerTest, NumbersAreCd) {
+  auto t = TagSentence("Pitt donated $100,000 in 2016");
+  EXPECT_EQ(TagOf(t, "$100,000"), PosTag::kCD);
+  EXPECT_EQ(TagOf(t, "2016"), PosTag::kCD);
+}
+
+TEST(PosTaggerTest, PossessiveClitic) {
+  auto t = TagSentence("Pitt's ex-wife");
+  EXPECT_EQ(TagOf(t, "'s"), PosTag::kPOS);
+  EXPECT_EQ(TagOf(t, "ex-wife"), PosTag::kNN);
+}
+
+TEST(PosTaggerTest, AmbiguousNounVerbStarAsVerb) {
+  auto t = TagSentence("Pitt stars in Troy");
+  EXPECT_EQ(TagOf(t, "stars"), PosTag::kVBZ);
+  EXPECT_EQ(TagOf(t, "in"), PosTag::kIN);
+}
+
+TEST(PosTaggerTest, AmbiguousNounVerbStarAsNoun) {
+  auto t = TagSentence("He is a big star");
+  EXPECT_EQ(TagOf(t, "star"), PosTag::kNN);
+}
+
+TEST(PosTaggerTest, BaseVerbAfterModal) {
+  auto t = TagSentence("She will play the role");
+  EXPECT_EQ(TagOf(t, "will"), PosTag::kMD);
+  EXPECT_EQ(TagOf(t, "play"), PosTag::kVB);
+}
+
+TEST(PosTaggerTest, BaseVerbAfterTo) {
+  auto t = TagSentence("He wants to play football");
+  EXPECT_EQ(TagOf(t, "to"), PosTag::kTO);
+  EXPECT_EQ(TagOf(t, "play"), PosTag::kVB);
+}
+
+TEST(PosTaggerTest, AdverbLy) {
+  auto t = TagSentence("She recently filed for divorce");
+  EXPECT_EQ(TagOf(t, "recently"), PosTag::kRB);
+  EXPECT_EQ(TagOf(t, "filed"), PosTag::kVBD);
+}
+
+TEST(PosTaggerTest, WhWords) {
+  auto t = TagSentence("Who shot Keith Lamont Scott?");
+  EXPECT_EQ(TagOf(t, "Who"), PosTag::kWP);
+  EXPECT_EQ(TagOf(t, "shot"), PosTag::kVBD);
+}
+
+TEST(PosTaggerTest, LemmasAreFilled) {
+  auto t = TagSentence("Pitt donated money");
+  for (const Token& tok : t) {
+    EXPECT_FALSE(tok.lemma.empty()) << tok.text;
+  }
+  EXPECT_EQ(TagOf(t, "donated"), PosTag::kVBD);
+  for (const Token& tok : t) {
+    if (tok.text == "donated") {
+      EXPECT_EQ(tok.lemma, "donate");
+    }
+  }
+}
+
+TEST(PosTaggerTest, SentenceInitialCommonWordNotProperNoun) {
+  auto t = TagSentence("The film won an award");
+  EXPECT_EQ(TagOf(t, "The"), PosTag::kDT);
+  EXPECT_EQ(TagOf(t, "film"), PosTag::kNN);
+  EXPECT_EQ(TagOf(t, "won"), PosTag::kVBD);
+}
+
+}  // namespace
+}  // namespace qkbfly

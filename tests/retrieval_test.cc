@@ -1,0 +1,97 @@
+#include "retrieval/search_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+DocumentStore MakeStore() {
+  DocumentStore store;
+  auto add = [&store](const char* id, const char* title, const char* text) {
+    Document d;
+    d.id = id;
+    d.title = title;
+    d.text = text;
+    ASSERT_TRUE(store.Add(std::move(d)).ok());
+  };
+  add("d1", "Brad Pitt", "Brad Pitt is an actor. Pitt starred in Troy.");
+  add("d2", "Angelina Jolie", "Angelina Jolie is an actress. Jolie married Brad Pitt.");
+  add("d3", "Liverpool", "Liverpool is a city in England with a large port.");
+  add("d4", "Football", "The football club from Liverpool won the match.");
+  return store;
+}
+
+TEST(Bm25Test, FindsRelevantDocuments) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  auto hits = index.Search("Brad Pitt actor", 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc->id, "d1");
+}
+
+TEST(Bm25Test, RanksBySpecificity) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  auto hits = index.Search("Liverpool city England", 10);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc->id, "d3");
+}
+
+TEST(Bm25Test, RespectsK) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  EXPECT_LE(index.Search("Liverpool", 1).size(), 1u);
+}
+
+TEST(Bm25Test, UnknownTermsYieldNothing) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  EXPECT_TRUE(index.Search("zzyzx quux", 5).empty());
+}
+
+TEST(Bm25Test, DeterministicTieBreak) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  auto a = index.Search("Liverpool", 10);
+  auto b = index.Search("Liverpool", 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc->id, b[i].doc->id);
+}
+
+TEST(SearchEngineTest, ExactTitleFirst) {
+  DocumentStore wiki = MakeStore();
+  DocumentStore news;
+  {
+    Document d;
+    d.id = "n1";
+    d.title = "divorce news";
+    d.text = "Angelina Jolie filed for divorce from Brad Pitt.";
+    ASSERT_TRUE(news.Add(std::move(d)).ok());
+  }
+  SearchEngine engine(&wiki, &news);
+  auto docs = engine.Retrieve("Brad Pitt", SearchEngine::Source::kWikipedia, 3);
+  ASSERT_FALSE(docs.empty());
+  EXPECT_EQ(docs[0]->id, "d1");  // exact title match leads
+  auto news_docs = engine.Retrieve("Jolie divorce", SearchEngine::Source::kNews, 3);
+  ASSERT_FALSE(news_docs.empty());
+  EXPECT_EQ(news_docs[0]->id, "n1");
+}
+
+TEST(DocumentStoreTest, RejectsDuplicateIds) {
+  DocumentStore store;
+  Document a;
+  a.id = "x";
+  ASSERT_TRUE(store.Add(a).ok());
+  EXPECT_EQ(store.Add(a).code(), StatusCode::kAlreadyExists);
+  auto found = store.FindById("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE(store.FindById("y").ok());
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,64 @@
+#include "text/sentence_splitter.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+TEST(SentenceSplitterTest, SplitsTwoSentences) {
+  SentenceSplitter s;
+  auto out = s.Split("Brad Pitt is an actor. He supports the ONE Campaign.");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "Brad Pitt is an actor.");
+  EXPECT_EQ(out[1], "He supports the ONE Campaign.");
+}
+
+TEST(SentenceSplitterTest, HandlesQuestionAndExclamation) {
+  SentenceSplitter s;
+  auto out = s.Split("Who shot him? Nobody knows! The case is open.");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "Who shot him?");
+}
+
+TEST(SentenceSplitterTest, DoesNotSplitOnAbbreviation) {
+  SentenceSplitter s;
+  auto out = s.Split("Mr. Pitt visited Dr. Jones. They talked.");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "Mr. Pitt visited Dr. Jones.");
+}
+
+TEST(SentenceSplitterTest, DoesNotSplitOnDecimal) {
+  SentenceSplitter s;
+  auto out = s.Split("The film grossed 3.5 million dollars. Critics liked it.");
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, DoesNotSplitOnInitial) {
+  SentenceSplitter s;
+  auto out = s.Split("J. Smith wrote the book. It sold well.");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "J. Smith wrote the book.");
+}
+
+TEST(SentenceSplitterTest, SingleSentenceWithoutTerminator) {
+  SentenceSplitter s;
+  auto out = s.Split("an unterminated fragment");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "an unterminated fragment");
+}
+
+TEST(SentenceSplitterTest, EmptyInput) {
+  SentenceSplitter s;
+  EXPECT_TRUE(s.Split("").empty());
+  EXPECT_TRUE(s.Split("   ").empty());
+}
+
+TEST(SentenceSplitterTest, LowercaseContinuationNotSplit) {
+  SentenceSplitter s;
+  // "e.g." style: period followed by lowercase is not a boundary.
+  auto out = s.Split("He works at Acme Corp. and lives nearby. She left.");
+  ASSERT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,97 @@
+#include "util/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+SparseVector Make(std::initializer_list<std::pair<uint32_t, double>> entries) {
+  SparseVector v;
+  for (auto [id, val] : entries) v.Add(id, val);
+  v.Finalize();
+  return v;
+}
+
+TEST(SparseVectorTest, FinalizeSortsAndMerges) {
+  SparseVector v;
+  v.Add(5, 1.0);
+  v.Add(2, 2.0);
+  v.Add(5, 3.0);
+  v.Finalize();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].id, 2u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 2.0);
+  EXPECT_EQ(v.entries()[1].id, 5u);
+  EXPECT_DOUBLE_EQ(v.entries()[1].value, 4.0);
+}
+
+TEST(SparseVectorTest, FinalizeDropsZeros) {
+  SparseVector v;
+  v.Add(1, 1.0);
+  v.Add(1, -1.0);
+  v.Add(2, 3.0);
+  v.Finalize();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].id, 2u);
+}
+
+TEST(SparseVectorTest, SumAndNorm) {
+  auto v = Make({{1, 3.0}, {2, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+}
+
+TEST(SparseVectorTest, Dot) {
+  auto a = Make({{1, 2.0}, {3, 1.0}});
+  auto b = Make({{1, 3.0}, {2, 10.0}});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 6.0);
+}
+
+TEST(SparseVectorTest, CosineOfIdenticalVectorsIsOne) {
+  auto a = Make({{1, 2.0}, {3, 1.0}});
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineOfDisjointVectorsIsZero) {
+  auto a = Make({{1, 2.0}});
+  auto b = Make({{2, 2.0}});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(SparseVectorTest, CosineOfEmptyIsZero) {
+  SparseVector empty;
+  empty.Finalize();
+  auto a = Make({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, empty), 0.0);
+}
+
+TEST(SparseVectorTest, WeightedOverlapMatchesPaperFormula) {
+  // sim = sum min / min(sum_a, sum_b)
+  auto a = Make({{1, 1.0}, {2, 2.0}});        // sum = 3
+  auto b = Make({{2, 1.0}, {3, 5.0}});        // sum = 6
+  // common dim 2: min(2,1)=1; denom = min(3,6)=3
+  EXPECT_NEAR(WeightedOverlap(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SparseVectorTest, WeightedOverlapOfSubsetIsOne) {
+  auto a = Make({{1, 1.0}, {2, 1.0}});
+  auto b = Make({{1, 1.0}, {2, 1.0}, {3, 9.0}});
+  EXPECT_NEAR(WeightedOverlap(a, b), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, WeightedOverlapEmptyIsZero) {
+  SparseVector empty;
+  empty.Finalize();
+  auto a = Make({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(WeightedOverlap(a, empty), 0.0);
+}
+
+TEST(SparseVectorTest, ScaleMultipliesValues) {
+  auto v = Make({{1, 2.0}, {2, 4.0}});
+  v.Scale(0.5);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(v.entries()[1].value, 2.0);
+}
+
+}  // namespace
+}  // namespace qkbfly

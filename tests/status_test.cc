@@ -1,0 +1,88 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("entity 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "entity 42");
+  EXPECT_EQ(s.ToString(), "NotFound: entity 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::NotFound("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition), "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status FailingHelper() { return Status::OutOfRange("boom"); }
+
+Status PropagatingCaller() {
+  QKB_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  Status s = PropagatingCaller();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> MakeValue(bool fail) {
+  if (fail) return Status::Internal("nope");
+  return 10;
+}
+
+Status AssignHelper(bool fail, int* out) {
+  QKB_ASSIGN_OR_RETURN(int v, MakeValue(fail));
+  *out = v + 1;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsValue) {
+  int out = 0;
+  ASSERT_TRUE(AssignHelper(false, &out).ok());
+  EXPECT_EQ(out, 11);
+  EXPECT_EQ(AssignHelper(true, &out).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,84 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly {
+namespace {
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(Lowercase("Brad PITT"), "brad pitt");
+  EXPECT_EQ(Uppercase("abc"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Pitt", "pitt"));
+  EXPECT_FALSE(EqualsIgnoreCase("Pit", "Pitt"));
+}
+
+TEST(StringUtilTest, Capitalization) {
+  EXPECT_TRUE(IsCapitalized("Brad"));
+  EXPECT_FALSE(IsCapitalized("brad"));
+  EXPECT_FALSE(IsCapitalized(""));
+  EXPECT_FALSE(IsCapitalized("123"));
+}
+
+TEST(StringUtilTest, DigitsAndNumbers) {
+  EXPECT_TRUE(IsAllDigits("2016"));
+  EXPECT_FALSE(IsAllDigits("20a6"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_TRUE(IsNumeric("100,000"));
+  EXPECT_TRUE(IsNumeric("-3.5"));
+  EXPECT_TRUE(IsNumeric("+7"));
+  EXPECT_FALSE(IsNumeric("$100,000"));
+  EXPECT_FALSE(IsNumeric(",5"));
+  EXPECT_FALSE(IsNumeric("abc"));
+  EXPECT_FALSE(IsNumeric("-"));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  hello   world \t x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "x");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("Type:PERSON", "Type:"));
+  EXPECT_FALSE(StartsWith("Ty", "Type:"));
+  EXPECT_TRUE(EndsWith("playing", "ing"));
+  EXPECT_FALSE(EndsWith("ing", "playing"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("Brad Pitt", "Bradley Pitt"), 3);
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -1,0 +1,94 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace qkbfly {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, SplitsWhitespace) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("Brad Pitt is an actor"));
+  EXPECT_EQ(t, (std::vector<std::string>{"Brad", "Pitt", "is", "an", "actor"}));
+}
+
+TEST(TokenizerTest, SeparatesPunctuation) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("He supports the ONE Campaign."));
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.back(), ".");
+  EXPECT_EQ(t[4], "Campaign");
+}
+
+TEST(TokenizerTest, SplitsPossessiveClitic) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("Pitt's ex-wife Angelina Jolie"));
+  ASSERT_GE(t.size(), 2u);
+  EXPECT_EQ(t[0], "Pitt");
+  EXPECT_EQ(t[1], "'s");
+  EXPECT_EQ(t[2], "ex-wife");
+}
+
+TEST(TokenizerTest, KeepsCurrencyAmountsWhole) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("Pitt donated $100,000 to the foundation."));
+  EXPECT_NE(std::find(t.begin(), t.end(), "$100,000"), t.end());
+}
+
+TEST(TokenizerTest, KeepsHyphenatedWords) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("the co-founder arrived"));
+  EXPECT_EQ(t[1], "co-founder");
+}
+
+TEST(TokenizerTest, KeepsGroupedNumbers) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("about 100,000 people"));
+  EXPECT_EQ(t[1], "100,000");
+}
+
+TEST(TokenizerTest, CommaAfterNumberIsSeparate) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("In 2016, he left."));
+  EXPECT_EQ(t[0], "In");
+  EXPECT_EQ(t[1], "2016");
+  EXPECT_EQ(t[2], ",");
+}
+
+TEST(TokenizerTest, DecadeToken) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("in the 1980s"));
+  EXPECT_EQ(t[2], "1980s");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("   \t ").empty());
+}
+
+TEST(TokenizerTest, QuotesAreTokens) {
+  Tokenizer tok;
+  auto t = Texts(tok.Tokenize("\"divorce\""));
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "\"");
+  EXPECT_EQ(t[1], "divorce");
+  EXPECT_EQ(t[2], "\"");
+}
+
+TEST(SpanTextTest, JoinsWithSpaces) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Brad Pitt is an actor");
+  EXPECT_EQ(SpanText(tokens, {0, 2}), "Brad Pitt");
+  EXPECT_EQ(SpanText(tokens, {3, 5}), "an actor");
+}
+
+}  // namespace
+}  // namespace qkbfly
