@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_graph_size.dir/ablation_graph_size.cc.o"
+  "CMakeFiles/ablation_graph_size.dir/ablation_graph_size.cc.o.d"
+  "ablation_graph_size"
+  "ablation_graph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_graph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fact_extraction.dir/table3_fact_extraction.cc.o"
+  "CMakeFiles/table3_fact_extraction.dir/table3_fact_extraction.cc.o.d"
+  "table3_fact_extraction"
+  "table3_fact_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fact_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

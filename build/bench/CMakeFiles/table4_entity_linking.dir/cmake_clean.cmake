@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_entity_linking.dir/table4_entity_linking.cc.o"
+  "CMakeFiles/table4_entity_linking.dir/table4_entity_linking.cc.o.d"
+  "table4_entity_linking"
+  "table4_entity_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_entity_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_openie.dir/table5_openie.cc.o"
+  "CMakeFiles/table5_openie.dir/table5_openie.cc.o.d"
+  "table5_openie"
+  "table5_openie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_openie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

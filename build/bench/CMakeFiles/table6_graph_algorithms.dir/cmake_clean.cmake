@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_graph_algorithms.dir/table6_graph_algorithms.cc.o"
+  "CMakeFiles/table6_graph_algorithms.dir/table6_graph_algorithms.cc.o.d"
+  "table6_graph_algorithms"
+  "table6_graph_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_graph_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_spouse.dir/table7_spouse.cc.o"
+  "CMakeFiles/table7_spouse.dir/table7_spouse.cc.o.d"
+  "table7_spouse"
+  "table7_spouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_spouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_qa.dir/table9_qa.cc.o"
+  "CMakeFiles/table9_qa.dir/table9_qa.cc.o.d"
+  "table9_qa"
+  "table9_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

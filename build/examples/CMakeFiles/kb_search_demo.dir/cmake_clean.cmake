@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_search_demo.dir/kb_search_demo.cpp.o"
+  "CMakeFiles/kb_search_demo.dir/kb_search_demo.cpp.o.d"
+  "kb_search_demo"
+  "kb_search_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_search_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_monitor.dir/news_monitor.cpp.o"
+  "CMakeFiles/news_monitor.dir/news_monitor.cpp.o.d"
+  "news_monitor"
+  "news_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_graph_demo.dir/semantic_graph_demo.cpp.o"
+  "CMakeFiles/semantic_graph_demo.dir/semantic_graph_demo.cpp.o.d"
+  "semantic_graph_demo"
+  "semantic_graph_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_graph_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

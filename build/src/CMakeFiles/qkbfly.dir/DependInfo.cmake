@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canon/canonicalizer.cc" "src/CMakeFiles/qkbfly.dir/canon/canonicalizer.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/canon/canonicalizer.cc.o.d"
+  "/root/repo/src/canon/onthefly_kb.cc" "src/CMakeFiles/qkbfly.dir/canon/onthefly_kb.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/canon/onthefly_kb.cc.o.d"
+  "/root/repo/src/canon/paraphrase_miner.cc" "src/CMakeFiles/qkbfly.dir/canon/paraphrase_miner.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/canon/paraphrase_miner.cc.o.d"
+  "/root/repo/src/clausie/clause.cc" "src/CMakeFiles/qkbfly.dir/clausie/clause.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/clausie/clause.cc.o.d"
+  "/root/repo/src/clausie/clause_detector.cc" "src/CMakeFiles/qkbfly.dir/clausie/clause_detector.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/clausie/clause_detector.cc.o.d"
+  "/root/repo/src/clausie/clausie.cc" "src/CMakeFiles/qkbfly.dir/clausie/clausie.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/clausie/clausie.cc.o.d"
+  "/root/repo/src/clausie/proposition.cc" "src/CMakeFiles/qkbfly.dir/clausie/proposition.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/clausie/proposition.cc.o.d"
+  "/root/repo/src/core/qkbfly.cc" "src/CMakeFiles/qkbfly.dir/core/qkbfly.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/core/qkbfly.cc.o.d"
+  "/root/repo/src/corpus/background_stats.cc" "src/CMakeFiles/qkbfly.dir/corpus/background_stats.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/corpus/background_stats.cc.o.d"
+  "/root/repo/src/corpus/document.cc" "src/CMakeFiles/qkbfly.dir/corpus/document.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/corpus/document.cc.o.d"
+  "/root/repo/src/deepdive/spouse_extractor.cc" "src/CMakeFiles/qkbfly.dir/deepdive/spouse_extractor.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/deepdive/spouse_extractor.cc.o.d"
+  "/root/repo/src/densify/edge_weights.cc" "src/CMakeFiles/qkbfly.dir/densify/edge_weights.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/densify/edge_weights.cc.o.d"
+  "/root/repo/src/densify/evaluator.cc" "src/CMakeFiles/qkbfly.dir/densify/evaluator.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/densify/evaluator.cc.o.d"
+  "/root/repo/src/densify/greedy_densifier.cc" "src/CMakeFiles/qkbfly.dir/densify/greedy_densifier.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/densify/greedy_densifier.cc.o.d"
+  "/root/repo/src/densify/ilp_densifier.cc" "src/CMakeFiles/qkbfly.dir/densify/ilp_densifier.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/densify/ilp_densifier.cc.o.d"
+  "/root/repo/src/densify/param_tuning.cc" "src/CMakeFiles/qkbfly.dir/densify/param_tuning.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/densify/param_tuning.cc.o.d"
+  "/root/repo/src/densify/pipeline_densifier.cc" "src/CMakeFiles/qkbfly.dir/densify/pipeline_densifier.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/densify/pipeline_densifier.cc.o.d"
+  "/root/repo/src/eval/fact_matching.cc" "src/CMakeFiles/qkbfly.dir/eval/fact_matching.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/eval/fact_matching.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/qkbfly.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/qkbfly.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/semantic_graph.cc" "src/CMakeFiles/qkbfly.dir/graph/semantic_graph.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/graph/semantic_graph.cc.o.d"
+  "/root/repo/src/ilp/ilp.cc" "src/CMakeFiles/qkbfly.dir/ilp/ilp.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/ilp/ilp.cc.o.d"
+  "/root/repo/src/kb/entity_repository.cc" "src/CMakeFiles/qkbfly.dir/kb/entity_repository.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/kb/entity_repository.cc.o.d"
+  "/root/repo/src/kb/pattern_repository.cc" "src/CMakeFiles/qkbfly.dir/kb/pattern_repository.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/kb/pattern_repository.cc.o.d"
+  "/root/repo/src/kb/type_system.cc" "src/CMakeFiles/qkbfly.dir/kb/type_system.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/kb/type_system.cc.o.d"
+  "/root/repo/src/ml/lbfgs.cc" "src/CMakeFiles/qkbfly.dir/ml/lbfgs.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/ml/lbfgs.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/CMakeFiles/qkbfly.dir/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/ml/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/qkbfly.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/nlp/annotation.cc" "src/CMakeFiles/qkbfly.dir/nlp/annotation.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/annotation.cc.o.d"
+  "/root/repo/src/nlp/chunker.cc" "src/CMakeFiles/qkbfly.dir/nlp/chunker.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/chunker.cc.o.d"
+  "/root/repo/src/nlp/lemmatizer.cc" "src/CMakeFiles/qkbfly.dir/nlp/lemmatizer.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/lemmatizer.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/CMakeFiles/qkbfly.dir/nlp/lexicon.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/lexicon.cc.o.d"
+  "/root/repo/src/nlp/ner.cc" "src/CMakeFiles/qkbfly.dir/nlp/ner.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/ner.cc.o.d"
+  "/root/repo/src/nlp/pipeline.cc" "src/CMakeFiles/qkbfly.dir/nlp/pipeline.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/pipeline.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/CMakeFiles/qkbfly.dir/nlp/pos_tagger.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/time_tagger.cc" "src/CMakeFiles/qkbfly.dir/nlp/time_tagger.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/nlp/time_tagger.cc.o.d"
+  "/root/repo/src/openie/defie.cc" "src/CMakeFiles/qkbfly.dir/openie/defie.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/openie/defie.cc.o.d"
+  "/root/repo/src/openie/ollie.cc" "src/CMakeFiles/qkbfly.dir/openie/ollie.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/openie/ollie.cc.o.d"
+  "/root/repo/src/openie/openie4.cc" "src/CMakeFiles/qkbfly.dir/openie/openie4.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/openie/openie4.cc.o.d"
+  "/root/repo/src/openie/reverb.cc" "src/CMakeFiles/qkbfly.dir/openie/reverb.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/openie/reverb.cc.o.d"
+  "/root/repo/src/parser/dependency.cc" "src/CMakeFiles/qkbfly.dir/parser/dependency.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/parser/dependency.cc.o.d"
+  "/root/repo/src/parser/edmonds.cc" "src/CMakeFiles/qkbfly.dir/parser/edmonds.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/parser/edmonds.cc.o.d"
+  "/root/repo/src/parser/malt_parser.cc" "src/CMakeFiles/qkbfly.dir/parser/malt_parser.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/parser/malt_parser.cc.o.d"
+  "/root/repo/src/parser/mst_parser.cc" "src/CMakeFiles/qkbfly.dir/parser/mst_parser.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/parser/mst_parser.cc.o.d"
+  "/root/repo/src/qa/qa_system.cc" "src/CMakeFiles/qkbfly.dir/qa/qa_system.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/qa/qa_system.cc.o.d"
+  "/root/repo/src/qa/question.cc" "src/CMakeFiles/qkbfly.dir/qa/question.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/qa/question.cc.o.d"
+  "/root/repo/src/retrieval/search_engine.cc" "src/CMakeFiles/qkbfly.dir/retrieval/search_engine.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/retrieval/search_engine.cc.o.d"
+  "/root/repo/src/synth/dataset.cc" "src/CMakeFiles/qkbfly.dir/synth/dataset.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/synth/dataset.cc.o.d"
+  "/root/repo/src/synth/name_pools.cc" "src/CMakeFiles/qkbfly.dir/synth/name_pools.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/synth/name_pools.cc.o.d"
+  "/root/repo/src/synth/relation_catalog.cc" "src/CMakeFiles/qkbfly.dir/synth/relation_catalog.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/synth/relation_catalog.cc.o.d"
+  "/root/repo/src/synth/renderer.cc" "src/CMakeFiles/qkbfly.dir/synth/renderer.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/synth/renderer.cc.o.d"
+  "/root/repo/src/synth/world.cc" "src/CMakeFiles/qkbfly.dir/synth/world.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/synth/world.cc.o.d"
+  "/root/repo/src/text/sentence_splitter.cc" "src/CMakeFiles/qkbfly.dir/text/sentence_splitter.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/text/sentence_splitter.cc.o.d"
+  "/root/repo/src/text/token.cc" "src/CMakeFiles/qkbfly.dir/text/token.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/text/token.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/qkbfly.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/qkbfly.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/qkbfly.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/sparse_vector.cc" "src/CMakeFiles/qkbfly.dir/util/sparse_vector.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/util/sparse_vector.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/qkbfly.dir/util/status.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/qkbfly.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/qkbfly.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canonicalizer_test.dir/canonicalizer_test.cc.o"
+  "CMakeFiles/canonicalizer_test.dir/canonicalizer_test.cc.o.d"
+  "canonicalizer_test"
+  "canonicalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canonicalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clausie_test.dir/clausie_test.cc.o"
+  "CMakeFiles/clausie_test.dir/clausie_test.cc.o.d"
+  "clausie_test"
+  "clausie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clausie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepdive_test.dir/deepdive_test.cc.o"
+  "CMakeFiles/deepdive_test.dir/deepdive_test.cc.o.d"
+  "deepdive_test"
+  "deepdive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepdive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defie_test.dir/defie_test.cc.o"
+  "CMakeFiles/defie_test.dir/defie_test.cc.o.d"
+  "defie_test"
+  "defie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densify_test.dir/densify_test.cc.o"
+  "CMakeFiles/densify_test.dir/densify_test.cc.o.d"
+  "densify_test"
+  "densify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

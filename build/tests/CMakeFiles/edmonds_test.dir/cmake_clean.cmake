@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edmonds_test.dir/edmonds_test.cc.o"
+  "CMakeFiles/edmonds_test.dir/edmonds_test.cc.o.d"
+  "edmonds_test"
+  "edmonds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edmonds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

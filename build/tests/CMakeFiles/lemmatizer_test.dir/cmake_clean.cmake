@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemmatizer_test.dir/lemmatizer_test.cc.o"
+  "CMakeFiles/lemmatizer_test.dir/lemmatizer_test.cc.o.d"
+  "lemmatizer_test"
+  "lemmatizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemmatizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onthefly_kb_test.dir/onthefly_kb_test.cc.o"
+  "CMakeFiles/onthefly_kb_test.dir/onthefly_kb_test.cc.o.d"
+  "onthefly_kb_test"
+  "onthefly_kb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onthefly_kb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openie_test.dir/openie_test.cc.o"
+  "CMakeFiles/openie_test.dir/openie_test.cc.o.d"
+  "openie_test"
+  "openie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

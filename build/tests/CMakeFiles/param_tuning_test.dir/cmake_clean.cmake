@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_tuning_test.dir/param_tuning_test.cc.o"
+  "CMakeFiles/param_tuning_test.dir/param_tuning_test.cc.o.d"
+  "param_tuning_test"
+  "param_tuning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

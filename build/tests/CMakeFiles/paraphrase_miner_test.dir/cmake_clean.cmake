@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraphrase_miner_test.dir/paraphrase_miner_test.cc.o"
+  "CMakeFiles/paraphrase_miner_test.dir/paraphrase_miner_test.cc.o.d"
+  "paraphrase_miner_test"
+  "paraphrase_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraphrase_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

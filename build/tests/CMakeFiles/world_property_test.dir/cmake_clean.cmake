@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_property_test.dir/world_property_test.cc.o"
+  "CMakeFiles/world_property_test.dir/world_property_test.cc.o.d"
+  "world_property_test"
+  "world_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
