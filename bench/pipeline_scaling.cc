@@ -1,0 +1,94 @@
+// Parallel document-pipeline scaling bench: runs QkbflyEngine::BuildKb over
+// the synthetic wiki+news corpus at increasing thread counts, verifies the
+// KB is identical to the serial run, reports per-stage timings (mean + p95)
+// and writes the machine-readable BENCH_pipeline.json
+// ({name, docs, threads, wall_s, facts} records).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/qkbfly.h"
+#include "synth/dataset.h"
+#include "util/bench_report.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qkbfly {
+namespace {
+
+/// Canonical text form of a KB, used to check run-to-run identity.
+std::string Serialize(const OnTheFlyKb& kb) {
+  std::string out;
+  char buf[64];
+  for (const Fact& f : kb.facts()) {
+    std::snprintf(buf, sizeof(buf), " conf=%.9f\n", f.confidence);
+    out += kb.FactToString(f);
+    out += buf;
+  }
+  for (const EmergingEntity& e : kb.emerging_entities()) {
+    out += "emerging: " + e.representative + "\n";
+  }
+  return out;
+}
+
+void Run() {
+  DatasetConfig config;
+  config.wiki_eval_articles = 60;
+  config.news_docs = 40;
+  auto ds = BuildDataset(config);
+
+  std::vector<const Document*> docs;
+  for (const GoldDocument& gd : ds->wiki_eval) docs.push_back(&gd.doc);
+  for (const GoldDocument& gd : ds->news) docs.push_back(&gd.doc);
+
+  std::printf("Pipeline scaling: BuildKb over %zu documents "
+              "(%d hardware threads)\n\n",
+              docs.size(), ThreadPool::DefaultThreadCount());
+  std::printf("%8s %10s %9s %8s %10s\n", "threads", "wall s", "speedup",
+              "facts", "identical");
+
+  BenchReport report;
+  std::string serial_kb;
+  double serial_wall = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    EngineConfig engine_config;
+    engine_config.num_threads = threads;
+    QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
+                        engine_config);
+    std::vector<DocumentResult> results;
+    WallTimer timer;
+    OnTheFlyKb kb = engine.BuildKb(docs, &results);
+    double wall = timer.ElapsedSeconds();
+
+    std::string serialized = Serialize(kb);
+    if (threads == 1) {
+      serial_kb = serialized;
+      serial_wall = wall;
+    }
+    std::printf("%8d %10.3f %8.2fx %8zu %10s\n", threads, wall,
+                serial_wall / wall, kb.size(),
+                serialized == serial_kb ? "yes" : "NO << BUG");
+    report.Add("pipeline_scaling", static_cast<int>(docs.size()), threads,
+               wall, kb.size());
+
+    StageTimingSummary stages;
+    for (const DocumentResult& r : results) stages.Add(r.timings);
+    std::printf("%s", stages.Report().c_str());
+  }
+
+  LooseCacheStats cache = ds->repository->loose_cache_stats();
+  std::printf("\nLooseCandidates cache: %llu lookups, hit rate %.1f%%\n",
+              static_cast<unsigned long long>(cache.lookups),
+              cache.HitRate() * 100.0);
+  if (report.WriteJson("BENCH_pipeline.json")) {
+    std::printf("Wrote BENCH_pipeline.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly
+
+int main() {
+  qkbfly::Run();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "eval/metrics.h"
 #include "openie/defie.h"
 #include "synth/dataset.h"
+#include "util/bench_report.h"
 #include "util/timer.h"
 
 namespace qkbfly {
@@ -112,6 +113,54 @@ void Run() {
     std::printf("\nInter-assessor agreement on %zu sampled extractions: "
                 "Cohen's kappa = %.2f\n", judgements.size(),
                 CohenKappa(judgements));
+  }
+
+  // ---- Parallel pipeline scaling --------------------------------------------
+  // End-to-end BuildKb over the whole eval corpus at 1/2/4 threads. The
+  // merge is order-preserving, so every run must produce the same KB; the
+  // wall-clock column is the headline speedup number.
+  {
+    std::vector<const Document*> docs;
+    for (const GoldDocument& gd : ds->wiki_eval) docs.push_back(&gd.doc);
+
+    BenchReport report;
+    std::printf("\nParallel pipeline scaling (%zu documents, end-to-end "
+                "BuildKb)\n", docs.size());
+    std::printf("%8s %10s %9s %8s\n", "threads", "wall s", "speedup", "facts");
+    double serial_wall = 0.0;
+    size_t serial_facts = 0;
+    for (int threads : {1, 2, 4}) {
+      EngineConfig engine_config;
+      engine_config.num_threads = threads;
+      QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
+                          engine_config);
+      std::vector<DocumentResult> results;
+      WallTimer timer;
+      OnTheFlyKb kb = engine.BuildKb(docs, &results);
+      double wall = timer.ElapsedSeconds();
+      if (threads == 1) {
+        serial_wall = wall;
+        serial_facts = kb.size();
+      }
+      std::printf("%8d %10.3f %8.2fx %8zu%s\n", threads, wall,
+                  serial_wall / wall, kb.size(),
+                  kb.size() == serial_facts ? "" : "  << MISMATCH");
+      report.Add("table3_fact_extraction", static_cast<int>(docs.size()),
+                 threads, wall, kb.size());
+      if (threads == 1) {
+        StageTimingSummary stages;
+        for (const DocumentResult& r : results) stages.Add(r.timings);
+        std::printf("Per-stage wall time at 1 thread:\n%s",
+                    stages.Report().c_str());
+      }
+    }
+    LooseCacheStats cache = ds->repository->loose_cache_stats();
+    std::printf("LooseCandidates cache: %llu lookups, hit rate %.1f%%\n",
+                static_cast<unsigned long long>(cache.lookups),
+                cache.HitRate() * 100.0);
+    if (report.WriteJson("BENCH_table3.json")) {
+      std::printf("Wrote BENCH_table3.json\n");
+    }
   }
 }
 

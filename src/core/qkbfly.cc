@@ -1,8 +1,13 @@
 #include "core/qkbfly.h"
 
+#include <cstdio>
+#include <future>
+#include <utility>
+
 #include "densify/ilp_densifier.h"
 #include "densify/pipeline_densifier.h"
 #include "parser/malt_parser.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace qkbfly {
@@ -36,12 +41,41 @@ QkbflyEngine::QkbflyEngine(const EntityRepository* repository,
       repository, std::make_unique<MaltLikeParser>(), graph_options);
 }
 
+void StageTimingSummary::Add(const StageTimings& timings) {
+  annotate.Add(timings.annotate_s);
+  graph.Add(timings.graph_s);
+  densify.Add(timings.densify_s);
+  canonicalize.Add(timings.canonicalize_s);
+}
+
+std::string StageTimingSummary::Report() const {
+  std::string out;
+  char line[128];
+  auto row = [&](const char* name, const TimingStats& stats) {
+    std::snprintf(line, sizeof(line),
+                  "  %-12s mean %9.3f ms   p95 %9.3f ms\n", name,
+                  stats.Mean() * 1e3, stats.Percentile(0.95) * 1e3);
+    out += line;
+  };
+  row("annotate", annotate);
+  row("graph-build", graph);
+  row("densify", densify);
+  row("canonicalize", canonicalize);
+  return out;
+}
+
 DocumentResult QkbflyEngine::ProcessDocument(const Document& doc) const {
   WallTimer timer;
+  WallTimer stage;
   DocumentResult result;
   result.annotated = nlp_.Annotate(doc.id, doc.title, doc.text);
-  result.graph = builder_->Build(result.annotated);
+  result.timings.annotate_s = stage.ElapsedSeconds();
 
+  stage.Restart();
+  result.graph = builder_->Build(result.annotated);
+  result.timings.graph_s = stage.ElapsedSeconds();
+
+  stage.Restart();
   switch (config_.mode) {
     case InferenceMode::kJoint:
     case InferenceMode::kNounOnly: {
@@ -60,6 +94,7 @@ DocumentResult QkbflyEngine::ProcessDocument(const Document& doc) const {
       break;
     }
   }
+  result.timings.densify_s = stage.ElapsedSeconds();
   result.seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -68,12 +103,48 @@ void QkbflyEngine::PopulateKb(OnTheFlyKb* kb, const DocumentResult& result) cons
   canonicalizer_.Populate(kb, result.graph, result.densified, result.annotated);
 }
 
-OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<Document>& docs) const {
+OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<Document>& docs,
+                                 std::vector<DocumentResult>* doc_results) const {
+  std::vector<const Document*> pointers;
+  pointers.reserve(docs.size());
+  for (const Document& doc : docs) pointers.push_back(&doc);
+  return BuildKb(pointers, doc_results);
+}
+
+OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
+                                 std::vector<DocumentResult>* doc_results) const {
   OnTheFlyKb kb(repository_, patterns_);
-  for (const Document& doc : docs) {
-    DocumentResult result = ProcessDocument(doc);
+  if (doc_results != nullptr) doc_results->reserve(docs.size());
+
+  // Canonicalization appends to the shared KB, so it always runs on this
+  // thread, one document at a time, in input order — the parallel path is
+  // therefore bit-identical to the serial one.
+  auto merge = [&](DocumentResult result) {
+    WallTimer timer;
     PopulateKb(&kb, result);
+    result.timings.canonicalize_s = timer.ElapsedSeconds();
+    result.seconds += result.timings.canonicalize_s;
+    if (doc_results != nullptr) doc_results->push_back(std::move(result));
+  };
+
+  int threads = config_.num_threads;
+  if (threads > static_cast<int>(docs.size())) {
+    threads = static_cast<int>(docs.size());
   }
+  if (threads <= 1) {
+    for (const Document* doc : docs) merge(ProcessDocument(*doc));
+    return kb;
+  }
+
+  ThreadPool pool(threads);
+  std::vector<std::future<DocumentResult>> futures;
+  futures.reserve(docs.size());
+  for (const Document* doc : docs) {
+    futures.push_back(pool.Submit([this, doc] { return ProcessDocument(*doc); }));
+  }
+  // get() in submission order; a task exception rethrows here, exactly as it
+  // would have surfaced from the serial loop.
+  for (std::future<DocumentResult>& future : futures) merge(future.get());
   return kb;
 }
 

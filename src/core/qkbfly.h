@@ -6,6 +6,7 @@
 #define QKBFLY_CORE_QKBFLY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "canon/canonicalizer.h"
@@ -17,6 +18,7 @@
 #include "kb/entity_repository.h"
 #include "kb/pattern_repository.h"
 #include "nlp/pipeline.h"
+#include "util/timer.h"
 
 namespace qkbfly {
 
@@ -36,6 +38,38 @@ struct EngineConfig {
   DensifyParams params;
   Canonicalizer::Options canon;
   GraphBuilder::Options graph;
+
+  /// Worker threads used by BuildKb to fan ProcessDocument across documents.
+  /// Values <= 1 run the serial path. Results are merged in input order, so
+  /// the KB is identical for every thread count.
+  int num_threads = 1;
+};
+
+/// Per-stage wall times for one document (seconds). annotate/graph/densify
+/// are measured inside ProcessDocument; canonicalize is filled in by BuildKb
+/// when the document is merged into the KB.
+struct StageTimings {
+  double annotate_s = 0.0;
+  double graph_s = 0.0;
+  double densify_s = 0.0;
+  double canonicalize_s = 0.0;
+
+  double TotalSeconds() const {
+    return annotate_s + graph_s + densify_s + canonicalize_s;
+  }
+};
+
+/// Aggregates StageTimings across a corpus; reports mean and p95 per stage.
+struct StageTimingSummary {
+  TimingStats annotate;
+  TimingStats graph;
+  TimingStats densify;
+  TimingStats canonicalize;
+
+  void Add(const StageTimings& timings);
+
+  /// Multi-line "stage  mean  p95" table (milliseconds) for bench output.
+  std::string Report() const;
 };
 
 /// The per-document intermediate artifacts, exposed so experiments can
@@ -44,7 +78,8 @@ struct DocumentResult {
   AnnotatedDocument annotated;
   SemanticGraph graph;
   DensifyResult densified;
-  double seconds = 0.0;  ///< Wall time for this document.
+  double seconds = 0.0;   ///< Wall time for this document.
+  StageTimings timings;   ///< Per-stage breakdown of `seconds`.
 };
 
 /// The end-to-end QKBfly system.
@@ -61,8 +96,15 @@ class QkbflyEngine {
   /// Runs stage 3, adding the document's facts to `kb`.
   void PopulateKb(OnTheFlyKb* kb, const DocumentResult& result) const;
 
-  /// Convenience: full run over a set of documents.
-  OnTheFlyKb BuildKb(const std::vector<Document>& docs) const;
+  /// Full run over a set of documents. With config().num_threads > 1 the
+  /// per-document stages run on a thread pool; canonicalization merges the
+  /// results in input order, so the KB matches the serial run exactly. When
+  /// `doc_results` is non-null it receives one DocumentResult per input
+  /// document (in input order) with all four stage timings filled in.
+  OnTheFlyKb BuildKb(const std::vector<Document>& docs,
+                     std::vector<DocumentResult>* doc_results = nullptr) const;
+  OnTheFlyKb BuildKb(const std::vector<const Document*>& docs,
+                     std::vector<DocumentResult>* doc_results = nullptr) const;
 
   const EngineConfig& config() const { return config_; }
   const EntityRepository& repository() const { return *repository_; }

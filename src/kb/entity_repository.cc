@@ -7,6 +7,29 @@
 
 namespace qkbfly {
 
+EntityRepository::EntityRepository(EntityRepository&& other) noexcept
+    : types_(other.types_),
+      entities_(std::move(other.entities_)),
+      alias_index_(std::move(other.alias_index_)),
+      token_index_(std::move(other.token_index_)),
+      by_name_(std::move(other.by_name_)),
+      max_alias_tokens_(other.max_alias_tokens_) {}
+
+EntityRepository& EntityRepository::operator=(EntityRepository&& other) noexcept {
+  if (this == &other) return *this;
+  types_ = other.types_;
+  entities_ = std::move(other.entities_);
+  alias_index_ = std::move(other.alias_index_);
+  token_index_ = std::move(other.token_index_);
+  by_name_ = std::move(other.by_name_);
+  max_alias_tokens_ = other.max_alias_tokens_;
+  std::lock_guard<std::mutex> lock(loose_mutex_);
+  loose_cache_.clear();
+  loose_lru_.clear();
+  loose_stats_ = LooseCacheStats();
+  return *this;
+}
+
 EntityId EntityRepository::AddEntity(std::string_view canonical_name,
                                      const std::vector<std::string>& aliases,
                                      const std::vector<TypeId>& types,
@@ -39,6 +62,12 @@ EntityId EntityRepository::AddEntity(std::string_view canonical_name,
   }
   by_name_.emplace(e.canonical_name, id);
   entities_.push_back(std::move(e));
+  // The new aliases can extend any previously cached candidate set.
+  {
+    std::lock_guard<std::mutex> lock(loose_mutex_);
+    loose_cache_.clear();
+    loose_lru_.clear();
+  }
   return id;
 }
 
@@ -60,8 +89,44 @@ bool EntityRepository::HasAlias(std::string_view alias) const {
 
 std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention,
                                                         size_t limit) const {
-  std::vector<EntityId> out = CandidatesForAlias(mention);
-  for (const std::string& token : SplitWhitespace(Lowercase(mention))) {
+  // Every index lookup is case-insensitive, so (lowercased mention, limit)
+  // fully determines the result.
+  std::string lowered = Lowercase(mention);
+  std::string key = lowered;
+  key.push_back('\x1f');
+  key += std::to_string(limit);
+  {
+    std::lock_guard<std::mutex> lock(loose_mutex_);
+    ++loose_stats_.lookups;
+    auto it = loose_cache_.find(key);
+    if (it != loose_cache_.end()) {
+      ++loose_stats_.hits;
+      loose_lru_.splice(loose_lru_.begin(), loose_lru_, it->second.lru);
+      return it->second.ids;
+    }
+  }
+  // Compute outside the lock; a concurrent duplicate compute is idempotent.
+  std::vector<EntityId> out = LooseCandidatesUncached(lowered, limit);
+  {
+    std::lock_guard<std::mutex> lock(loose_mutex_);
+    auto [it, inserted] = loose_cache_.try_emplace(std::move(key));
+    if (inserted) {
+      loose_lru_.push_front(it->first);
+      it->second.lru = loose_lru_.begin();
+      it->second.ids = out;
+      if (loose_cache_.size() > kLooseCacheCapacity) {
+        loose_cache_.erase(loose_lru_.back());
+        loose_lru_.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EntityId> EntityRepository::LooseCandidatesUncached(
+    const std::string& lowered, size_t limit) const {
+  std::vector<EntityId> out = CandidatesForAlias(lowered);
+  for (const std::string& token : SplitWhitespace(lowered)) {
     auto it = token_index_.find(token);
     if (it == token_index_.end()) continue;
     for (EntityId e : it->second) {
@@ -70,6 +135,11 @@ std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention
     }
   }
   return out;
+}
+
+LooseCacheStats EntityRepository::loose_cache_stats() const {
+  std::lock_guard<std::mutex> lock(loose_mutex_);
+  return loose_stats_;
 }
 
 StatusOr<EntityId> EntityRepository::FindByName(

@@ -5,6 +5,8 @@
 #define QKBFLY_KB_ENTITY_REPOSITORY_H_
 
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,11 +31,31 @@ struct Entity {
   Gender gender = Gender::kUnknown;  ///< For PERSON entities when known.
 };
 
+/// Hit counters of the LooseCandidates memoization cache.
+struct LooseCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
 /// The background entity dictionary. Implements Gazetteer so NER can
 /// recognize repository names, and provides candidate generation for NED.
+/// Thread-compatible once populated: all queries are const and may run
+/// concurrently (the LooseCandidates memo is internally synchronized), but
+/// AddEntity must not race with queries.
 class EntityRepository : public Gazetteer {
  public:
   explicit EntityRepository(const TypeSystem* types) : types_(types) {}
+
+  // Movable (mutexes are not, so the memo cache restarts cold); not copyable.
+  EntityRepository(EntityRepository&& other) noexcept;
+  EntityRepository& operator=(EntityRepository&& other) noexcept;
+  EntityRepository(const EntityRepository&) = delete;
+  EntityRepository& operator=(const EntityRepository&) = delete;
 
   /// Registers an entity; `aliases` need not contain the canonical name.
   EntityId AddEntity(std::string_view canonical_name,
@@ -53,8 +75,13 @@ class EntityRepository : public Gazetteer {
   /// Loose candidate generation (Babelfy-style): entities sharing any name
   /// token with the mention ("Kaelen Drax" also proposes every "Kaelen" and
   /// every "Drax"). Exact-alias candidates come first; capped at `limit`.
+  /// The hottest repeated lookup in graph building, so results are memoized
+  /// in a thread-safe LRU keyed on (lowercased mention, limit).
   std::vector<EntityId> LooseCandidates(std::string_view mention,
                                         size_t limit) const;
+
+  /// Lookup/hit counters of the LooseCandidates memo.
+  LooseCacheStats loose_cache_stats() const;
 
   /// Entity id by exact canonical name.
   StatusOr<EntityId> FindByName(std::string_view canonical_name) const;
@@ -72,12 +99,28 @@ class EntityRepository : public Gazetteer {
                      NerType* type) const override;
 
  private:
+  std::vector<EntityId> LooseCandidatesUncached(const std::string& lowered,
+                                                size_t limit) const;
+
   const TypeSystem* types_;
   std::vector<Entity> entities_;
   std::unordered_map<std::string, std::vector<EntityId>> alias_index_;
   std::unordered_map<std::string, std::vector<EntityId>> token_index_;
   std::unordered_map<std::string, EntityId> by_name_;
   int max_alias_tokens_ = 0;
+
+  // LooseCandidates memo: LRU list holds keys, front = most recently used;
+  // invalidated wholesale by AddEntity. Guarded by loose_mutex_ so concurrent
+  // graph builders share one cache.
+  struct LooseCacheEntry {
+    std::vector<EntityId> ids;
+    std::list<std::string>::iterator lru;
+  };
+  static constexpr size_t kLooseCacheCapacity = 4096;
+  mutable std::mutex loose_mutex_;
+  mutable std::list<std::string> loose_lru_;
+  mutable std::unordered_map<std::string, LooseCacheEntry> loose_cache_;
+  mutable LooseCacheStats loose_stats_;
 };
 
 }  // namespace qkbfly

@@ -41,13 +41,15 @@ const char* QaModeName(QaMode mode) {
 
 QaSystem::QaSystem(const SynthDataset* dataset, const DocumentStore* wiki,
                    const DocumentStore* news,
-                   std::vector<StaticFact> snapshot_facts, QaMode mode)
+                   std::vector<StaticFact> snapshot_facts, QaMode mode,
+                   int num_threads)
     : dataset_(dataset), wiki_(wiki), news_(news),
       snapshot_facts_(std::move(snapshot_facts)), mode_(mode),
       search_(wiki, news) {
   EngineConfig config;
   config.canon.triples_only = mode == QaMode::kTriples;
   config.canon.confidence_threshold = 0.3;  // recall-oriented (Appendix B)
+  config.num_threads = num_threads;
   engine_ = std::make_unique<QkbflyEngine>(dataset->repository.get(),
                                            &dataset->patterns, &dataset->stats,
                                            config);
@@ -284,12 +286,9 @@ std::vector<QaSystem::Candidate> QaSystem::Candidates(const QaQuestion& question
     case QaMode::kTriples:
       break;
   }
-  // Steps 1-2: retrieve and build the question-specific KB.
-  auto kb = engine_->MakeKb();
-  for (const Document* doc : Retrieve(question)) {
-    auto result = engine_->ProcessDocument(*doc);
-    engine_->PopulateKb(&kb, result);
-  }
+  // Steps 1-2: retrieve and build the question-specific KB (the engine fans
+  // the retrieved documents across its thread pool when configured).
+  OnTheFlyKb kb = engine_->BuildKb(Retrieve(question));
   return KbCandidates(question, kb, training);
 }
 

@@ -41,9 +41,11 @@ class QaSystem {
     std::vector<std::string> args;
   };
 
+  /// `num_threads` is forwarded to the extraction engine: documents retrieved
+  /// for a question are processed in parallel (the answers are unchanged).
   QaSystem(const SynthDataset* dataset, const DocumentStore* wiki,
            const DocumentStore* news, std::vector<StaticFact> snapshot_facts,
-           QaMode mode);
+           QaMode mode, int num_threads = 1);
 
   /// Trains the answer classifier on WebQuestions-style training questions
   /// (Appendix B: candidates containing correct answers are positives).

@@ -1,0 +1,54 @@
+#include "util/bench_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace qkbfly {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
+                      uint64_t facts) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.docs = docs;
+  entry.threads = threads;
+  entry.wall_s = wall_s;
+  entry.facts = facts;
+  entries_.push_back(std::move(entry));
+}
+
+bool BenchReport::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"docs\": %d, \"threads\": %d, "
+                 "\"wall_s\": %.6f, \"facts\": %" PRIu64 "}%s\n",
+                 JsonEscape(e.name).c_str(), e.docs, e.threads, e.wall_s,
+                 e.facts, i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace qkbfly

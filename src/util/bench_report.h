@@ -1,0 +1,40 @@
+// Machine-readable bench output. Each bench binary collects
+// {name, docs, threads, wall_s, facts} records and writes them as a JSON
+// array (BENCH_*.json) so the performance trajectory can be compared
+// across commits without parsing the human-readable tables.
+#ifndef QKBFLY_UTIL_BENCH_REPORT_H_
+#define QKBFLY_UTIL_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qkbfly {
+
+/// Collects bench records and serializes them to a JSON file.
+class BenchReport {
+ public:
+  struct Entry {
+    std::string name;     ///< Workload identifier, e.g. "table3/QKBfly".
+    int docs = 0;         ///< Documents (or items) processed.
+    int threads = 1;      ///< Worker threads used.
+    double wall_s = 0.0;  ///< End-to-end wall time in seconds.
+    uint64_t facts = 0;   ///< Facts (or outputs) produced.
+  };
+
+  void Add(std::string name, int docs, int threads, double wall_s,
+           uint64_t facts);
+
+  /// Writes all entries as a JSON array to `path` (overwrites). Returns
+  /// false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_BENCH_REPORT_H_

@@ -3,6 +3,7 @@
 #ifndef QKBFLY_UTIL_TIMER_H_
 #define QKBFLY_UTIL_TIMER_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -61,6 +62,20 @@ class TimingStats {
     double sum = 0.0;
     for (double s : samples_) sum += s;
     return sum;
+  }
+
+  /// Linearly interpolated percentile; `p` in [0, 1] (0.95 for p95).
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0) return sorted.front();
+    if (p >= 1.0) return sorted.back();
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
   }
 
  private:
