@@ -56,6 +56,7 @@ void Run() {
     QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
                         engine_config);
     std::vector<DocumentResult> results;
+    CacheStats loose_before = ds->repository->loose_cache_stats();
     WallTimer timer;
     OnTheFlyKb kb = engine.BuildKb(docs, &results);
     double wall = timer.ElapsedSeconds();
@@ -68,17 +69,29 @@ void Run() {
     std::printf("%8d %10.3f %8.2fx %8zu %10s\n", threads, wall,
                 serial_wall / wall, kb.size(),
                 serialized == serial_kb ? "yes" : "NO << BUG");
+
+    // Cache columns: this run's LooseCandidates memo delta plus the p95 of
+    // per-document wall time.
+    CacheStats loose =
+        ds->repository->loose_cache_stats() - loose_before;
+    TimingStats per_doc;
+    for (const DocumentResult& r : results) per_doc.Add(r.seconds);
+    BenchReport::CacheFields cache_fields;
+    cache_fields.hits = loose.hits;
+    cache_fields.misses = loose.misses;
+    cache_fields.hit_rate = loose.HitRate();
+    cache_fields.p95_ms = per_doc.Percentile(0.95) * 1e3;
     report.Add("pipeline_scaling", static_cast<int>(docs.size()), threads,
-               wall, kb.size());
+               wall, kb.size(), cache_fields);
 
     StageTimingSummary stages;
     for (const DocumentResult& r : results) stages.Add(r.timings);
     std::printf("%s", stages.Report().c_str());
   }
 
-  LooseCacheStats cache = ds->repository->loose_cache_stats();
+  CacheStats cache = ds->repository->loose_cache_stats();
   std::printf("\nLooseCandidates cache: %llu lookups, hit rate %.1f%%\n",
-              static_cast<unsigned long long>(cache.lookups),
+              static_cast<unsigned long long>(cache.Lookups()),
               cache.HitRate() * 100.0);
   if (report.WriteJson("BENCH_pipeline.json")) {
     std::printf("Wrote BENCH_pipeline.json\n");

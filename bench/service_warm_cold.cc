@@ -1,0 +1,129 @@
+// Serving-layer warm/cold bench: replays an entity-query workload against
+// KbService twice — a cold pass that populates the DocumentResult cache and
+// a warm pass that should be served almost entirely from it — verifies the
+// warm KBs are byte-identical to the cold ones, and writes the
+// machine-readable BENCH_service.json (records carry the cache columns:
+// hits, misses, hit_rate, p95_ms).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/kb_service.h"
+#include "synth/dataset.h"
+#include "util/bench_report.h"
+#include "util/latency_histogram.h"
+
+namespace qkbfly {
+namespace {
+
+/// Canonical text form of a KB, used to check warm/cold identity.
+std::string Serialize(const OnTheFlyKb& kb) {
+  std::string out;
+  char buf[64];
+  for (const Fact& f : kb.facts()) {
+    std::snprintf(buf, sizeof(buf), " conf=%.9f\n", f.confidence);
+    out += kb.FactToString(f);
+    out += buf;
+  }
+  for (const EmergingEntity& e : kb.emerging_entities()) {
+    out += "emerging: " + e.representative + "\n";
+  }
+  return out;
+}
+
+struct PassResult {
+  LatencyHistogram latency;
+  CacheStats cache;
+  uint64_t facts = 0;
+  double wall_s = 0.0;
+  std::vector<std::string> kbs;
+};
+
+PassResult RunPass(KbService* service, const std::vector<std::string>& queries) {
+  PassResult pass;
+  for (const std::string& q : queries) {
+    KbService::QueryResult result = service->Answer(q);
+    pass.latency.Record(result.stats.total_s);
+    pass.cache += result.stats.cache;
+    pass.facts += result.kb.size();
+    pass.wall_s += result.stats.total_s;
+    pass.kbs.push_back(Serialize(result.kb));
+  }
+  return pass;
+}
+
+void Report(const char* name, const PassResult& pass) {
+  std::printf("%-6s %s\n       cache: %llu hits / %llu misses "
+              "(hit rate %.1f%%)\n",
+              name, pass.latency.Report().c_str(),
+              static_cast<unsigned long long>(pass.cache.hits),
+              static_cast<unsigned long long>(pass.cache.misses),
+              pass.cache.HitRate() * 100.0);
+}
+
+void Run() {
+  DatasetConfig config;
+  config.wiki_eval_articles = 24;
+  config.news_docs = 16;
+  auto ds = BuildDataset(config);
+  DocumentStore wiki;
+  DocumentStore news;
+  for (const GoldDocument& gd : ds->wiki_eval) (void)wiki.Add(gd.doc);
+  for (const GoldDocument& gd : ds->news) (void)news.Add(gd.doc);
+  SearchEngine search(&wiki, &news);
+  QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
+                      EngineConfig());
+  KbService service(&engine, &search);
+
+  std::vector<std::string> queries;
+  for (const GoldDocument& gd : ds->wiki_eval) queries.push_back(gd.doc.title);
+
+  std::printf("Service warm/cold: %zu entity queries over %zu wiki + %zu news "
+              "documents\n\n",
+              queries.size(), wiki.size(), news.size());
+
+  PassResult cold = RunPass(&service, queries);
+  PassResult warm = RunPass(&service, queries);
+
+  Report("cold", cold);
+  Report("warm", warm);
+
+  bool identical = cold.kbs == warm.kbs;
+  double cold_p95 = cold.latency.PercentileSeconds(0.95);
+  double warm_p95 = warm.latency.PercentileSeconds(0.95);
+  std::printf("\nwarm/cold p95 ratio: %.3fx   warm KBs identical to cold: %s\n",
+              cold_p95 > 0.0 ? warm_p95 / cold_p95 : 0.0,
+              identical ? "yes" : "NO << BUG");
+  if (!identical) std::printf("WARM/COLD MISMATCH — cache is unsound\n");
+  if (warm.cache.HitRate() <= 0.9) {
+    std::printf("WARNING: warm hit rate %.1f%% <= 90%%\n",
+                warm.cache.HitRate() * 100.0);
+  }
+  if (warm_p95 >= cold_p95) {
+    std::printf("WARNING: warm p95 not below cold p95\n");
+  }
+
+  BenchReport report;
+  auto add = [&](const char* name, const PassResult& pass) {
+    BenchReport::CacheFields cache;
+    cache.hits = pass.cache.hits;
+    cache.misses = pass.cache.misses;
+    cache.hit_rate = pass.cache.HitRate();
+    cache.p95_ms = pass.latency.PercentileSeconds(0.95) * 1e3;
+    report.Add(name, static_cast<int>(queries.size()), 1, pass.wall_s,
+               pass.facts, cache);
+  };
+  add("service_cold", cold);
+  add("service_warm", warm);
+  if (report.WriteJson("BENCH_service.json")) {
+    std::printf("Wrote BENCH_service.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly
+
+int main() {
+  qkbfly::Run();
+  return 0;
+}

@@ -154,9 +154,9 @@ void Run() {
                     stages.Report().c_str());
       }
     }
-    LooseCacheStats cache = ds->repository->loose_cache_stats();
+    CacheStats cache = ds->repository->loose_cache_stats();
     std::printf("LooseCandidates cache: %llu lookups, hit rate %.1f%%\n",
-                static_cast<unsigned long long>(cache.lookups),
+                static_cast<unsigned long long>(cache.Lookups()),
                 cache.HitRate() * 100.0);
     if (report.WriteJson("BENCH_table3.json")) {
       std::printf("Wrote BENCH_table3.json\n");

@@ -12,6 +12,71 @@
 
 namespace qkbfly {
 
+std::string EngineConfig::Fingerprint() const {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "mode=%d;a1=%.17g;a2=%.17g;a3=%.17g;a4=%.17g;"
+      "conf=%.17g;emerge=%.17g;triples=%d;"
+      "pwin=%d;poss=%d;coref=%d;loose=%d;maxcand=%d",
+      static_cast<int>(mode), params.alpha1, params.alpha2, params.alpha3,
+      params.alpha4, canon.confidence_threshold, canon.emerging_threshold,
+      canon.triples_only ? 1 : 0, graph.pronoun_window,
+      graph.possessive_relations ? 1 : 0, graph.pronoun_coreference ? 1 : 0,
+      graph.loose_candidates ? 1 : 0, graph.max_candidates);
+  return buf;
+}
+
+namespace {
+
+size_t StringBytes(const std::string& s) { return sizeof(s) + s.size(); }
+
+size_t AnnotatedBytes(const AnnotatedDocument& doc) {
+  size_t bytes = StringBytes(doc.id) + StringBytes(doc.title);
+  for (const AnnotatedSentence& s : doc.sentences) {
+    bytes += sizeof(s) + s.text.size();
+    for (const Token& t : s.tokens) {
+      bytes += sizeof(t) + t.text.size() + t.lemma.size();
+    }
+    bytes += s.np_chunks.size() * sizeof(TokenSpan);
+    bytes += s.ner_mentions.size() * sizeof(NerMention);
+    for (const TimeMention& tm : s.time_mentions) {
+      bytes += sizeof(tm) + tm.normalized.size();
+    }
+  }
+  return bytes;
+}
+
+size_t GraphBytes(const SemanticGraph& graph) {
+  size_t bytes = sizeof(graph);
+  for (size_t i = 0; i < graph.node_count(); ++i) {
+    const GraphNode& n = graph.node(static_cast<NodeId>(i));
+    bytes += sizeof(n) + n.text.size() + n.normalized_literal.size() +
+             n.relation_pattern.size();
+    // Adjacency list slot (two entries per edge across all lists).
+    bytes += sizeof(std::vector<EdgeId>);
+  }
+  for (size_t i = 0; i < graph.edge_count(); ++i) {
+    bytes += sizeof(GraphEdge) + graph.edge(static_cast<EdgeId>(i)).label.size() +
+             2 * sizeof(EdgeId);
+  }
+  return bytes;
+}
+
+size_t DensifiedBytes(const DensifyResult& densified) {
+  return sizeof(densified) +
+         densified.assignments.size() * sizeof(DensifyResult::Assignment) +
+         densified.pronoun_antecedents.size() *
+             (sizeof(NodeId) * 2 + sizeof(void*) * 2);
+}
+
+}  // namespace
+
+size_t DocumentResult::ApproxBytes() const {
+  return sizeof(*this) + AnnotatedBytes(annotated) + GraphBytes(graph) +
+         DensifiedBytes(densified);
+}
+
 const char* InferenceModeName(InferenceMode mode) {
   switch (mode) {
     case InferenceMode::kJoint: return "QKBfly";

@@ -43,6 +43,13 @@ struct EngineConfig {
   /// Values <= 1 run the serial path. Results are merged in input order, so
   /// the KB is identical for every thread count.
   int num_threads = 1;
+
+  /// Deterministic string identifying every config field that changes the
+  /// *result* of ProcessDocument (mode, densify alphas, canonicalizer and
+  /// graph-builder options). `num_threads` is deliberately excluded: it only
+  /// affects scheduling. Used as part of serving-layer cache keys, so two
+  /// engines with the same fingerprint may share cached DocumentResults.
+  std::string Fingerprint() const;
 };
 
 /// Per-stage wall times for one document (seconds). annotate/graph/densify
@@ -80,6 +87,11 @@ struct DocumentResult {
   DensifyResult densified;
   double seconds = 0.0;   ///< Wall time for this document.
   StageTimings timings;   ///< Per-stage breakdown of `seconds`.
+
+  /// Estimated heap footprint in bytes (strings, tokens, graph nodes/edges,
+  /// assignments). Used by the serving layer's byte-budgeted result cache;
+  /// an estimate, not an exact allocator count.
+  size_t ApproxBytes() const;
 };
 
 /// The end-to-end QKBfly system.

@@ -26,7 +26,7 @@ EntityRepository& EntityRepository::operator=(EntityRepository&& other) noexcept
   std::lock_guard<std::mutex> lock(loose_mutex_);
   loose_cache_.clear();
   loose_lru_.clear();
-  loose_stats_ = LooseCacheStats();
+  loose_stats_ = CacheStats();
   return *this;
 }
 
@@ -97,13 +97,13 @@ std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention
   key += std::to_string(limit);
   {
     std::lock_guard<std::mutex> lock(loose_mutex_);
-    ++loose_stats_.lookups;
     auto it = loose_cache_.find(key);
     if (it != loose_cache_.end()) {
       ++loose_stats_.hits;
       loose_lru_.splice(loose_lru_.begin(), loose_lru_, it->second.lru);
       return it->second.ids;
     }
+    ++loose_stats_.misses;
   }
   // Compute outside the lock; a concurrent duplicate compute is idempotent.
   std::vector<EntityId> out = LooseCandidatesUncached(lowered, limit);
@@ -117,6 +117,7 @@ std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention
       if (loose_cache_.size() > kLooseCacheCapacity) {
         loose_cache_.erase(loose_lru_.back());
         loose_lru_.pop_back();
+        ++loose_stats_.evictions;
       }
     }
   }
@@ -137,7 +138,7 @@ std::vector<EntityId> EntityRepository::LooseCandidatesUncached(
   return out;
 }
 
-LooseCacheStats EntityRepository::loose_cache_stats() const {
+CacheStats EntityRepository::loose_cache_stats() const {
   std::lock_guard<std::mutex> lock(loose_mutex_);
   return loose_stats_;
 }

@@ -15,6 +15,7 @@
 #include "kb/type_system.h"
 #include "nlp/lexicon.h"
 #include "nlp/ner.h"
+#include "util/cache_stats.h"
 #include "util/status.h"
 
 namespace qkbfly {
@@ -29,17 +30,6 @@ struct Entity {
   std::vector<std::string> aliases;  ///< Includes the canonical name.
   std::vector<TypeId> types;         ///< Most-specific types.
   Gender gender = Gender::kUnknown;  ///< For PERSON entities when known.
-};
-
-/// Hit counters of the LooseCandidates memoization cache.
-struct LooseCacheStats {
-  uint64_t lookups = 0;
-  uint64_t hits = 0;
-
-  double HitRate() const {
-    return lookups == 0 ? 0.0
-                        : static_cast<double>(hits) / static_cast<double>(lookups);
-  }
 };
 
 /// The background entity dictionary. Implements Gazetteer so NER can
@@ -80,8 +70,8 @@ class EntityRepository : public Gazetteer {
   std::vector<EntityId> LooseCandidates(std::string_view mention,
                                         size_t limit) const;
 
-  /// Lookup/hit counters of the LooseCandidates memo.
-  LooseCacheStats loose_cache_stats() const;
+  /// Hit/miss/eviction counters of the LooseCandidates memo.
+  CacheStats loose_cache_stats() const;
 
   /// Entity id by exact canonical name.
   StatusOr<EntityId> FindByName(std::string_view canonical_name) const;
@@ -120,7 +110,7 @@ class EntityRepository : public Gazetteer {
   mutable std::mutex loose_mutex_;
   mutable std::list<std::string> loose_lru_;
   mutable std::unordered_map<std::string, LooseCacheEntry> loose_cache_;
-  mutable LooseCacheStats loose_stats_;
+  mutable CacheStats loose_stats_;
 };
 
 }  // namespace qkbfly

@@ -55,6 +55,12 @@ QaSystem::QaSystem(const SynthDataset* dataset, const DocumentStore* wiki,
                                            config);
 }
 
+void QaSystem::EnableServiceCache(KbServiceOptions options) {
+  // Question-time fan-out mirrors the engine's configured thread count.
+  options.num_threads = engine_->config().num_threads;
+  service_ = std::make_unique<KbService>(engine_.get(), &search_, options);
+}
+
 int QaSystem::FeatureId(const std::string& name, bool training) const {
   if (training) return static_cast<int>(features_.Intern(name));
   auto id = features_.Lookup(name);
@@ -286,9 +292,12 @@ std::vector<QaSystem::Candidate> QaSystem::Candidates(const QaQuestion& question
     case QaMode::kTriples:
       break;
   }
-  // Steps 1-2: retrieve and build the question-specific KB (the engine fans
-  // the retrieved documents across its thread pool when configured).
-  OnTheFlyKb kb = engine_->BuildKb(Retrieve(question));
+  // Steps 1-2: retrieve and build the question-specific KB. With a service
+  // cache enabled, per-document results are reused across questions; either
+  // path produces a byte-identical KB (input-order canonicalization).
+  std::vector<const Document*> docs = Retrieve(question);
+  OnTheFlyKb kb =
+      service_ != nullptr ? service_->BuildKb(docs) : engine_->BuildKb(docs);
   return KbCandidates(question, kb, training);
 }
 

@@ -14,6 +14,7 @@
 #include "ml/linear_svm.h"
 #include "qa/question.h"
 #include "retrieval/search_engine.h"
+#include "service/kb_service.h"
 #include "util/interner.h"
 
 namespace qkbfly {
@@ -54,6 +55,16 @@ class QaSystem {
   /// Answers one question.
   std::vector<std::string> Answer(const QaQuestion& question) const;
 
+  /// Routes question-specific KB construction through a cache-backed
+  /// KbService, so repeated (or overlapping) questions about the same entity
+  /// reuse per-document extraction results. Without this call every question
+  /// recomputes from scratch — the original, cache-free construction path.
+  /// Answers are identical either way (the service build is byte-identical).
+  void EnableServiceCache(KbServiceOptions options = {});
+
+  /// The serving layer when EnableServiceCache was called, else nullptr.
+  const KbService* service() const { return service_.get(); }
+
   QaMode mode() const { return mode_; }
 
  private:
@@ -85,6 +96,7 @@ class QaSystem {
   QaMode mode_;
   SearchEngine search_;
   std::unique_ptr<QkbflyEngine> engine_;
+  std::unique_ptr<KbService> service_;  ///< Optional cache-backed build path.
   mutable StringInterner features_;
   LinearSvm classifier_;
 };

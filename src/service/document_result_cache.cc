@@ -1,0 +1,140 @@
+#include "service/document_result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qkbfly {
+
+DocumentResultCache::DocumentResultCache(Options options)
+    : options_(options) {
+  int shards = std::max(1, options_.num_shards);
+  options_.num_shards = shards;
+  budget_per_shard_ = options_.byte_budget / static_cast<size_t>(shards);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+DocumentResultCache::Shard& DocumentResultCache::ShardFor(
+    const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+void DocumentResultCache::EvictOverBudgetLocked(Shard& shard) {
+  while (shard.bytes > budget_per_shard_ && !shard.lru.empty()) {
+    const std::string& victim = shard.lru.back();
+    auto it = shard.map.find(victim);
+    QKB_CHECK(it != shard.map.end());
+    shard.bytes -= it->second.bytes;
+    shard.map.erase(it);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+std::shared_ptr<const DocumentResult> DocumentResultCache::FetchOrCompute(
+    std::string_view doc_id, std::string_view fingerprint,
+    const ComputeFn& compute, bool* was_hit) {
+  std::string key;
+  key.reserve(doc_id.size() + 1 + fingerprint.size());
+  key.append(doc_id);
+  key.push_back('\x1f');
+  key.append(fingerprint);
+
+  Shard& shard = ShardFor(key);
+  std::promise<std::shared_ptr<const DocumentResult>> promise;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Ready entry or another thread's in-flight computation: either way no
+      // work runs on this thread, so it counts as a hit.
+      ++shard.stats.hits;
+      if (it->second.ready) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
+      }
+      auto future = it->second.future;
+      lock.unlock();
+      if (was_hit != nullptr) *was_hit = true;
+      return future.get();  // blocks only while in-flight; rethrows failures
+    }
+    ++shard.stats.misses;
+    Entry entry;
+    entry.future = promise.get_future().share();
+    shard.map.emplace(key, std::move(entry));  // in-flight marker
+  }
+  if (was_hit != nullptr) *was_hit = false;
+
+  // Compute outside the lock; single-flight guarantees this thread is the
+  // only one running `compute` for this key.
+  std::shared_ptr<const DocumentResult> value;
+  try {
+    value = std::make_shared<const DocumentResult>(compute());
+  } catch (...) {
+    std::exception_ptr error = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.erase(key);  // never made it into the LRU
+    }
+    promise.set_exception(error);  // waiters rethrow from future.get()
+    std::rethrow_exception(error);
+  }
+  promise.set_value(value);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    // Only the computing thread transitions or erases an in-flight entry,
+    // so it is still present and not yet ready.
+    QKB_CHECK(it != shard.map.end() && !it->second.ready);
+    it->second.ready = true;
+    it->second.bytes = it->first.size() + sizeof(Entry) + value->ApproxBytes();
+    shard.lru.push_front(it->first);
+    it->second.lru = shard.lru.begin();
+    shard.bytes += it->second.bytes;
+    EvictOverBudgetLocked(shard);
+  }
+  return value;
+}
+
+CacheStats DocumentResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->stats;
+  }
+  return total;
+}
+
+size_t DocumentResultCache::ApproxBytesUsed() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    bytes += shard->bytes;
+  }
+  return bytes;
+}
+
+size_t DocumentResultCache::entry_count() const {
+  size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    count += shard->lru.size();
+  }
+  return count;
+}
+
+void DocumentResultCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const std::string& key : shard->lru) shard->map.erase(key);
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace qkbfly

@@ -1,0 +1,99 @@
+// Cross-query reuse of per-document extraction results. annotate -> graph ->
+// densify is query-independent (only stage 3, canonicalization, is built per
+// query), so DocumentResults keyed by (document id, engine-config
+// fingerprint) can be shared by every query that retrieves the same
+// document — the paper's demo keeps already-processed sentences around for
+// exactly this reason.
+#ifndef QKBFLY_SERVICE_DOCUMENT_RESULT_CACHE_H_
+#define QKBFLY_SERVICE_DOCUMENT_RESULT_CACHE_H_
+
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qkbfly.h"
+#include "util/cache_stats.h"
+
+namespace qkbfly {
+
+/// A sharded, thread-safe, byte-budgeted LRU cache of DocumentResults with
+/// single-flight computation: when N threads ask for the same missing key
+/// concurrently, exactly one runs the compute function and the others block
+/// on its result. Entries are immutable once inserted (shared_ptr<const>),
+/// so readers never copy.
+///
+/// Eviction is LRU per shard under a per-shard slice of the byte budget
+/// (entry sizes come from DocumentResult::ApproxBytes). In-flight entries
+/// are never evicted. Invalidation rule: the config fingerprint in the key
+/// must capture everything that changes the computation (see
+/// EngineConfig::Fingerprint), and document ids must be stable per content —
+/// a mutated document must get a new id.
+class DocumentResultCache {
+ public:
+  struct Options {
+    size_t byte_budget = size_t{64} << 20;  ///< Total across all shards.
+    int num_shards = 8;
+  };
+
+  explicit DocumentResultCache(Options options);
+  DocumentResultCache() : DocumentResultCache(Options()) {}
+
+  using ComputeFn = std::function<DocumentResult()>;
+
+  /// Returns the cached result for (doc_id, fingerprint), computing and
+  /// inserting it on miss. `was_hit` (optional) reports whether this call
+  /// avoided running `compute` — true both for ready entries and for joining
+  /// another thread's in-flight computation. If `compute` throws, every
+  /// waiter rethrows and the entry is dropped.
+  std::shared_ptr<const DocumentResult> FetchOrCompute(
+      std::string_view doc_id, std::string_view fingerprint,
+      const ComputeFn& compute, bool* was_hit = nullptr);
+
+  /// Aggregated hit/miss/eviction counters across shards.
+  CacheStats stats() const;
+
+  /// Total ApproxBytes of ready entries.
+  size_t ApproxBytesUsed() const;
+
+  /// Ready entries currently resident.
+  size_t entry_count() const;
+
+  size_t byte_budget() const { return options_.byte_budget; }
+
+  /// Drops all ready entries. In-flight computations are untouched: they
+  /// complete, fulfil their waiters and insert as usual.
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const DocumentResult>> future;
+    bool ready = false;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru;  ///< Valid only when ready.
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> map;
+    std::list<std::string> lru;  ///< Ready keys, most recently used first.
+    size_t bytes = 0;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void EvictOverBudgetLocked(Shard& shard);
+
+  Options options_;
+  size_t budget_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_SERVICE_DOCUMENT_RESULT_CACHE_H_

@@ -1,0 +1,130 @@
+#include "service/kb_service.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace qkbfly {
+
+KbService::KbService(const QkbflyEngine* engine, const SearchEngine* search,
+                     KbServiceOptions options)
+    : engine_(engine), search_(search), options_(options),
+      fingerprint_(engine->config().Fingerprint()), cache_(options.cache) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+KbService::~KbService() = default;
+
+std::shared_ptr<const DocumentResult> KbService::FetchOrCompute(
+    const Document& doc, CacheStats* tally) {
+  bool was_hit = false;
+  auto result = cache_.FetchOrCompute(
+      doc.id, fingerprint_,
+      [this, &doc] { return engine_->ProcessDocument(doc); }, &was_hit);
+  if (was_hit) {
+    ++tally->hits;
+  } else {
+    ++tally->misses;
+  }
+  return result;
+}
+
+OnTheFlyKb KbService::BuildKb(const std::vector<const Document*>& docs,
+                              ServiceStats* stats) {
+  WallTimer total;
+  ServiceStats local;
+  local.documents = docs.size();
+
+  WallTimer stage;
+  std::vector<std::shared_ptr<const DocumentResult>> results(docs.size());
+  if (pool_ != nullptr && docs.size() > 1) {
+    // The per-document tallies are written by pool workers; give each task
+    // its own counter and merge after the barrier.
+    std::vector<CacheStats> tallies(docs.size());
+    std::vector<std::future<std::shared_ptr<const DocumentResult>>> futures;
+    futures.reserve(docs.size());
+    for (size_t i = 0; i < docs.size(); ++i) {
+      const Document* doc = docs[i];
+      CacheStats* tally = &tallies[i];
+      futures.push_back(
+          pool_->Submit([this, doc, tally] { return FetchOrCompute(*doc, tally); }));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) results[i] = futures[i].get();
+    for (const CacheStats& t : tallies) local.cache += t;
+  } else {
+    for (size_t i = 0; i < docs.size(); ++i) {
+      results[i] = FetchOrCompute(*docs[i], &local.cache);
+    }
+  }
+  local.process_s = stage.ElapsedSeconds();
+
+  // Canonicalize into the fresh per-query KB in input order — the same merge
+  // order as QkbflyEngine::BuildKb, so cached and uncached builds agree.
+  stage.Restart();
+  OnTheFlyKb kb = engine_->MakeKb();
+  for (const auto& result : results) engine_->PopulateKb(&kb, *result);
+  local.canonicalize_s = stage.ElapsedSeconds();
+
+  local.total_s = total.ElapsedSeconds();
+  if (stats != nullptr) {
+    // Preserve retrieval timing filled in by Answer().
+    local.retrieve_s = stats->retrieve_s;
+    local.total_s += stats->retrieve_s;
+    *stats = local;
+  }
+  return kb;
+}
+
+KbService::QueryResult KbService::Answer(const std::string& query) {
+  WallTimer total;
+  QueryResult out{engine_->MakeKb(), {}, {}};
+
+  WallTimer stage;
+  std::vector<const Document*> docs = search_->Retrieve(
+      query, SearchEngine::Source::kWikipedia, options_.wiki_k);
+  for (const Document* d :
+       search_->Retrieve(query, SearchEngine::Source::kNews, options_.news_k)) {
+    if (std::find(docs.begin(), docs.end(), d) == docs.end()) docs.push_back(d);
+  }
+  out.stats.retrieve_s = stage.ElapsedSeconds();
+
+  out.kb = BuildKb(docs, &out.stats);
+
+  // Rank facts by confidence (stable, so ties keep canonicalization order)
+  // and render the top ones as the human-readable answer.
+  std::vector<const Fact*> ranked;
+  ranked.reserve(out.kb.facts().size());
+  for (const Fact& f : out.kb.facts()) ranked.push_back(&f);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Fact* a, const Fact* b) {
+                     return a->confidence > b->confidence;
+                   });
+  if (ranked.size() > options_.max_answers) ranked.resize(options_.max_answers);
+  for (const Fact* f : ranked) out.answers.push_back(out.kb.FactToString(*f));
+
+  out.stats.total_s = total.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++queries_;
+    latency_.Record(out.stats.total_s);
+  }
+  return out;
+}
+
+KbService::Metrics KbService::metrics() const {
+  Metrics m;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    m.queries = queries_;
+    m.latency = latency_;
+  }
+  m.cache = cache_.stats();
+  return m;
+}
+
+}  // namespace qkbfly

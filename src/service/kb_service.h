@@ -1,0 +1,116 @@
+// The serving layer: fronts SearchEngine + QkbflyEngine for concurrent
+// query traffic. Per-document extraction results are reused across queries
+// through a DocumentResultCache (warm path); only retrieval and per-query
+// canonicalization run on every request. Thread-safety contract: all public
+// methods may be called concurrently from any thread once the service is
+// constructed; the engine and search index are shared read-only, the cache
+// and metrics are internally synchronized.
+#ifndef QKBFLY_SERVICE_KB_SERVICE_H_
+#define QKBFLY_SERVICE_KB_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "canon/onthefly_kb.h"
+#include "core/qkbfly.h"
+#include "retrieval/search_engine.h"
+#include "service/document_result_cache.h"
+#include "util/cache_stats.h"
+#include "util/latency_histogram.h"
+
+namespace qkbfly {
+
+class ThreadPool;
+
+/// Serving configuration.
+struct KbServiceOptions {
+  /// Byte budget and sharding of the DocumentResult cache.
+  DocumentResultCache::Options cache;
+
+  /// Worker threads for fanning cache misses of one query across documents.
+  /// <= 1 computes misses on the calling thread. Independent of concurrent
+  /// Answer() calls, which always run on their callers' threads.
+  int num_threads = 1;
+
+  /// Retrieval depths (the demo fetches the entity's article plus news).
+  size_t wiki_k = 2;
+  size_t news_k = 10;
+
+  /// Facts rendered into QueryResult::answers.
+  size_t max_answers = 5;
+};
+
+/// Per-query serving statistics.
+struct ServiceStats {
+  size_t documents = 0;        ///< Documents retrieved for the query.
+  CacheStats cache;            ///< This query's cache hits/misses.
+  double retrieve_s = 0.0;     ///< Search-engine time.
+  double process_s = 0.0;      ///< Fetch-or-compute time (all documents).
+  double canonicalize_s = 0.0; ///< Per-query KB assembly time.
+  double total_s = 0.0;        ///< End-to-end latency.
+
+  double CacheHitRate() const { return cache.HitRate(); }
+};
+
+/// Cache-backed query serving over an engine + search index. Both must
+/// outlive the service.
+class KbService {
+ public:
+  KbService(const QkbflyEngine* engine, const SearchEngine* search,
+            KbServiceOptions options = {});
+  ~KbService();
+
+  KbService(const KbService&) = delete;
+  KbService& operator=(const KbService&) = delete;
+
+  struct QueryResult {
+    OnTheFlyKb kb;
+    std::vector<std::string> answers;  ///< Top facts, rendered, by confidence.
+    ServiceStats stats;
+  };
+
+  /// Full query path: retrieve documents for an entity-centric query (the
+  /// query's Wikipedia article plus top news hits), build the query-specific
+  /// KB through the cache, rank facts into `answers`.
+  QueryResult Answer(const std::string& query);
+
+  /// Document-level entry point (QaSystem routes here with its own
+  /// retrieval): cache-backed equivalent of QkbflyEngine::BuildKb. The KB is
+  /// byte-identical to the uncached build — canonicalization merges results
+  /// in input order either way.
+  OnTheFlyKb BuildKb(const std::vector<const Document*>& docs,
+                     ServiceStats* stats = nullptr);
+
+  /// Service-wide metrics snapshot.
+  struct Metrics {
+    uint64_t queries = 0;
+    CacheStats cache;           ///< Cumulative DocumentResultCache counters.
+    LatencyHistogram latency;   ///< End-to-end Answer() latencies.
+  };
+  Metrics metrics() const;
+
+  const DocumentResultCache& cache() const { return cache_; }
+  const QkbflyEngine& engine() const { return *engine_; }
+  const KbServiceOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const DocumentResult> FetchOrCompute(const Document& doc,
+                                                       CacheStats* tally);
+
+  const QkbflyEngine* engine_;
+  const SearchEngine* search_;
+  KbServiceOptions options_;
+  std::string fingerprint_;  ///< Engine-config fingerprint, part of cache keys.
+  DocumentResultCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Present when num_threads > 1.
+
+  mutable std::mutex metrics_mutex_;
+  uint64_t queries_ = 0;
+  LatencyHistogram latency_;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_SERVICE_KB_SERVICE_H_

@@ -35,6 +35,13 @@ void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
   entries_.push_back(std::move(entry));
 }
 
+void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
+                      uint64_t facts, const CacheFields& cache) {
+  Add(std::move(name), docs, threads, wall_s, facts);
+  entries_.back().has_cache = true;
+  entries_.back().cache = cache;
+}
+
 bool BenchReport::WriteJson(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -43,9 +50,17 @@ bool BenchReport::WriteJson(const std::string& path) const {
     const Entry& e = entries_[i];
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"docs\": %d, \"threads\": %d, "
-                 "\"wall_s\": %.6f, \"facts\": %" PRIu64 "}%s\n",
+                 "\"wall_s\": %.6f, \"facts\": %" PRIu64,
                  JsonEscape(e.name).c_str(), e.docs, e.threads, e.wall_s,
-                 e.facts, i + 1 < entries_.size() ? "," : "");
+                 e.facts);
+    if (e.has_cache) {
+      std::fprintf(f,
+                   ", \"hits\": %" PRIu64 ", \"misses\": %" PRIu64
+                   ", \"hit_rate\": %.4f, \"p95_ms\": %.4f",
+                   e.cache.hits, e.cache.misses, e.cache.hit_rate,
+                   e.cache.p95_ms);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   return std::fclose(f) == 0;

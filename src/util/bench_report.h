@@ -14,16 +14,32 @@ namespace qkbfly {
 /// Collects bench records and serializes them to a JSON file.
 class BenchReport {
  public:
+  /// Optional cache/latency columns for workloads that run through a cache
+  /// (the serving bench, the pipeline bench's LooseCandidates memo). Emitted
+  /// into the JSON record only when attached via the cache-taking Add().
+  struct CacheFields {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double hit_rate = 0.0;
+    double p95_ms = 0.0;  ///< p95 latency of the workload's unit of work.
+  };
+
   struct Entry {
     std::string name;     ///< Workload identifier, e.g. "table3/QKBfly".
     int docs = 0;         ///< Documents (or items) processed.
     int threads = 1;      ///< Worker threads used.
     double wall_s = 0.0;  ///< End-to-end wall time in seconds.
     uint64_t facts = 0;   ///< Facts (or outputs) produced.
+    bool has_cache = false;
+    CacheFields cache;
   };
 
   void Add(std::string name, int docs, int threads, double wall_s,
            uint64_t facts);
+
+  /// Same record plus the optional cache columns.
+  void Add(std::string name, int docs, int threads, double wall_s,
+           uint64_t facts, const CacheFields& cache);
 
   /// Writes all entries as a JSON array to `path` (overwrites). Returns
   /// false on I/O failure.

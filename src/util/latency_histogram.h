@@ -1,0 +1,51 @@
+// Log-bucketed latency histogram for service-wide metrics: constant-size,
+// mergeable, with interpolated p50/p95/p99 queries. Resolution is
+// 2^(1/4) per bucket (~19% relative error worst case), which is plenty for
+// "is warm an order of magnitude below cold" serving questions.
+#ifndef QKBFLY_UTIL_LATENCY_HISTOGRAM_H_
+#define QKBFLY_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace qkbfly {
+
+/// Fixed-size histogram over latencies. Buckets are geometric in
+/// microseconds: bucket i covers [2^(i/4), 2^((i+1)/4)) us, so the range
+/// spans sub-microsecond to ~17 minutes. Not internally synchronized;
+/// owners guard it (KbService) or keep one per thread and Merge().
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+
+  /// Adds all of `other`'s samples to this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_s_; }
+  double max_seconds() const { return max_s_; }
+
+  /// Interpolated percentile in seconds; `p` in [0, 1]. Returns 0 when empty.
+  double PercentileSeconds(double p) const;
+
+  /// One-line "count N  min A ms  p50 B ms  p95 C ms  p99 D ms  max E ms".
+  std::string Report() const;
+
+ private:
+  // 160 quarter-octave buckets: 2^(160/4) us ~= 1.1e6 s upper bound.
+  static constexpr int kBuckets = 160;
+
+  static int BucketFor(double seconds);
+  static double BucketLowerSeconds(int bucket);
+  static double BucketUpperSeconds(int bucket);
+
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  double min_s_ = 0.0;
+  double max_s_ = 0.0;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,73 @@
+#include "util/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace qkbfly {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(BenchReportTest, WritesPlainEntries) {
+  BenchReport report;
+  report.Add("workload/a", 10, 2, 1.5, 42);
+  std::string path = TempPath("bench_plain.json");
+  ASSERT_TRUE(report.WriteJson(path));
+  std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"name\": \"workload/a\""), std::string::npos);
+  EXPECT_NE(json.find("\"docs\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"facts\": 42"), std::string::npos);
+  // No cache columns unless attached.
+  EXPECT_EQ(json.find("\"hits\""), std::string::npos);
+  EXPECT_EQ(json.find("\"hit_rate\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, WritesCacheFieldsWhenAttached) {
+  BenchReport report;
+  BenchReport::CacheFields cache;
+  cache.hits = 90;
+  cache.misses = 10;
+  cache.hit_rate = 0.9;
+  cache.p95_ms = 12.5;
+  report.Add("service_warm", 100, 1, 0.25, 300, cache);
+  report.Add("no_cache", 5, 1, 0.1, 7);
+  std::string path = TempPath("bench_cache.json");
+  ASSERT_TRUE(report.WriteJson(path));
+  std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"hits\": 90"), std::string::npos);
+  EXPECT_NE(json.find("\"misses\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\": 0.9000"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\": 12.5000"), std::string::npos);
+  // The cache-free record in the same file stays schema-compatible.
+  EXPECT_NE(json.find("\"name\": \"no_cache\""), std::string::npos);
+  size_t second = json.find("\"name\": \"no_cache\"");
+  EXPECT_EQ(json.find("\"hits\"", second), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, EscapesNames) {
+  BenchReport report;
+  report.Add("quo\"te", 1, 1, 0.0, 0);
+  std::string path = TempPath("bench_escape.json");
+  ASSERT_TRUE(report.WriteJson(path));
+  std::string json = ReadFile(path);
+  EXPECT_NE(json.find("quo\\\"te"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qkbfly

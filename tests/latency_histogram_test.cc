@@ -1,0 +1,94 @@
+#include "util/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qkbfly {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+  EXPECT_EQ(h.min_seconds(), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, TracksExactExtremes) {
+  LatencyHistogram h;
+  h.Record(0.002);
+  h.Record(0.050);
+  h.Record(0.010);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.002);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.050);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(0.0), 0.002);
+  EXPECT_DOUBLE_EQ(h.PercentileSeconds(1.0), 0.050);
+}
+
+TEST(LatencyHistogramTest, PercentilesApproximateWithinBucketResolution) {
+  LatencyHistogram h;
+  // 1..100 ms uniformly.
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i) * 1e-3);
+  // Quarter-octave buckets: relative error bounded by 2^(1/4) ~= 1.19.
+  double p50 = h.PercentileSeconds(0.50);
+  EXPECT_GT(p50, 0.050 / 1.25);
+  EXPECT_LT(p50, 0.050 * 1.25);
+  double p95 = h.PercentileSeconds(0.95);
+  EXPECT_GT(p95, 0.095 / 1.25);
+  EXPECT_LT(p95, 0.100 + 1e-12);  // clamped to the exact max
+  EXPECT_GE(h.PercentileSeconds(0.99), p95);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 37; ++i) h.Record(static_cast<double>(i * i) * 1e-5);
+  double prev = 0.0;
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    double value = h.PercentileSeconds(p);
+    EXPECT_GE(value, prev) << "p=" << p;
+    prev = value;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 1; i <= 50; ++i) {
+    double v = static_cast<double>(i) * 1e-3;
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.min_seconds(), combined.min_seconds());
+  EXPECT_DOUBLE_EQ(a.max_seconds(), combined.max_seconds());
+  for (double p : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.PercentileSeconds(p), combined.PercentileSeconds(p));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(0.004);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min_seconds(), 0.004);
+  a.Merge(LatencyHistogram());  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(LatencyHistogramTest, ReportMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Record(0.001);
+  std::string report = h.Report();
+  EXPECT_NE(report.find("count 1"), std::string::npos);
+  EXPECT_NE(report.find("p95"), std::string::npos);
+  EXPECT_NE(report.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -99,13 +99,13 @@ TEST_F(ParallelBuildTest, DocumentResultsKeepInputOrderAndTimings) {
 }
 
 TEST_F(ParallelBuildTest, LooseCandidateCacheCountsHits) {
-  LooseCacheStats before = dataset_->repository->loose_cache_stats();
+  CacheStats before = dataset_->repository->loose_cache_stats();
   (void)Build(4);
-  LooseCacheStats after = dataset_->repository->loose_cache_stats();
-  EXPECT_GT(after.lookups, before.lookups);
+  CacheStats after = dataset_->repository->loose_cache_stats();
+  EXPECT_GT(after.Lookups(), before.Lookups());
   // A second identical build hits the warm cache on every mention.
   (void)Build(4);
-  LooseCacheStats warm = dataset_->repository->loose_cache_stats();
+  CacheStats warm = dataset_->repository->loose_cache_stats();
   EXPECT_GT(warm.hits, after.hits);
 }
 

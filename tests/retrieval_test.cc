@@ -63,6 +63,59 @@ TEST(Bm25Test, DeterministicTieBreak) {
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc->id, b[i].doc->id);
 }
 
+TEST(Bm25Test, EmptyQueryYieldsNothing) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  EXPECT_TRUE(index.Search("", 5).empty());
+  EXPECT_TRUE(index.Search("   \t  ", 5).empty());
+  EXPECT_TRUE(index.Search("...!?", 5).empty());  // punctuation-only
+}
+
+TEST(Bm25Test, KLargerThanCollectionReturnsAllMatches) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  auto hits = index.Search("Liverpool", 1000);
+  EXPECT_LE(hits.size(), store.size());
+  EXPECT_EQ(hits.size(), 2u);  // d3 and d4 mention Liverpool
+}
+
+TEST(Bm25Test, KZeroReturnsNothing) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  EXPECT_TRUE(index.Search("Liverpool", 0).empty());
+}
+
+TEST(Bm25Test, AbsentTermsMixedWithPresentStillScore) {
+  DocumentStore store = MakeStore();
+  Bm25Index index;
+  index.Build(&store);
+  // The unknown terms contribute nothing; the known term still ranks.
+  auto hits = index.Search("zzyzx Liverpool frobnicate", 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc->id, "d3");
+}
+
+TEST(Bm25Test, EmptyCollectionIsSearchable) {
+  DocumentStore store;
+  Bm25Index index;
+  index.Build(&store);
+  EXPECT_EQ(index.document_count(), 0u);
+  EXPECT_TRUE(index.Search("anything", 5).empty());
+}
+
+TEST(SearchEngineTest, RetrieveHandlesUnknownQueryAndLargeK) {
+  DocumentStore wiki = MakeStore();
+  DocumentStore news;
+  SearchEngine engine(&wiki, &news);
+  EXPECT_TRUE(
+      engine.Retrieve("totally unseen", SearchEngine::Source::kNews, 10).empty());
+  auto docs = engine.Retrieve("Liverpool", SearchEngine::Source::kWikipedia, 99);
+  EXPECT_GE(docs.size(), 2u);  // exact-title doc plus BM25 hits, no crash
+}
+
 TEST(SearchEngineTest, ExactTitleFirst) {
   DocumentStore wiki = MakeStore();
   DocumentStore news;

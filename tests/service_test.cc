@@ -1,0 +1,272 @@
+// Serving-layer tests: warm/cold KB identity, single-flight deduplication,
+// byte-budget eviction, and a concurrent-query stress run (labeled tsan and
+// asan; run the sanitizer trees via ctest -L tsan / -L asan).
+#include "service/kb_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/document_result_cache.h"
+#include "synth/dataset.h"
+
+namespace qkbfly {
+namespace {
+
+/// Full text rendering of a KB (same shape as parallel_build_test): any
+/// warm-vs-cold divergence shows up here.
+std::string Serialize(const OnTheFlyKb& kb) {
+  std::string out;
+  char buf[64];
+  for (const Fact& f : kb.facts()) {
+    std::snprintf(buf, sizeof(buf), " conf=%.12f pattern=", f.confidence);
+    out += kb.FactToString(f);
+    out += buf;
+    out += kb.RelationName(f.relation);
+    out += '\n';
+  }
+  for (const EmergingEntity& e : kb.emerging_entities()) {
+    out += "emerging " + e.representative + ":";
+    for (const std::string& m : e.mentions) out += " " + m;
+    out += '\n';
+  }
+  return out;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.wiki_eval_articles = 12;
+    config.news_docs = 8;
+    dataset_ = BuildDataset(config).release();
+    wiki_ = new DocumentStore();
+    news_ = new DocumentStore();
+    for (const GoldDocument& gd : dataset_->wiki_eval) {
+      ASSERT_TRUE(wiki_->Add(gd.doc).ok());
+    }
+    for (const GoldDocument& gd : dataset_->news) {
+      ASSERT_TRUE(news_->Add(gd.doc).ok());
+    }
+    search_ = new SearchEngine(wiki_, news_);
+    engine_ = new QkbflyEngine(dataset_->repository.get(), &dataset_->patterns,
+                               &dataset_->stats, EngineConfig());
+  }
+
+  static std::vector<std::string> SomeQueries(size_t n) {
+    std::vector<std::string> queries;
+    for (const GoldDocument& gd : dataset_->wiki_eval) {
+      if (queries.size() >= n) break;
+      queries.push_back(gd.doc.title);
+    }
+    return queries;
+  }
+
+  static SynthDataset* dataset_;
+  static DocumentStore* wiki_;
+  static DocumentStore* news_;
+  static SearchEngine* search_;
+  static QkbflyEngine* engine_;
+};
+
+SynthDataset* ServiceTest::dataset_ = nullptr;
+DocumentStore* ServiceTest::wiki_ = nullptr;
+DocumentStore* ServiceTest::news_ = nullptr;
+SearchEngine* ServiceTest::search_ = nullptr;
+QkbflyEngine* ServiceTest::engine_ = nullptr;
+
+DocumentResult FakeResult(const std::string& id) {
+  DocumentResult r;
+  r.annotated.id = id;
+  r.annotated.title = "title of " + id;
+  return r;
+}
+
+TEST_F(ServiceTest, WarmAnswerIsByteIdenticalToCold) {
+  KbService service(engine_, search_);
+  std::string query = dataset_->wiki_eval.front().doc.title;
+
+  KbService::QueryResult cold = service.Answer(query);
+  ASSERT_GT(cold.kb.size(), 0u);
+  ASSERT_GT(cold.stats.documents, 0u);
+  EXPECT_EQ(cold.stats.cache.hits, 0u);
+  EXPECT_EQ(cold.stats.cache.misses, cold.stats.documents);
+
+  KbService::QueryResult warm = service.Answer(query);
+  EXPECT_EQ(Serialize(warm.kb), Serialize(cold.kb));
+  EXPECT_EQ(warm.answers, cold.answers);
+  EXPECT_EQ(warm.stats.cache.misses, 0u);
+  EXPECT_EQ(warm.stats.cache.hits, warm.stats.documents);
+  EXPECT_DOUBLE_EQ(warm.stats.CacheHitRate(), 1.0);
+}
+
+TEST_F(ServiceTest, ServiceBuildMatchesUncachedEngineBuild) {
+  KbService service(engine_, search_);
+  std::vector<const Document*> docs;
+  for (const GoldDocument& gd : dataset_->wiki_eval) docs.push_back(&gd.doc);
+
+  std::string uncached = Serialize(engine_->BuildKb(docs));
+  EXPECT_EQ(Serialize(service.BuildKb(docs)), uncached);  // cold
+  EXPECT_EQ(Serialize(service.BuildKb(docs)), uncached);  // warm
+}
+
+TEST_F(ServiceTest, MetricsAccumulateAcrossQueries) {
+  KbService service(engine_, search_);
+  auto queries = SomeQueries(4);
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& q : queries) (void)service.Answer(q);
+  }
+  KbService::Metrics m = service.metrics();
+  EXPECT_EQ(m.queries, queries.size() * 2);
+  EXPECT_EQ(m.latency.count(), queries.size() * 2);
+  EXPECT_GT(m.latency.PercentileSeconds(0.95), 0.0);
+  EXPECT_GT(m.cache.hits, 0u);
+  EXPECT_GT(m.cache.misses, 0u);
+  EXPECT_GT(service.cache().entry_count(), 0u);
+  EXPECT_LE(service.cache().ApproxBytesUsed(), service.cache().byte_budget());
+}
+
+TEST_F(ServiceTest, ConcurrentQueriesAreSafeAndDeterministic) {
+  KbService service(engine_, search_);
+  auto queries = SomeQueries(4);
+
+  // Expected KBs from a serial pass.
+  std::vector<std::string> expected;
+  for (const std::string& q : queries) {
+    expected.push_back(Serialize(service.Answer(q).kb));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        size_t qi = static_cast<size_t>(t + round) % queries.size();
+        KbService::QueryResult r = service.Answer(queries[qi]);
+        if (Serialize(r.kb) != expected[qi]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.metrics().queries,
+            queries.size() + kThreads * kRounds);
+}
+
+TEST(DocumentResultCacheTest, SingleFlightComputesOnce) {
+  DocumentResultCache cache;
+  std::atomic<int> computations{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      auto result = cache.FetchOrCompute("doc", "fp", [&] {
+        ++computations;
+        // Hold the in-flight window open so the other threads join it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return FakeResult("doc");
+      });
+      EXPECT_EQ(result->annotated.id, "doc");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(computations.load(), 1);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(DocumentResultCacheTest, DistinguishesConfigFingerprints) {
+  DocumentResultCache cache;
+  int computations = 0;
+  auto compute = [&] {
+    ++computations;
+    return FakeResult("doc");
+  };
+  (void)cache.FetchOrCompute("doc", "fp-a", compute);
+  (void)cache.FetchOrCompute("doc", "fp-b", compute);
+  (void)cache.FetchOrCompute("doc", "fp-a", compute);
+  EXPECT_EQ(computations, 2);
+}
+
+TEST(DocumentResultCacheTest, EvictsLruUnderByteBudget) {
+  // One shard so LRU order is global; a budget of ~3 fake entries.
+  DocumentResultCache::Options options;
+  options.num_shards = 1;
+  size_t entry_bytes = 0;
+  {
+    DocumentResultCache probe(options);
+    (void)probe.FetchOrCompute("probe", "fp",
+                               [] { return FakeResult("probe"); });
+    entry_bytes = probe.ApproxBytesUsed();
+    ASSERT_GT(entry_bytes, 0u);
+  }
+  options.byte_budget = 3 * entry_bytes + entry_bytes / 2;
+  DocumentResultCache cache(options);
+  for (int i = 0; i < 10; ++i) {
+    std::string id = "doc" + std::to_string(i);
+    (void)cache.FetchOrCompute(id, "fp", [&] { return FakeResult(id); });
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(cache.ApproxBytesUsed(), cache.byte_budget());
+  EXPECT_LT(cache.entry_count(), 10u);
+
+  // The most recent key survived; the oldest was evicted and recomputes.
+  bool hit = false;
+  (void)cache.FetchOrCompute("doc9", "fp", [] { return FakeResult("doc9"); },
+                             &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.FetchOrCompute("doc0", "fp", [] { return FakeResult("doc0"); },
+                             &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(DocumentResultCacheTest, ClearDropsResidentEntries) {
+  DocumentResultCache cache;
+  (void)cache.FetchOrCompute("doc", "fp", [] { return FakeResult("doc"); });
+  ASSERT_EQ(cache.entry_count(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.ApproxBytesUsed(), 0u);
+  bool hit = true;
+  (void)cache.FetchOrCompute("doc", "fp", [] { return FakeResult("doc"); },
+                             &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(ServiceTest, ApproxBytesGrowsWithContent) {
+  DocumentResult empty;
+  DocumentResult real = engine_->ProcessDocument(dataset_->wiki_eval.front().doc);
+  EXPECT_GT(real.ApproxBytes(), empty.ApproxBytes());
+}
+
+TEST_F(ServiceTest, FingerprintSeparatesResultChangingConfigs) {
+  EngineConfig base;
+  EngineConfig threads = base;
+  threads.num_threads = 8;  // scheduling only: same results, same fingerprint
+  EXPECT_EQ(base.Fingerprint(), threads.Fingerprint());
+
+  EngineConfig triples = base;
+  triples.canon.triples_only = true;
+  EXPECT_NE(base.Fingerprint(), triples.Fingerprint());
+
+  EngineConfig mode = base;
+  mode.mode = InferenceMode::kPipeline;
+  EXPECT_NE(base.Fingerprint(), mode.Fingerprint());
+
+  EngineConfig alphas = base;
+  alphas.params.alpha1 += 0.01;
+  EXPECT_NE(base.Fingerprint(), alphas.Fingerprint());
+}
+
+}  // namespace
+}  // namespace qkbfly
