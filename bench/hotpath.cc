@@ -1,0 +1,249 @@
+// Single-core hot-path bench: per-stage throughput for the cold document
+// path (annotate tokens/s, gazetteer positions/s, graph-build nodes+edges/s,
+// densify edges-removed/s) plus cold end-to-end p50/p95. Writes the
+// machine-readable BENCH_hotpath.json; `--smoke` runs a tiny corpus and
+// schema-validates the output (used by the bench-smoke ctest label).
+//
+// The committed BENCH_hotpath_baseline.json was produced by this binary
+// before the trie-gazetteer / interned-token / heap-densifier rewrite, so
+// the before/after stage throughputs are recorded side by side in the repo.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/qkbfly.h"
+#include "graph/graph_builder.h"
+#include "parser/malt_parser.h"
+#include "synth/dataset.h"
+#include "util/bench_report.h"
+#include "util/timer.h"
+
+namespace qkbfly {
+namespace {
+
+struct StageResult {
+  double wall_s = 0.0;
+  uint64_t items = 0;
+  uint64_t facts_accumulator = 0;  ///< Secondary counter (gazetteer matches).
+  TimingStats per_doc;
+};
+
+BenchReport::StageFields ToFields(const StageResult& r) {
+  BenchReport::StageFields fields;
+  fields.items = r.items;
+  fields.rate = r.wall_s > 0.0 ? static_cast<double>(r.items) / r.wall_s : 0.0;
+  fields.p50_ms = r.per_doc.Percentile(0.50) * 1e3;
+  fields.p95_ms = r.per_doc.Percentile(0.95) * 1e3;
+  return fields;
+}
+
+void Print(const char* name, const StageResult& r, const char* unit) {
+  std::printf("%-18s %9.3f s  %10llu %-14s %12.0f /s  p50 %8.3f ms  "
+              "p95 %8.3f ms\n",
+              name, r.wall_s, static_cast<unsigned long long>(r.items), unit,
+              r.wall_s > 0.0 ? static_cast<double>(r.items) / r.wall_s : 0.0,
+              r.per_doc.Percentile(0.50) * 1e3,
+              r.per_doc.Percentile(0.95) * 1e3);
+}
+
+int Run(bool smoke) {
+  DatasetConfig config;
+  config.wiki_eval_articles = smoke ? 6 : 60;
+  config.news_docs = smoke ? 4 : 40;
+  auto ds = BuildDataset(config);
+
+  std::vector<const Document*> docs;
+  for (const GoldDocument& gd : ds->wiki_eval) docs.push_back(&gd.doc);
+  for (const GoldDocument& gd : ds->news) docs.push_back(&gd.doc);
+  const int reps = smoke ? 1 : 20;
+
+  std::printf("Hot-path bench: %zu documents, %d repetitions%s\n\n",
+              docs.size(), reps, smoke ? " (smoke)" : "");
+
+  NlpPipeline nlp(ds->repository.get());
+  BenchReport report;
+
+  // --- annotate: tokenize + POS + time + NER + chunk ------------------------
+  StageResult annotate;
+  std::vector<AnnotatedDocument> annotated;
+  annotated.reserve(docs.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const Document* doc : docs) {
+      WallTimer t;
+      AnnotatedDocument ad = nlp.Annotate(doc->id, doc->title, doc->text);
+      annotate.per_doc.Add(t.ElapsedSeconds());
+      annotate.wall_s += t.ElapsedSeconds();
+      for (const AnnotatedSentence& s : ad.sentences) {
+        annotate.items += s.tokens.size();
+      }
+      if (rep == 0) annotated.push_back(std::move(ad));
+    }
+  }
+  Print("annotate", annotate, "tokens");
+  report.Add("hotpath/annotate", static_cast<int>(docs.size()) * reps, 1,
+             annotate.wall_s, annotate.items, ToFields(annotate));
+
+  // --- gazetteer: LongestMatchAt at every token position --------------------
+  {
+    StageResult gaz;
+    const int gaz_reps = reps;
+    for (int rep = 0; rep < gaz_reps; ++rep) {
+      for (const AnnotatedDocument& ad : annotated) {
+        WallTimer t;
+        uint64_t matches = 0;
+        uint64_t positions = 0;
+        for (const AnnotatedSentence& s : ad.sentences) {
+          const int n = static_cast<int>(s.tokens.size());
+          for (int i = 0; i < n; ++i) {
+            NerType type = NerType::kNone;
+            if (ds->repository->LongestMatchAt(s.tokens, i, &type) > 0) {
+              ++matches;
+            }
+            ++positions;
+          }
+        }
+        gaz.per_doc.Add(t.ElapsedSeconds());
+        gaz.wall_s += t.ElapsedSeconds();
+        gaz.items += positions;
+        gaz.facts_accumulator += matches;
+      }
+    }
+    Print("gazetteer", gaz, "positions");
+    report.Add("hotpath/gazetteer", static_cast<int>(docs.size()) * gaz_reps,
+               1, gaz.wall_s, gaz.facts_accumulator, ToFields(gaz));
+  }
+
+  // --- gazetteer (linear reference): same workload on the pre-trie path -----
+  {
+    StageResult gaz;
+    const int gaz_reps = reps;
+    for (int rep = 0; rep < gaz_reps; ++rep) {
+      for (const AnnotatedDocument& ad : annotated) {
+        WallTimer t;
+        uint64_t matches = 0;
+        uint64_t positions = 0;
+        for (const AnnotatedSentence& s : ad.sentences) {
+          const int n = static_cast<int>(s.tokens.size());
+          for (int i = 0; i < n; ++i) {
+            NerType type = NerType::kNone;
+            if (ds->repository->LongestMatchAtLinear(s.tokens, i, &type) > 0) {
+              ++matches;
+            }
+            ++positions;
+          }
+        }
+        gaz.per_doc.Add(t.ElapsedSeconds());
+        gaz.wall_s += t.ElapsedSeconds();
+        gaz.items += positions;
+        gaz.facts_accumulator += matches;
+      }
+    }
+    Print("gazetteer-linear", gaz, "positions");
+    report.Add("hotpath/gazetteer_linear",
+               static_cast<int>(docs.size()) * gaz_reps, 1, gaz.wall_s,
+               gaz.facts_accumulator, ToFields(gaz));
+  }
+
+  // --- graph build ----------------------------------------------------------
+  GraphBuilder builder(ds->repository.get(), std::make_unique<MaltLikeParser>(),
+                       GraphBuilder::Options());
+  StageResult graph_stage;
+  std::vector<SemanticGraph> graphs;
+  graphs.reserve(annotated.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const AnnotatedDocument& ad : annotated) {
+      WallTimer t;
+      SemanticGraph g = builder.Build(ad);
+      graph_stage.per_doc.Add(t.ElapsedSeconds());
+      graph_stage.wall_s += t.ElapsedSeconds();
+      graph_stage.items += g.node_count() + g.edge_count();
+      if (rep == 0) graphs.push_back(std::move(g));
+    }
+  }
+  Print("graph-build", graph_stage, "nodes+edges");
+  report.Add("hotpath/graph", static_cast<int>(docs.size()) * reps, 1,
+             graph_stage.wall_s, graph_stage.items, ToFields(graph_stage));
+
+  // --- densify --------------------------------------------------------------
+  GreedyDensifier densifier(&ds->stats, ds->repository.get(), DensifyParams());
+  StageResult densify;
+  const int densify_reps = smoke ? 1 : 6;
+  for (int rep = 0; rep < densify_reps; ++rep) {
+    std::vector<SemanticGraph> copies = graphs;  // densify mutates the graph
+    for (size_t i = 0; i < copies.size(); ++i) {
+      WallTimer t;
+      DensifyResult r = densifier.Densify(&copies[i], annotated[i]);
+      densify.per_doc.Add(t.ElapsedSeconds());
+      densify.wall_s += t.ElapsedSeconds();
+      densify.items += static_cast<uint64_t>(r.edges_removed);
+    }
+  }
+  Print("densify", densify, "edges-removed");
+  report.Add("hotpath/densify", static_cast<int>(docs.size()) * densify_reps,
+             1, densify.wall_s, densify.items, ToFields(densify));
+
+  // --- densify (scan reference): same graphs on the pre-heap loop ----------
+  {
+    GreedyDensifier scan_densifier(&ds->stats, ds->repository.get(),
+                                   DensifyParams(), DensifyStrategy::kScan);
+    StageResult densify_scan;
+    for (int rep = 0; rep < densify_reps; ++rep) {
+      std::vector<SemanticGraph> copies = graphs;
+      for (size_t i = 0; i < copies.size(); ++i) {
+        WallTimer t;
+        DensifyResult r = scan_densifier.Densify(&copies[i], annotated[i]);
+        densify_scan.per_doc.Add(t.ElapsedSeconds());
+        densify_scan.wall_s += t.ElapsedSeconds();
+        densify_scan.items += static_cast<uint64_t>(r.edges_removed);
+      }
+    }
+    Print("densify-scan", densify_scan, "edges-removed");
+    report.Add("hotpath/densify_scan",
+               static_cast<int>(docs.size()) * densify_reps, 1,
+               densify_scan.wall_s, densify_scan.items,
+               ToFields(densify_scan));
+  }
+
+  // --- cold end-to-end ------------------------------------------------------
+  EngineConfig engine_config;
+  QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
+                      engine_config);
+  StageResult cold;
+  for (const Document* doc : docs) {
+    WallTimer t;
+    DocumentResult r = engine.ProcessDocument(*doc);
+    cold.per_doc.Add(t.ElapsedSeconds());
+    cold.wall_s += t.ElapsedSeconds();
+    cold.items += r.densified.assignments.size();
+  }
+  Print("cold-document", cold, "assignments");
+  report.Add("hotpath/cold", static_cast<int>(docs.size()), 1, cold.wall_s,
+             cold.items, ToFields(cold));
+
+  const char* path = "BENCH_hotpath.json";
+  if (!report.WriteJson(path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", path);
+    return 1;
+  }
+  std::printf("\nWrote %s\n", path);
+
+  std::string error;
+  if (!BenchReport::ValidateJsonFile(path, &error)) {
+    std::fprintf(stderr, "SCHEMA VALIDATION FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("Schema validation: ok\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace qkbfly
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return qkbfly::Run(smoke);
+}

@@ -15,10 +15,14 @@
 namespace qkbfly {
 namespace {
 
+// Set by --smoke (the bench-smoke ctest label): shrinks the dataset so the
+// whole suite doubles as a fast build-health check.
+bool g_smoke = false;
+
 const SynthDataset& Dataset() {
   static const SynthDataset* ds = [] {
     DatasetConfig config;
-    config.wiki_eval_articles = 20;
+    config.wiki_eval_articles = g_smoke ? 6 : 20;
     return BuildDataset(config).release();
   }();
   return *ds;
@@ -131,4 +135,19 @@ BENCHMARK(BM_Bm25Search);
 }  // namespace
 }  // namespace qkbfly
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --smoke before benchmark flag parsing (it would be rejected).
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      qkbfly::g_smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,6 +4,7 @@
 // and writes the machine-readable BENCH_pipeline.json
 // ({name, docs, threads, wall_s, facts} records).
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,10 @@ std::string Serialize(const OnTheFlyKb& kb) {
   return out;
 }
 
-void Run() {
+int Run(bool smoke) {
   DatasetConfig config;
-  config.wiki_eval_articles = 60;
-  config.news_docs = 40;
+  config.wiki_eval_articles = smoke ? 6 : 60;
+  config.news_docs = smoke ? 4 : 40;
   auto ds = BuildDataset(config);
 
   std::vector<const Document*> docs;
@@ -50,7 +51,10 @@ void Run() {
   BenchReport report;
   std::string serial_kb;
   double serial_wall = 0.0;
-  for (int threads : {1, 2, 4, 8}) {
+  bool mismatches = false;
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  for (int threads : thread_counts) {
     EngineConfig engine_config;
     engine_config.num_threads = threads;
     QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
@@ -66,9 +70,11 @@ void Run() {
       serial_kb = serialized;
       serial_wall = wall;
     }
+    bool identical = serialized == serial_kb;
+    if (!identical) mismatches = true;
     std::printf("%8d %10.3f %8.2fx %8zu %10s\n", threads, wall,
                 serial_wall / wall, kb.size(),
-                serialized == serial_kb ? "yes" : "NO << BUG");
+                identical ? "yes" : "NO << BUG");
 
     // Cache columns: this run's LooseCandidates memo delta plus the p95 of
     // per-document wall time.
@@ -96,12 +102,16 @@ void Run() {
   if (report.WriteJson("BENCH_pipeline.json")) {
     std::printf("Wrote BENCH_pipeline.json\n");
   }
+  return mismatches ? 1 : 0;
 }
 
 }  // namespace
 }  // namespace qkbfly
 
-int main() {
-  qkbfly::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return qkbfly::Run(smoke);
 }

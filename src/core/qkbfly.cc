@@ -36,7 +36,7 @@ size_t AnnotatedBytes(const AnnotatedDocument& doc) {
   for (const AnnotatedSentence& s : doc.sentences) {
     bytes += sizeof(s) + s.text.size();
     for (const Token& t : s.tokens) {
-      bytes += sizeof(t) + t.text.size() + t.lemma.size();
+      bytes += sizeof(t) + t.text.size() + t.lower.size() + t.lemma.size();
     }
     bytes += s.np_chunks.size() * sizeof(TokenSpan);
     bytes += s.ner_mentions.size() * sizeof(NerMention);
@@ -66,6 +66,7 @@ size_t GraphBytes(const SemanticGraph& graph) {
 size_t DensifiedBytes(const DensifyResult& densified) {
   return sizeof(densified) +
          densified.assignments.size() * sizeof(DensifyResult::Assignment) +
+         densified.removal_order.size() * sizeof(EdgeId) +
          densified.pronoun_antecedents.size() *
              (sizeof(NodeId) * 2 + sizeof(void*) * 2);
 }

@@ -95,10 +95,23 @@ double BackgroundStats::TypeSignature(TypeId t1, std::string_view pattern,
 double BackgroundStats::TypeSignatureSum(
     const std::vector<TypeId>& subject_types, std::string_view pattern,
     const std::vector<TypeId>& object_types) const {
+  if (subject_types.empty() || object_types.empty()) return 0.0;
+  // The pattern tables are resolved once per call, not once per type pair:
+  // each term is still count/total summed in the same nested-loop order, so
+  // the result is bit-identical to summing TypeSignature() per pair.
+  std::string key(pattern);
+  auto it = type_sig_counts_.find(key);
+  if (it == type_sig_counts_.end()) return 0.0;
+  auto total = type_sig_totals_.find(key);
+  QKB_CHECK(total != type_sig_totals_.end());
+  const auto& counts = it->second;
+  const double denom = static_cast<double>(total->second);
   double sum = 0.0;
   for (TypeId t1 : subject_types) {
     for (TypeId t2 : object_types) {
-      sum += TypeSignature(t1, pattern, t2);
+      auto jt = counts.find(TypePairKey(t1, t2));
+      if (jt == counts.end()) continue;
+      sum += static_cast<double>(jt->second) / denom;
     }
   }
   return sum;

@@ -30,10 +30,38 @@ EdgeWeights::EdgeWeights(const SemanticGraph* graph, const AnnotatedDocument* do
 }
 
 const std::vector<EntityId>& EdgeWeights::ExactCandidates(NodeId np) const {
-  return repository_->CandidatesForAlias(graph_->node(np).text);
+  auto it = exact_cache_.find(np);
+  if (it == exact_cache_.end()) {
+    it = exact_cache_
+             .emplace(np, &repository_->CandidatesForAlias(graph_->node(np).text))
+             .first;
+  }
+  return *it->second;
+}
+
+const std::unordered_set<EntityId>& EdgeWeights::ExactSet(NodeId np) const {
+  auto it = exact_sets_.find(np);
+  if (it == exact_sets_.end()) {
+    const auto& exact = ExactCandidates(np);
+    it = exact_sets_
+             .emplace(np, std::unordered_set<EntityId>(exact.begin(), exact.end()))
+             .first;
+  }
+  return it->second;
+}
+
+double EdgeWeights::CachedCoherence(EntityId e1, EntityId e2) const {
+  const uint64_t key = (static_cast<uint64_t>(e1) << 32) | e2;
+  auto [it, inserted] = coherence_cache_.try_emplace(key, 0.0);
+  if (inserted) it->second = stats_->Coherence(e1, e2);
+  return it->second;
 }
 
 double EdgeWeights::MeansWeight(NodeId np, EntityId entity) const {
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(np)) << 32) | entity;
+  auto [cached, inserted] = means_cache_.try_emplace(key, 0.0);
+  if (!inserted) return cached->second;
   const GraphNode& node = graph_->node(np);
   double prior = stats_->Prior(node.text, entity);
   double sim = 0.0;
@@ -44,10 +72,9 @@ double EdgeWeights::MeansWeight(NodeId np, EntityId entity) const {
   double weight = params_.alpha1 * prior + params_.alpha2 * sim;
   // Loose dictionary candidates (partial-name matches) are dampened: the
   // mention is not an actual alias of the entity.
-  const auto& exact = repository_->CandidatesForAlias(node.text);
-  bool is_exact =
-      std::find(exact.begin(), exact.end(), entity) != exact.end();
-  return is_exact ? weight : 0.3 * weight;
+  bool is_exact = ExactSet(np).count(entity) > 0;
+  cached->second = is_exact ? weight : 0.3 * weight;
+  return cached->second;
 }
 
 const std::vector<TypeId>& EdgeWeights::TypesOf(EntityId e) const {
@@ -62,16 +89,22 @@ const std::vector<TypeId>& EdgeWeights::TypesOf(EntityId e) const {
   return type_cache_.emplace(e, std::move(all)).first->second;
 }
 
-std::vector<TypeId> EdgeWeights::LiteralTypes(const GraphNode& node) const {
+const std::vector<TypeId>& EdgeWeights::LiteralTypes(NodeId id,
+                                                     const GraphNode& node) const {
+  auto it = literal_type_cache_.find(id);
+  if (it != literal_type_cache_.end()) return it->second;
   const TypeSystem& ts = repository_->type_system();
-  if (node.ner == NerType::kTime) return {ts.time()};
-  if (node.ner == NerType::kNumber) return {ts.number()};
-  // Out-of-repository names still carry their coarse NER type, which lets
-  // type signatures constrain relations with emerging arguments.
-  if (node.ner != NerType::kNone) {
-    if (auto type = ts.Find(NerTypeName(node.ner))) return {*type};
+  std::vector<TypeId> out;
+  if (node.ner == NerType::kTime) {
+    out = {ts.time()};
+  } else if (node.ner == NerType::kNumber) {
+    out = {ts.number()};
+  } else if (node.ner != NerType::kNone) {
+    // Out-of-repository names still carry their coarse NER type, which lets
+    // type signatures constrain relations with emerging arguments.
+    if (auto type = ts.Find(NerTypeName(node.ner))) out = {*type};
   }
-  return {};
+  return literal_type_cache_.emplace(id, std::move(out)).first->second;
 }
 
 double EdgeWeights::RelationWeight(NodeId a, NodeId b, const std::string& pattern,
@@ -80,12 +113,10 @@ double EdgeWeights::RelationWeight(NodeId a, NodeId b, const std::string& patter
   // Loose (partial-name) candidates vote with the same 0.3 discount as in
   // the means weight, so they cannot out-shout exact alias matches.
   auto looseness = [this](NodeId node, const std::vector<EntityId>& candidates) {
-    const auto& exact = ExactCandidates(node);
+    const auto& exact = ExactSet(node);
     std::vector<double> factors(candidates.size(), 0.3);
     for (size_t i = 0; i < candidates.size(); ++i) {
-      if (std::find(exact.begin(), exact.end(), candidates[i]) != exact.end()) {
-        factors[i] = 1.0;
-      }
+      if (exact.count(candidates[i]) > 0) factors[i] = 1.0;
     }
     return factors;
   };
@@ -96,47 +127,66 @@ double EdgeWeights::RelationWeight(NodeId a, NodeId b, const std::string& patter
   for (size_t i = 0; i < candidates_a.size(); ++i) {
     for (size_t j = 0; j < candidates_b.size(); ++j) {
       coherence += factor_a[i] * factor_b[j] *
-                   stats_->Coherence(candidates_a[i], candidates_b[j]);
+                   CachedCoherence(candidates_a[i], candidates_b[j]);
     }
   }
 
   // Type-signature score: every candidate (or literal) type combination,
-  // candidates discounted by their looseness factor.
+  // candidates discounted by their looseness factor. The per-pair sums are
+  // memoized: side keys are entity ids, or literal node ids tagged with the
+  // high bit; an (absurdly large) entity id that would collide with the tag
+  // bypasses the cache instead.
+  constexpr uint64_t kLiteralBit = 0x80000000ull;
+  constexpr uint64_t kUncacheable = ~0ull;
   double ts_score = 0.0;
-  const GraphNode& node_a = graph_->node(a);
-  const GraphNode& node_b = graph_->node(b);
   std::vector<const std::vector<TypeId>*> types_a;
   std::vector<double> tf_a;
-  std::vector<std::vector<TypeId>> storage;
-  storage.reserve(2);
+  std::vector<uint64_t> key_a;
   for (size_t i = 0; i < candidates_a.size(); ++i) {
     types_a.push_back(&TypesOf(candidates_a[i]));
     tf_a.push_back(factor_a[i]);
+    key_a.push_back(candidates_a[i] < kLiteralBit ? candidates_a[i]
+                                                  : kUncacheable);
   }
   if (candidates_a.empty()) {
-    storage.push_back(LiteralTypes(node_a));
-    if (!storage.back().empty()) {
-      types_a.push_back(&storage.back());
+    const auto& lit = LiteralTypes(a, graph_->node(a));
+    if (!lit.empty()) {
+      types_a.push_back(&lit);
       tf_a.push_back(1.0);
+      key_a.push_back(kLiteralBit | static_cast<uint64_t>(static_cast<uint32_t>(a)));
     }
   }
   std::vector<const std::vector<TypeId>*> types_b;
   std::vector<double> tf_b;
+  std::vector<uint64_t> key_b;
   for (size_t j = 0; j < candidates_b.size(); ++j) {
     types_b.push_back(&TypesOf(candidates_b[j]));
     tf_b.push_back(factor_b[j]);
+    key_b.push_back(candidates_b[j] < kLiteralBit ? candidates_b[j]
+                                                  : kUncacheable);
   }
   if (candidates_b.empty()) {
-    storage.push_back(LiteralTypes(node_b));
-    if (!storage.back().empty()) {
-      types_b.push_back(&storage.back());
+    const auto& lit = LiteralTypes(b, graph_->node(b));
+    if (!lit.empty()) {
+      types_b.push_back(&lit);
       tf_b.push_back(1.0);
+      key_b.push_back(kLiteralBit | static_cast<uint64_t>(static_cast<uint32_t>(b)));
     }
   }
+  auto& pattern_cache = ts_cache_[pattern];
   for (size_t i = 0; i < types_a.size(); ++i) {
     for (size_t j = 0; j < types_b.size(); ++j) {
-      ts_score += tf_a[i] * tf_b[j] *
-                  stats_->TypeSignatureSum(*types_a[i], pattern, *types_b[j]);
+      if (key_a[i] == kUncacheable || key_b[j] == kUncacheable) {
+        ts_score += tf_a[i] * tf_b[j] *
+                    stats_->TypeSignatureSum(*types_a[i], pattern, *types_b[j]);
+        continue;
+      }
+      const uint64_t pair_key = (key_a[i] << 32) | key_b[j];
+      auto [it, inserted] = pattern_cache.try_emplace(pair_key, 0.0);
+      if (inserted) {
+        it->second = stats_->TypeSignatureSum(*types_a[i], pattern, *types_b[j]);
+      }
+      ts_score += tf_a[i] * tf_b[j] * it->second;
     }
   }
 

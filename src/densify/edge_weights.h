@@ -5,7 +5,9 @@
 #ifndef QKBFLY_DENSIFY_EDGE_WEIGHTS_H_
 #define QKBFLY_DENSIFY_EDGE_WEIGHTS_H_
 
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "corpus/background_stats.h"
@@ -55,8 +57,17 @@ class EdgeWeights {
   /// Type ids (with ancestors) of an entity, cached.
   const std::vector<TypeId>& TypesOf(EntityId e) const;
 
-  /// Type ids of a literal node (TIME / NUMBER), possibly empty.
-  std::vector<TypeId> LiteralTypes(const GraphNode& node) const;
+  /// Type ids of a literal node (TIME / NUMBER), possibly empty; cached
+  /// per node.
+  const std::vector<TypeId>& LiteralTypes(NodeId id, const GraphNode& node) const;
+
+  /// ExactCandidates as a hash set, for O(1) membership in the looseness
+  /// factors.
+  const std::unordered_set<EntityId>& ExactSet(NodeId np) const;
+
+  /// Memoized stats_->Coherence(e1, e2), keyed on the pair in call order so
+  /// the cached value is the identical double.
+  double CachedCoherence(EntityId e1, EntityId e2) const;
 
   const SemanticGraph* graph_;
   const AnnotatedDocument* doc_;
@@ -67,6 +78,22 @@ class EdgeWeights {
   // Mention context vectors per text node, built once.
   std::unordered_map<NodeId, SparseVector> mention_contexts_;
   mutable std::unordered_map<EntityId, std::vector<TypeId>> type_cache_;
+
+  // The greedy loop re-evaluates the same node/entity pairs hundreds of
+  // times (Contribution toggles an edge and re-sums its neighborhood).
+  // All of these memoize PURE functions of the frozen graph + background
+  // stats — never of edge active flags — so a hit returns the bit-identical
+  // double the original computation would produce. The instance is
+  // per-document and single-threaded, matching the densifier's use.
+  mutable std::unordered_map<NodeId, const std::vector<EntityId>*> exact_cache_;
+  mutable std::unordered_map<NodeId, std::unordered_set<EntityId>> exact_sets_;
+  mutable std::unordered_map<NodeId, std::vector<TypeId>> literal_type_cache_;
+  mutable std::unordered_map<uint64_t, double> means_cache_;      // (np, entity)
+  mutable std::unordered_map<uint64_t, double> coherence_cache_;  // (e1, e2)
+  // pattern -> (side-key pair -> TypeSignatureSum); side keys are entity ids
+  // or literal node ids tagged with the high bit.
+  mutable std::unordered_map<std::string, std::unordered_map<uint64_t, double>>
+      ts_cache_;
 };
 
 }  // namespace qkbfly

@@ -31,23 +31,30 @@ DensifyEvaluator::DensifyEvaluator(SemanticGraph* graph,
 
 std::vector<EntityId> DensifyEvaluator::EntOfNp(NodeId np) const {
   std::vector<EntityId> out;
-  for (const auto& [edge, entity_node] : graph_->ActiveMeans(np)) {
-    out.push_back(graph_->node(entity_node).entity);
+  // Same traversal order as ActiveMeans, without materializing the edge
+  // pairs: this sits inside every RelationEdgeWeight call.
+  for (EdgeId e : graph_->IncidentEdges(np)) {
+    const GraphEdge& edge = graph_->edge(e);
+    if (!edge.active || edge.kind != EdgeKind::kMeans || edge.a != np) continue;
+    out.push_back(graph_->node(edge.b).entity);
   }
   return out;
 }
 
 std::vector<EntityId> DensifyEvaluator::EntOfPronoun(NodeId p) const {
   const GraphNode& pro = graph_->node(p);
-  std::set<EntityId> out;
+  std::vector<EntityId> out;
   for (const auto& [edge, np] : graph_->ActiveSameAs(p)) {
     if (graph_->node(np).kind != NodeKind::kNounPhrase) continue;
     for (EntityId e : EntOfNp(np)) {
       if (GenderConflict(pro, e)) continue;  // constraint (4)
-      out.insert(e);
+      out.push_back(e);
     }
   }
-  return {out.begin(), out.end()};
+  // Ascending unique, exactly as the former std::set produced.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::vector<EntityId> DensifyEvaluator::EntOf(NodeId node) const {
@@ -191,23 +198,31 @@ void DensifyEvaluator::ApplyGenderConstraint() {
 
 std::vector<EdgeId> DensifyEvaluator::RemovableEdges() const {
   std::vector<EdgeId> out;
+  // The O(1) active-degree counters answer the >= 2 test without
+  // materializing the incident-edge lists of unremovable mentions.
   for (NodeId np : graph_->NodesOfKind(NodeKind::kNounPhrase)) {
-    auto means = graph_->ActiveMeans(np);
-    if (means.size() >= 2) {
-      for (const auto& [e, entity_node] : means) out.push_back(e);
+    if (graph_->ActiveMeansCount(np) < 2) continue;
+    for (const auto& [e, entity_node] : graph_->ActiveMeans(np)) {
+      out.push_back(e);
     }
   }
   for (NodeId p : graph_->NodesOfKind(NodeKind::kPronoun)) {
-    auto links = graph_->ActiveSameAs(p);
-    std::vector<EdgeId> np_links;
-    for (const auto& [e, other] : links) {
-      if (graph_->node(other).kind == NodeKind::kNounPhrase) np_links.push_back(e);
-    }
-    if (np_links.size() >= 2) {
-      out.insert(out.end(), np_links.begin(), np_links.end());
+    if (graph_->ActiveSameAsNpCount(p) < 2) continue;
+    for (const auto& [e, other] : graph_->ActiveSameAs(p)) {
+      if (graph_->node(other).kind == NodeKind::kNounPhrase) out.push_back(e);
     }
   }
   return out;
+}
+
+bool DensifyEvaluator::IsRemovable(EdgeId e) const {
+  const GraphEdge& edge = graph_->edge(e);
+  if (!edge.active) return false;
+  if (edge.kind == EdgeKind::kMeans) {
+    return graph_->ActiveMeansCount(edge.a) >= 2;
+  }
+  NodeId p = graph_->node(edge.a).kind == NodeKind::kPronoun ? edge.a : edge.b;
+  return graph_->ActiveSameAsNpCount(p) >= 2;
 }
 
 std::unordered_map<NodeId, std::vector<EdgeId>> CollectOriginalMeans(

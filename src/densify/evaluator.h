@@ -31,6 +31,11 @@ struct DensifyResult {
 
   double objective = 0.0;  ///< W(S*) of the final subgraph.
   int edges_removed = 0;
+
+  /// Edge ids in the order the greedy loop deactivated them. Deterministic:
+  /// ties on contribution break toward the smaller EdgeId, so the heap and
+  /// scan strategies produce identical sequences run after run.
+  std::vector<EdgeId> removal_order;
 };
 
 /// Evaluates the current subgraph state (the graph's active-edge flags).
@@ -75,6 +80,12 @@ class DensifyEvaluator {
   /// keep-at-least-one rule: means edges of multi-candidate noun phrases and
   /// sameAs edges of multi-antecedent pronouns.
   std::vector<EdgeId> RemovableEdges() const;
+
+  /// O(1) membership test against the same rule, for one edge that was in
+  /// an earlier RemovableEdges() snapshot. Active degrees only ever shrink
+  /// during the greedy loop, so once this turns false for an edge it stays
+  /// false (the basis for the heap path's lazy deletion).
+  bool IsRemovable(EdgeId e) const;
 
   const std::vector<EdgeId>& means_edges() const { return means_edges_; }
   const std::vector<EdgeId>& relation_edges() const { return relation_edges_; }

@@ -1,6 +1,7 @@
 #include "densify/greedy_densifier.h"
 
 #include <limits>
+#include <queue>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -10,11 +11,32 @@ namespace qkbfly {
 namespace {
 
 // Mention node an edge belongs to: the noun phrase of a means edge, the
-// pronoun of a pronoun-sameAs edge.
+// pronoun of a pronoun-sameAs edge. Static per edge, so it can be computed
+// once when the edge enters the candidate pool.
 NodeId MentionOfEdge(const SemanticGraph& graph, EdgeId e) {
   const GraphEdge& edge = graph.edge(e);
   if (edge.kind == EdgeKind::kMeans) return edge.a;
   return graph.node(edge.a).kind == NodeKind::kPronoun ? edge.a : edge.b;
+}
+
+// Mention adjacency over relation and sameAs edges, used to invalidate
+// cached contributions selectively (the paper's "selective and incremental"
+// recomputation): removing an edge at mention m can only change
+// contributions within two hops of m (pronoun unions span one hop, their
+// relation edges another). Built once over ALL relation/sameAs edges
+// regardless of active flag, exactly like the original scan path.
+std::unordered_map<NodeId, std::vector<NodeId>> BuildMentionAdjacency(
+    const SemanticGraph& graph) {
+  std::unordered_map<NodeId, std::vector<NodeId>> adjacency;
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+    if (edge.kind != EdgeKind::kRelation && edge.kind != EdgeKind::kSameAs) {
+      continue;
+    }
+    adjacency[edge.a].push_back(edge.b);
+    adjacency[edge.b].push_back(edge.a);
+  }
+  return adjacency;
 }
 
 }  // namespace
@@ -28,36 +50,113 @@ DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
 
   eval.Preprocess();
 
-  // Mention adjacency over relation and sameAs edges, used to invalidate
-  // cached contributions selectively (the paper's "selective and
-  // incremental" recomputation): removing an edge at mention m can only
-  // change contributions within two hops of m (pronoun unions span one hop,
-  // their relation edges another).
-  std::unordered_map<NodeId, std::vector<NodeId>> adjacency;
-  for (size_t e = 0; e < graph->edge_count(); ++e) {
-    const GraphEdge& edge = graph->edge(static_cast<EdgeId>(e));
-    if (edge.kind != EdgeKind::kRelation && edge.kind != EdgeKind::kSameAs) {
-      continue;
-    }
-    adjacency[edge.a].push_back(edge.b);
-    adjacency[edge.b].push_back(edge.a);
+  if (strategy_ == DensifyStrategy::kHeap) {
+    RunHeapLoop(&eval, graph, &result);
+  } else {
+    RunScanLoop(&eval, graph, &result);
   }
 
-  // Greedy loop: remove the means/sameAs edge with the smallest contribution
-  // until constraints (1) and (2) are satisfied everywhere. Contributions
-  // are cached and recomputed only for mentions near the last removal.
+  result.objective = eval.Objective();
+  result.assignments = ComputeAssignmentConfidences(&eval, original_means);
+  result.pronoun_antecedents = ExtractPronounAntecedents(*graph);
+  return result;
+}
+
+// Incremental greedy loop. Correctness rests on two invariants:
+//
+//  1. Monotone removability: active degrees only shrink inside the loop, so
+//     the initial RemovableEdges() snapshot is a superset of every later
+//     removable set, and an edge that fails IsRemovable() can be dropped
+//     from the heap permanently.
+//  2. Two-hop locality: a removal at mention m only changes contributions of
+//     edges whose mention lies within two adjacency hops of m. Those are
+//     recomputed eagerly (bumping the edge's version so stale heap entries
+//     are discarded on pop); everything else keeps its cached value, exactly
+//     as the scan path kept its cache entries.
+//
+// Ties on contribution break toward the smaller EdgeId via the heap order,
+// matching the scan path's explicit (c, EdgeId) tie-break.
+void GreedyDensifier::RunHeapLoop(DensifyEvaluator* eval, SemanticGraph* graph,
+                                  DensifyResult* result) const {
+  auto adjacency = BuildMentionAdjacency(*graph);
+
+  struct HeapEntry {
+    double c = 0.0;
+    EdgeId e = -1;
+    uint32_t version = 0;
+  };
+  struct HeapOrder {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.c != b.c) return a.c > b.c;  // min-heap on contribution
+      return a.e > b.e;                  // then on EdgeId
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap;
+  std::vector<uint32_t> version(graph->edge_count(), 0);
+
+  // Candidate edges grouped by their (static) mention node; the initial
+  // removable set is a superset of all future ones (invariant 1), so no
+  // edge ever needs to be added later.
+  std::unordered_map<NodeId, std::vector<EdgeId>> edges_of_mention;
+  for (EdgeId e : eval->RemovableEdges()) {
+    heap.push({eval->Contribution(e), e, 0});
+    edges_of_mention[MentionOfEdge(*graph, e)].push_back(e);
+  }
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (version[static_cast<size_t>(top.e)] != top.version) continue;  // stale
+    if (!eval->IsRemovable(top.e)) continue;  // permanently out (invariant 1)
+
+    graph->SetEdgeActive(top.e, false);
+    ++result->edges_removed;
+    result->removal_order.push_back(top.e);
+    ++version[static_cast<size_t>(top.e)];  // no heap entry survives removal
+
+    NodeId mention = MentionOfEdge(*graph, top.e);
+    std::unordered_set<NodeId> dirty = {mention};
+    for (NodeId n1 : adjacency[mention]) {
+      dirty.insert(n1);
+      for (NodeId n2 : adjacency[n1]) dirty.insert(n2);
+    }
+    for (NodeId d : dirty) {
+      auto it = edges_of_mention.find(d);
+      if (it == edges_of_mention.end()) continue;
+      for (EdgeId de : it->second) {
+        if (de == top.e) continue;
+        if (!eval->IsRemovable(de)) continue;  // never coming back; skip
+        ++version[static_cast<size_t>(de)];
+        heap.push({eval->Contribution(de), de,
+                   version[static_cast<size_t>(de)]});
+      }
+    }
+  }
+}
+
+// Reference loop: the pre-heap implementation, kept runtime-selectable for
+// the hot-path benchmark and the cross-strategy determinism tests. The only
+// change from the historical code is the explicit (c, EdgeId) tie-break,
+// which is a no-op for builder-produced graphs (RemovableEdges enumerates
+// them in ascending EdgeId order) but makes the two strategies agree on any
+// graph.
+void GreedyDensifier::RunScanLoop(DensifyEvaluator* eval, SemanticGraph* graph,
+                                  DensifyResult* result) const {
+  auto adjacency = BuildMentionAdjacency(*graph);
+
   std::unordered_map<EdgeId, double> cache;
   while (true) {
-    auto removable = eval.RemovableEdges();
+    auto removable = eval->RemovableEdges();
     if (removable.empty()) break;
 
     EdgeId best_edge = removable.front();
     double best_contribution = std::numeric_limits<double>::infinity();
     for (EdgeId e : removable) {
       auto it = cache.find(e);
-      double c = it != cache.end() ? it->second : eval.Contribution(e);
+      double c = it != cache.end() ? it->second : eval->Contribution(e);
       if (it == cache.end()) cache.emplace(e, c);
-      if (c < best_contribution) {
+      if (c < best_contribution ||
+          (c == best_contribution && e < best_edge)) {
         best_contribution = c;
         best_edge = e;
       }
@@ -65,7 +164,8 @@ DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
 
     NodeId mention = MentionOfEdge(*graph, best_edge);
     graph->SetEdgeActive(best_edge, false);
-    ++result.edges_removed;
+    ++result->edges_removed;
+    result->removal_order.push_back(best_edge);
     cache.erase(best_edge);
 
     // Invalidate cached contributions within two hops of the mention.
@@ -82,11 +182,6 @@ DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
       }
     }
   }
-
-  result.objective = eval.Objective();
-  result.assignments = ComputeAssignmentConfidences(&eval, original_means);
-  result.pronoun_antecedents = ExtractPronounAntecedents(*graph);
-  return result;
 }
 
 }  // namespace qkbfly

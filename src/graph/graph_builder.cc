@@ -67,7 +67,7 @@ struct GraphBuilder::BuildState {
     if (head_token.pos == PosTag::kPRP) {
       node.kind = NodeKind::kPronoun;
       node.text = head_token.text;
-      if (auto info = Lexicon::Get().GetPronoun(head_token.text)) {
+      if (auto info = Lexicon::Get().GetPronoun(head_token.sym)) {
         node.gender = info->gender;
         node.plural_pronoun = info->plural;
       }

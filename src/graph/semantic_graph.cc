@@ -36,6 +36,8 @@ NodeId SemanticGraph::AddNode(GraphNode node) {
   }
   nodes_.push_back(std::move(node));
   incident_.emplace_back();
+  active_means_count_.push_back(0);
+  active_sameas_np_count_.push_back(0);
   return id;
 }
 
@@ -47,6 +49,7 @@ EdgeId SemanticGraph::AddEdge(GraphEdge edge) {
   EdgeId id = static_cast<EdgeId>(edges_.size());
   incident_[static_cast<size_t>(edge.a)].push_back(id);
   incident_[static_cast<size_t>(edge.b)].push_back(id);
+  if (edge.active) ApplyActiveDelta(edge, 1);
   edges_.push_back(std::move(edge));
   return id;
 }

@@ -84,8 +84,26 @@ class SemanticGraph {
   GraphNode& mutable_node(NodeId id) { return nodes_.at(static_cast<size_t>(id)); }
   const GraphEdge& edge(EdgeId id) const { return edges_.at(static_cast<size_t>(id)); }
 
+  /// Toggles an edge and maintains the per-node active-degree counters.
+  /// No-op when the flag already has the requested value.
   void SetEdgeActive(EdgeId id, bool active) {
-    edges_.at(static_cast<size_t>(id)).active = active;
+    GraphEdge& edge = edges_.at(static_cast<size_t>(id));
+    if (edge.active == active) return;
+    edge.active = active;
+    ApplyActiveDelta(edge, active ? 1 : -1);
+  }
+
+  /// Number of active means edges out of noun phrase `n` (edge.a == n).
+  /// O(1); the densifier's removability test (constraint "keep at least
+  /// one") reads this instead of materializing ActiveMeans.
+  int ActiveMeansCount(NodeId n) const {
+    return active_means_count_.at(static_cast<size_t>(n));
+  }
+
+  /// Number of active sameAs edges incident to `n` whose other endpoint is
+  /// a noun phrase. O(1); drives pronoun-edge removability.
+  int ActiveSameAsNpCount(NodeId n) const {
+    return active_sameas_np_count_.at(static_cast<size_t>(n));
   }
 
   /// Ids of active edges of `kind` incident to `node` (either endpoint).
@@ -111,10 +129,25 @@ class SemanticGraph {
   std::string ToString() const;
 
  private:
+  void ApplyActiveDelta(const GraphEdge& edge, int delta) {
+    if (edge.kind == EdgeKind::kMeans) {
+      active_means_count_[static_cast<size_t>(edge.a)] += delta;
+    } else if (edge.kind == EdgeKind::kSameAs) {
+      if (nodes_[static_cast<size_t>(edge.b)].kind == NodeKind::kNounPhrase) {
+        active_sameas_np_count_[static_cast<size_t>(edge.a)] += delta;
+      }
+      if (nodes_[static_cast<size_t>(edge.a)].kind == NodeKind::kNounPhrase) {
+        active_sameas_np_count_[static_cast<size_t>(edge.b)] += delta;
+      }
+    }
+  }
+
   std::vector<GraphNode> nodes_;
   std::vector<GraphEdge> edges_;
   std::vector<std::vector<EdgeId>> incident_;
   std::unordered_map<EntityId, NodeId> entity_nodes_;
+  std::vector<int> active_means_count_;      ///< Indexed by NodeId.
+  std::vector<int> active_sameas_np_count_;  ///< Indexed by NodeId.
 };
 
 }  // namespace qkbfly

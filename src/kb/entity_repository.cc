@@ -1,6 +1,7 @@
 #include "kb/entity_repository.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -13,6 +14,7 @@ EntityRepository::EntityRepository(EntityRepository&& other) noexcept
       alias_index_(std::move(other.alias_index_)),
       token_index_(std::move(other.token_index_)),
       by_name_(std::move(other.by_name_)),
+      trie_(std::move(other.trie_)),
       max_alias_tokens_(other.max_alias_tokens_) {}
 
 EntityRepository& EntityRepository::operator=(EntityRepository&& other) noexcept {
@@ -22,6 +24,7 @@ EntityRepository& EntityRepository::operator=(EntityRepository&& other) noexcept
   alias_index_ = std::move(other.alias_index_);
   token_index_ = std::move(other.token_index_);
   by_name_ = std::move(other.by_name_);
+  trie_ = std::move(other.trie_);
   max_alias_tokens_ = other.max_alias_tokens_;
   std::lock_guard<std::mutex> lock(loose_mutex_);
   loose_cache_.clear();
@@ -44,6 +47,11 @@ EntityId EntityRepository::AddEntity(std::string_view canonical_name,
   for (const std::string& a : aliases) {
     if (!EqualsIgnoreCase(a, canonical_name)) e.aliases.push_back(a);
   }
+  // Coarse type recorded at the alias's first trie insertion; equals what
+  // CoarseTypeOf(bucket.front()) returns at query time, since both the
+  // bucket head and an entity's types are immutable once registered.
+  NerType coarse = types.empty() ? NerType::kMisc : types_->CoarseOf(types.front());
+  TokenSymbols& symbols = TokenSymbols::Get();
   for (const std::string& a : e.aliases) {
     std::string key = Lowercase(a);
     auto& bucket = alias_index_[key];
@@ -52,9 +60,10 @@ EntityId EntityRepository::AddEntity(std::string_view canonical_name,
     }
     int tokens = 1 + static_cast<int>(std::count(key.begin(), key.end(), ' '));
     max_alias_tokens_ = std::max(max_alias_tokens_, tokens);
+    InsertAliasIntoTrie(key, coarse);
     for (const std::string& token : SplitWhitespace(key)) {
       if (token.size() < 3) continue;  // skip particles ("of", "the")
-      auto& t_bucket = token_index_[token];
+      auto& t_bucket = token_index_[symbols.Intern(token)];
       if (std::find(t_bucket.begin(), t_bucket.end(), id) == t_bucket.end()) {
         t_bucket.push_back(id);
       }
@@ -69,6 +78,45 @@ EntityId EntityRepository::AddEntity(std::string_view canonical_name,
     loose_lru_.clear();
   }
   return id;
+}
+
+void EntityRepository::InsertAliasIntoTrie(const std::string& key,
+                                           NerType coarse) {
+  // The matcher compares against lowered token texts joined by single
+  // spaces, so a key with irregular whitespace (tabs, doubled or leading
+  // spaces) could never match under the legacy string build either — keep
+  // those out of the trie so both matchers agree exactly.
+  std::vector<std::string> words = SplitWhitespace(key);
+  if (words.empty()) return;
+  std::string normalized;
+  normalized.reserve(key.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) normalized += ' ';
+    normalized += words[i];
+  }
+  if (normalized != key) return;
+
+  if (trie_.empty()) trie_.emplace_back();  // root
+  TokenSymbols& symbols = TokenSymbols::Get();
+  int32_t node = 0;
+  for (const std::string& w : words) {
+    Symbol s = symbols.Intern(w);
+    auto it = trie_[static_cast<size_t>(node)].children.find(s);
+    int32_t next;
+    if (it == trie_[static_cast<size_t>(node)].children.end()) {
+      next = static_cast<int32_t>(trie_.size());
+      trie_[static_cast<size_t>(node)].children.emplace(s, next);
+      trie_.emplace_back();
+    } else {
+      next = it->second;
+    }
+    node = next;
+  }
+  AliasTrieNode& terminal = trie_[static_cast<size_t>(node)];
+  if (!terminal.terminal) {
+    terminal.terminal = true;
+    terminal.terminal_type = coarse;
+  }
 }
 
 const Entity& EntityRepository::Get(EntityId id) const {
@@ -127,12 +175,20 @@ std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention
 std::vector<EntityId> EntityRepository::LooseCandidatesUncached(
     const std::string& lowered, size_t limit) const {
   std::vector<EntityId> out = CandidatesForAlias(lowered);
+  // Hash-set membership instead of std::find over the growing result: the
+  // quadratic scan dominated for mentions whose name tokens were shared by
+  // many entities. The limit check stays before the dedup check so a full
+  // result returns at exactly the same point as before.
+  std::unordered_set<EntityId> seen(out.begin(), out.end());
+  TokenSymbols& symbols = TokenSymbols::Get();
   for (const std::string& token : SplitWhitespace(lowered)) {
-    auto it = token_index_.find(token);
+    Symbol sym = symbols.Lookup(token);
+    if (sym == kNoSymbol) continue;  // never interned => not an alias token
+    auto it = token_index_.find(sym);
     if (it == token_index_.end()) continue;
     for (EntityId e : it->second) {
       if (out.size() >= limit) return out;
-      if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
+      if (seen.insert(e).second) out.push_back(e);
     }
   }
   return out;
@@ -171,6 +227,40 @@ int EntityRepository::LongestMatchAt(const std::vector<Token>& tokens, int begin
   const int n = static_cast<int>(tokens.size());
   // Names start with a capitalized token; this keeps the gazetteer from
   // matching lowercase common words that happen to be aliases.
+  if (begin >= n || !IsCapitalized(tokens[static_cast<size_t>(begin)].text)) {
+    return 0;
+  }
+  if (trie_.empty()) return 0;
+  int best_len = 0;
+  NerType best_type = NerType::kNone;
+  int32_t node = 0;
+  for (int len = 1; len <= max_alias_tokens_ && begin + len <= n; ++len) {
+    const Token& t = tokens[static_cast<size_t>(begin + len - 1)];
+    Symbol sym = t.sym;
+    if (sym == kNoSymbol) {
+      // Hand-built token that skipped the tokenizer; a word no one interned
+      // cannot be an alias word, so a failed lookup ends the walk.
+      sym = TokenSymbols::Get().Lookup(t.lower.empty() ? Lowercase(t.text)
+                                                       : t.lower);
+      if (sym == kNoSymbol) break;
+    }
+    const AliasTrieNode& cur = trie_[static_cast<size_t>(node)];
+    auto it = cur.children.find(sym);
+    if (it == cur.children.end()) break;
+    node = it->second;
+    const AliasTrieNode& next = trie_[static_cast<size_t>(node)];
+    if (next.terminal) {
+      best_len = len;
+      best_type = next.terminal_type;
+    }
+  }
+  if (best_len > 0 && type != nullptr) *type = best_type;
+  return best_len;
+}
+
+int EntityRepository::LongestMatchAtLinear(const std::vector<Token>& tokens,
+                                           int begin, NerType* type) const {
+  const int n = static_cast<int>(tokens.size());
   if (begin >= n || !IsCapitalized(tokens[static_cast<size_t>(begin)].text)) {
     return 0;
   }

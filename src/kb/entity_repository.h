@@ -17,6 +17,7 @@
 #include "nlp/ner.h"
 #include "util/cache_stats.h"
 #include "util/status.h"
+#include "util/symbol_table.h"
 
 namespace qkbfly {
 
@@ -84,19 +85,40 @@ class EntityRepository : public Gazetteer {
 
   const TypeSystem& type_system() const { return *types_; }
 
-  // Gazetteer:
+  // Gazetteer. One walk of a token-level trie keyed on interned symbols:
+  // no per-position string building, no per-length hash of a growing
+  // candidate, zero allocations on the match path.
   int LongestMatchAt(const std::vector<Token>& tokens, int begin,
                      NerType* type) const override;
 
+  /// Reference implementation of LongestMatchAt (the pre-trie incremental
+  /// string build over alias_index_). Kept for the hot-path benchmark and
+  /// the trie/linear agreement tests; byte-identical results by contract.
+  int LongestMatchAtLinear(const std::vector<Token>& tokens, int begin,
+                           NerType* type) const;
+
  private:
+  /// One node of the alias trie. Children are keyed by the interned symbol
+  /// of the next alias word; `terminal_type` is the coarse NER type of the
+  /// first entity whose alias ends here (mirroring the legacy
+  /// `CoarseTypeOf(bucket.front())` choice, which never changes once set).
+  struct AliasTrieNode {
+    std::unordered_map<Symbol, int32_t> children;
+    NerType terminal_type = NerType::kNone;
+    bool terminal = false;
+  };
+
+  void InsertAliasIntoTrie(const std::string& key, NerType coarse);
+
   std::vector<EntityId> LooseCandidatesUncached(const std::string& lowered,
                                                 size_t limit) const;
 
   const TypeSystem* types_;
   std::vector<Entity> entities_;
   std::unordered_map<std::string, std::vector<EntityId>> alias_index_;
-  std::unordered_map<std::string, std::vector<EntityId>> token_index_;
+  std::unordered_map<Symbol, std::vector<EntityId>> token_index_;
   std::unordered_map<std::string, EntityId> by_name_;
+  std::vector<AliasTrieNode> trie_;  ///< trie_[0] is the root.
   int max_alias_tokens_ = 0;
 
   // LooseCandidates memo: LRU list holds keys, front = most recently used;

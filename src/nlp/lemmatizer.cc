@@ -134,6 +134,63 @@ std::string Lemmatizer::NounLemma(std::string_view word) const {
   return w;
 }
 
+namespace {
+
+LemmaPair ComputeLemmaPair(const Lemmatizer& lemmatizer, std::string_view lower) {
+  LemmaPair pair;
+  pair.verb = lemmatizer.VerbLemma(lower);
+  pair.noun = lemmatizer.NounLemma(lower);
+  const Lexicon& lex = Lexicon::Get();
+  pair.verb_known = lex.IsKnownVerbLemma(pair.verb);
+  pair.noun_common = lex.IsCommonNoun(pair.noun);
+  return pair;
+}
+
+}  // namespace
+
+const LemmaPair& Lemmatizer::Cached(Symbol sym, std::string_view lower) const {
+  if (sym == kNoSymbol) {
+    // Hand-built token without a symbol: compute without caching.
+    static thread_local LemmaPair scratch;
+    scratch = ComputeLemmaPair(*this, lower);
+    return scratch;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = lemma_cache_.find(sym);
+    if (it != lemma_cache_.end()) return it->second;
+  }
+  LemmaPair fresh = ComputeLemmaPair(*this, lower);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  return lemma_cache_.emplace(sym, std::move(fresh)).first->second;
+}
+
+void Lemmatizer::CachedBatch(const std::vector<Token>& tokens,
+                             std::vector<const LemmaPair*>* out) const {
+  const size_t n = tokens.size();
+  out->assign(n, nullptr);
+  size_t missing = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      auto it = lemma_cache_.find(tokens[i].sym);
+      if (it != lemma_cache_.end()) {
+        (*out)[i] = &it->second;
+      } else {
+        ++missing;
+      }
+    }
+  }
+  if (missing == 0) return;
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  for (size_t i = 0; i < n; ++i) {
+    if ((*out)[i] != nullptr) continue;
+    auto [it, inserted] = lemma_cache_.try_emplace(tokens[i].sym);
+    if (inserted) it->second = ComputeLemmaPair(*this, tokens[i].lower);
+    (*out)[i] = &it->second;
+  }
+}
+
 std::string Lemmatizer::Lemma(std::string_view word, PosTag pos) const {
   if (IsVerbTag(pos)) return VerbLemma(word);
   if (pos == PosTag::kNN || pos == PosTag::kNNS) return NounLemma(word);

@@ -2,13 +2,25 @@
 #ifndef QKBFLY_NLP_LEMMATIZER_H_
 #define QKBFLY_NLP_LEMMATIZER_H_
 
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "text/token.h"
 
 namespace qkbfly {
+
+/// Verb and noun lemmas of one lowercased word, computed once and cached,
+/// together with the lexicon verdicts the tagger asks about them (those are
+/// string-hash probes, so they are paid once per word instead of per token).
+struct LemmaPair {
+  std::string verb;
+  std::string noun;
+  bool verb_known = false;   ///< Lexicon::IsKnownVerbLemma(verb)
+  bool noun_common = false;  ///< Lexicon::IsCommonNoun(noun)
+};
 
 /// Maps inflected forms to lemmas. Verbs use an irregular table plus
 /// -s/-es/-ed/-ing stripping with e-restoration and consonant-doubling
@@ -27,9 +39,26 @@ class Lemmatizer {
   /// Noun-specific lemmatization (plural -> singular).
   std::string NounLemma(std::string_view word) const;
 
+  /// VerbLemma/NounLemma of the word whose interned symbol is `sym`, cached
+  /// per symbol. `lower` must be the lowercased spelling behind `sym`.
+  /// Thread-safe; the returned reference stays valid for the lemmatizer's
+  /// lifetime (entries are never erased).
+  const LemmaPair& Cached(Symbol sym, std::string_view lower) const;
+
+  /// Batch Cached() over one sentence: a single shared-lock pass resolves
+  /// every token, and the exclusive lock is taken once per batch only when
+  /// unseen words appear. Every token must carry a valid symbol (call
+  /// EnsureSymbols first). `out` is sized to `tokens` and each entry points
+  /// into the cache (stable for the lemmatizer's lifetime).
+  void CachedBatch(const std::vector<Token>& tokens,
+                   std::vector<const LemmaPair*>* out) const;
+
  private:
   std::unordered_map<std::string, std::string> irregular_verbs_;
   std::unordered_map<std::string, std::string> irregular_nouns_;
+
+  mutable std::shared_mutex cache_mu_;
+  mutable std::unordered_map<Symbol, LemmaPair> lemma_cache_;
 };
 
 }  // namespace qkbfly

@@ -157,11 +157,39 @@ Lexicon::Lexicon() {
   months_ = {"january",   "february", "march",    "april",   "may",
              "june",      "july",     "august",   "september","october",
              "november",  "december"};
+
+  // Build the symbol-keyed mirrors. Interning each entry verbatim keeps the
+  // two APIs in exact agreement for lowered queries (a capitalized entry's
+  // symbol can never collide with a lowered token's symbol).
+  TokenSymbols& symbols = TokenSymbols::Get();
+  for (const auto& [word, tag] : closed_class_) {
+    closed_class_sym_[symbols.Intern(word)] = tag;
+  }
+  for (const auto& [word, info] : pronouns_) {
+    pronouns_sym_[symbols.Intern(word)] = info;
+  }
+  for (const std::string& w : be_forms_) be_forms_sym_.insert(symbols.Intern(w));
+  for (const std::string& w : verb_lemmas_) {
+    verb_lemmas_sym_.insert(symbols.Intern(w));
+  }
+  for (const std::string& w : common_nouns_) {
+    common_nouns_sym_.insert(symbols.Intern(w));
+  }
+  for (const std::string& w : common_adjectives_) {
+    common_adjectives_sym_.insert(symbols.Intern(w));
+  }
+  for (const std::string& w : months_) months_sym_.insert(symbols.Intern(w));
 }
 
 std::optional<PosTag> Lexicon::ClosedClassTag(std::string_view word) const {
   auto it = closed_class_.find(Lowercase(word));
   if (it == closed_class_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PosTag> Lexicon::ClosedClassTag(Symbol sym) const {
+  auto it = closed_class_sym_.find(sym);
+  if (it == closed_class_sym_.end()) return std::nullopt;
   return it->second;
 }
 
@@ -171,8 +199,18 @@ std::optional<PronounInfo> Lexicon::GetPronoun(std::string_view word) const {
   return it->second;
 }
 
+std::optional<PronounInfo> Lexicon::GetPronoun(Symbol sym) const {
+  auto it = pronouns_sym_.find(sym);
+  if (it == pronouns_sym_.end()) return std::nullopt;
+  return it->second;
+}
+
 bool Lexicon::IsBeForm(std::string_view word) const {
   return be_forms_.count(Lowercase(word)) > 0;
+}
+
+bool Lexicon::IsBeForm(Symbol sym) const {
+  return be_forms_sym_.count(sym) > 0;
 }
 
 bool Lexicon::IsCopularVerb(std::string_view lemma) const {
@@ -191,13 +229,29 @@ bool Lexicon::IsCommonNoun(std::string_view word) const {
   return common_nouns_.count(Lowercase(word)) > 0;
 }
 
+bool Lexicon::IsCommonNoun(Symbol sym) const {
+  return common_nouns_sym_.count(sym) > 0;
+}
+
 bool Lexicon::IsCommonAdjective(std::string_view word) const {
   if (common_adjectives_.count(std::string(word)) > 0) return true;
   return common_adjectives_.count(Lowercase(word)) > 0;
 }
 
+bool Lexicon::IsCommonAdjective(Symbol sym) const {
+  return common_adjectives_sym_.count(sym) > 0;
+}
+
 bool Lexicon::IsMonthName(std::string_view word) const {
   return months_.count(Lowercase(word)) > 0;
+}
+
+bool Lexicon::IsMonthName(Symbol sym) const {
+  return months_sym_.count(sym) > 0;
+}
+
+bool Lexicon::IsKnownVerbLemma(Symbol sym) const {
+  return verb_lemmas_sym_.count(sym) > 0;
 }
 
 }  // namespace qkbfly

@@ -1,49 +1,61 @@
 #include "nlp/ner.h"
 
 #include <algorithm>
+#include <initializer_list>
+#include <string_view>
 #include <unordered_set>
 
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 
 namespace qkbfly {
 
 namespace {
 
-const std::unordered_set<std::string>& OrgCues() {
-  static const std::unordered_set<std::string> kCues = {
+// Cue lists are interned once into symbol sets; per-mention checks are then
+// single integer probes against Token::sym instead of Lowercase + string hash.
+std::unordered_set<Symbol> InternAll(std::initializer_list<const char*> words) {
+  TokenSymbols& symbols = TokenSymbols::Get();
+  std::unordered_set<Symbol> out;
+  for (const char* w : words) out.insert(symbols.Intern(w));
+  return out;
+}
+
+const std::unordered_set<Symbol>& OrgCues() {
+  static const std::unordered_set<Symbol> kCues = InternAll({
       "inc",     "ltd",        "corp",      "company",  "foundation",
       "campaign","university", "college",   "institute","fc",
       "f.c",     "united",     "city",      "club",     "band",
       "records", "studios",    "labs",      "group",    "party",
       "committee","association","orchestra","academy",  "council",
       "agency",  "ministry",   "department","bank",     "airlines",
-  };
+  });
   return kCues;
 }
 
-const std::unordered_set<std::string>& LocationCues() {
-  static const std::unordered_set<std::string> kCues = {
+const std::unordered_set<Symbol>& LocationCues() {
+  static const std::unordered_set<Symbol> kCues = InternAll({
       "county", "island", "river", "lake", "mountain", "valley",
       "beach",  "bay",    "coast", "town", "village",  "province",
       "state",  "region", "district",
-  };
+  });
   return kCues;
 }
 
-const std::unordered_set<std::string>& PersonTitles() {
-  static const std::unordered_set<std::string> kTitles = {
+const std::unordered_set<Symbol>& PersonTitles() {
+  static const std::unordered_set<Symbol> kTitles = InternAll({
       "mr", "mrs", "ms", "dr", "prof", "sir", "president", "senator",
       "minister", "king", "queen", "prince", "princess", "pope", "judge",
       "coach", "captain", "general", "officer",
-  };
+  });
   return kTitles;
 }
 
 // A small common-first-name prior, the kind real NER models learn from
 // training data. The synthetic world generator draws person names from pools
 // that overlap with this list, mirroring how a trained model generalizes.
-const std::unordered_set<std::string>& FirstNames() {
-  static const std::unordered_set<std::string> kNames = {
+const std::unordered_set<Symbol>& FirstNames() {
+  static const std::unordered_set<Symbol> kNames = InternAll({
       "james", "john",   "robert", "michael", "william", "david",  "richard",
       "joseph","thomas", "charles","mary",    "patricia","jennifer","linda",
       "elizabeth","barbara","susan","jessica", "sarah",   "karen",  "daniel",
@@ -56,7 +68,7 @@ const std::unordered_set<std::string>& FirstNames() {
       "peter",  "alice",  "henry", "oliver",  "sofia",   "emma",   "lucas",
       "maria",  "carlos", "diego", "elena",   "victor",  "clara",  "martin",
       "larry",  "sergey", "angela","paris",   "nicole",  "vladimir","boris",
-  };
+  });
   return kNames;
 }
 
@@ -70,18 +82,23 @@ NerType NerTagger::GuessType(const std::vector<Token>& tokens,
                              const TokenSpan& span) const {
   // Cue word inside the span.
   for (int i = span.begin; i < span.end; ++i) {
-    std::string lower = Lowercase(tokens[i].text);
-    if (OrgCues().count(lower)) return NerType::kOrganization;
-    if (LocationCues().count(lower)) return NerType::kLocation;
+    if (OrgCues().count(tokens[i].sym)) return NerType::kOrganization;
+    if (LocationCues().count(tokens[i].sym)) return NerType::kLocation;
   }
   // Person title immediately before.
   if (span.begin > 0) {
-    std::string prev = Lowercase(tokens[span.begin - 1].text);
-    if (!prev.empty() && prev.back() == '.') prev.pop_back();
-    if (PersonTitles().count(prev)) return NerType::kPerson;
+    const Token& prev = tokens[span.begin - 1];
+    Symbol prev_sym = prev.sym;
+    if (!prev.lower.empty() && prev.lower.back() == '.') {
+      // Abbreviated titles ("Dr.") drop the trailing period before the
+      // lookup; a never-interned stem maps to kNoSymbol, which no set holds.
+      prev_sym = TokenSymbols::Get().Lookup(
+          std::string_view(prev.lower).substr(0, prev.lower.size() - 1));
+    }
+    if (PersonTitles().count(prev_sym)) return NerType::kPerson;
   }
   // First-name prior: "Jessica Leeds" -> PERSON.
-  if (FirstNames().count(Lowercase(tokens[span.begin].text))) {
+  if (FirstNames().count(tokens[span.begin].sym)) {
     return NerType::kPerson;
   }
   // Single capitalized token ending in a location-ish suffix.
@@ -104,6 +121,8 @@ std::vector<NerMention> NerTagger::Tag(
   // heuristics. A gazetteer match must cover the whole name run it starts
   // in, otherwise the run wins: "Charles Rodriguez" must not split into
   // "Charles" + a gazetteer hit on the surname "Rodriguez".
+  static const Symbol kOfSym = TokenSymbols::Get().Intern("of");
+  static const Symbol kTheSym = TokenSymbols::Get().Intern("the");
   auto name_run_length = [&tokens, &covered, n](int i) {
     if (!IsNameToken(tokens[static_cast<size_t>(i)])) return 0;
     int j = i + 1;
@@ -112,8 +131,8 @@ std::vector<NerMention> NerTagger::Tag(
         ++j;
       } else if (j + 1 < n && !covered[static_cast<size_t>(j + 1)] &&
                  IsNameToken(tokens[static_cast<size_t>(j + 1)]) &&
-                 (EqualsIgnoreCase(tokens[static_cast<size_t>(j)].text, "of") ||
-                  EqualsIgnoreCase(tokens[static_cast<size_t>(j)].text, "the"))) {
+                 (tokens[static_cast<size_t>(j)].sym == kOfSym ||
+                  tokens[static_cast<size_t>(j)].sym == kTheSym)) {
         j += 2;
       } else {
         break;

@@ -4,10 +4,31 @@
 
 #include "nlp/lexicon.h"
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 
 namespace qkbfly {
 
 namespace {
+
+// Interned cue words the context rules test per token; symbol equality
+// replaces the per-token string compares.
+struct CueSyms {
+  Symbol that, her, has, have, had, having;
+  CueSyms() {
+    TokenSymbols& t = TokenSymbols::Get();
+    that = t.Intern("that");
+    her = t.Intern("her");
+    has = t.Intern("has");
+    have = t.Intern("have");
+    had = t.Intern("had");
+    having = t.Intern("having");
+  }
+};
+
+const CueSyms& Cues() {
+  static const CueSyms cues;
+  return cues;
+}
 
 bool IsPunct(const std::string& s) {
   if (s.size() == 1 && std::ispunct(static_cast<unsigned char>(s[0])) && s[0] != '$') {
@@ -26,9 +47,11 @@ bool LooksLikeNumber(const std::string& s) {
 
 }  // namespace
 
-PosTag PosTagger::InitialTag(const std::vector<Token>& tokens, size_t i) const {
+PosTag PosTagger::InitialTag(const std::vector<Token>& tokens, size_t i,
+                             const LemmaPair& lem) const {
   const Lexicon& lex = Lexicon::Get();
-  const std::string& w = tokens[i].text;
+  const Token& tok = tokens[i];
+  const std::string& w = tok.text;
 
   if (IsPunct(w)) return PosTag::kPUNCT;
   if (w == "$") return PosTag::kSYM;
@@ -38,16 +61,16 @@ PosTag PosTagger::InitialTag(const std::vector<Token>& tokens, size_t i) const {
   // Month names win over homographic closed-class words ("May 3, 1985" vs
   // the modal "may") when capitalized mid-sentence next to a day/year or
   // after a preposition.
-  if (lex.IsMonthName(w) && IsCapitalized(w)) {
+  if (lex.IsMonthName(tok.sym) && IsCapitalized(w)) {
     bool next_cd = i + 1 < tokens.size() && LooksLikeNumber(tokens[i + 1].text);
     bool prev_cd = i > 0 && LooksLikeNumber(tokens[i - 1].text);
-    bool prev_in = i > 0 && lex.ClosedClassTag(tokens[i - 1].text) == PosTag::kIN;
-    if (next_cd || prev_cd || prev_in || !lex.ClosedClassTag(w)) {
+    bool prev_in = i > 0 && lex.ClosedClassTag(tokens[i - 1].sym) == PosTag::kIN;
+    if (next_cd || prev_cd || prev_in || !lex.ClosedClassTag(tok.sym)) {
       return PosTag::kNNP;
     }
   }
 
-  if (auto tag = lex.ClosedClassTag(w)) {
+  if (auto tag = lex.ClosedClassTag(tok.sym)) {
     // Sentence-initial capitalized closed-class words keep their tag
     // ("He supports...", "The film...").
     return *tag;
@@ -57,36 +80,34 @@ PosTag PosTagger::InitialTag(const std::vector<Token>& tokens, size_t i) const {
   if (IsCapitalized(w)) {
     if (i > 0) return PosTag::kNNP;
     // Sentence-initial: prefer a known lowercase reading if one exists.
-    std::string lower = Lowercase(w);
-    if (lex.IsCommonNoun(lower)) return PosTag::kNN;
-    if (lex.IsCommonAdjective(lower)) return PosTag::kJJ;
-    if (lex.IsKnownVerbLemma(lemmatizer_.VerbLemma(lower))) {
+    if (lex.IsCommonNoun(tok.sym)) return PosTag::kNN;
+    if (lex.IsCommonAdjective(tok.sym)) return PosTag::kJJ;
+    if (lem.verb_known) {
       // e.g. "Play it again" — rare in our corpora; treat as verb base.
       return PosTag::kVBP;
     }
     return PosTag::kNNP;
   }
 
-  std::string lower = Lowercase(w);
+  const std::string& lower = tok.lower;
 
   // Adverbs by morphology.
-  if (EndsWith(lower, "ly") && lower.size() > 3 && !lex.IsCommonNoun(lower)) {
+  if (EndsWith(lower, "ly") && lower.size() > 3 && !lex.IsCommonNoun(tok.sym)) {
     return PosTag::kRB;
   }
 
   // Verb morphology against the verb-lemma seed list.
-  std::string vlemma = lemmatizer_.VerbLemma(lower);
-  bool known_verb = lex.IsKnownVerbLemma(vlemma);
-  bool is_common_noun = lex.IsCommonNoun(lower) ||
-                        lex.IsCommonNoun(lemmatizer_.NounLemma(lower));
+  const std::string& vlemma = lem.verb;
+  bool known_verb = lem.verb_known;
+  bool is_common_noun = lex.IsCommonNoun(tok.sym) || lem.noun_common;
   if (known_verb && !is_common_noun) {
     if (lower == vlemma) return PosTag::kVBP;  // base/non-3rd present
     if (EndsWith(lower, "ing")) return PosTag::kVBG;
-    if (EndsWith(lower, "ed") || Lexicon::Get().IsBeForm(lower) ||
+    if (EndsWith(lower, "ed") || lex.IsBeForm(tok.sym) ||
         lower != vlemma) {
       // Irregular or -ed past form; VBD vs VBN fixed contextually.
-      if (EndsWith(lower, "s") && lemmatizer_.VerbLemma(lower) ==
-                                      lower.substr(0, lower.size() - 1)) {
+      if (EndsWith(lower, "s") &&
+          lower.compare(0, lower.size() - 1, vlemma) == 0) {
         return PosTag::kVBZ;
       }
       if (EndsWith(lower, "s") && !EndsWith(lower, "ss")) return PosTag::kVBZ;
@@ -101,24 +122,26 @@ PosTag PosTagger::InitialTag(const std::vector<Token>& tokens, size_t i) const {
     if (EndsWith(lower, "ed")) return PosTag::kVBD;
   }
 
-  if (lex.IsCommonAdjective(lower)) return PosTag::kJJ;
+  if (lex.IsCommonAdjective(tok.sym)) return PosTag::kJJ;
   if (EndsWith(lower, "s") && !EndsWith(lower, "ss") && lower.size() > 2) {
     return PosTag::kNNS;
   }
   return PosTag::kNN;
 }
 
-void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
+void PosTagger::ApplyContextRules(std::vector<Token>* tokens,
+                                  const std::vector<const LemmaPair*>& lems) const {
   const Lexicon& lex = Lexicon::Get();
+  const CueSyms& cue = Cues();
   auto& toks = *tokens;
   const size_t n = toks.size();
 
   for (size_t i = 0; i < n; ++i) {
-    std::string lower = Lowercase(toks[i].text);
+    const std::string& lower = toks[i].lower;
 
     // "that": complementizer after a verb ("announced that ..."), relativizer
     // before a verb ("the film that won"), determiner otherwise.
-    if (lower == "that") {
+    if (toks[i].sym == cue.that) {
       if (i > 0 && IsVerbTag(toks[i - 1].pos)) {
         toks[i].pos = PosTag::kIN;
       } else if (i + 1 < n && IsVerbTag(toks[i + 1].pos)) {
@@ -127,7 +150,7 @@ void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
     }
 
     // "her": PRP$ before a nominal, PRP otherwise.
-    if (lower == "her") {
+    if (toks[i].sym == cue.her) {
       bool before_nominal =
           i + 1 < n && (IsNounTag(toks[i + 1].pos) || toks[i + 1].pos == PosTag::kJJ ||
                         toks[i + 1].pos == PosTag::kCD);
@@ -138,8 +161,7 @@ void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
 
     // Base verb after modal or "to".
     if (i > 0 && (toks[i - 1].pos == PosTag::kMD || toks[i - 1].pos == PosTag::kTO)) {
-      std::string vlemma = lemmatizer_.VerbLemma(lower);
-      if (lex.IsKnownVerbLemma(vlemma) && toks[i].pos != PosTag::kRB) {
+      if (lems[i]->verb_known && toks[i].pos != PosTag::kRB) {
         toks[i].pos = PosTag::kVB;
       }
     }
@@ -149,7 +171,7 @@ void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
     if (IsVerbTag(toks[i].pos) && i > 0 &&
         (toks[i - 1].pos == PosTag::kDT || toks[i - 1].pos == PosTag::kJJ ||
          toks[i - 1].pos == PosTag::kPRPS || toks[i - 1].pos == PosTag::kPOS)) {
-      if (toks[i].pos != PosTag::kVBG || lex.IsCommonNoun(lower)) {
+      if (toks[i].pos != PosTag::kVBG || lex.IsCommonNoun(toks[i].sym)) {
         toks[i].pos = EndsWith(lower, "s") && !EndsWith(lower, "ss")
                           ? PosTag::kNNS
                           : PosTag::kNN;
@@ -158,24 +180,26 @@ void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
 
     // VBD -> VBN after a form of have/be ("has married", "was born").
     if (toks[i].pos == PosTag::kVBD && i > 0) {
-      std::string prev = Lowercase(toks[i - 1].text);
-      std::string prev2 = i > 1 ? Lowercase(toks[i - 2].text) : "";
-      bool aux_before = lex.IsBeForm(prev) || prev == "has" || prev == "have" ||
-                        prev == "had" || prev == "having";
+      const Symbol prev = toks[i - 1].sym;
+      bool aux_before = lex.IsBeForm(prev) || prev == cue.has ||
+                        prev == cue.have || prev == cue.had ||
+                        prev == cue.having;
       // allow one adverb between aux and participle: "was recently married"
-      bool aux_two_back =
-          toks[i - 1].pos == PosTag::kRB &&
-          (lex.IsBeForm(prev2) || prev2 == "has" || prev2 == "have" || prev2 == "had");
+      bool aux_two_back = false;
+      if (toks[i - 1].pos == PosTag::kRB && i > 1) {
+        const Symbol prev2 = toks[i - 2].sym;
+        aux_two_back = lex.IsBeForm(prev2) || prev2 == cue.has ||
+                       prev2 == cue.have || prev2 == cue.had;
+      }
       if (aux_before || aux_two_back) toks[i].pos = PosTag::kVBN;
     }
 
     // An ambiguous noun directly following a PRP/NNP subject with no other
     // verb nearby is actually the main verb: "Pitt stars in Troy".
     if ((toks[i].pos == PosTag::kNN || toks[i].pos == PosTag::kNNS) && i > 0) {
-      std::string vlemma = lemmatizer_.VerbLemma(lower);
-      bool nounish = lex.IsCommonNoun(lower) ||
-                     lex.IsCommonNoun(lemmatizer_.NounLemma(lower));
-      if (lex.IsKnownVerbLemma(vlemma) && nounish) {
+      const LemmaPair& lem = *lems[i];
+      bool nounish = lex.IsCommonNoun(toks[i].sym) || lem.noun_common;
+      if (lem.verb_known && nounish) {
         bool subject_before = toks[i - 1].pos == PosTag::kNNP ||
                               toks[i - 1].pos == PosTag::kPRP;
         bool object_like_after =
@@ -194,15 +218,35 @@ void PosTagger::ApplyContextRules(std::vector<Token>* tokens) const {
     }
   }
 
-  // Fill lemmas once tags are stable.
-  for (Token& t : toks) t.lemma = lemmatizer_.Lemma(t.text, t.pos);
+  // Fill lemmas once tags are stable. Matches Lemma(text, pos) per token:
+  // verb/noun lemmatization lowercases internally, NNP keeps the surface,
+  // and the remaining tags take the lowercased surface.
+  for (size_t i = 0; i < n; ++i) {
+    Token& t = toks[i];
+    if (IsVerbTag(t.pos)) {
+      t.lemma = lems[i]->verb;
+    } else if (t.pos == PosTag::kNN || t.pos == PosTag::kNNS) {
+      t.lemma = lems[i]->noun;
+    } else if (t.pos == PosTag::kNNP) {
+      t.lemma = t.text;
+    } else {
+      t.lemma = t.lower;
+    }
+  }
 }
 
 void PosTagger::Tag(std::vector<Token>* tokens) const {
+  // Tokenizer output already carries lower/sym; this is a no-op there and
+  // only fills them for hand-built token vectors (tests, fixtures).
+  EnsureSymbols(tokens);
+  // One batched lemma-cache round per sentence; the scratch vector is
+  // thread-local so steady-state tagging does not allocate for it.
+  static thread_local std::vector<const LemmaPair*> lems;
+  lemmatizer_.CachedBatch(*tokens, &lems);
   for (size_t i = 0; i < tokens->size(); ++i) {
-    (*tokens)[i].pos = InitialTag(*tokens, i);
+    (*tokens)[i].pos = InitialTag(*tokens, i, *lems[i]);
   }
-  ApplyContextRules(tokens);
+  ApplyContextRules(tokens, lems);
 }
 
 }  // namespace qkbfly

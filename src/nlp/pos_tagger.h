@@ -19,8 +19,10 @@ class PosTagger {
   void Tag(std::vector<Token>* tokens) const;
 
  private:
-  PosTag InitialTag(const std::vector<Token>& tokens, size_t i) const;
-  void ApplyContextRules(std::vector<Token>* tokens) const;
+  PosTag InitialTag(const std::vector<Token>& tokens, size_t i,
+                    const LemmaPair& lem) const;
+  void ApplyContextRules(std::vector<Token>* tokens,
+                         const std::vector<const LemmaPair*>& lems) const;
 
   Lemmatizer lemmatizer_;
 };

@@ -2,24 +2,32 @@
 
 #include <array>
 #include <cstdio>
+#include <unordered_map>
 
 #include "nlp/lexicon.h"
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 
 namespace qkbfly {
 
 namespace {
 
-// 1-based month number for a month name, or 0.
-int MonthNumber(const std::string& word) {
-  static const std::array<const char*, 12> kMonths = {
-      "january", "february", "march",     "april",   "may",      "june",
-      "july",    "august",   "september", "october", "november", "december"};
-  std::string lower = Lowercase(word);
-  for (size_t i = 0; i < kMonths.size(); ++i) {
-    if (lower == kMonths[i]) return static_cast<int>(i) + 1;
-  }
-  return 0;
+// 1-based month number for a month-name token, or 0. Probes the token's
+// interned symbol instead of lowercasing and comparing twelve strings.
+int MonthNumber(const Token& t) {
+  static const std::unordered_map<Symbol, int> kMonths = [] {
+    static const std::array<const char*, 12> kNames = {
+        "january", "february", "march",     "april",   "may",      "june",
+        "july",    "august",   "september", "october", "november", "december"};
+    TokenSymbols& symbols = TokenSymbols::Get();
+    std::unordered_map<Symbol, int> out;
+    for (size_t i = 0; i < kNames.size(); ++i) {
+      out[symbols.Intern(kNames[i])] = static_cast<int>(i) + 1;
+    }
+    return out;
+  }();
+  auto it = kMonths.find(t.sym);
+  return it == kMonths.end() ? 0 : it->second;
 }
 
 bool ParseYear(const std::string& s, int* year) {
@@ -58,7 +66,7 @@ std::vector<TimeMention> TimeTagger::Tag(const std::vector<Token>& tokens) const
   int i = 0;
   while (i < n) {
     const std::string& w = tokens[i].text;
-    int month = MonthNumber(w);
+    int month = MonthNumber(tokens[i]);
     if (month > 0) {
       // "September 19 , 2016" / "September 19 2016" / "May 2012" / "May".
       int day = 0;
@@ -91,7 +99,7 @@ std::vector<TimeMention> TimeTagger::Tag(const std::vector<Token>& tokens) const
       }
       // "May" alone is too ambiguous (modal); skip unless capitalized
       // mid-sentence and not the modal reading.
-      if (i > 0 && IsCapitalized(w) && Lowercase(w) != "may") {
+      if (i > 0 && IsCapitalized(w) && tokens[i].lower != "may") {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "XXXX-%02d", month);
         mentions.push_back({{i, i + 1}, buf});
@@ -104,7 +112,7 @@ std::vector<TimeMention> TimeTagger::Tag(const std::vector<Token>& tokens) const
     // "17 December 1936"
     int day = 0;
     if (ParseDay(w, &day) && i + 1 < n) {
-      int m2 = MonthNumber(tokens[i + 1].text);
+      int m2 = MonthNumber(tokens[i + 1]);
       if (m2 > 0) {
         int year = 0;
         int j = i + 2;

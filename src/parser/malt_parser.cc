@@ -63,7 +63,8 @@ class ParseState {
 
   PosTag Pos(int i) const { return tokens_[static_cast<size_t>(i)].pos; }
   const std::string& Text(int i) const { return tokens_[static_cast<size_t>(i)].text; }
-  std::string Lower(int i) const { return Lowercase(Text(i)); }
+  const std::string& Lower(int i) const { return tokens_[static_cast<size_t>(i)].lower; }
+  Symbol Sym(int i) const { return tokens_[static_cast<size_t>(i)].sym; }
 
   bool IsNominalHeadCandidate(int i) const {
     PosTag t = Pos(i);
@@ -114,7 +115,7 @@ class ParseState {
         // Absorb a trailing date tail into the NP: "December | 1936",
         // "May | 3 | , | 1985".
         if (j < n_ && Pos(j) == PosTag::kCD &&
-            Lexicon::Get().IsMonthName(Text(j - 1))) {
+            Lexicon::Get().IsMonthName(Sym(j - 1))) {
           ++j;
           if (j + 1 < n_ && Text(j) == "," && Pos(j + 1) == PosTag::kCD &&
               Text(j + 1).size() == 4) {
@@ -219,7 +220,7 @@ class ParseState {
         if (tk == PosTag::kMD) {
           SetArc(k, main_verb, DepLabel::kAux);
         } else if (IsVerbTag(tk)) {
-          bool be = lex.IsBeForm(Lower(k));
+          bool be = lex.IsBeForm(Sym(k));
           if (be && head_is_participle) {
             SetArc(k, main_verb, DepLabel::kAuxPass);
             vg.passive = true;
@@ -235,7 +236,7 @@ class ParseState {
       // "born" behaves passively even though its auxiliary analysis may have
       // consumed "was" as aux: double-check.
       if (head_is_participle && !vg.passive && vg.start == main_verb && main_verb > 0 &&
-          lex.IsBeForm(Lower(main_verb - 1))) {
+          lex.IsBeForm(Sym(main_verb - 1))) {
         vg.passive = true;
       }
       std::string head_lemma = tokens_[static_cast<size_t>(main_verb)].lemma;

@@ -1,8 +1,18 @@
 #include "text/token.h"
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace qkbfly {
+
+void EnsureSymbols(std::vector<Token>* tokens) {
+  TokenSymbols& symbols = TokenSymbols::Get();
+  for (Token& t : *tokens) {
+    if (t.sym != kNoSymbol) continue;
+    if (t.lower.empty()) t.lower = Lowercase(t.text);
+    t.sym = symbols.Intern(t.lower);
+  }
+}
 
 const char* PosTagName(PosTag tag) {
   switch (tag) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/symbol_table.h"
+
 namespace qkbfly {
 
 /// Penn-Treebank-flavoured part-of-speech tags (the subset the downstream
@@ -52,9 +54,21 @@ bool IsNounTag(PosTag tag);
 /// One surface token plus its (later-filled) annotations.
 struct Token {
   std::string text;        ///< Surface form as it appeared in the input.
+  std::string lower;       ///< Lowercased surface (filled by the tokenizer).
   std::string lemma;       ///< Lemmatized form (filled by the lemmatizer).
   PosTag pos = PosTag::kUNK;
+
+  /// TokenSymbols id of `lower`, interned once by the tokenizer so POS
+  /// tagging, NER cue lookups and the gazetteer trie walk are all
+  /// integer-keyed. kNoSymbol on hand-built tokens; consumers that need it
+  /// call EnsureSymbols() first.
+  Symbol sym = kNoSymbol;
 };
+
+/// Fills `lower` and `sym` for any token that does not have them yet
+/// (hand-built tokens in tests, fixtures predating the interned pipeline).
+/// Idempotent; tokens produced by Tokenizer are already filled.
+void EnsureSymbols(std::vector<Token>* tokens);
 
 /// Half-open token-index range [begin, end) within one sentence.
 struct TokenSpan {

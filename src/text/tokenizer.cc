@@ -2,6 +2,9 @@
 
 #include <cctype>
 
+#include "util/string_util.h"
+#include "util/symbol_table.h"
+
 namespace qkbfly {
 
 namespace {
@@ -48,11 +51,20 @@ bool MatchNumber(std::string_view text, size_t i, size_t* len) {
 
 std::vector<Token> Tokenizer::Tokenize(std::string_view text) const {
   std::vector<Token> tokens;
+  // English averages ~5 chars per token incl. the following space; one
+  // upfront reservation avoids the geometric-growth moves of Token's three
+  // strings on short sentences.
+  tokens.reserve(text.size() / 5 + 4);
   size_t i = 0;
+  // Lowercase each token exactly once here; symbols are resolved in one
+  // batch below so the symbol table's lock is taken once per sentence, and
+  // every downstream stage (POS tagger, NER, gazetteer, graph builder)
+  // reuses lower/sym instead of re-folding and re-hashing the surface.
   auto emit = [&tokens](std::string_view piece) {
     if (piece.empty()) return;
     Token t;
     t.text = std::string(piece);
+    t.lower = Lowercase(piece);
     tokens.push_back(std::move(t));
   };
 
@@ -117,6 +129,16 @@ std::vector<Token> Tokenizer::Tokenize(std::string_view text) const {
     emit(text.substr(i, 1));
     ++i;
   }
+
+  // One batched symbol resolution per sentence. The scratch buffers are
+  // thread-local so steady-state tokenization does not allocate for them.
+  static thread_local std::vector<std::string_view> lowers;
+  static thread_local std::vector<Symbol> syms;
+  lowers.clear();
+  syms.resize(tokens.size());
+  for (const Token& t : tokens) lowers.push_back(t.lower);
+  TokenSymbols::Get().InternBatch(lowers.data(), lowers.size(), syms.data());
+  for (size_t k = 0; k < tokens.size(); ++k) tokens[k].sym = syms[k];
   return tokens;
 }
 

@@ -1,5 +1,6 @@
 #include "util/bench_report.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 
@@ -42,6 +43,13 @@ void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
   entries_.back().cache = cache;
 }
 
+void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
+                      uint64_t facts, const StageFields& stage) {
+  Add(std::move(name), docs, threads, wall_s, facts);
+  entries_.back().has_stage = true;
+  entries_.back().stage = stage;
+}
+
 bool BenchReport::WriteJson(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -60,10 +68,156 @@ bool BenchReport::WriteJson(const std::string& path) const {
                    e.cache.hits, e.cache.misses, e.cache.hit_rate,
                    e.cache.p95_ms);
     }
+    if (e.has_stage) {
+      std::fprintf(f,
+                   ", \"items\": %" PRIu64
+                   ", \"rate\": %.2f, \"p50_ms\": %.4f, \"p95_ms\": %.4f",
+                   e.stage.items, e.stage.rate, e.stage.p50_ms,
+                   e.stage.p95_ms);
+    }
     std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   return std::fclose(f) == 0;
+}
+
+namespace {
+
+// Minimal recursive-descent scanner for the flat JSON this report emits.
+// Not a general parser: nested containers inside entry objects are schema
+// violations and rejected.
+struct JsonScanner {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    error = message + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ScanString(std::string* out) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') ++pos;  // escaped character
+      if (pos < text.size()) out->push_back(text[pos++]);
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;
+    return true;
+  }
+
+  bool ScanNumber() {
+    SkipSpace();
+    size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text[pos]))) digits = true;
+      ++pos;
+    }
+    if (!digits) {
+      pos = start;
+      return Fail("expected number");
+    }
+    return true;
+  }
+};
+
+bool IsKnownKey(const std::string& key) {
+  static const char* kKeys[] = {
+      "name",     "docs",  "threads", "wall_s", "facts", "hits",
+      "misses",   "hit_rate", "p95_ms", "items", "rate",  "p50_ms",
+  };
+  for (const char* k : kKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BenchReport::ValidateJsonFile(const std::string& path,
+                                   std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return fail("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  JsonScanner scan{text};
+  if (!scan.Consume('[')) return fail(scan.error);
+  scan.SkipSpace();
+  bool first_entry = true;
+  while (scan.pos < text.size() && text[scan.pos] != ']') {
+    if (!first_entry && !scan.Consume(',')) return fail(scan.error);
+    first_entry = false;
+    if (!scan.Consume('{')) return fail(scan.error);
+    bool saw_name = false, saw_docs = false, saw_threads = false;
+    bool saw_wall = false, saw_facts = false;
+    bool first_key = true;
+    scan.SkipSpace();
+    while (scan.pos < text.size() && text[scan.pos] != '}') {
+      if (!first_key && !scan.Consume(',')) return fail(scan.error);
+      first_key = false;
+      std::string key;
+      if (!scan.ScanString(&key)) return fail(scan.error);
+      if (!scan.Consume(':')) return fail(scan.error);
+      if (!IsKnownKey(key)) return fail("unknown key \"" + key + "\"");
+      if (key == "name") {
+        std::string value;
+        if (!scan.ScanString(&value)) return fail(scan.error);
+        if (value.empty()) return fail("empty \"name\"");
+        saw_name = true;
+      } else {
+        if (!scan.ScanNumber()) return fail(scan.error);
+        if (key == "docs") saw_docs = true;
+        if (key == "threads") saw_threads = true;
+        if (key == "wall_s") saw_wall = true;
+        if (key == "facts") saw_facts = true;
+      }
+      scan.SkipSpace();
+    }
+    if (!scan.Consume('}')) return fail(scan.error);
+    if (!saw_name || !saw_docs || !saw_threads || !saw_wall || !saw_facts) {
+      return fail("entry missing a required key "
+                  "(name/docs/threads/wall_s/facts)");
+    }
+    scan.SkipSpace();
+  }
+  if (!scan.Consume(']')) return fail(scan.error);
+  scan.SkipSpace();
+  if (scan.pos != text.size()) return fail("trailing content after array");
+  return true;
 }
 
 }  // namespace qkbfly

@@ -24,6 +24,17 @@ class BenchReport {
     double p95_ms = 0.0;  ///< p95 latency of the workload's unit of work.
   };
 
+  /// Optional per-stage throughput columns for hot-path workloads
+  /// (BENCH_hotpath.json): the stage's unit of work (tokens, gazetteer
+  /// positions, edges removed), its rate per second, and the per-document
+  /// latency distribution.
+  struct StageFields {
+    uint64_t items = 0;   ///< Work units processed (tokens, positions, ...).
+    double rate = 0.0;    ///< Work units per second.
+    double p50_ms = 0.0;  ///< Median per-document latency.
+    double p95_ms = 0.0;  ///< p95 per-document latency.
+  };
+
   struct Entry {
     std::string name;     ///< Workload identifier, e.g. "table3/QKBfly".
     int docs = 0;         ///< Documents (or items) processed.
@@ -32,6 +43,8 @@ class BenchReport {
     uint64_t facts = 0;   ///< Facts (or outputs) produced.
     bool has_cache = false;
     CacheFields cache;
+    bool has_stage = false;
+    StageFields stage;
   };
 
   void Add(std::string name, int docs, int threads, double wall_s,
@@ -41,9 +54,21 @@ class BenchReport {
   void Add(std::string name, int docs, int threads, double wall_s,
            uint64_t facts, const CacheFields& cache);
 
+  /// Same record plus the optional stage-throughput columns.
+  void Add(std::string name, int docs, int threads, double wall_s,
+           uint64_t facts, const StageFields& stage);
+
   /// Writes all entries as a JSON array to `path` (overwrites). Returns
   /// false on I/O failure.
   bool WriteJson(const std::string& path) const;
+
+  /// Schema check for a written report: the file must parse as a JSON array
+  /// of flat objects, each carrying the required keys (name as a string;
+  /// docs, threads, wall_s, facts as numbers) and only known optional keys
+  /// (cache and stage columns, numeric). Returns false and fills `error`
+  /// (when non-null) on the first violation. Used by the bench-smoke tests
+  /// so the machine-readable output can never silently rot.
+  static bool ValidateJsonFile(const std::string& path, std::string* error);
 
   const std::vector<Entry>& entries() const { return entries_; }
 

@@ -1,0 +1,128 @@
+// Process-wide interning of lowercased token strings. Every stage of the
+// per-document hot path (tokenizer, POS tagger, NER cue lookups, the
+// gazetteer trie, the entity repository's token index) keys on these dense
+// uint32 symbols, so each surface token is lowercased and hashed exactly
+// once per document instead of once per lookup.
+//
+// Unlike StringInterner (util/interner.h), which is single-owner and
+// single-threaded, this table is a shared registry: vocabulary owners
+// (Lexicon, EntityRepository, the NER cue lists) intern their word lists at
+// construction, and tokenizer workers intern document tokens concurrently.
+// Reads take a shared lock; the occasional new word takes an exclusive one.
+//
+// Symbol values depend on interning order and are therefore NOT stable
+// across runs or threadings — they must only ever be compared for equality
+// or used as hash keys, never ordered or serialized.
+#ifndef QKBFLY_UTIL_SYMBOL_TABLE_H_
+#define QKBFLY_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace qkbfly {
+
+using Symbol = uint32_t;
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+/// The process-wide lowercase-token symbol registry.
+class TokenSymbols {
+ public:
+  /// Returns the singleton table.
+  static TokenSymbols& Get() {
+    static TokenSymbols* table = new TokenSymbols();
+    return *table;
+  }
+
+  /// Returns the symbol of `s`, interning it if new. `s` must already be
+  /// lowercased by the caller (the table does not fold case).
+  Symbol Intern(std::string_view s) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto it = ids_.find(s);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;  // raced with another inserter
+    Symbol id = next_++;
+    ids_.emplace(std::string(s), id);
+    return id;
+  }
+
+  /// Batch variant of Intern for one sentence's tokens: resolves all `n`
+  /// (already lowercased) strings with a single shared-lock pass; the
+  /// exclusive lock is taken once per batch, and only when the batch
+  /// contains words the table has never seen. Symbols are assigned in array
+  /// order, exactly as per-token Intern calls would.
+  void InternBatch(const std::string_view* words, size_t n, Symbol* out) {
+    size_t missing = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      for (size_t i = 0; i < n; ++i) {
+        auto it = ids_.find(words[i]);
+        if (it != ids_.end()) {
+          out[i] = it->second;
+        } else {
+          out[i] = kNoSymbol;
+          ++missing;
+        }
+      }
+    }
+    if (missing == 0) return;
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (size_t i = 0; i < n; ++i) {
+      if (out[i] != kNoSymbol) continue;
+      auto it = ids_.find(words[i]);
+      if (it != ids_.end()) {
+        out[i] = it->second;  // raced with another inserter
+        continue;
+      }
+      Symbol id = next_++;
+      ids_.emplace(std::string(words[i]), id);
+      out[i] = id;
+    }
+  }
+
+  /// Returns the symbol of `s` if present, without interning. A kNoSymbol
+  /// result means no vocabulary owner nor any document has seen this string,
+  /// so no symbol-keyed index can contain it.
+  Symbol Lookup(std::string_view s) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kNoSymbol : it->second;
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return ids_.size();
+  }
+
+ private:
+  TokenSymbols() = default;
+
+  // Heterogeneous lookup so string_view probes never allocate.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, Symbol, Hash, Eq> ids_;
+  Symbol next_ = 0;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_SYMBOL_TABLE_H_

@@ -1,0 +1,389 @@
+// Tests for the single-core hot-path rewrite: the interned-symbol table, the
+// trie-backed gazetteer (against its linear reference), LooseCandidates
+// dedup/ordering, and the heap-driven densifier's determinism guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "densify/greedy_densifier.h"
+#include "graph/graph_builder.h"
+#include "kb/entity_repository.h"
+#include "nlp/pipeline.h"
+#include "parser/malt_parser.h"
+#include "synth/dataset.h"
+#include "text/tokenizer.h"
+#include "util/symbol_table.h"
+
+namespace qkbfly {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Symbol table
+// ---------------------------------------------------------------------------
+
+TEST(SymbolTableTest, InternIsStableAndLookupAgrees) {
+  TokenSymbols& symbols = TokenSymbols::Get();
+  Symbol a = symbols.Intern("hotpath-test-alpha");
+  Symbol b = symbols.Intern("hotpath-test-beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(symbols.Intern("hotpath-test-alpha"), a);
+  EXPECT_EQ(symbols.Lookup("hotpath-test-alpha"), a);
+  EXPECT_EQ(symbols.Lookup("hotpath-test-beta"), b);
+}
+
+TEST(SymbolTableTest, LookupMissReturnsNoSymbol) {
+  EXPECT_EQ(TokenSymbols::Get().Lookup("hotpath-test-never-interned-q7x"),
+            kNoSymbol);
+}
+
+TEST(SymbolTableTest, CaseSensitiveKeys) {
+  // The pipeline only interns lowercased text; the table itself must not
+  // conflate distinct byte strings.
+  TokenSymbols& symbols = TokenSymbols::Get();
+  EXPECT_NE(symbols.Intern("hotpath-test-Case"),
+            symbols.Intern("hotpath-test-case"));
+}
+
+TEST(SymbolTableTest, EnsureSymbolsBackfillsHandBuiltTokens) {
+  std::vector<Token> tokens(2);
+  tokens[0].text = "Backfill";
+  tokens[1].text = "Me";
+  EnsureSymbols(&tokens);
+  EXPECT_EQ(tokens[0].lower, "backfill");
+  EXPECT_EQ(tokens[0].sym, TokenSymbols::Get().Lookup("backfill"));
+  EXPECT_NE(tokens[1].sym, kNoSymbol);
+  // Idempotent: a second pass leaves the symbols untouched.
+  Symbol before = tokens[0].sym;
+  EnsureSymbols(&tokens);
+  EXPECT_EQ(tokens[0].sym, before);
+}
+
+// ---------------------------------------------------------------------------
+// Trie gazetteer edge cases (each checked against the linear reference)
+// ---------------------------------------------------------------------------
+
+class GazetteerTrieTest : public ::testing::Test {
+ protected:
+  GazetteerTrieTest() : types_(TypeSystem::BuildDefault()), repo_(&types_) {
+    atlas_ = repo_.AddEntity("Atlas", {}, {*types_.Find("CITY")});
+    range_ = repo_.AddEntity("Atlas Mountain Range", {},
+                             {*types_.Find("LOCATION")});
+    longest_ = repo_.AddEntity("Grand Duchy Of Western Atlas", {},
+                               {*types_.Find("COUNTRY")});
+    person_ = repo_.AddEntity("Mira Vale", {"Vale"}, {*types_.Find("ACTOR")},
+                             Gender::kFemale);
+  }
+
+  // Runs both matchers at one position and requires byte-identical results.
+  int AgreeingMatch(const std::vector<Token>& tokens, int begin, NerType* type) {
+    NerType linear_type = NerType::kNone;
+    NerType trie_type = NerType::kNone;
+    int linear = repo_.LongestMatchAtLinear(tokens, begin, &linear_type);
+    int trie = repo_.LongestMatchAt(tokens, begin, &trie_type);
+    EXPECT_EQ(trie, linear) << "position " << begin;
+    EXPECT_EQ(trie_type, linear_type) << "position " << begin;
+    if (type != nullptr) *type = trie_type;
+    return trie;
+  }
+
+  TypeSystem types_;
+  EntityRepository repo_;
+  Tokenizer tok_;
+  EntityId atlas_, range_, longest_, person_;
+};
+
+TEST_F(GazetteerTrieTest, AliasEndingAtLastToken) {
+  // The longest alias ends exactly at the sentence's final token: the walk
+  // must not read past the end, and must still report the full span.
+  auto tokens = tok_.Tokenize("They crossed the Atlas Mountain Range");
+  NerType type = NerType::kNone;
+  int len = AgreeingMatch(tokens, 3, &type);
+  EXPECT_EQ(len, 3);
+  EXPECT_EQ(type, NerType::kLocation);
+}
+
+TEST_F(GazetteerTrieTest, SpanAtMaxAliasTokensBoundary) {
+  // "Grand Duchy Of Western Atlas" is the longest alias in the repository
+  // (5 tokens == max_alias_tokens_): a match of exactly that length must be
+  // found even when more tokens follow, and the walk must stop extending at
+  // the boundary rather than probing 6-token candidates.
+  auto tokens =
+      tok_.Tokenize("The Grand Duchy Of Western Atlas Mountain treaty held");
+  NerType type = NerType::kNone;
+  int len = AgreeingMatch(tokens, 1, &type);
+  EXPECT_EQ(len, 5);
+  EXPECT_EQ(type, NerType::kLocation);
+}
+
+TEST_F(GazetteerTrieTest, CapitalizedNonAliasWordDoesNotMatch) {
+  auto tokens = tok_.Tokenize("Zanzibar is far away");
+  EXPECT_EQ(AgreeingMatch(tokens, 0, nullptr), 0);
+  // A capitalized word that is a *prefix word* of an alias but not an alias
+  // itself ("Grand") must not match either: the trie node exists but is not
+  // terminal.
+  tokens = tok_.Tokenize("Grand plans were made");
+  EXPECT_EQ(AgreeingMatch(tokens, 0, nullptr), 0);
+}
+
+TEST_F(GazetteerTrieTest, LowercaseFirstTokenRejected) {
+  auto tokens = tok_.Tokenize("atlas Mountain Range");
+  EXPECT_EQ(AgreeingMatch(tokens, 0, nullptr), 0);
+}
+
+TEST_F(GazetteerTrieTest, MultiTokenAliasShadowsShorterPrefix) {
+  // "Atlas" alone is a CITY; "Atlas Mountain Range" is a LOCATION. The
+  // longest match must win, taking its own terminal type.
+  auto tokens = tok_.Tokenize("Atlas Mountain Range spans two countries");
+  NerType type = NerType::kNone;
+  int len = AgreeingMatch(tokens, 0, &type);
+  EXPECT_EQ(len, 3);
+  EXPECT_EQ(type, NerType::kLocation);
+  // When the continuation breaks off mid-alias ("Atlas Mountain peaks" has
+  // no terminal at length 2), the best seen terminal — the 1-token city —
+  // must be reported, not zero and not the dead-end prefix.
+  tokens = tok_.Tokenize("Atlas Mountain peaks glow");
+  len = AgreeingMatch(tokens, 0, &type);
+  EXPECT_EQ(len, 1);
+  EXPECT_EQ(type, NerType::kLocation);  // coarse type of CITY
+}
+
+TEST_F(GazetteerTrieTest, HandBuiltTokensFallBackToLookup) {
+  // Tokens that skipped the tokenizer carry no symbols; the trie walk must
+  // resolve them via Lookup and still agree with the linear matcher.
+  std::vector<Token> tokens(2);
+  tokens[0].text = "Mira";
+  tokens[1].text = "Vale";
+  NerType type = NerType::kNone;
+  int len = AgreeingMatch(tokens, 0, &type);
+  EXPECT_EQ(len, 2);
+  EXPECT_EQ(type, NerType::kPerson);
+}
+
+TEST_F(GazetteerTrieTest, AgreementAcrossAllPositions) {
+  const char* sentences[] = {
+      "Mira Vale visited the Grand Duchy Of Western Atlas in May",
+      "Atlas Mountain Range and Atlas share a name",
+      "Nothing here matches anything at all",
+      "Vale met Vale near Atlas Mountain Range",
+  };
+  for (const char* s : sentences) {
+    auto tokens = tok_.Tokenize(s);
+    for (int i = 0; i < static_cast<int>(tokens.size()); ++i) {
+      AgreeingMatch(tokens, i, nullptr);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LooseCandidates dedup / ordering / limit
+// ---------------------------------------------------------------------------
+
+class LooseCandidatesTest : public ::testing::Test {
+ protected:
+  LooseCandidatesTest() : types_(TypeSystem::BuildDefault()), repo_(&types_) {
+    // "Kaelen Drax" is an exact alias of drax_full_ AND shares both of its
+    // name tokens with other entities, so the exact candidate is re-proposed
+    // by the token index — the dedup path under test.
+    drax_full_ = repo_.AddEntity("Kaelen Drax", {}, {*types_.Find("ACTOR")});
+    kaelen_ = repo_.AddEntity("Kaelen Moor", {}, {*types_.Find("SINGER")});
+    drax_ = repo_.AddEntity("Tessa Drax", {}, {*types_.Find("POLITICIAN")});
+    drax_corp_ = repo_.AddEntity("Drax Industries", {"Drax"},
+                                 {*types_.Find("COMPANY")});
+  }
+
+  TypeSystem types_;
+  EntityRepository repo_;
+  EntityId drax_full_, kaelen_, drax_, drax_corp_;
+};
+
+TEST_F(LooseCandidatesTest, ExactAliasFirstAndNoDuplicates) {
+  auto out = repo_.LooseCandidates("Kaelen Drax", 16);
+  // Exact-alias candidates lead.
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), drax_full_);
+  // Every token-sharing entity is proposed exactly once — in particular the
+  // exact candidate must not reappear via the "kaelen" or "drax" buckets.
+  std::vector<EntityId> sorted = out;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      << "duplicate entity ids in loose candidates";
+  for (EntityId e : {kaelen_, drax_, drax_corp_}) {
+    EXPECT_TRUE(std::find(out.begin(), out.end(), e) != out.end());
+  }
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(LooseCandidatesTest, LimitRespected) {
+  auto out = repo_.LooseCandidates("Kaelen Drax", 2);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front(), drax_full_);
+}
+
+TEST_F(LooseCandidatesTest, OrderIsDeterministic) {
+  auto first = repo_.LooseCandidates("Kaelen Drax", 16);
+  // Second call is served from the memo; third, after an invalidating
+  // AddEntity, recomputes from scratch. All must agree on the common prefix.
+  auto second = repo_.LooseCandidates("Kaelen Drax", 16);
+  EXPECT_EQ(first, second);
+  repo_.AddEntity("Unrelated Person", {}, {*types_.Find("ACTOR")});
+  auto third = repo_.LooseCandidates("Kaelen Drax", 16);
+  EXPECT_EQ(first, third);
+}
+
+TEST_F(LooseCandidatesTest, NeverInternedTokenProposesNothing) {
+  auto out = repo_.LooseCandidates("zzz-not-a-word-anywhere", 8);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Densifier determinism: heap vs scan, run-to-run, EdgeId tie-breaking
+// ---------------------------------------------------------------------------
+
+const SynthDataset& Dataset() {
+  static const SynthDataset* ds = [] {
+    DatasetConfig config;
+    config.wiki_eval_articles = 12;
+    return BuildDataset(config).release();
+  }();
+  return *ds;
+}
+
+struct Prepared {
+  AnnotatedDocument doc;
+  SemanticGraph graph;
+};
+
+Prepared Prepare(const Document& doc) {
+  const auto& ds = Dataset();
+  NlpPipeline pipeline(ds.repository.get());
+  Prepared p;
+  p.doc = pipeline.Annotate(doc.id, doc.title, doc.text);
+  GraphBuilder builder(ds.repository.get(), std::make_unique<MaltLikeParser>(),
+                       GraphBuilder::Options());
+  p.graph = builder.Build(p.doc);
+  return p;
+}
+
+std::vector<bool> ActiveFlags(const SemanticGraph& graph) {
+  std::vector<bool> out;
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    out.push_back(graph.edge(static_cast<EdgeId>(e)).active);
+  }
+  return out;
+}
+
+TEST(DensifyDeterminismTest, HeapAndScanProduceIdenticalResults) {
+  const auto& ds = Dataset();
+  DensifyParams params;
+  GreedyDensifier heap(&ds.stats, ds.repository.get(), params,
+                       DensifyStrategy::kHeap);
+  GreedyDensifier scan(&ds.stats, ds.repository.get(), params,
+                       DensifyStrategy::kScan);
+  int docs = 0;
+  for (const GoldDocument& gd : ds.wiki_eval) {
+    if (++docs > 6) break;
+    Prepared ph = Prepare(gd.doc);
+    Prepared ps = Prepare(gd.doc);
+    auto rh = heap.Densify(&ph.graph, ph.doc);
+    auto rs = scan.Densify(&ps.graph, ps.doc);
+    // Same edges removed, in the same order, leaving the same subgraph.
+    EXPECT_EQ(rh.removal_order, rs.removal_order) << gd.doc.text;
+    EXPECT_EQ(rh.edges_removed, rs.edges_removed);
+    EXPECT_EQ(ActiveFlags(ph.graph), ActiveFlags(ps.graph));
+    // Same floats, not just approximately.
+    EXPECT_EQ(rh.objective, rs.objective);
+    ASSERT_EQ(rh.assignments.size(), rs.assignments.size());
+    for (size_t i = 0; i < rh.assignments.size(); ++i) {
+      EXPECT_EQ(rh.assignments[i].mention, rs.assignments[i].mention);
+      EXPECT_EQ(rh.assignments[i].entity, rs.assignments[i].entity);
+      EXPECT_EQ(rh.assignments[i].confidence, rs.assignments[i].confidence);
+      EXPECT_EQ(rh.assignments[i].weight, rs.assignments[i].weight);
+    }
+    EXPECT_EQ(rh.pronoun_antecedents, rs.pronoun_antecedents);
+  }
+}
+
+TEST(DensifyDeterminismTest, RemovalOrderStableAcrossRuns) {
+  const auto& ds = Dataset();
+  DensifyParams params;
+  GreedyDensifier densifier(&ds.stats, ds.repository.get(), params);
+  const GoldDocument& gd = ds.wiki_eval.front();
+  Prepared first = Prepare(gd.doc);
+  auto r1 = densifier.Densify(&first.graph, first.doc);
+  for (int run = 0; run < 3; ++run) {
+    Prepared p = Prepare(gd.doc);
+    auto r = densifier.Densify(&p.graph, p.doc);
+    EXPECT_EQ(r.removal_order, r1.removal_order);
+    EXPECT_EQ(r.objective, r1.objective);
+  }
+}
+
+TEST(DensifyDeterminismTest, TiesBreakTowardSmallerEdgeId) {
+  // Hand-built graph engineered for an exact contribution tie: a pronoun
+  // with two sameAs links to noun phrases and no relation edges anywhere.
+  // Both sameAs edges then have contribution exactly 0.0, so the loop's
+  // only ordering signal is the EdgeId tie-break. Both strategies must
+  // remove the smaller id and stop (the survivor is no longer removable).
+  const auto& ds = Dataset();
+  for (DensifyStrategy strategy :
+       {DensifyStrategy::kHeap, DensifyStrategy::kScan}) {
+    SemanticGraph graph;
+    GraphNode np1;
+    np1.kind = NodeKind::kNounPhrase;
+    np1.text = "the director";
+    GraphNode np2 = np1;
+    np2.text = "the producer";
+    GraphNode pro;
+    pro.kind = NodeKind::kPronoun;
+    pro.text = "she";
+    NodeId a = graph.AddNode(np1);
+    NodeId b = graph.AddNode(np2);
+    NodeId p = graph.AddNode(pro);
+
+    GraphEdge e1;
+    e1.kind = EdgeKind::kSameAs;
+    e1.a = p;
+    e1.b = a;
+    GraphEdge e2 = e1;
+    e2.b = b;
+    EdgeId first = graph.AddEdge(e1);
+    EdgeId second = graph.AddEdge(e2);
+    ASSERT_LT(first, second);
+
+    AnnotatedDocument empty_doc;
+    DensifyParams params;
+    GreedyDensifier densifier(&ds.stats, ds.repository.get(), params, strategy);
+    auto result = densifier.Densify(&graph, empty_doc);
+
+    ASSERT_EQ(result.removal_order.size(), 1u)
+        << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(result.removal_order.front(), first);
+    EXPECT_FALSE(graph.edge(first).active);
+    EXPECT_TRUE(graph.edge(second).active);
+  }
+}
+
+TEST(DensifyDeterminismTest, RemovalOrderMatchesEdgesRemoved) {
+  const auto& ds = Dataset();
+  DensifyParams params;
+  GreedyDensifier densifier(&ds.stats, ds.repository.get(), params);
+  int docs = 0;
+  for (const GoldDocument& gd : ds.wiki_eval) {
+    if (++docs > 4) break;
+    Prepared p = Prepare(gd.doc);
+    auto r = densifier.Densify(&p.graph, p.doc);
+    EXPECT_EQ(r.removal_order.size(),
+              static_cast<size_t>(r.edges_removed));
+    // Each recorded edge is genuinely inactive, and recorded exactly once.
+    std::vector<EdgeId> sorted = r.removal_order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    for (EdgeId e : r.removal_order) {
+      EXPECT_FALSE(p.graph.edge(e).active);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qkbfly
