@@ -4,6 +4,8 @@
 // statistics lookups and BM25 retrieval.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/qkbfly.h"
 #include "densify/ilp_densifier.h"
 #include "nlp/pipeline.h"
@@ -17,7 +19,7 @@ namespace {
 
 // Set by --smoke (the bench-smoke ctest label): shrinks the dataset so the
 // whole suite doubles as a fast build-health check.
-bool g_smoke = false;
+std::atomic<bool> g_smoke{false};
 
 const SynthDataset& Dataset() {
   static const SynthDataset* ds = [] {

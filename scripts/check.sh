@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Full local gate, mirroring .github/workflows/ci.yml:
+#   1. configure + build the default tree
+#   2. run the whole test suite (includes the `lint` ctest target)
+#   3. bench smoke run (label bench-smoke)
+#   4. one sanitizer tree (default: undefined; override with SANITIZER=)
+#   5. format check of changed files, when clang-format is installed
+#
+# Usage: scripts/check.sh [--skip-sanitizer]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+SANITIZER="${SANITIZER:-undefined}"
+SKIP_SANITIZER=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizer) SKIP_SANITIZER=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> configure + build (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "==> ctest (full suite, includes lint)"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+echo "==> bench smoke"
+(cd build && ctest --output-on-failure -L bench-smoke)
+
+if [[ "$SKIP_SANITIZER" -eq 0 ]]; then
+  echo "==> sanitizer tree (QKBFLY_SANITIZE=$SANITIZER)"
+  cmake -B "build-$SANITIZER" -S . -DQKBFLY_SANITIZE="$SANITIZER" >/dev/null
+  cmake --build "build-$SANITIZER" -j"$JOBS"
+  case "$SANITIZER" in
+    thread)  (cd "build-$SANITIZER" && ctest --output-on-failure -L tsan) ;;
+    address) (cd "build-$SANITIZER" && ctest --output-on-failure -L asan) ;;
+    *)       (cd "build-$SANITIZER" && ctest --output-on-failure -j"$JOBS") ;;
+  esac
+fi
+
+# Format check of files this branch touches relative to the merge base;
+# advisory when clang-format is not installed.
+if command -v clang-format >/dev/null 2>&1; then
+  echo "==> clang-format check (changed files)"
+  base="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse 'HEAD~1' 2>/dev/null || true)"
+  if [[ -n "$base" ]]; then
+    changed="$(git diff --name-only "$base" -- '*.h' '*.cc' | grep -v '^third_party/' || true)"
+    fail=0
+    for f in $changed; do
+      [[ -f "$f" ]] || continue
+      if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        fail=1
+      fi
+    done
+    [[ "$fail" -eq 0 ]] || { echo "run: clang-format -i <files>"; exit 1; }
+  fi
+else
+  echo "==> clang-format not installed; skipping format check"
+fi
+
+echo "==> all checks passed"

@@ -7,6 +7,7 @@
 #include "densify/ilp_densifier.h"
 #include "densify/pipeline_densifier.h"
 #include "parser/malt_parser.h"
+#include "util/invariants.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -181,6 +182,11 @@ OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
                                  std::vector<DocumentResult>* doc_results) const {
   OnTheFlyKb kb(repository_, patterns_);
   if (doc_results != nullptr) doc_results->reserve(docs.size());
+#if defined(QKBFLY_CHECK_INVARIANTS)
+  std::vector<std::string> doc_order;
+  doc_order.reserve(docs.size());
+  for (const Document* doc : docs) doc_order.push_back(doc->id);
+#endif
 
   // Canonicalization appends to the shared KB, so it always runs on this
   // thread, one document at a time, in input order — the parallel path is
@@ -199,6 +205,9 @@ OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
   }
   if (threads <= 1) {
     for (const Document* doc : docs) merge(ProcessDocument(*doc));
+    // AddFact merges duplicates in place, so the serial and parallel paths
+    // both leave facts in first-occurrence input order.
+    QKBFLY_INVARIANT(CheckKbMergeOrder(kb, doc_order), "BuildKb (serial)");
     return kb;
   }
 
@@ -211,6 +220,7 @@ OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
   // get() in submission order; a task exception rethrows here, exactly as it
   // would have surfaced from the serial loop.
   for (std::future<DocumentResult>& future : futures) merge(future.get());
+  QKBFLY_INVARIANT(CheckKbMergeOrder(kb, doc_order), "BuildKb (parallel)");
   return kb;
 }
 

@@ -126,6 +126,10 @@ std::vector<EdgeId> DensifyEvaluator::AffectedRelationEdges(EdgeId e) const {
       out.push_back(r);
     }
   }
+  // Canonical order: callers sum RelationEdgeWeight over these edges, and
+  // floating-point addition is order-sensitive, so hash order must not pick
+  // the summation order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -282,6 +286,13 @@ std::vector<DensifyResult::Assignment> ComputeAssignmentConfidences(
     }
     out.push_back(a);
   }
+  // original_means iterates in hash order; assignments are user-visible
+  // output (KB population, reports), so emit them in mention order.
+  std::sort(out.begin(), out.end(),
+            [](const DensifyResult::Assignment& a,
+               const DensifyResult::Assignment& b) {
+              return a.mention < b.mention;
+            });
   return out;
 }
 

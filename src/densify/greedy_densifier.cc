@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qkbfly {
@@ -55,6 +56,10 @@ DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
   } else {
     RunScanLoop(&eval, graph, &result);
   }
+
+  // After the removal loop the O(1) degree counters must agree with a full
+  // recount, or removability decisions (and thus the KB) were wrong.
+  QKBFLY_INVARIANT(CheckGraphInvariants(*graph), "GreedyDensifier::Densify");
 
   result.objective = eval.Objective();
   result.assignments = ComputeAssignmentConfidences(&eval, original_means);

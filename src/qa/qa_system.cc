@@ -182,6 +182,10 @@ std::vector<QaSystem::Candidate> QaSystem::KbCandidates(
     c.features.Finalize();
     out.push_back(std::move(c));
   }
+  // by_name iterates in hash order; candidate order decides score ties all
+  // the way to the reported answer, so canonicalize by name.
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) { return a.name < b.name; });
   return out;
 }
 
@@ -233,6 +237,10 @@ std::vector<QaSystem::Candidate> QaSystem::SentenceCandidates(
     c.features.Finalize();
     out.push_back(std::move(c));
   }
+  // by_name iterates in hash order; candidate order decides score ties all
+  // the way to the reported answer, so canonicalize by name.
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) { return a.name < b.name; });
   return out;
 }
 
@@ -278,6 +286,10 @@ std::vector<QaSystem::Candidate> QaSystem::StaticCandidates(
     c.features.Finalize();
     out.push_back(std::move(c));
   }
+  // by_name iterates in hash order; candidate order decides score ties all
+  // the way to the reported answer, so canonicalize by name.
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) { return a.name < b.name; });
   return out;
 }
 
@@ -333,8 +345,10 @@ std::vector<std::string> QaSystem::Answer(const QaQuestion& question) const {
   for (const Candidate& c : candidates) {
     scored.push_back({classifier_.Decision(c.features), &c});
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  // stable: candidates arrive name-sorted, so score ties resolve by name
+  // instead of by whatever order the non-stable sort leaves them in.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) { return a.score > b.score; });
   std::vector<std::string> answers;
   for (const Scored& s : scored) {
     if (s.score > 0.0) answers.push_back(s.c->name);

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/invariants.h"
 #include "util/logging.h"
 
 namespace qkbfly {
+
+std::string DocumentResultCache::CheckShardAccountingLocked(
+    const Shard& shard) {
+  size_t bytes = 0;
+  size_t ready = 0;
+  for (const auto& [key, entry] : shard.map) {
+    if (!entry.ready) continue;
+    bytes += entry.bytes;
+    ++ready;
+  }
+  return CheckCacheShardAccounting(shard.bytes, bytes, shard.lru.size(), ready);
+}
 
 DocumentResultCache::DocumentResultCache(Options options)
     : options_(options) {
@@ -47,8 +60,14 @@ std::shared_ptr<const DocumentResult> DocumentResultCache::FetchOrCompute(
 
   Shard& shard = ShardFor(key);
   std::promise<std::shared_ptr<const DocumentResult>> promise;
+#if defined(QKBFLY_CHECK_INVARIANTS)
+  CacheStats stats_before;
+#endif
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
+#if defined(QKBFLY_CHECK_INVARIANTS)
+    stats_before = shard.stats;
+#endif
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       // Ready entry or another thread's in-flight computation: either way no
@@ -97,6 +116,10 @@ std::shared_ptr<const DocumentResult> DocumentResultCache::FetchOrCompute(
     it->second.lru = shard.lru.begin();
     shard.bytes += it->second.bytes;
     EvictOverBudgetLocked(shard);
+    QKBFLY_INVARIANT(CheckShardAccountingLocked(shard),
+                     "DocumentResultCache::FetchOrCompute");
+    QKBFLY_INVARIANT(CheckCacheStatsMonotonic(stats_before, shard.stats),
+                     "DocumentResultCache::FetchOrCompute");
   }
   return value;
 }
@@ -134,6 +157,8 @@ void DocumentResultCache::Clear() {
     for (const std::string& key : shard->lru) shard->map.erase(key);
     shard->lru.clear();
     shard->bytes = 0;
+    QKBFLY_INVARIANT(CheckShardAccountingLocked(*shard),
+                     "DocumentResultCache::Clear");
   }
 }
 

@@ -89,6 +89,11 @@ class DocumentResultCache {
   Shard& ShardFor(const std::string& key);
   void EvictOverBudgetLocked(Shard& shard);
 
+  /// Recomputes ready-entry bytes/counts and compares them with the shard's
+  /// running counters (util/invariants.h). Requires shard.mutex held. Always
+  /// compiled; called from the hot path only under QKBFLY_CHECK_INVARIANTS.
+  static std::string CheckShardAccountingLocked(const Shard& shard);
+
   Options options_;
   size_t budget_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,139 @@
+#include "util/invariants.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "canon/onthefly_kb.h"
+#include "graph/semantic_graph.h"
+#include "util/logging.h"
+
+namespace qkbfly {
+
+std::string CheckGraphInvariants(const SemanticGraph& graph) {
+  const int node_count = static_cast<int>(graph.node_count());
+  std::vector<int> means_recount(graph.node_count(), 0);
+  std::vector<int> sameas_np_recount(graph.node_count(), 0);
+
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+    if (edge.a < 0 || edge.a >= node_count || edge.b < 0 ||
+        edge.b >= node_count) {
+      std::ostringstream out;
+      out << "edge " << e << " (" << EdgeKindName(edge.kind)
+          << ") has endpoint(s) " << edge.a << "/" << edge.b
+          << " outside [0, " << node_count << ")";
+      return out.str();
+    }
+    if (edge.kind == EdgeKind::kMeans &&
+        graph.node(edge.b).kind != NodeKind::kEntity) {
+      std::ostringstream out;
+      out << "means edge " << e << " points at node " << edge.b << " of kind "
+          << NodeKindName(graph.node(edge.b).kind) << ", expected entity";
+      return out.str();
+    }
+    if (!edge.active) continue;
+    if (edge.kind == EdgeKind::kMeans) {
+      ++means_recount[static_cast<size_t>(edge.a)];
+    } else if (edge.kind == EdgeKind::kSameAs) {
+      if (graph.node(edge.b).kind == NodeKind::kNounPhrase) {
+        ++sameas_np_recount[static_cast<size_t>(edge.a)];
+      }
+      if (graph.node(edge.a).kind == NodeKind::kNounPhrase) {
+        ++sameas_np_recount[static_cast<size_t>(edge.b)];
+      }
+    }
+  }
+
+  for (NodeId n = 0; n < node_count; ++n) {
+    if (graph.ActiveMeansCount(n) != means_recount[static_cast<size_t>(n)]) {
+      std::ostringstream out;
+      out << "node " << n << " active-means counter "
+          << graph.ActiveMeansCount(n) << " != recount "
+          << means_recount[static_cast<size_t>(n)];
+      return out.str();
+    }
+    if (graph.ActiveSameAsNpCount(n) !=
+        sameas_np_recount[static_cast<size_t>(n)]) {
+      std::ostringstream out;
+      out << "node " << n << " active-sameAs-NP counter "
+          << graph.ActiveSameAsNpCount(n) << " != recount "
+          << sameas_np_recount[static_cast<size_t>(n)];
+      return out.str();
+    }
+  }
+  return std::string();
+}
+
+std::string CheckKbMergeOrder(const OnTheFlyKb& kb,
+                              const std::vector<std::string>& doc_order) {
+  std::unordered_map<std::string, size_t> position;
+  position.reserve(doc_order.size());
+  for (size_t i = 0; i < doc_order.size(); ++i) {
+    position.emplace(doc_order[i], i);
+  }
+  size_t last = 0;
+  const std::vector<Fact>& facts = kb.facts();
+  for (size_t f = 0; f < facts.size(); ++f) {
+    auto it = position.find(facts[f].doc_id);
+    if (it == position.end()) {
+      std::ostringstream out;
+      out << "fact " << f << " cites document '" << facts[f].doc_id
+          << "' which is not in the merge input";
+      return out.str();
+    }
+    if (it->second < last) {
+      std::ostringstream out;
+      out << "fact " << f << " from document '" << facts[f].doc_id
+          << "' (input position " << it->second
+          << ") appears after a fact from input position " << last
+          << "; the merge is not in first-occurrence input order";
+      return out.str();
+    }
+    last = it->second;
+  }
+  return std::string();
+}
+
+std::string CheckCacheStatsMonotonic(const CacheStats& before,
+                                     const CacheStats& after) {
+  auto fail = [](const char* counter, uint64_t was, uint64_t now) {
+    std::ostringstream out;
+    out << "cache counter '" << counter << "' regressed from " << was
+        << " to " << now;
+    return out.str();
+  };
+  if (after.hits < before.hits) return fail("hits", before.hits, after.hits);
+  if (after.misses < before.misses) {
+    return fail("misses", before.misses, after.misses);
+  }
+  if (after.evictions < before.evictions) {
+    return fail("evictions", before.evictions, after.evictions);
+  }
+  return std::string();
+}
+
+std::string CheckCacheShardAccounting(size_t recorded_bytes,
+                                      size_t recomputed_bytes,
+                                      size_t lru_entries,
+                                      size_t ready_entries) {
+  if (recorded_bytes != recomputed_bytes) {
+    std::ostringstream out;
+    out << "shard byte counter " << recorded_bytes
+        << " != recomputed ready-entry total " << recomputed_bytes;
+    return out.str();
+  }
+  if (lru_entries != ready_entries) {
+    std::ostringstream out;
+    out << "shard LRU holds " << lru_entries << " keys but " << ready_entries
+        << " entries are ready";
+    return out.str();
+  }
+  return std::string();
+}
+
+void EnforceInvariant(const std::string& violation, const char* site) {
+  if (violation.empty()) return;
+  QKB_LOG(Fatal) << "Invariant violation in " << site << ": " << violation;
+}
+
+}  // namespace qkbfly

@@ -25,6 +25,9 @@ class WallTimer {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
+  // Timings are presentation-only (runtime columns, per-stage reports); they
+  // never feed KB bytes, so wall-clock reads here cannot break determinism.
+  // qkbfly-lint: allow(D2)
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };

@@ -1,0 +1,137 @@
+// Runtime invariant checker (util/invariants.h): each check accepts healthy
+// state and describes corrupted state; EnforceInvariant aborts on a
+// violation (death test), which is what the QKBFLY_CHECK_INVARIANTS wiring
+// in the densifier / cache / KB merge relies on.
+#include "util/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "canon/onthefly_kb.h"
+#include "core/qkbfly.h"
+#include "graph/semantic_graph.h"
+#include "synth/dataset.h"
+
+namespace qkbfly {
+namespace {
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.wiki_eval_articles = 4;
+    dataset_ = BuildDataset(config).release();
+    for (const GoldDocument& gd : dataset_->wiki_eval) {
+      docs_.push_back(gd.doc);
+    }
+  }
+
+  static QkbflyEngine MakeEngine() {
+    EngineConfig config;
+    config.num_threads = 1;
+    return QkbflyEngine(dataset_->repository.get(), &dataset_->patterns,
+                        &dataset_->stats, config);
+  }
+
+  static SynthDataset* dataset_;
+  static std::vector<Document> docs_;
+};
+
+SynthDataset* InvariantsTest::dataset_ = nullptr;
+std::vector<Document> InvariantsTest::docs_;
+
+TEST_F(InvariantsTest, DensifiedGraphPassesRecount) {
+  QkbflyEngine engine = MakeEngine();
+  DocumentResult result = engine.ProcessDocument(docs_.front());
+  EXPECT_EQ(CheckGraphInvariants(result.graph), "");
+}
+
+TEST_F(InvariantsTest, CorruptedDegreeCounterIsDetected) {
+  QkbflyEngine engine = MakeEngine();
+  DocumentResult result = engine.ProcessDocument(docs_.front());
+
+  // Corrupt the O(1) removability counter of some noun phrase; the recount
+  // must disagree and name the counter.
+  auto nps = result.graph.NodesOfKind(NodeKind::kNounPhrase);
+  ASSERT_FALSE(nps.empty());
+  result.graph.TestOnlyCorruptActiveMeansCount(nps.front(), +1);
+  std::string violation = CheckGraphInvariants(result.graph);
+  EXPECT_NE(violation, "");
+  EXPECT_NE(violation.find("active-means"), std::string::npos);
+}
+
+TEST_F(InvariantsTest, EnforceAbortsOnCorruptedCounter) {
+  QkbflyEngine engine = MakeEngine();
+  DocumentResult result = engine.ProcessDocument(docs_.front());
+  auto nps = result.graph.NodesOfKind(NodeKind::kNounPhrase);
+  ASSERT_FALSE(nps.empty());
+  result.graph.TestOnlyCorruptActiveMeansCount(nps.front(), +1);
+  EXPECT_DEATH(
+      EnforceInvariant(CheckGraphInvariants(result.graph), "invariants_test"),
+      "Invariant violation");
+}
+
+TEST_F(InvariantsTest, EnforceIsSilentOnHealthyState) {
+  EnforceInvariant("", "invariants_test");  // must not abort
+}
+
+TEST_F(InvariantsTest, KbMergeOrderHoldsForBuildKb) {
+  QkbflyEngine engine = MakeEngine();
+  OnTheFlyKb kb = engine.BuildKb(docs_, nullptr);
+  std::vector<std::string> order;
+  for (const Document& d : docs_) order.push_back(d.id);
+  EXPECT_EQ(CheckKbMergeOrder(kb, order), "");
+}
+
+TEST_F(InvariantsTest, KbMergeOrderDetectsWrongOrderAndUnknownDoc) {
+  QkbflyEngine engine = MakeEngine();
+  OnTheFlyKb kb = engine.BuildKb(docs_, nullptr);
+  ASSERT_GT(kb.size(), 0u);
+  std::vector<std::string> order;
+  for (const Document& d : docs_) order.push_back(d.id);
+
+  // Count distinct source documents; with only one, any order is trivially
+  // monotone and the reversal check is vacuous.
+  std::set<std::string> cited;
+  for (const Fact& f : kb.facts()) cited.insert(f.doc_id);
+  if (cited.size() >= 2) {
+    std::vector<std::string> reversed(order.rbegin(), order.rend());
+    EXPECT_NE(CheckKbMergeOrder(kb, reversed), "");
+  }
+
+  // A fact citing a document outside the merge input is a violation: drop
+  // one cited document from the claimed input.
+  ASSERT_FALSE(cited.empty());
+  std::vector<std::string> missing;
+  for (const std::string& id : order) {
+    if (id != *cited.begin()) missing.push_back(id);
+  }
+  EXPECT_NE(CheckKbMergeOrder(kb, missing), "");
+}
+
+TEST(CacheStatsInvariantTest, MonotonicAcceptsGrowthRejectsRegression) {
+  CacheStats before;
+  before.hits = 5;
+  before.misses = 3;
+  before.evictions = 1;
+  CacheStats after = before;
+  after.hits = 7;
+  EXPECT_EQ(CheckCacheStatsMonotonic(before, after), "");
+  EXPECT_EQ(CheckCacheStatsMonotonic(before, before), "");
+
+  after = before;
+  after.misses = 2;  // counter went backwards
+  std::string violation = CheckCacheStatsMonotonic(before, after);
+  EXPECT_NE(violation, "");
+  EXPECT_NE(violation.find("misses"), std::string::npos);
+}
+
+TEST(CacheShardInvariantTest, AccountingMismatchesAreNamed) {
+  EXPECT_EQ(CheckCacheShardAccounting(100, 100, 4, 4), "");
+  EXPECT_NE(CheckCacheShardAccounting(100, 90, 4, 4), "");
+  EXPECT_NE(CheckCacheShardAccounting(100, 100, 4, 3), "");
+}
+
+}  // namespace
+}  // namespace qkbfly

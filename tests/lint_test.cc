@@ -1,0 +1,393 @@
+// qkbfly-lint rule coverage: for every rule a positive fixture (finding
+// fires), a suppressed fixture (allow() marker honored) and a clean fixture
+// (no finding). Also exercises the lexer corner cases the rules depend on
+// and the baseline round-trip.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+namespace qkbfly::lint {
+namespace {
+
+bool Has(const std::vector<Diagnostic>& diags, Rule rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, StripsCommentsAndStrings) {
+  LexedFile f = Lex(
+      "int a; // unordered_map in a comment\n"
+      "const char* s = \"unordered_map in a string\";\n"
+      "/* unordered_map in a block */ int b;\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "unordered_map");
+  }
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_FALSE(f.comments[0].own_line);  // trails `int a;`
+}
+
+TEST(LexerTest, RawStringsDoNotLeakTokens) {
+  LexedFile f = Lex("auto s = R\"(rand() \"quoted\" time(nullptr))\";\nint x;\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "rand");
+  }
+  // The newline inside counts for line numbers of what follows.
+  EXPECT_EQ(f.tokens.back().line, 2);
+}
+
+TEST(LexerTest, CapturesDirectivesNormalized) {
+  LexedFile f = Lex("#ifndef   FOO_H_\n#define FOO_H_\n#endif\n");
+  ASSERT_EQ(f.directives.size(), 3u);
+  EXPECT_EQ(f.directives[0], "#ifndef FOO_H_");
+  EXPECT_EQ(f.directives[1], "#define FOO_H_");
+}
+
+TEST(LexerTest, AllowMarkerCoversOwnLineAndNextLine) {
+  LexedFile f = Lex(
+      "// qkbfly-lint: allow(D1, C2)\n"
+      "int x;\n");
+  ASSERT_TRUE(f.allowed.count(1));
+  ASSERT_TRUE(f.allowed.count(2));
+  EXPECT_TRUE(f.allowed.at(2).count("D1"));
+  EXPECT_TRUE(f.allowed.at(2).count("C2"));
+  EXPECT_FALSE(f.allowed.at(2).count("D2"));
+}
+
+// ---------------------------------------------------------------------------
+// D1: unordered iteration feeding output
+// ---------------------------------------------------------------------------
+
+constexpr char kD1Positive[] = R"cc(
+  std::vector<int> Collect(const std::unordered_map<int, int>& m) {
+    std::unordered_map<int, int> counts = m;
+    std::vector<int> out;
+    for (const auto& [k, v] : counts) {
+      out.push_back(v);
+    }
+    return out;
+  }
+)cc";
+
+TEST(RuleD1Test, FlagsHashOrderFillOfReturnedContainer) {
+  auto diags = LintSource("src/foo/bar.cc", kD1Positive);
+  ASSERT_TRUE(Has(diags, Rule::kD1)) << "expected D1";
+  EXPECT_EQ(diags[0].key, "counts");
+  EXPECT_NE(diags[0].message.find("fix-it"), std::string::npos);
+}
+
+TEST(RuleD1Test, SuppressedByAllowMarker) {
+  std::string src = kD1Positive;
+  src.replace(src.find("for (const auto&"), 3,
+              "// qkbfly-lint: allow(D1)\n    for");
+  EXPECT_FALSE(Has(LintSource("src/foo/bar.cc", src), Rule::kD1));
+}
+
+TEST(RuleD1Test, SortAfterLoopIsClean) {
+  constexpr char kSorted[] = R"cc(
+    std::vector<int> Collect(const std::unordered_map<int, int>& m) {
+      std::unordered_map<int, int> counts = m;
+      std::vector<int> out;
+      for (const auto& [k, v] : counts) {
+        out.push_back(v);
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+  )cc";
+  EXPECT_FALSE(Has(LintSource("src/foo/bar.cc", kSorted), Rule::kD1));
+}
+
+TEST(RuleD1Test, LocalUseWithoutOutputIsClean) {
+  constexpr char kLocal[] = R"cc(
+    int Sum(const std::unordered_map<int, int>& m) {
+      std::unordered_map<int, int> counts = m;
+      int total = 0;
+      for (const auto& [k, v] : counts) {
+        total += v;
+      }
+      return total;
+    }
+  )cc";
+  EXPECT_FALSE(Has(LintSource("src/foo/bar.cc", kLocal), Rule::kD1));
+}
+
+TEST(RuleD1Test, SinkCallInsideLoopFires) {
+  constexpr char kSink[] = R"cc(
+    void Emit(OnTheFlyKb* kb, const std::unordered_map<int, Fact>& by_key) {
+      for (const auto& [k, f] : by_key) {
+        kb->AddFact(f);
+      }
+    }
+  )cc";
+  EXPECT_TRUE(Has(LintSource("src/foo/bar.cc", kSink), Rule::kD1));
+}
+
+TEST(RuleD1Test, IteratorFormDetected) {
+  constexpr char kIter[] = R"cc(
+    std::vector<int> Keys(const std::unordered_set<int>& s) {
+      std::unordered_set<int> seen = s;
+      std::vector<int> out;
+      for (auto it = seen.begin(); it != seen.end(); ++it) {
+        out.push_back(*it);
+      }
+      return out;
+    }
+  )cc";
+  EXPECT_TRUE(Has(LintSource("src/foo/bar.cc", kIter), Rule::kD1));
+}
+
+TEST(RuleD1Test, ExtraUnorderedNamesFromHeader) {
+  // The member is declared unordered in the header only; the .cc iterates it.
+  constexpr char kHeader[] = R"cc(
+    class Repo {
+      std::unordered_map<int, int> index_;
+    };
+  )cc";
+  constexpr char kImpl[] = R"cc(
+    std::vector<int> Repo::Dump() {
+      std::vector<int> out;
+      for (const auto& [k, v] : index_) {
+        out.push_back(v);
+      }
+      return out;
+    }
+  )cc";
+  LexedFile header = Lex(kHeader);
+  std::vector<std::string> extra = UnorderedDeclNames(header);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0], "index_");
+  EXPECT_TRUE(Has(LintSource("src/foo/repo.cc", kImpl, extra), Rule::kD1));
+  EXPECT_FALSE(Has(LintSource("src/foo/repo.cc", kImpl), Rule::kD1));
+}
+
+// ---------------------------------------------------------------------------
+// D2: nondeterminism sources on deterministic paths
+// ---------------------------------------------------------------------------
+
+TEST(RuleD2Test, FlagsRandomDeviceOnDeterministicPath) {
+  constexpr char kSrc[] = "int Seed() { std::random_device rd; return rd(); }\n";
+  EXPECT_TRUE(Has(LintSource("src/densify/foo.cc", kSrc), Rule::kD2));
+}
+
+TEST(RuleD2Test, BenchAndTestsAreExempt) {
+  constexpr char kSrc[] = "int Seed() { std::random_device rd; return rd(); }\n";
+  EXPECT_FALSE(Has(LintSource("bench/foo.cc", kSrc), Rule::kD2));
+  EXPECT_FALSE(Has(LintSource("tests/foo_test.cc", kSrc), Rule::kD2));
+  EXPECT_FALSE(Has(LintSource("src/synth/dataset.cc", kSrc), Rule::kD2));
+}
+
+TEST(RuleD2Test, FlagsWallClockAndAddressAsHash) {
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc", "auto t = std::chrono::system_clock::now();\n"),
+      Rule::kD2));
+  EXPECT_TRUE(Has(LintSource("src/a.cc", "long x = time(nullptr);\n"),
+                  Rule::kD2));
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc",
+                 "size_t h = reinterpret_cast<uintptr_t>(ptr);\n"),
+      Rule::kD2));
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc", "std::hash<Node*> hasher;\n"), Rule::kD2));
+}
+
+TEST(RuleD2Test, SuppressedByAllowMarker) {
+  constexpr char kSrc[] =
+      "// timing is presentation-only. qkbfly-lint: allow(D2)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kD2));
+}
+
+TEST(RuleD2Test, SeededRngIsClean) {
+  constexpr char kSrc[] =
+      "uint64_t Next(Rng* rng) { return rng->NextUint64(); }\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kD2));
+}
+
+// ---------------------------------------------------------------------------
+// C1: unguarded mutable static state
+// ---------------------------------------------------------------------------
+
+TEST(RuleC1Test, FlagsMutableNamespaceScopeVariable) {
+  auto diags = LintSource("src/a.cc", "namespace q {\nint g_counter = 0;\n}\n");
+  ASSERT_TRUE(Has(diags, Rule::kC1));
+  EXPECT_EQ(diags[0].key, "g_counter");
+}
+
+TEST(RuleC1Test, FlagsMutableStaticLocal) {
+  constexpr char kSrc[] =
+      "int Next() {\n  static int counter = 0;\n  return ++counter;\n}\n";
+  EXPECT_TRUE(Has(LintSource("src/a.cc", kSrc), Rule::kC1));
+}
+
+TEST(RuleC1Test, GuardedAndConstShapesAreClean) {
+  constexpr char kSrc[] = R"cc(
+    namespace q {
+    const int kLimit = 10;
+    constexpr double kScale = 1.5;
+    std::atomic<int> g_guarded{0};
+    std::mutex g_mutex;
+    }  // namespace q
+    int F() {
+      static const int kTable = 3;
+      static std::once_flag flag;
+      return kTable;
+    }
+  )cc";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kC1));
+}
+
+TEST(RuleC1Test, LeakySingletonInternerShapeIsAllowed) {
+  constexpr char kSrc[] = R"cc(
+    TokenSymbols& Get() {
+      static TokenSymbols* table = new TokenSymbols();
+      return *table;
+    }
+  )cc";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kC1));
+}
+
+TEST(RuleC1Test, SuppressedByAllowMarker) {
+  constexpr char kSrc[] =
+      "// set once in main before threads. qkbfly-lint: allow(C1)\n"
+      "bool g_flag = false;\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kC1));
+}
+
+// ---------------------------------------------------------------------------
+// C2: thread hygiene and lock order
+// ---------------------------------------------------------------------------
+
+TEST(RuleC2Test, FlagsDetachAndRawNewThread) {
+  EXPECT_TRUE(Has(LintSource("src/a.cc", "void F(std::thread& t) { t.detach(); }\n"),
+                  Rule::kC2));
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc", "auto* t = new std::thread([] {});\n"),
+      Rule::kC2));
+}
+
+TEST(RuleC2Test, FlagsLockOrderInversion) {
+  // metrics (rank 3) held while acquiring a shard mutex (rank 2).
+  constexpr char kSrc[] = R"cc(
+    void Report() {
+      std::lock_guard<std::mutex> m(metrics_mutex_);
+      std::lock_guard<std::mutex> s(shard.mutex);
+    }
+  )cc";
+  auto diags = LintSource("src/service/a.cc", kSrc);
+  ASSERT_TRUE(Has(diags, Rule::kC2));
+  EXPECT_NE(diags[0].message.find("lock order"), std::string::npos);
+}
+
+TEST(RuleC2Test, DocumentedOrderIsClean) {
+  constexpr char kSrc[] = R"cc(
+    void Report() {
+      std::lock_guard<std::mutex> s(shard.mutex);
+      std::lock_guard<std::mutex> m(metrics_mutex_);
+    }
+  )cc";
+  EXPECT_FALSE(Has(LintSource("src/service/a.cc", kSrc), Rule::kC2));
+}
+
+TEST(RuleC2Test, ScopeExitReleasesHeldLocks) {
+  // The shard lock dies with its block, so the later metrics->shard sequence
+  // in a sibling block is NOT an inversion.
+  constexpr char kSrc[] = R"cc(
+    void Report() {
+      {
+        std::lock_guard<std::mutex> m(metrics_mutex_);
+      }
+      std::lock_guard<std::mutex> s(shard.mutex);
+    }
+  )cc";
+  EXPECT_FALSE(Has(LintSource("src/service/a.cc", kSrc), Rule::kC2));
+}
+
+TEST(RuleC2Test, SuppressedByAllowMarker) {
+  constexpr char kSrc[] =
+      "void F(std::thread& t) {\n"
+      "  t.detach();  // qkbfly-lint: allow(C2)\n"
+      "}\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kC2));
+}
+
+// ---------------------------------------------------------------------------
+// H1: header hygiene
+// ---------------------------------------------------------------------------
+
+TEST(RuleH1Test, FlagsHeaderWithoutGuard) {
+  constexpr char kSrc[] = "#include <vector>\nint f();\n";
+  EXPECT_TRUE(Has(LintSource("src/a.h", kSrc), Rule::kH1));
+}
+
+TEST(RuleH1Test, GuardedHeadersAreClean) {
+  EXPECT_FALSE(Has(LintSource("src/a.h",
+                              "// comment first is fine\n"
+                              "#ifndef QKBFLY_A_H_\n#define QKBFLY_A_H_\n"
+                              "int f();\n#endif\n"),
+                   Rule::kH1));
+  EXPECT_FALSE(
+      Has(LintSource("src/a.h", "#pragma once\nint f();\n"), Rule::kH1));
+}
+
+TEST(RuleH1Test, FlagsUntaggedTodoAndAcceptsTagged) {
+  EXPECT_TRUE(Has(LintSource("src/a.cc", "// TODO: fix this later\n"),
+                  Rule::kH1));
+  EXPECT_TRUE(Has(LintSource("src/a.cc", "// FIXME this is broken\n"),
+                  Rule::kH1));
+  EXPECT_FALSE(Has(LintSource("src/a.cc", "// TODO(#42): fix this later\n"),
+                   Rule::kH1));
+  EXPECT_FALSE(Has(LintSource("src/a.cc", "// FIXME(owner): handle nulls\n"),
+                   Rule::kH1));
+}
+
+TEST(RuleH1Test, CcFilesNeedNoGuard) {
+  EXPECT_FALSE(
+      Has(LintSource("src/a.cc", "#include <vector>\nint f() { return 1; }\n"),
+          Rule::kH1));
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(BaselineTest, RoundTripAndPartition) {
+  auto diags = LintSource("src/foo/bar.cc", kD1Positive);
+  ASSERT_TRUE(Has(diags, Rule::kD1));
+  std::string entry = FormatBaselineEntry(diags[0]);
+  EXPECT_EQ(entry, "D1|src/foo/bar.cc|counts");
+
+  std::string file = "# comment line\n\n" + entry + "\nC2|gone.cc|detach\n";
+  std::vector<BaselineEntry> baseline = ParseBaseline(file);
+  ASSERT_EQ(baseline.size(), 2u);
+
+  BaselineResult result = ApplyBaseline(diags, baseline);
+  EXPECT_TRUE(result.fresh.empty());
+  EXPECT_EQ(result.suppressed.size(), diags.size());
+  ASSERT_EQ(result.unused.size(), 1u);  // the stale gone.cc entry
+  EXPECT_EQ(result.unused[0].file, "gone.cc");
+}
+
+TEST(BaselineTest, UnmatchedDiagnosticStaysFresh) {
+  auto diags = LintSource("src/foo/bar.cc", kD1Positive);
+  BaselineResult result = ApplyBaseline(diags, {});
+  EXPECT_EQ(result.fresh.size(), diags.size());
+  EXPECT_TRUE(result.suppressed.empty());
+}
+
+TEST(RenderTest, FormatsFileLineRule) {
+  Diagnostic d;
+  d.rule = Rule::kD2;
+  d.file = "src/a.cc";
+  d.line = 7;
+  d.message = "msg";
+  EXPECT_EQ(Render(d), "src/a.cc:7: D2: msg");
+}
+
+}  // namespace
+}  // namespace qkbfly::lint

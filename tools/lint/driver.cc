@@ -1,0 +1,151 @@
+// Filesystem driver and baseline handling for qkbfly-lint.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint/lint.h"
+
+namespace qkbfly::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Repo-relative display path: strips `root_prefix` (with trailing '/') when
+/// the file lives beneath it, otherwise returns the path unchanged.
+std::string DisplayPath(const fs::path& p, const std::string& root_prefix) {
+  std::string s = p.generic_string();
+  if (!root_prefix.empty()) {
+    std::string prefix = root_prefix;
+    if (prefix.back() != '/') prefix += '/';
+    if (s.rfind(prefix, 0) == 0) return s.substr(prefix.size());
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
+                                 const std::string& root_prefix) {
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    fs::path rp(root);
+    std::error_code ec;
+    if (fs::is_regular_file(rp, ec)) {
+      if (HasExtension(rp)) files.push_back(rp);
+      continue;
+    }
+    if (!fs::is_directory(rp, ec)) continue;
+    for (fs::recursive_directory_iterator it(rp, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec) && HasExtension(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  // Deterministic scan order regardless of directory enumeration order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Diagnostic> out;
+  for (const fs::path& file : files) {
+    std::string source = ReadFile(file);
+    std::string display = DisplayPath(file, root_prefix);
+    // A .cc sees the unordered declarations of its same-directory header so
+    // D1 catches loops over members declared in the class.
+    std::vector<std::string> extra;
+    std::string ext = file.extension().string();
+    if (ext == ".cc" || ext == ".cpp") {
+      fs::path header = file;
+      header.replace_extension(".h");
+      std::error_code ec;
+      if (fs::is_regular_file(header, ec)) {
+        LexedFile lexed = Lex(ReadFile(header));
+        extra = UnorderedDeclNames(lexed);
+      }
+    }
+    std::vector<Diagnostic> diags = LintSource(display, source, extra);
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  return out;
+}
+
+std::vector<BaselineEntry> ParseBaseline(std::string_view text) {
+  std::vector<BaselineEntry> entries;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    size_t p1 = line.find('|');
+    size_t p2 = p1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find('|', p1 + 1);
+    if (p2 == std::string_view::npos) continue;
+    std::optional<Rule> rule = ParseRuleName(line.substr(0, p1));
+    if (!rule.has_value()) continue;
+    BaselineEntry e;
+    e.rule = *rule;
+    e.file = std::string(line.substr(p1 + 1, p2 - p1 - 1));
+    e.key = std::string(line.substr(p2 + 1));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string FormatBaselineEntry(const Diagnostic& diag) {
+  return std::string(RuleName(diag.rule)) + "|" + diag.file + "|" + diag.key;
+}
+
+BaselineResult ApplyBaseline(std::vector<Diagnostic> diags,
+                             const std::vector<BaselineEntry>& baseline) {
+  BaselineResult result;
+  std::vector<bool> used(baseline.size(), false);
+  for (Diagnostic& d : diags) {
+    bool matched = false;
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      const BaselineEntry& e = baseline[i];
+      if (e.rule == d.rule && e.file == d.file && e.key == d.key) {
+        used[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      result.suppressed.push_back(std::move(d));
+    } else {
+      result.fresh.push_back(std::move(d));
+    }
+  }
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    if (!used[i]) result.unused.push_back(baseline[i]);
+  }
+  return result;
+}
+
+std::string Render(const Diagnostic& diag) {
+  return diag.file + ":" + std::to_string(diag.line) + ": " +
+         RuleName(diag.rule) + ": " + diag.message;
+}
+
+}  // namespace qkbfly::lint

@@ -1,0 +1,148 @@
+// qkbfly-lint: a project-specific token-level static analyzer enforcing the
+// determinism and concurrency contracts of the QKBfly serving pipeline (warm,
+// cold, serial and N-thread builds must produce byte-identical KBs).
+//
+// No libclang: a small lexer strips comments/strings/raw strings, tracks
+// identifiers and brace/paren nesting, and five rule passes run over the
+// token stream. Imprecision is by design — findings are silenced either at
+// the site with a justified `// qkbfly-lint: allow(<rule>)` comment or, for
+// grandfathered code, through a committed baseline file.
+//
+// Rules:
+//   D1  unordered_{map,set} iteration feeding output order (KB facts, bench
+//       rows, returned result vectors) without a downstream sort.
+//   D2  nondeterminism sources on deterministic paths (src/ minus bench):
+//       rand/random_device, wall-clock now, address-as-hash.
+//   C1  mutable namespace-scope or static-local state without a mutex,
+//       atomic, or the leaky-singleton interner shape.
+//   C2  thread::detach, raw `new std::thread`, and acquisitions inverting
+//       the documented ThreadPool -> cache-shard -> metrics lock order.
+//   H1  headers without include guards / #pragma once; TODO/FIXME comments
+//       without an issue tag.
+#ifndef QKBFLY_TOOLS_LINT_LINT_H_
+#define QKBFLY_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qkbfly::lint {
+
+enum class Rule { kD1, kD2, kC1, kC2, kH1 };
+
+const char* RuleName(Rule rule);
+std::optional<Rule> ParseRuleName(std::string_view name);
+
+/// One finding. `key` is a line-number-free fingerprint (rule-specific, e.g.
+/// the iterated container name) so baseline entries survive unrelated edits.
+struct Diagnostic {
+  Rule rule = Rule::kD1;
+  std::string file;
+  int line = 0;
+  std::string key;
+  std::string message;  ///< Includes a fix-it hint.
+};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind = Kind::kPunct;
+  std::string text;  ///< Punctuators are 1 char except "::" "->" "." chains.
+  int line = 0;
+  bool preproc = false;  ///< Token belongs to a preprocessor directive.
+};
+
+struct Comment {
+  int line = 0;
+  bool own_line = false;  ///< No code tokens precede the comment on its line.
+  std::string text;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  /// Preprocessor directives in order, whitespace-normalized ("#ifndef X").
+  std::vector<std::string> directives;
+  /// line -> rules allowed by a `qkbfly-lint: allow(...)` comment. A
+  /// full-line comment also covers the next line; "*" allows every rule.
+  std::map<int, std::set<std::string>> allowed;
+};
+
+/// Lexes C++ source: comments and string/char literals are stripped from the
+/// token stream (strings appear as placeholder kString tokens), raw strings
+/// and line continuations are handled, line numbers are 1-based.
+LexedFile Lex(std::string_view source);
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+struct FileClass {
+  bool is_header = false;
+  /// True for src/** except src/synth (seeded-random data generation);
+  /// bench/, examples/ and tests/ are never deterministic-path.
+  bool deterministic_path = false;
+};
+
+FileClass ClassifyPath(std::string_view path);
+
+/// Names of variables/members/parameters declared in `file` with an
+/// unordered_{map,set} type (including local `using` aliases of them).
+/// Exposed so a .cc can inherit the declarations of its paired header.
+std::vector<std::string> UnorderedDeclNames(const LexedFile& file);
+
+/// Lints one translation unit. `path` should be repo-relative; it selects
+/// rule applicability (ClassifyPath) and is echoed in diagnostics.
+/// `extra_unordered` seeds D1 with container names declared elsewhere
+/// (typically the paired header).
+std::vector<Diagnostic> LintSource(
+    std::string_view path, std::string_view source,
+    const std::vector<std::string>& extra_unordered = {});
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// Baseline file: one `rule|file|key` entry per line; '#' comments and blank
+/// lines ignored. An entry suppresses every diagnostic matching the triple.
+struct BaselineEntry {
+  Rule rule = Rule::kD1;
+  std::string file;
+  std::string key;
+};
+
+std::vector<BaselineEntry> ParseBaseline(std::string_view text);
+std::string FormatBaselineEntry(const Diagnostic& diag);
+
+/// Partitions diagnostics into (new, baselined); `unused` receives baseline
+/// entries that matched nothing (stale — the site was fixed or removed).
+struct BaselineResult {
+  std::vector<Diagnostic> fresh;
+  std::vector<Diagnostic> suppressed;
+  std::vector<BaselineEntry> unused;
+};
+BaselineResult ApplyBaseline(std::vector<Diagnostic> diags,
+                             const std::vector<BaselineEntry>& baseline);
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Recursively lints every *.h/*.cc/*.cpp under `roots` (paths reported
+/// relative to `root_prefix` when they live beneath it). For a .cc/.cpp the
+/// paired .h in the same directory contributes its unordered declarations.
+std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
+                                 const std::string& root_prefix);
+
+/// Renders "file:line: rule: message" for terminals and CI logs.
+std::string Render(const Diagnostic& diag);
+
+}  // namespace qkbfly::lint
+
+#endif  // QKBFLY_TOOLS_LINT_LINT_H_

@@ -1,0 +1,863 @@
+// Rule passes of qkbfly-lint. Everything here is a token-level heuristic:
+// scope structure comes from brace classification, types from declaration
+// shapes, data flow from "mutated in the loop, returned from the function".
+// False positives are expected and handled by allow() markers or the
+// baseline; the rules err toward catching the determinism hazards that the
+// byte-identical-KB tests can only detect after the fact.
+#include <algorithm>
+#include <cstddef>
+
+#include "lint/lint.h"
+
+namespace qkbfly::lint {
+
+namespace {
+
+bool Is(const Token& t, std::string_view text) { return t.text == text; }
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+// ---------------------------------------------------------------------------
+// Scope structure
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  size_t open = 0;   ///< Index of the '{'.
+  size_t close = 0;  ///< Index of the matching '}'.
+  std::string name;  ///< Function/class/namespace name when detectable.
+};
+
+struct FunctionRegion {
+  std::string name;
+  size_t open = 0;
+  size_t close = 0;
+};
+
+/// Token indices of non-preprocessor tokens, with scope classification for
+/// every brace pair and the list of outermost function bodies.
+struct Structure {
+  std::vector<size_t> idx;  ///< Positions of non-preproc tokens.
+  std::vector<Scope> scopes;
+  std::vector<FunctionRegion> functions;
+  /// For each position in `idx`: nesting depth of namespace-only scopes
+  /// above it == idx of enclosing function or SIZE_MAX.
+  std::vector<size_t> enclosing_function;  ///< Index into functions.
+};
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+bool IsQualifierToken(const Token& t) {
+  return Is(t, "const") || Is(t, "noexcept") || Is(t, "override") ||
+         Is(t, "final") || Is(t, "mutable") || Is(t, "&") || Is(t, "&&") ||
+         Is(t, "->") || IsIdent(t) || Is(t, "::") || Is(t, "<") || Is(t, ">") ||
+         Is(t, "*");
+}
+
+/// Classifies the '{' at filtered position `at` by looking backwards.
+ScopeKind ClassifyBrace(const std::vector<Token>& toks,
+                        const std::vector<size_t>& idx, size_t at,
+                        bool inside_function, std::string* name) {
+  if (inside_function) return ScopeKind::kBlock;
+  if (at == 0) return ScopeKind::kBlock;
+  // Walk back over the "head" of the construct: stop at ; } { or the start.
+  size_t i = at;
+  size_t prev = at - 1;
+  const Token& p = toks[idx[prev]];
+  if (Is(p, "=") || Is(p, ",") || Is(p, "(") || Is(p, "[") || Is(p, "{") ||
+      Is(p, "return")) {
+    return ScopeKind::kBlock;  // braced initializer
+  }
+  // Function body: `...) {`, possibly with trailing qualifiers.
+  {
+    size_t q = prev;
+    while (q > 0 && (Is(toks[idx[q]], "const") || Is(toks[idx[q]], "noexcept") ||
+                     Is(toks[idx[q]], "override") || Is(toks[idx[q]], "final"))) {
+      --q;
+    }
+    if (Is(toks[idx[q]], ")")) {
+      if (name != nullptr) {
+        // Match back to the opening '(' and take the identifier before it.
+        int depth = 0;
+        size_t j = q;
+        while (j > 0) {
+          if (Is(toks[idx[j]], ")")) ++depth;
+          if (Is(toks[idx[j]], "(") && --depth == 0) break;
+          --j;
+        }
+        if (j > 0 && IsIdent(toks[idx[j - 1]])) *name = toks[idx[j - 1]].text;
+      }
+      return ScopeKind::kFunction;
+    }
+  }
+  // namespace / class heads: scan back while head-ish tokens.
+  while (i > 0) {
+    --i;
+    const Token& t = toks[idx[i]];
+    if (Is(t, ";") || Is(t, "}") || Is(t, "{") || Is(t, ")")) break;
+    if (Is(t, "namespace")) {
+      if (name != nullptr && i + 1 < at && IsIdent(toks[idx[i + 1]])) {
+        *name = toks[idx[i + 1]].text;
+      }
+      return ScopeKind::kNamespace;
+    }
+    if (Is(t, "class") || Is(t, "struct") || Is(t, "union") || Is(t, "enum")) {
+      if (name != nullptr && i + 1 < at && IsIdent(toks[idx[i + 1]])) {
+        *name = toks[idx[i + 1]].text;
+      }
+      return ScopeKind::kClass;
+    }
+    if (!IsQualifierToken(t) && !Is(t, ":") && !Is(t, ",") &&
+        !Is(t, "public") && !Is(t, "private") && !Is(t, "protected") &&
+        t.kind != Token::Kind::kNumber) {
+      break;
+    }
+  }
+  return ScopeKind::kBlock;
+}
+
+Structure BuildStructure(const std::vector<Token>& toks) {
+  Structure s;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].preproc) s.idx.push_back(i);
+  }
+  std::vector<size_t> open_stack;   // indices into s.scopes
+  std::vector<size_t> fn_stack;     // indices into s.functions
+  s.enclosing_function.assign(s.idx.size(), kNone);
+  for (size_t f = 0; f < s.idx.size(); ++f) {
+    s.enclosing_function[f] = fn_stack.empty() ? kNone : fn_stack.back();
+    const Token& t = toks[s.idx[f]];
+    if (Is(t, "{")) {
+      Scope sc;
+      sc.open = f;
+      sc.kind = ClassifyBrace(toks, s.idx, f, !fn_stack.empty(), &sc.name);
+      if (sc.kind == ScopeKind::kFunction) {
+        FunctionRegion fr;
+        fr.name = sc.name;
+        fr.open = f;
+        s.functions.push_back(fr);
+        fn_stack.push_back(s.functions.size() - 1);
+      }
+      s.scopes.push_back(sc);
+      open_stack.push_back(s.scopes.size() - 1);
+    } else if (Is(t, "}")) {
+      if (!open_stack.empty()) {
+        Scope& sc = s.scopes[open_stack.back()];
+        sc.close = f;
+        if (sc.kind == ScopeKind::kFunction && !fn_stack.empty()) {
+          s.functions[fn_stack.back()].close = f;
+          fn_stack.pop_back();
+        }
+        open_stack.pop_back();
+      }
+    }
+  }
+  // Unterminated regions extend to EOF.
+  for (FunctionRegion& fr : s.functions) {
+    if (fr.close == 0) fr.close = s.idx.empty() ? 0 : s.idx.size() - 1;
+  }
+  return s;
+}
+
+/// True when every scope enclosing filtered position `f` is a namespace.
+bool AtNamespaceScope(const Structure& s, size_t f) {
+  for (const Scope& sc : s.scopes) {
+    size_t close = sc.close == 0 ? static_cast<size_t>(-1) : sc.close;
+    if (sc.open < f && f < close && sc.kind != ScopeKind::kNamespace) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AtClassScope(const Structure& s, size_t f) {
+  // Innermost non-namespace scope is a class.
+  const Scope* innermost = nullptr;
+  for (const Scope& sc : s.scopes) {
+    size_t close = sc.close == 0 ? static_cast<size_t>(-1) : sc.close;
+    if (sc.open < f && f < close && sc.kind != ScopeKind::kNamespace) {
+      if (innermost == nullptr || sc.open > innermost->open) innermost = &sc;
+    }
+  }
+  return innermost != nullptr && innermost->kind == ScopeKind::kClass;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+struct Context {
+  const std::vector<Token>* toks = nullptr;
+  const Structure* structure = nullptr;
+  const LexedFile* lexed = nullptr;
+  std::string path;
+  FileClass file_class;
+  std::vector<Diagnostic>* out = nullptr;
+};
+
+const Token& Tok(const Context& ctx, size_t f) {
+  return (*ctx.toks)[ctx.structure->idx[f]];
+}
+size_t Count(const Context& ctx) { return ctx.structure->idx.size(); }
+
+void Report(const Context& ctx, Rule rule, int line, std::string key,
+            std::string message) {
+  // allow() markers on the diagnostic line or the line above it.
+  for (int l : {line, line - 1}) {
+    auto it = ctx.lexed->allowed.find(l);
+    if (it == ctx.lexed->allowed.end()) continue;
+    if (it->second.count("*") > 0 || it->second.count(RuleName(rule)) > 0) {
+      return;
+    }
+  }
+  Diagnostic d;
+  d.rule = rule;
+  d.file = ctx.path;
+  d.line = line;
+  d.key = std::move(key);
+  d.message = std::move(message);
+  ctx.out->push_back(std::move(d));
+}
+
+/// Skips a balanced `<...>` starting at `f` (which must be '<'); returns the
+/// position just past the matching '>'. Treats unbalanced input leniently.
+size_t SkipAngles(const Context& ctx, size_t f) {
+  int depth = 0;
+  size_t n = Count(ctx);
+  for (size_t i = f; i < n; ++i) {
+    if (Is(Tok(ctx, i), "<")) ++depth;
+    if (Is(Tok(ctx, i), ">") && --depth == 0) return i + 1;
+    // A ';' inside template args means we mis-detected a comparison.
+    if (Is(Tok(ctx, i), ";")) return i;
+  }
+  return n;
+}
+
+size_t MatchParen(const Context& ctx, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < Count(ctx); ++i) {
+    if (Is(Tok(ctx, i), "(")) ++depth;
+    if (Is(Tok(ctx, i), ")") && --depth == 0) return i;
+  }
+  return Count(ctx);
+}
+
+size_t MatchBrace(const Context& ctx, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < Count(ctx); ++i) {
+    if (Is(Tok(ctx, i), "{")) ++depth;
+    if (Is(Tok(ctx, i), "}") && --depth == 0) return i;
+  }
+  return Count(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// D1 — unordered iteration feeding output order
+// ---------------------------------------------------------------------------
+
+/// Identifiers the project considers order-sensitive sinks: calls that append
+/// to the shared KB, emit bench/report rows, or print user-visible output.
+bool IsSinkIdent(const Token& t) {
+  static const char* kSinks[] = {
+      "AddFact", "AddEmergingEntity", "RelationFor", "FactToString",
+      "Populate", "PopulateKb", "OnTheFlyKb", "Canonicalizer",
+      "WriteBenchJson", "AppendBenchRow", "printf", "fprintf", "cout",
+      "cerr",
+  };
+  for (const char* s : kSinks) {
+    if (t.text == s) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CollectUnorderedNames(const Context& ctx) {
+  std::vector<std::string> names;
+  std::set<std::string> unordered_types = {"unordered_map", "unordered_set",
+                                           "unordered_multimap",
+                                           "unordered_multiset"};
+  size_t n = Count(ctx);
+  // `using Alias = ... unordered_map ...;` makes Alias an unordered type.
+  for (size_t f = 0; f + 2 < n; ++f) {
+    if (!Is(Tok(ctx, f), "using") || !IsIdent(Tok(ctx, f + 1)) ||
+        !Is(Tok(ctx, f + 2), "=")) {
+      continue;
+    }
+    for (size_t j = f + 3; j < n && !Is(Tok(ctx, j), ";"); ++j) {
+      if (unordered_types.count(Tok(ctx, j).text) > 0) {
+        unordered_types.insert(Tok(ctx, f + 1).text);
+        break;
+      }
+    }
+  }
+  // TYPE<...> [*&]* NAME  — variables, members, and parameters alike.
+  for (size_t f = 0; f < n; ++f) {
+    if (unordered_types.count(Tok(ctx, f).text) == 0) continue;
+    if (f + 1 >= n || !Is(Tok(ctx, f + 1), "<")) {
+      // Alias form: `Alias name`.
+      if (f + 1 < n && IsIdent(Tok(ctx, f + 1))) {
+        names.push_back(Tok(ctx, f + 1).text);
+      }
+      continue;
+    }
+    size_t after = SkipAngles(ctx, f + 1);
+    while (after < n && (Is(Tok(ctx, after), "&") || Is(Tok(ctx, after), "*") ||
+                         Is(Tok(ctx, after), "&&") ||
+                         Is(Tok(ctx, after), "const"))) {
+      ++after;
+    }
+    if (after < n && IsIdent(Tok(ctx, after))) {
+      names.push_back(Tok(ctx, after).text);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+/// A range-for over an unordered container inside `fn`.
+struct UnorderedLoop {
+  std::string container;
+  int line = 0;
+  size_t body_open = 0;   ///< '{' of the loop body (or statement start).
+  size_t body_close = 0;  ///< Matching '}' (or statement end).
+};
+
+void CheckD1(const Context& ctx, const std::vector<std::string>& extra) {
+  std::set<std::string> unordered(extra.begin(), extra.end());
+  for (const std::string& name : CollectUnorderedNames(ctx)) {
+    unordered.insert(name);
+  }
+  if (unordered.empty()) return;
+
+  const auto& functions = ctx.structure->functions;
+  for (const FunctionRegion& fn : functions) {
+    // Returned identifiers: `return X ;`
+    std::set<std::string> returned;
+    for (size_t f = fn.open; f < fn.close && f + 2 < Count(ctx); ++f) {
+      if (Is(Tok(ctx, f), "return") && IsIdent(Tok(ctx, f + 1)) &&
+          Is(Tok(ctx, f + 2), ";")) {
+        returned.insert(Tok(ctx, f + 1).text);
+      }
+    }
+
+    // Find range-fors over unordered containers.
+    std::vector<UnorderedLoop> loops;
+    for (size_t f = fn.open; f < fn.close; ++f) {
+      if (!Is(Tok(ctx, f), "for") || f + 1 >= Count(ctx) ||
+          !Is(Tok(ctx, f + 1), "(")) {
+        continue;
+      }
+      size_t close = MatchParen(ctx, f + 1);
+      // Top-level ':' separates declaration from range expression.
+      size_t colon = kNone;
+      int pdepth = 0;
+      for (size_t i = f + 1; i < close; ++i) {
+        if (Is(Tok(ctx, i), "(") || Is(Tok(ctx, i), "[")) ++pdepth;
+        if (Is(Tok(ctx, i), ")") || Is(Tok(ctx, i), "]")) --pdepth;
+        if (pdepth == 1 && Is(Tok(ctx, i), ":")) {
+          colon = i;
+          break;
+        }
+      }
+      std::string container;
+      if (colon != kNone) {
+        // First identifier of the range expression; skip subscripted and
+        // member-of-iterator expressions (they iterate a mapped value).
+        bool subscripted = false;
+        for (size_t i = colon + 1; i < close; ++i) {
+          if (Is(Tok(ctx, i), "[")) subscripted = true;
+          if (container.empty() && IsIdent(Tok(ctx, i)) &&
+              unordered.count(Tok(ctx, i).text) > 0) {
+            container = Tok(ctx, i).text;
+          }
+        }
+        if (subscripted) container.clear();
+      } else {
+        // Iterator form: `for (auto it = X.begin(); ...)`.
+        for (size_t i = f + 2; i + 2 < close; ++i) {
+          if (IsIdent(Tok(ctx, i)) && unordered.count(Tok(ctx, i).text) > 0 &&
+              (Is(Tok(ctx, i + 1), ".") || Is(Tok(ctx, i + 1), "->")) &&
+              Is(Tok(ctx, i + 2), "begin")) {
+            container = Tok(ctx, i).text;
+            break;
+          }
+        }
+      }
+      if (container.empty()) continue;
+      UnorderedLoop loop;
+      loop.container = container;
+      loop.line = Tok(ctx, f).line;
+      if (close + 1 < Count(ctx) && Is(Tok(ctx, close + 1), "{")) {
+        loop.body_open = close + 1;
+        loop.body_close = MatchBrace(ctx, close + 1);
+      } else {
+        loop.body_open = close + 1;
+        loop.body_close = std::min(close + 40, Count(ctx));  // single stmt
+      }
+      loops.push_back(std::move(loop));
+    }
+
+    for (const UnorderedLoop& loop : loops) {
+      // Identifiers mutated inside the loop body via an appending call.
+      std::set<std::string> mutated;
+      bool sink_in_loop = false;
+      for (size_t f = loop.body_open; f < loop.body_close; ++f) {
+        const Token& t = Tok(ctx, f);
+        if (IsSinkIdent(t)) sink_in_loop = true;
+        if (!IsIdent(t) || f + 2 >= Count(ctx)) continue;
+        if ((Is(Tok(ctx, f + 1), ".") || Is(Tok(ctx, f + 1), "->")) &&
+            (Is(Tok(ctx, f + 2), "push_back") ||
+             Is(Tok(ctx, f + 2), "emplace_back") ||
+             Is(Tok(ctx, f + 2), "emplace") || Is(Tok(ctx, f + 2), "insert") ||
+             Is(Tok(ctx, f + 2), "append") || Is(Tok(ctx, f + 2), "Add"))) {
+          mutated.insert(t.text);
+        }
+      }
+      if (!sink_in_loop && mutated.empty()) continue;
+
+      // The loop is output-facing when it calls a sink directly or fills a
+      // container the function returns.
+      std::string hot;
+      for (const std::string& m : mutated) {
+        if (returned.count(m) > 0) hot = m;
+      }
+      if (!sink_in_loop && hot.empty()) continue;
+
+      // Mitigation: the accumulated result is canonicalized after the fact —
+      // a sort()/stable_sort() call naming the accumulator, or a Finalize()
+      // on it (SparseVector::Finalize sorts by index).
+      if (!hot.empty()) {
+        bool mitigated = false;
+        for (size_t f = fn.open; f < fn.close && !mitigated; ++f) {
+          if ((Is(Tok(ctx, f), "sort") || Is(Tok(ctx, f), "stable_sort")) &&
+              f + 1 < Count(ctx) && Is(Tok(ctx, f + 1), "(")) {
+            size_t close = MatchParen(ctx, f + 1);
+            for (size_t i = f + 2; i < close; ++i) {
+              if (Is(Tok(ctx, i), hot)) mitigated = true;
+            }
+          }
+          if (Is(Tok(ctx, f), hot) && f + 2 < Count(ctx) &&
+              (Is(Tok(ctx, f + 1), ".") || Is(Tok(ctx, f + 1), "->")) &&
+              Is(Tok(ctx, f + 2), "Finalize")) {
+            mitigated = true;
+          }
+        }
+        if (mitigated) continue;
+      }
+
+      std::string what = sink_in_loop
+                             ? "calls an output sink"
+                             : "fills returned container '" + hot + "'";
+      Report(ctx, Rule::kD1, loop.line, loop.container,
+             "iteration over unordered container '" + loop.container +
+                 "' " + what + " in hash order" +
+                 (ctx.structure->functions.empty()
+                      ? ""
+                      : " (function '" + fn.name + "')") +
+                 "; fix-it: sort the accumulated results (or copy into a "
+                 "std::map / sorted vector) before they become output, or "
+                 "justify with // qkbfly-lint: allow(D1)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — nondeterminism sources on deterministic paths
+// ---------------------------------------------------------------------------
+
+void CheckD2(const Context& ctx) {
+  if (!ctx.file_class.deterministic_path) return;
+  size_t n = Count(ctx);
+  auto report = [&](size_t f, const std::string& what) {
+    Report(ctx, Rule::kD2, Tok(ctx, f).line, what,
+           "'" + what + "' on a deterministic path; fix-it: route randomness "
+           "through util/rng (seeded) and timestamps through caller-supplied "
+           "values, or justify with // qkbfly-lint: allow(D2)");
+  };
+  for (size_t f = 0; f < n; ++f) {
+    const Token& t = Tok(ctx, f);
+    if (!IsIdent(t)) continue;
+    const std::string& s = t.text;
+    if (s == "random_device" || s == "srand" || s == "drand48" ||
+        s == "gettimeofday" || s == "localtime" || s == "gmtime" ||
+        s == "system_clock" || s == "steady_clock" ||
+        s == "high_resolution_clock") {
+      report(f, s);
+      continue;
+    }
+    if (s == "rand" && f + 1 < n && Is(Tok(ctx, f + 1), "(")) {
+      report(f, s);
+      continue;
+    }
+    if (s == "time" && f + 2 < n && Is(Tok(ctx, f + 1), "(") &&
+        (Is(Tok(ctx, f + 2), "nullptr") || Is(Tok(ctx, f + 2), "NULL") ||
+         Is(Tok(ctx, f + 2), "0"))) {
+      report(f, "time");
+      continue;
+    }
+    // Address-as-hash / pointer-as-integer: reinterpret_cast<uintptr_t>(...)
+    // and std::hash over a pointer type.
+    if (s == "reinterpret_cast" && f + 2 < n && Is(Tok(ctx, f + 1), "<") &&
+        (Is(Tok(ctx, f + 2), "uintptr_t") || Is(Tok(ctx, f + 2), "intptr_t") ||
+         Is(Tok(ctx, f + 2), "size_t"))) {
+      report(f, "reinterpret_cast<" + Tok(ctx, f + 2).text + ">");
+      continue;
+    }
+    if (s == "hash" && f + 1 < n && Is(Tok(ctx, f + 1), "<")) {
+      size_t end = SkipAngles(ctx, f + 1);
+      for (size_t i = f + 2; i + 1 < end; ++i) {
+        if (Is(Tok(ctx, i), "*")) {
+          report(f, "hash<T*>");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// C1 — unguarded mutable static state
+// ---------------------------------------------------------------------------
+
+bool DeclTokensContain(const Context& ctx, size_t from, size_t to,
+                       std::initializer_list<const char*> words) {
+  for (size_t f = from; f < to; ++f) {
+    for (const char* w : words) {
+      if (Is(Tok(ctx, f), w)) return true;
+    }
+  }
+  return false;
+}
+
+void CheckC1(const Context& ctx) {
+  size_t n = Count(ctx);
+  // Pass 1: `static` declarations everywhere (namespace, class, function).
+  for (size_t f = 0; f < n; ++f) {
+    if (!Is(Tok(ctx, f), "static")) continue;
+    // Find the end of the declaration head: '=' , '{' initializer, or ';'.
+    size_t end = f + 1;
+    size_t init = kNone;
+    int angle = 0;
+    while (end < n) {
+      const Token& t = Tok(ctx, end);
+      if (Is(t, "<")) ++angle;
+      if (Is(t, ">")) --angle;
+      if (angle == 0 && (Is(t, ";") || Is(t, "=") || Is(t, "{"))) {
+        if (!Is(t, ";")) init = end;
+        break;
+      }
+      if (angle == 0 && Is(t, "(")) {
+        // Function declaration/definition (or constructor call initializer
+        // `static Foo f(args);` — treat the parenthesized form as an
+        // initializer only when the previous token is an identifier that is
+        // itself preceded by a type-ish token; too ambiguous, so treat
+        // `static T name(...)` conservatively as a function and skip).
+        end = kNone;
+        break;
+      }
+      ++end;
+    }
+    if (end == kNone || end >= n) continue;
+    // Allowed shapes.
+    if (DeclTokensContain(ctx, f, end,
+                          {"const", "constexpr", "constinit", "thread_local",
+                           "mutex", "shared_mutex", "recursive_mutex",
+                           "atomic", "atomic_int", "atomic_bool",
+                           "atomic_uint64_t", "once_flag",
+                           "condition_variable", "assert"})) {
+      continue;
+    }
+    // The interner/singleton pattern: `static T* name = new T...` — the
+    // pointer is written exactly once under magic-static init.
+    if (init != kNone && Is(Tok(ctx, init), "=") &&
+        DeclTokensContain(ctx, f, init, {"*"}) && init + 1 < n &&
+        Is(Tok(ctx, init + 1), "new")) {
+      continue;
+    }
+    // `static T& name = ...` aliases another (checked) object.
+    if (DeclTokensContain(ctx, f, end, {"&"})) continue;
+    // Declared name: last identifier of the head.
+    std::string name;
+    for (size_t i = f + 1; i < end; ++i) {
+      if (IsIdent(Tok(ctx, i))) name = Tok(ctx, i).text;
+    }
+    if (name.empty()) continue;
+    Report(ctx, Rule::kC1, Tok(ctx, f).line, name,
+           "mutable static '" + name + "' is shared across threads without a "
+           "mutex/atomic/call_once guard; fix-it: make it const, guard it, "
+           "use the leaky-singleton pattern (static T* x = new T), or "
+           "justify with // qkbfly-lint: allow(C1)");
+  }
+
+  // Pass 2: namespace-scope variable definitions without `static`.
+  // Statement = tokens at namespace scope between ';'/'}' boundaries.
+  size_t stmt_start = 0;
+  for (size_t f = 0; f < n; ++f) {
+    const Token& t = Tok(ctx, f);
+    bool boundary = Is(t, ";") || Is(t, "}") || Is(t, "{");
+    if (!boundary) continue;
+    size_t start = stmt_start;
+    stmt_start = f + 1;
+    if (!Is(t, ";")) continue;                 // only ';'-terminated stmts
+    if (start >= f) continue;
+    if (!AtNamespaceScope(*ctx.structure, start)) continue;
+    // Skip non-variable statements.
+    const Token& first = Tok(ctx, start);
+    if (Is(first, "using") || Is(first, "typedef") || Is(first, "namespace") ||
+        Is(first, "class") || Is(first, "struct") || Is(first, "enum") ||
+        Is(first, "union") || Is(first, "template") || Is(first, "extern") ||
+        Is(first, "friend") || Is(first, "static") ||
+        Is(first, "static_assert") || Is(first, "return") || Is(first, "#")) {
+      continue;
+    }
+    // `(` before any `=` means function declaration.
+    size_t eq = kNone;
+    int angle = 0;
+    bool is_function = false;
+    for (size_t i = start; i < f; ++i) {
+      if (Is(Tok(ctx, i), "<")) ++angle;
+      if (Is(Tok(ctx, i), ">")) --angle;
+      if (angle == 0 && Is(Tok(ctx, i), "=")) {
+        eq = i;
+        break;
+      }
+      if (angle == 0 && Is(Tok(ctx, i), "(")) {
+        is_function = true;
+        break;
+      }
+    }
+    if (is_function || eq == kNone) continue;  // declarations need an init
+    if (DeclTokensContain(ctx, start, eq,
+                          {"const", "constexpr", "constinit", "mutex",
+                           "shared_mutex", "atomic", "once_flag",
+                           "condition_variable", "thread_local", "inline"})) {
+      continue;
+    }
+    std::string name;
+    for (size_t i = start; i < eq; ++i) {
+      if (IsIdent(Tok(ctx, i))) name = Tok(ctx, i).text;
+    }
+    if (name.empty()) continue;
+    Report(ctx, Rule::kC1, first.line, name,
+           "mutable namespace-scope variable '" + name + "' is unguarded "
+           "shared state; fix-it: make it const/constexpr, wrap it in an "
+           "atomic or mutex-guarded accessor, or justify with "
+           "// qkbfly-lint: allow(C1)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// C2 — thread hygiene and lock ordering
+// ---------------------------------------------------------------------------
+
+/// Documented lock order (outer acquired before inner):
+///   rank 1  ThreadPool queue mutex        (name contains "pool" or lives in
+///                                          util/thread_pool)
+///   rank 2  DocumentResultCache shard     (name contains "shard")
+///   rank 3  service metrics               (name contains "metrics")
+/// Acquiring a lower rank while holding a higher one inverts the order.
+int LockRank(const Context& ctx, const std::string& expr) {
+  auto contains = [&](const char* needle) {
+    return expr.find(needle) != std::string::npos;
+  };
+  if (contains("shard")) return 2;
+  if (contains("metrics")) return 3;
+  if (contains("pool") ||
+      ctx.path.find("thread_pool") != std::string::npos) {
+    return 1;
+  }
+  return 0;
+}
+
+void CheckC2(const Context& ctx) {
+  size_t n = Count(ctx);
+  for (size_t f = 0; f + 2 < n; ++f) {
+    if ((Is(Tok(ctx, f), ".") || Is(Tok(ctx, f), "->")) &&
+        Is(Tok(ctx, f + 1), "detach") && Is(Tok(ctx, f + 2), "(")) {
+      Report(ctx, Rule::kC2, Tok(ctx, f).line, "detach",
+             "thread detach() abandons the thread past the enclosing scope; "
+             "fix-it: join through ThreadPool (drain-on-destroy) or keep the "
+             "std::thread joinable and join it");
+    }
+    if (Is(Tok(ctx, f), "new") &&
+        (Is(Tok(ctx, f + 1), "thread") ||
+         (Is(Tok(ctx, f + 1), "std") && Is(Tok(ctx, f + 2), "::") && f + 3 < n &&
+          Is(Tok(ctx, f + 3), "thread")))) {
+      Report(ctx, Rule::kC2, Tok(ctx, f).line, "new-thread",
+             "raw `new std::thread` escapes RAII ownership; fix-it: use "
+             "util/thread_pool (futures, drain-on-destroy) or a joined "
+             "std::jthread-style wrapper");
+    }
+  }
+
+  // Lock-order tracking per function.
+  struct Held {
+    int rank = 0;
+    int depth = 0;
+    std::string expr;
+  };
+  for (const FunctionRegion& fn : ctx.structure->functions) {
+    std::vector<Held> held;
+    int depth = 0;
+    for (size_t f = fn.open; f < fn.close; ++f) {
+      const Token& t = Tok(ctx, f);
+      if (Is(t, "{")) ++depth;
+      if (Is(t, "}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      bool guard_type = Is(t, "lock_guard") || Is(t, "unique_lock") ||
+                        Is(t, "scoped_lock") || Is(t, "shared_lock");
+      bool lock_call = Is(t, "lock") && f > fn.open &&
+                       (Is(Tok(ctx, f - 1), ".") || Is(Tok(ctx, f - 1), "->")) &&
+                       f + 1 < n && Is(Tok(ctx, f + 1), "(");
+      std::string expr;
+      int line = t.line;
+      if (guard_type) {
+        size_t i = f + 1;
+        if (i < n && Is(Tok(ctx, i), "<")) i = SkipAngles(ctx, i);
+        if (i < n && IsIdent(Tok(ctx, i))) ++i;  // guard variable name
+        if (i >= n || !Is(Tok(ctx, i), "(")) continue;
+        size_t close = MatchParen(ctx, i);
+        for (size_t j = i + 1; j < close; ++j) expr += Tok(ctx, j).text;
+      } else if (lock_call) {
+        // Collect the receiver chain backwards: idents, '.', '->', '::'.
+        size_t j = f - 1;
+        std::vector<std::string> parts;
+        while (j > fn.open) {
+          const Token& p = Tok(ctx, j);
+          if (IsIdent(p) || Is(p, ".") || Is(p, "->") || Is(p, "::")) {
+            parts.push_back(p.text);
+            --j;
+          } else {
+            break;
+          }
+        }
+        for (auto it = parts.rbegin(); it != parts.rend(); ++it) expr += *it;
+      } else {
+        continue;
+      }
+      int rank = LockRank(ctx, expr);
+      if (rank == 0) continue;
+      for (const Held& h : held) {
+        if (h.rank > rank) {
+          Report(ctx, Rule::kC2, line, expr,
+                 "acquiring rank-" + std::to_string(rank) + " mutex '" + expr +
+                     "' while holding rank-" + std::to_string(h.rank) +
+                     " mutex '" + h.expr + "' inverts the documented "
+                     "ThreadPool -> cache-shard -> metrics lock order; "
+                     "fix-it: release the inner lock first or restructure so "
+                     "outer locks are taken first");
+          break;
+        }
+      }
+      held.push_back({rank, depth, expr});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H1 — header guards and tagged TODOs
+// ---------------------------------------------------------------------------
+
+void CheckH1(const Context& ctx) {
+  if (ctx.file_class.is_header) {
+    bool guarded = false;
+    const auto& dirs = ctx.lexed->directives;
+    for (size_t i = 0; i < dirs.size(); ++i) {
+      if (dirs[i].rfind("#pragma once", 0) == 0) {
+        guarded = true;
+        break;
+      }
+      if (dirs[i].rfind("#ifndef ", 0) == 0 && i + 1 < dirs.size() &&
+          dirs[i + 1].rfind("#define ", 0) == 0) {
+        guarded = true;
+        break;
+      }
+      // Any other directive before the guard (includes, conditionals) means
+      // the header is not guard-first; only comments may precede the guard.
+      break;
+    }
+    if (dirs.empty()) guarded = true;  // header with no preprocessor at all
+    if (!guarded) {
+      Report(ctx, Rule::kH1, 1, "guard",
+             "header lacks a leading include guard; fix-it: open with "
+             "`#ifndef QKBFLY_<PATH>_H_` + `#define` (project style) or "
+             "`#pragma once`");
+    }
+  }
+  for (const Comment& c : ctx.lexed->comments) {
+    for (const char* marker : {"TODO", "FIXME"}) {
+      size_t at = c.text.find(marker);
+      if (at == std::string::npos) continue;
+      // Accept "TODO(tag):" with a non-empty tag.
+      size_t open = at + std::string_view(marker).size();
+      bool tagged = open < c.text.size() && c.text[open] == '(' &&
+                    c.text.find(')', open) != std::string::npos &&
+                    c.text.find(')', open) > open + 1;
+      if (!tagged) {
+        Report(ctx, Rule::kH1, c.line, "todo",
+               std::string(marker) + " without an issue tag; fix-it: write " +
+                   marker + "(#NNN) or " + marker + "(owner) so the debt is "
+                   "trackable");
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+FileClass ClassifyPath(std::string_view path) {
+  FileClass fc;
+  auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.substr(path.size() - suffix.size()) == suffix;
+  };
+  fc.is_header = ends_with(".h") || ends_with(".hpp");
+  auto contains = [&](std::string_view part) {
+    return path.find(part) != std::string_view::npos;
+  };
+  bool in_src = path.rfind("src/", 0) == 0 || contains("/src/");
+  bool excluded = contains("bench/") || contains("examples/") ||
+                  contains("tests/") || contains("synth/");
+  fc.deterministic_path = in_src && !excluded;
+  return fc;
+}
+
+std::vector<std::string> UnorderedDeclNames(const LexedFile& file) {
+  Structure structure = BuildStructure(file.tokens);
+  Context ctx;
+  ctx.toks = &file.tokens;
+  ctx.structure = &structure;
+  ctx.lexed = &file;
+  return CollectUnorderedNames(ctx);
+}
+
+std::vector<Diagnostic> LintSource(std::string_view path,
+                                   std::string_view source,
+                                   const std::vector<std::string>& extra) {
+  LexedFile lexed = Lex(source);
+  Structure structure = BuildStructure(lexed.tokens);
+  std::vector<Diagnostic> out;
+  Context ctx;
+  ctx.toks = &lexed.tokens;
+  ctx.structure = &structure;
+  ctx.lexed = &lexed;
+  ctx.path = std::string(path);
+  ctx.file_class = ClassifyPath(path);
+  ctx.out = &out;
+  CheckD1(ctx, extra);
+  CheckD2(ctx);
+  CheckC1(ctx);
+  CheckC2(ctx);
+  CheckH1(ctx);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace qkbfly::lint

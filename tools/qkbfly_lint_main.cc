@@ -1,0 +1,112 @@
+// CLI for qkbfly-lint.
+//
+//   qkbfly_lint [--root DIR] [--baseline FILE] [--write-baseline FILE] PATH...
+//
+// Lints every *.h/*.cc/*.cpp under the given paths (directories recurse).
+// With --baseline, findings matching a committed `rule|file|key` entry are
+// suppressed; stale entries are reported as warnings so the baseline only
+// ever shrinks. Exit status: 0 when no fresh findings, 1 otherwise, 2 on
+// usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qkbfly_lint [--root DIR] [--baseline FILE] "
+               "[--write-baseline FILE] PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qkbfly::lint;
+  std::string root_prefix;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!value(&root_prefix)) return Usage();
+    } else if (arg == "--baseline") {
+      if (!value(&baseline_path)) return Usage();
+    } else if (arg == "--write-baseline") {
+      if (!value(&write_baseline_path)) return Usage();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "qkbfly_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      roots.push_back(std::move(arg));
+    }
+  }
+  if (roots.empty()) return Usage();
+
+  std::vector<Diagnostic> diags = LintTree(roots, root_prefix);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << "# qkbfly-lint baseline: grandfathered findings, one rule|file|key "
+           "per line.\n"
+        << "# Policy: this file only shrinks. Fix the site or add a justified\n"
+        << "# `// qkbfly-lint: allow(<rule>)` comment instead of adding "
+           "entries.\n";
+    std::vector<std::string> lines;
+    for (const Diagnostic& d : diags) {
+      lines.push_back(FormatBaselineEntry(d));
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    for (const std::string& line : lines) out << line << "\n";
+    std::fprintf(stderr, "qkbfly_lint: wrote %zu baseline entries to %s\n",
+                 lines.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::vector<BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "qkbfly_lint: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    baseline = ParseBaseline(buf.str());
+  }
+
+  BaselineResult result = ApplyBaseline(std::move(diags), baseline);
+  for (const Diagnostic& d : result.fresh) {
+    std::fprintf(stderr, "%s\n", Render(d).c_str());
+  }
+  for (const BaselineEntry& e : result.unused) {
+    std::fprintf(stderr,
+                 "qkbfly_lint: stale baseline entry '%s|%s|%s' — the finding "
+                 "is gone; delete the line\n",
+                 RuleName(e.rule), e.file.c_str(), e.key.c_str());
+  }
+  std::fprintf(stderr,
+               "qkbfly_lint: %zu fresh finding(s), %zu baselined, %zu stale "
+               "baseline entr%s\n",
+               result.fresh.size(), result.suppressed.size(),
+               result.unused.size(), result.unused.size() == 1 ? "y" : "ies");
+  return result.fresh.empty() ? 0 : 1;
+}
