@@ -14,6 +14,7 @@
 
 #include "core/qkbfly.h"
 #include "graph/graph_builder.h"
+#include "obs/trace.h"
 #include "parser/malt_parser.h"
 #include "synth/dataset.h"
 #include "util/bench_report.h"
@@ -205,21 +206,63 @@ int Run(bool smoke) {
                ToFields(densify_scan));
   }
 
-  // --- cold end-to-end ------------------------------------------------------
+  // --- cold end-to-end, tracing off vs on -----------------------------------
+  // Same workload with and without a live Trace attached, interleaved per
+  // repetition so scheduler drift on shared cores hits both variants
+  // equally; the tracing overhead (cold vs cold_traced p50) is
+  // regression-guarded on full runs.
   EngineConfig engine_config;
   QkbflyEngine engine(ds->repository.get(), &ds->patterns, &ds->stats,
                       engine_config);
   StageResult cold;
-  for (const Document* doc : docs) {
-    WallTimer t;
-    DocumentResult r = engine.ProcessDocument(*doc);
-    cold.per_doc.Add(t.ElapsedSeconds());
-    cold.wall_s += t.ElapsedSeconds();
-    cold.items += r.densified.assignments.size();
+  StageResult cold_traced;
+  size_t spans_captured = 0;
+  const int cold_reps = smoke ? 1 : 5;
+  for (int rep = 0; rep < cold_reps; ++rep) {
+    for (const Document* doc : docs) {
+      WallTimer t;
+      DocumentResult r = engine.ProcessDocument(*doc);
+      cold.per_doc.Add(t.ElapsedSeconds());
+      cold.wall_s += t.ElapsedSeconds();
+      cold.items += r.densified.assignments.size();
+    }
+    for (const Document* doc : docs) {
+      obs::Trace trace("bench_document");
+      WallTimer t;
+      DocumentResult r =
+          engine.ProcessDocument(*doc, {&trace, trace.root()});
+      cold_traced.per_doc.Add(t.ElapsedSeconds());
+      cold_traced.wall_s += t.ElapsedSeconds();
+      cold_traced.items += r.densified.assignments.size();
+      trace.Finish();
+      spans_captured += trace.Snapshot().size();
+    }
   }
   Print("cold-document", cold, "assignments");
-  report.Add("hotpath/cold", static_cast<int>(docs.size()), 1, cold.wall_s,
-             cold.items, ToFields(cold));
+  report.Add("hotpath/cold", static_cast<int>(docs.size()) * cold_reps, 1,
+             cold.wall_s, cold.items, ToFields(cold));
+  Print("cold-traced", cold_traced, "assignments");
+  report.Add("hotpath/cold_traced",
+             static_cast<int>(docs.size()) * cold_reps, 1,
+             cold_traced.wall_s, cold_traced.items, ToFields(cold_traced));
+
+  double p50_off = cold.per_doc.Percentile(0.50);
+  double p50_on = cold_traced.per_doc.Percentile(0.50);
+  double overhead = p50_off > 0.0 ? (p50_on - p50_off) / p50_off : 0.0;
+  std::printf("\ntracing overhead: cold p50 %.3f ms -> %.3f ms (%+.1f%%), "
+              "%zu spans captured\n",
+              p50_off * 1e3, p50_on * 1e3, overhead * 100.0, spans_captured);
+  // The budget is 5%, enforced only on full runs (the ones that write the
+  // committed BENCH_hotpath.json). Smoke runs a tiny corpus, often under
+  // parallel ctest on shared CI cores, where one descheduling blows the
+  // per-document median — there the overhead line is report-only.
+  const double overhead_budget = 0.05;
+  if (!smoke && overhead > overhead_budget) {
+    std::fprintf(stderr,
+                 "TRACING OVERHEAD REGRESSION: %.1f%% > %.0f%% budget\n",
+                 overhead * 100.0, overhead_budget * 100.0);
+    return 1;
+  }
 
   const char* path = "BENCH_hotpath.json";
   if (!report.WriteJson(path)) {

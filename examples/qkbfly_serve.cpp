@@ -5,12 +5,22 @@
 //
 // Usage:
 //   qkbfly_serve [workload_file] [--repeat N] [--threads N] [--cache-mb M]
+//                [--metrics] [--metrics-out FILE] [--trace-out FILE]
+//                [--trace-keep N] [--smoke]
 //
 // The workload file holds one entity query per line (repeats allowed; lines
 // starting with '#' are skipped). Without a file, a default workload is
 // generated from the synthetic corpus: every wiki entity queried --repeat
 // times, which exercises exactly the repeated-query reuse the paper's demo
 // keeps processed sentences around for.
+//
+// Observability flags:
+//   --metrics          print the full registry (Prometheus text + JSON)
+//   --metrics-out F    write the registry JSON export to F
+//   --trace-out F      capture per-query span traces, write slowest-N to F
+//   --trace-keep N     how many slowest traces to retain (default 5)
+//   --smoke            tiny corpus/workload for CI; JSON exports are schema-
+//                      validated and the run fails on a violation
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/kb_service.h"
 #include "synth/dataset.h"
 
@@ -43,13 +55,29 @@ std::vector<std::string> LoadWorkload(const char* path) {
   return queries;
 }
 
+bool WriteFile(const char* path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  out << contents;
+  return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* workload_path = nullptr;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
   int repeat = 3;
   int threads = 1;
   size_t cache_mb = 64;
+  size_t trace_keep = 5;
+  bool print_metrics = false;
+  bool trace_requested = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::atoi(argv[++i]);
@@ -57,6 +85,18 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
       cache_mb = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+      trace_requested = true;
+    } else if (std::strcmp(argv[i], "--trace-keep") == 0 && i + 1 < argc) {
+      trace_keep = static_cast<size_t>(std::atol(argv[++i]));
+      trace_requested = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
       workload_path = argv[i];
     }
@@ -64,8 +104,9 @@ int main(int argc, char** argv) {
 
   // Corpus, repositories and search index (the demo's two-source frontend).
   DatasetConfig dataset_config;
-  dataset_config.wiki_eval_articles = 24;
-  dataset_config.news_docs = 16;
+  dataset_config.wiki_eval_articles = smoke ? 6 : 24;
+  dataset_config.news_docs = smoke ? 4 : 16;
+  if (smoke) repeat = 2;
   auto dataset = BuildDataset(dataset_config);
   DocumentStore wiki;
   DocumentStore news;
@@ -78,6 +119,7 @@ int main(int argc, char** argv) {
   KbServiceOptions options;
   options.cache.byte_budget = cache_mb << 20;
   options.num_threads = threads;
+  if (trace_requested) options.keep_slowest_traces = trace_keep;
   KbService service(&engine, &search, options);
 
   std::vector<std::string> queries;
@@ -141,5 +183,36 @@ int main(int argc, char** argv) {
               service.cache().entry_count(), service.cache().ApproxBytesUsed(),
               service.cache().byte_budget());
   print_cache("LooseCandidates memo", dataset->repository->loose_cache_stats());
+
+  // Registry exports. The JSON is schema-checked before it is printed or
+  // written, so a malformed exporter fails the run (and the smoke ctest).
+  if (print_metrics || metrics_out != nullptr) {
+    std::string json = obs::DefaultRegistryJson();
+    std::string error;
+    if (!obs::MetricsRegistry::ValidateJson(json, &error)) {
+      std::fprintf(stderr, "metrics JSON failed schema check: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (print_metrics) {
+      std::printf("\n== Metrics registry (Prometheus) ==\n%s",
+                  obs::DefaultRegistryPrometheusText().c_str());
+      std::printf("\n== Metrics registry (JSON) ==\n%s\n", json.c_str());
+    }
+    if (metrics_out != nullptr && !WriteFile(metrics_out, json)) return 1;
+  }
+
+  if (trace_out != nullptr) {
+    std::vector<std::shared_ptr<const obs::Trace>> slowest =
+        service.traces().Slowest();
+    if (slowest.empty()) {
+      std::fprintf(stderr, "no traces captured\n");
+      return 1;
+    }
+    if (!WriteFile(trace_out, service.traces().ToJson())) return 1;
+    std::printf("\nwrote %zu trace(s) to %s (slowest %.3f ms)\n",
+                slowest.size(), trace_out,
+                slowest.front()->DurationSeconds() * 1e3);
+  }
   return 0;
 }

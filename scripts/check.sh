@@ -30,6 +30,13 @@ echo "==> ctest (full suite, includes lint)"
 echo "==> bench smoke"
 (cd build && ctest --output-on-failure -L bench-smoke)
 
+echo "==> metrics exporter schema check"
+# qkbfly_serve validates its JSON export against the registry schema before
+# writing it and exits non-zero on a violation.
+(cd build && ./examples/qkbfly_serve --smoke \
+    --metrics-out examples/check_metrics.json \
+    --trace-out examples/check_traces.json >/dev/null)
+
 if [[ "$SKIP_SANITIZER" -eq 0 ]]; then
   echo "==> sanitizer tree (QKBFLY_SANITIZE=$SANITIZER)"
   cmake -B "build-$SANITIZER" -S . -DQKBFLY_SANITIZE="$SANITIZER" >/dev/null

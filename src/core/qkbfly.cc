@@ -106,6 +106,21 @@ QkbflyEngine::QkbflyEngine(const EntityRepository* repository,
   config_.params = params;
   builder_ = std::make_unique<GraphBuilder>(
       repository, std::make_unique<MaltLikeParser>(), graph_options);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  documents_total_ = registry.GetCounter(
+      "pipeline_documents_total", "Documents run through ProcessDocument");
+  annotate_seconds_ = registry.GetHistogram(
+      "pipeline_annotate_seconds", "Per-document linguistic annotation time");
+  graph_build_seconds_ = registry.GetHistogram(
+      "pipeline_graph_build_seconds",
+      "Per-document semantic graph construction time");
+  densify_seconds_ = registry.GetHistogram(
+      "pipeline_densify_seconds",
+      "Per-document joint disambiguation (densify) time");
+  canonicalize_seconds_ = registry.GetHistogram(
+      "pipeline_canonicalize_seconds",
+      "Per-document canonicalization (KB merge) time");
 }
 
 void StageTimingSummary::Add(const StageTimings& timings) {
@@ -131,37 +146,59 @@ std::string StageTimingSummary::Report() const {
   return out;
 }
 
-DocumentResult QkbflyEngine::ProcessDocument(const Document& doc) const {
+DocumentResult QkbflyEngine::ProcessDocument(const Document& doc,
+                                             obs::TraceContext trace) const {
+  obs::ScopedSpan doc_span(trace, "process_document");
+  doc_span.AddAttribute("doc_id", std::string_view(doc.id));
+
   WallTimer timer;
   WallTimer stage;
   DocumentResult result;
-  result.annotated = nlp_.Annotate(doc.id, doc.title, doc.text);
+  {
+    obs::ScopedSpan span(doc_span.context(), "annotate");
+    result.annotated = nlp_.Annotate(doc.id, doc.title, doc.text);
+  }
   result.timings.annotate_s = stage.ElapsedSeconds();
+  annotate_seconds_->Observe(result.timings.annotate_s);
 
   stage.Restart();
-  result.graph = builder_->Build(result.annotated);
+  {
+    obs::ScopedSpan span(doc_span.context(), "graph_build");
+    result.graph = builder_->Build(result.annotated);
+    span.AddAttribute("nodes", static_cast<int64_t>(result.graph.node_count()));
+    span.AddAttribute("edges", static_cast<int64_t>(result.graph.edge_count()));
+  }
   result.timings.graph_s = stage.ElapsedSeconds();
+  graph_build_seconds_->Observe(result.timings.graph_s);
 
   stage.Restart();
-  switch (config_.mode) {
-    case InferenceMode::kJoint:
-    case InferenceMode::kNounOnly: {
-      GreedyDensifier densifier(stats_, repository_, config_.params);
-      result.densified = densifier.Densify(&result.graph, result.annotated);
-      break;
+  {
+    obs::ScopedSpan span(doc_span.context(), "densify");
+    switch (config_.mode) {
+      case InferenceMode::kJoint:
+      case InferenceMode::kNounOnly: {
+        GreedyDensifier densifier(stats_, repository_, config_.params);
+        result.densified = densifier.Densify(&result.graph, result.annotated);
+        break;
+      }
+      case InferenceMode::kPipeline: {
+        PipelineDensifier densifier(stats_, repository_, config_.params);
+        result.densified = densifier.Densify(&result.graph, result.annotated);
+        break;
+      }
+      case InferenceMode::kIlp: {
+        IlpDensifier densifier(stats_, repository_, config_.params);
+        result.densified = densifier.Densify(&result.graph, result.annotated);
+        break;
+      }
     }
-    case InferenceMode::kPipeline: {
-      PipelineDensifier densifier(stats_, repository_, config_.params);
-      result.densified = densifier.Densify(&result.graph, result.annotated);
-      break;
-    }
-    case InferenceMode::kIlp: {
-      IlpDensifier densifier(stats_, repository_, config_.params);
-      result.densified = densifier.Densify(&result.graph, result.annotated);
-      break;
-    }
+    span.AddAttribute("assignments",
+                      static_cast<int64_t>(result.densified.assignments.size()));
   }
   result.timings.densify_s = stage.ElapsedSeconds();
+  densify_seconds_->Observe(result.timings.densify_s);
+
+  documents_total_->Increment();
   result.seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -171,15 +208,19 @@ void QkbflyEngine::PopulateKb(OnTheFlyKb* kb, const DocumentResult& result) cons
 }
 
 OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<Document>& docs,
-                                 std::vector<DocumentResult>* doc_results) const {
+                                 std::vector<DocumentResult>* doc_results,
+                                 obs::TraceContext trace) const {
   std::vector<const Document*> pointers;
   pointers.reserve(docs.size());
   for (const Document& doc : docs) pointers.push_back(&doc);
-  return BuildKb(pointers, doc_results);
+  return BuildKb(pointers, doc_results, trace);
 }
 
 OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
-                                 std::vector<DocumentResult>* doc_results) const {
+                                 std::vector<DocumentResult>* doc_results,
+                                 obs::TraceContext trace) const {
+  obs::ScopedSpan build_span(trace, "build_kb");
+  build_span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
   OnTheFlyKb kb(repository_, patterns_);
   if (doc_results != nullptr) doc_results->reserve(docs.size());
 #if defined(QKBFLY_CHECK_INVARIANTS)
@@ -192,9 +233,12 @@ OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
   // thread, one document at a time, in input order — the parallel path is
   // therefore bit-identical to the serial one.
   auto merge = [&](DocumentResult result) {
+    obs::ScopedSpan span(build_span.context(), "canonicalize");
+    span.AddAttribute("doc_id", std::string_view(result.annotated.id));
     WallTimer timer;
     PopulateKb(&kb, result);
     result.timings.canonicalize_s = timer.ElapsedSeconds();
+    canonicalize_seconds_->Observe(result.timings.canonicalize_s);
     result.seconds += result.timings.canonicalize_s;
     if (doc_results != nullptr) doc_results->push_back(std::move(result));
   };
@@ -204,7 +248,9 @@ OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
     threads = static_cast<int>(docs.size());
   }
   if (threads <= 1) {
-    for (const Document* doc : docs) merge(ProcessDocument(*doc));
+    for (const Document* doc : docs) {
+      merge(ProcessDocument(*doc, build_span.context()));
+    }
     // AddFact merges duplicates in place, so the serial and parallel paths
     // both leave facts in first-occurrence input order.
     QKBFLY_INVARIANT(CheckKbMergeOrder(kb, doc_order), "BuildKb (serial)");
@@ -214,8 +260,12 @@ OnTheFlyKb QkbflyEngine::BuildKb(const std::vector<const Document*>& docs,
   ThreadPool pool(threads);
   std::vector<std::future<DocumentResult>> futures;
   futures.reserve(docs.size());
+  // The trace context is captured by value (never thread-local), so every
+  // worker's process_document span parents to this call's build_kb span.
+  obs::TraceContext doc_trace = build_span.context();
   for (const Document* doc : docs) {
-    futures.push_back(pool.Submit([this, doc] { return ProcessDocument(*doc); }));
+    futures.push_back(pool.Submit(
+        [this, doc, doc_trace] { return ProcessDocument(*doc, doc_trace); }));
   }
   // get() in submission order; a task exception rethrows here, exactly as it
   // would have surfaced from the serial loop.

@@ -18,6 +18,8 @@
 #include "kb/entity_repository.h"
 #include "kb/pattern_repository.h"
 #include "nlp/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace qkbfly {
@@ -102,8 +104,12 @@ class QkbflyEngine {
                const PatternRepository* patterns, const BackgroundStats* stats,
                EngineConfig config);
 
-  /// Runs stages 1-2 on one document.
-  DocumentResult ProcessDocument(const Document& doc) const;
+  /// Runs stages 1-2 on one document. When `trace` is enabled a
+  /// `process_document` span (with `annotate`/`graph_build`/`densify`
+  /// children and doc-id / graph-size attributes) is attached under its
+  /// parent; tracing never affects the result.
+  DocumentResult ProcessDocument(const Document& doc,
+                                 obs::TraceContext trace = {}) const;
 
   /// Runs stage 3, adding the document's facts to `kb`.
   void PopulateKb(OnTheFlyKb* kb, const DocumentResult& result) const;
@@ -113,10 +119,15 @@ class QkbflyEngine {
   /// results in input order, so the KB matches the serial run exactly. When
   /// `doc_results` is non-null it receives one DocumentResult per input
   /// document (in input order) with all four stage timings filled in.
+  /// The trace context is propagated by value into every pooled task, so the
+  /// parallel path yields the same span tree as the serial one (per-document
+  /// spans all parent to this call's `build_kb` span).
   OnTheFlyKb BuildKb(const std::vector<Document>& docs,
-                     std::vector<DocumentResult>* doc_results = nullptr) const;
+                     std::vector<DocumentResult>* doc_results = nullptr,
+                     obs::TraceContext trace = {}) const;
   OnTheFlyKb BuildKb(const std::vector<const Document*>& docs,
-                     std::vector<DocumentResult>* doc_results = nullptr) const;
+                     std::vector<DocumentResult>* doc_results = nullptr,
+                     obs::TraceContext trace = {}) const;
 
   const EngineConfig& config() const { return config_; }
   const EntityRepository& repository() const { return *repository_; }
@@ -135,6 +146,13 @@ class QkbflyEngine {
   NlpPipeline nlp_;
   std::unique_ptr<GraphBuilder> builder_;
   Canonicalizer canonicalizer_;
+
+  // Registry instruments, fetched once at construction (stable pointers).
+  obs::Counter* documents_total_;
+  obs::Histogram* annotate_seconds_;
+  obs::Histogram* graph_build_seconds_;
+  obs::Histogram* densify_seconds_;
+  obs::Histogram* canonicalize_seconds_;
 };
 
 }  // namespace qkbfly

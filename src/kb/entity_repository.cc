@@ -15,7 +15,9 @@ EntityRepository::EntityRepository(EntityRepository&& other) noexcept
       token_index_(std::move(other.token_index_)),
       by_name_(std::move(other.by_name_)),
       trie_(std::move(other.trie_)),
-      max_alias_tokens_(other.max_alias_tokens_) {}
+      max_alias_tokens_(other.max_alias_tokens_) {
+  BindLooseCounters();
+}
 
 EntityRepository& EntityRepository::operator=(EntityRepository&& other) noexcept {
   if (this == &other) return *this;
@@ -29,8 +31,27 @@ EntityRepository& EntityRepository::operator=(EntityRepository&& other) noexcept
   std::lock_guard<std::mutex> lock(loose_mutex_);
   loose_cache_.clear();
   loose_lru_.clear();
-  loose_stats_ = CacheStats();
+  BindLooseCounters();  // restart the per-instance stats view at zero
   return *this;
+}
+
+void EntityRepository::BindLooseCounters() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  loose_hits_ = registry.GetCounter("repo_loose_cache_hits_total",
+                                    "LooseCandidates memo hits");
+  loose_misses_ = registry.GetCounter("repo_loose_cache_misses_total",
+                                      "LooseCandidates memo misses");
+  loose_evictions_ = registry.GetCounter("repo_loose_cache_evictions_total",
+                                         "LooseCandidates memo LRU evictions");
+  loose_baseline_ = LooseTotalsNow();
+}
+
+CacheStats EntityRepository::LooseTotalsNow() const {
+  CacheStats totals;
+  totals.hits = loose_hits_->Value();
+  totals.misses = loose_misses_->Value();
+  totals.evictions = loose_evictions_->Value();
+  return totals;
 }
 
 EntityId EntityRepository::AddEntity(std::string_view canonical_name,
@@ -147,11 +168,11 @@ std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention
     std::lock_guard<std::mutex> lock(loose_mutex_);
     auto it = loose_cache_.find(key);
     if (it != loose_cache_.end()) {
-      ++loose_stats_.hits;
+      loose_hits_->Increment();
       loose_lru_.splice(loose_lru_.begin(), loose_lru_, it->second.lru);
       return it->second.ids;
     }
-    ++loose_stats_.misses;
+    loose_misses_->Increment();
   }
   // Compute outside the lock; a concurrent duplicate compute is idempotent.
   std::vector<EntityId> out = LooseCandidatesUncached(lowered, limit);
@@ -165,7 +186,7 @@ std::vector<EntityId> EntityRepository::LooseCandidates(std::string_view mention
       if (loose_cache_.size() > kLooseCacheCapacity) {
         loose_cache_.erase(loose_lru_.back());
         loose_lru_.pop_back();
-        ++loose_stats_.evictions;
+        loose_evictions_->Increment();
       }
     }
   }
@@ -195,8 +216,8 @@ std::vector<EntityId> EntityRepository::LooseCandidatesUncached(
 }
 
 CacheStats EntityRepository::loose_cache_stats() const {
-  std::lock_guard<std::mutex> lock(loose_mutex_);
-  return loose_stats_;
+  // Counters are lock-free atomics; no loose_mutex_ hold needed.
+  return LooseTotalsNow() - loose_baseline_;
 }
 
 StatusOr<EntityId> EntityRepository::FindByName(

@@ -15,6 +15,7 @@
 #include "kb/type_system.h"
 #include "nlp/lexicon.h"
 #include "nlp/ner.h"
+#include "obs/metrics.h"
 #include "util/cache_stats.h"
 #include "util/status.h"
 #include "util/symbol_table.h"
@@ -40,7 +41,9 @@ struct Entity {
 /// AddEntity must not race with queries.
 class EntityRepository : public Gazetteer {
  public:
-  explicit EntityRepository(const TypeSystem* types) : types_(types) {}
+  explicit EntityRepository(const TypeSystem* types) : types_(types) {
+    BindLooseCounters();
+  }
 
   // Movable (mutexes are not, so the memo cache restarts cold); not copyable.
   EntityRepository(EntityRepository&& other) noexcept;
@@ -71,7 +74,10 @@ class EntityRepository : public Gazetteer {
   std::vector<EntityId> LooseCandidates(std::string_view mention,
                                         size_t limit) const;
 
-  /// Hit/miss/eviction counters of the LooseCandidates memo.
+  /// Hit/miss/eviction counters of the LooseCandidates memo. The live
+  /// counters are `repo_loose_cache_*_total` in the default metrics
+  /// registry; this view subtracts the construction-time baseline so each
+  /// instance reports only its own traffic.
   CacheStats loose_cache_stats() const;
 
   /// Entity id by exact canonical name.
@@ -110,6 +116,11 @@ class EntityRepository : public Gazetteer {
 
   void InsertAliasIntoTrie(const std::string& key, NerType coarse);
 
+  /// Fetches the registry counters and re-baselines loose_cache_stats()
+  /// at the current totals (construction and move both restart the view).
+  void BindLooseCounters();
+  CacheStats LooseTotalsNow() const;
+
   std::vector<EntityId> LooseCandidatesUncached(const std::string& lowered,
                                                 size_t limit) const;
 
@@ -132,7 +143,13 @@ class EntityRepository : public Gazetteer {
   mutable std::mutex loose_mutex_;
   mutable std::list<std::string> loose_lru_;
   mutable std::unordered_map<std::string, LooseCacheEntry> loose_cache_;
-  mutable CacheStats loose_stats_;
+
+  // Live counters are registry instruments (process-wide, lock-free);
+  // loose_baseline_ is what they read when this instance (re)started.
+  obs::Counter* loose_hits_ = nullptr;
+  obs::Counter* loose_misses_ = nullptr;
+  obs::Counter* loose_evictions_ = nullptr;
+  CacheStats loose_baseline_;
 };
 
 }  // namespace qkbfly

@@ -1,0 +1,386 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace qkbfly::obs {
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaky singleton: instrument pointers handed to components must survive
+  // static destruction order, exactly like the TokenSymbols interner.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool MetricsRegistry::IsValidName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(name.front() >= 'a' && name.front() <= 'z')) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Shared get-or-create over one of the three instrument maps. The name must
+/// not be registered in either `other` map (kind collision).
+template <typename T, typename MapT, typename OtherA, typename OtherB>
+T* GetInstrument(const char* name, const char* help, MapT& map,
+                 const OtherA& other_a, const OtherB& other_b,
+                 std::map<std::string, std::string, std::less<>>& help_map) {
+  QKB_CHECK(MetricsRegistry::IsValidName(name))
+      << "metric name '" << name << "' is not snake_case";
+  auto it = map.find(name);
+  if (it != map.end()) return it->second.get();
+  QKB_CHECK(other_a.find(name) == other_a.end() &&
+            other_b.find(name) == other_b.end())
+      << "metric '" << name << "' already registered with a different kind";
+  auto inserted = map.emplace(name, std::unique_ptr<T>(new T())).first;
+  help_map.emplace(name, help);
+  return inserted->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const char* name, const char* help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetInstrument<Counter>(name, help, counters_, gauges_, histograms_,
+                                help_);
+}
+
+Gauge* MetricsRegistry::GetGauge(const char* name, const char* help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetInstrument<Gauge>(name, help, gauges_, counters_, histograms_,
+                              help_);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const char* name, const char* help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetInstrument<Histogram>(name, help, histograms_, counters_, gauges_,
+                                  help_);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto help_for = [this](const std::string& name) {
+    auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+  };
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, help_for(name), counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, help_for(name), gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, help_for(name),
+                                   histogram->Snapshot()});
+  }
+  return snapshot;
+}
+
+namespace {
+
+void AppendHeader(std::string& out, const std::string& name,
+                  const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + help + "\n";
+  }
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[160];
+  for (const auto& c : snapshot.counters) {
+    AppendHeader(out, c.name, c.help, "counter");
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", c.name.c_str(),
+                  c.value);
+    out += buf;
+  }
+  for (const auto& g : snapshot.gauges) {
+    AppendHeader(out, g.name, g.help, "gauge");
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", g.name.c_str(),
+                  g.value);
+    out += buf;
+  }
+  for (const auto& h : snapshot.histograms) {
+    AppendHeader(out, h.name, h.help, "histogram");
+    uint64_t cumulative = 0;
+    int last = h.histogram.MaxBucket();
+    for (int b = 0; b <= last; ++b) {
+      cumulative += h.histogram.BucketSamples(b);
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                    h.name.c_str(),
+                    FormatDouble(
+                        LatencyHistogram::BucketUpperBoundSeconds(b)).c_str(),
+                    cumulative);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  h.name.c_str(), h.histogram.count());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %s\n", h.name.c_str(),
+                  FormatDouble(h.histogram.sum_seconds()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", h.name.c_str(),
+                  h.histogram.count());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  char buf[192];
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRIu64,
+                  first ? "" : ",", c.name.c_str(), c.value);
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRId64,
+                  first ? "" : ",", g.name.c_str(), g.value);
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    const LatencyHistogram& hist = h.histogram;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    \"%s\": {\"count\": %" PRIu64
+        ", \"sum_s\": %s, \"min_s\": %s, \"max_s\": %s",
+        first ? "" : ",", h.name.c_str(), hist.count(),
+        FormatDouble(hist.sum_seconds()).c_str(),
+        FormatDouble(hist.min_seconds()).c_str(),
+        FormatDouble(hist.max_seconds()).c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ", \"p50_s\": %s, \"p95_s\": %s, \"p99_s\": %s}",
+                  FormatDouble(hist.PercentileSeconds(0.50)).c_str(),
+                  FormatDouble(hist.PercentileSeconds(0.95)).c_str(),
+                  FormatDouble(hist.PercentileSeconds(0.99)).c_str());
+    out += buf;
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON schema validation (dependency-free scanner, same posture as
+// BenchReport::ValidateJsonFile)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonScanner {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') return Fail("escapes not allowed in names");
+      value.push_back(text[pos]);
+      ++pos;
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;
+    if (out != nullptr) *out = std::move(value);
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text[pos]))) digits = true;
+      ++pos;
+    }
+    if (!digits) return Fail("expected number");
+    if (out != nullptr) {
+      *out = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                         nullptr);
+    }
+    return true;
+  }
+};
+
+/// Parses `{"name": <value>, ...}` where each value is checked by `value_fn`.
+template <typename Fn>
+bool ParseMetricMap(JsonScanner& scanner, const char* section, Fn value_fn) {
+  if (!scanner.Consume('{')) return false;
+  if (scanner.Peek('}')) return scanner.Consume('}');
+  for (;;) {
+    std::string name;
+    if (!scanner.ParseString(&name)) return false;
+    if (!MetricsRegistry::IsValidName(name)) {
+      return scanner.Fail(std::string(section) + " name '" + name +
+                          "' is not snake_case");
+    }
+    if (!scanner.Consume(':')) return false;
+    if (!value_fn(scanner, name)) return false;
+    if (scanner.Peek(',')) {
+      if (!scanner.Consume(',')) return false;
+      continue;
+    }
+    return scanner.Consume('}');
+  }
+}
+
+bool ParseHistogramObject(JsonScanner& scanner, const std::string& name) {
+  static const char* kRequired[] = {"count",  "sum_s", "min_s", "max_s",
+                                    "p50_s", "p95_s", "p99_s"};
+  if (!scanner.Consume('{')) return false;
+  std::vector<std::string> seen;
+  for (;;) {
+    std::string key;
+    if (!scanner.ParseString(&key)) return false;
+    bool known = false;
+    for (const char* r : kRequired) known = known || key == r;
+    if (!known) {
+      return scanner.Fail("unknown histogram key '" + key + "' in '" + name +
+                          "'");
+    }
+    seen.push_back(key);
+    if (!scanner.Consume(':')) return false;
+    double value = 0.0;
+    if (!scanner.ParseNumber(&value)) return false;
+    if (scanner.Peek(',')) {
+      if (!scanner.Consume(',')) return false;
+      continue;
+    }
+    break;
+  }
+  if (!scanner.Consume('}')) return false;
+  for (const char* r : kRequired) {
+    bool found = false;
+    for (const std::string& s : seen) found = found || s == r;
+    if (!found) {
+      return scanner.Fail("histogram '" + name + "' missing key '" +
+                          std::string(r) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MetricsRegistry::ValidateJson(std::string_view json, std::string* error) {
+  JsonScanner scanner{json, 0, {}};
+  auto fail = [&](bool ok) {
+    if (!ok && error != nullptr) *error = scanner.error;
+    return ok;
+  };
+  if (!scanner.Consume('{')) return fail(false);
+
+  auto expect_section = [&](const char* want) {
+    std::string key;
+    if (!scanner.ParseString(&key)) return false;
+    if (key != want) {
+      return scanner.Fail(std::string("expected section '") + want +
+                          "', got '" + key + "'");
+    }
+    return scanner.Consume(':');
+  };
+
+  auto number_value = [](JsonScanner& s, const std::string&) {
+    return s.ParseNumber(nullptr);
+  };
+
+  if (!expect_section("counters")) return fail(false);
+  if (!ParseMetricMap(scanner, "counter", number_value)) return fail(false);
+  if (!scanner.Consume(',')) return fail(false);
+  if (!expect_section("gauges")) return fail(false);
+  if (!ParseMetricMap(scanner, "gauge", number_value)) return fail(false);
+  if (!scanner.Consume(',')) return fail(false);
+  if (!expect_section("histograms")) return fail(false);
+  if (!ParseMetricMap(scanner, "histogram",
+                      [](JsonScanner& s, const std::string& name) {
+                        return ParseHistogramObject(s, name);
+                      })) {
+    return fail(false);
+  }
+  if (!scanner.Consume('}')) return fail(false);
+  scanner.SkipSpace();
+  if (scanner.pos != json.size()) {
+    scanner.Fail("trailing content after metrics object");
+    return fail(false);
+  }
+  return true;
+}
+
+std::string DefaultRegistryPrometheusText() {
+  return MetricsRegistry::ToPrometheusText(MetricsRegistry::Default().Snapshot());
+}
+
+std::string DefaultRegistryJson() {
+  return MetricsRegistry::ToJson(MetricsRegistry::Default().Snapshot());
+}
+
+}  // namespace qkbfly::obs

@@ -29,6 +29,28 @@ DocumentResultCache::DocumentResultCache(Options options)
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  hits_ = registry.GetCounter("doc_cache_hits_total",
+                              "DocumentResultCache lookups served without "
+                              "computing (ready or joined in-flight)");
+  misses_ = registry.GetCounter("doc_cache_misses_total",
+                                "DocumentResultCache lookups that ran the "
+                                "compute function");
+  evictions_ = registry.GetCounter("doc_cache_evictions_total",
+                                   "DocumentResultCache LRU evictions");
+  resident_bytes_ = registry.GetGauge(
+      "doc_cache_resident_bytes", "Ready DocumentResult bytes resident");
+  resident_entries_ = registry.GetGauge(
+      "doc_cache_resident_entries", "Ready DocumentResult entries resident");
+  baseline_ = TotalsNow();
+}
+
+CacheStats DocumentResultCache::TotalsNow() const {
+  CacheStats totals;
+  totals.hits = hits_->Value();
+  totals.misses = misses_->Value();
+  totals.evictions = evictions_->Value();
+  return totals;
 }
 
 DocumentResultCache::Shard& DocumentResultCache::ShardFor(
@@ -43,9 +65,11 @@ void DocumentResultCache::EvictOverBudgetLocked(Shard& shard) {
     auto it = shard.map.find(victim);
     QKB_CHECK(it != shard.map.end());
     shard.bytes -= it->second.bytes;
+    resident_bytes_->Add(-static_cast<int64_t>(it->second.bytes));
+    resident_entries_->Add(-1);
     shard.map.erase(it);
     shard.lru.pop_back();
-    ++shard.stats.evictions;
+    evictions_->Increment();
   }
 }
 
@@ -66,13 +90,13 @@ std::shared_ptr<const DocumentResult> DocumentResultCache::FetchOrCompute(
   {
     std::unique_lock<std::mutex> lock(shard.mutex);
 #if defined(QKBFLY_CHECK_INVARIANTS)
-    stats_before = shard.stats;
+    stats_before = TotalsNow();
 #endif
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       // Ready entry or another thread's in-flight computation: either way no
       // work runs on this thread, so it counts as a hit.
-      ++shard.stats.hits;
+      hits_->Increment();
       if (it->second.ready) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
       }
@@ -81,7 +105,7 @@ std::shared_ptr<const DocumentResult> DocumentResultCache::FetchOrCompute(
       if (was_hit != nullptr) *was_hit = true;
       return future.get();  // blocks only while in-flight; rethrows failures
     }
-    ++shard.stats.misses;
+    misses_->Increment();
     Entry entry;
     entry.future = promise.get_future().share();
     shard.map.emplace(key, std::move(entry));  // in-flight marker
@@ -115,22 +139,21 @@ std::shared_ptr<const DocumentResult> DocumentResultCache::FetchOrCompute(
     shard.lru.push_front(it->first);
     it->second.lru = shard.lru.begin();
     shard.bytes += it->second.bytes;
+    resident_bytes_->Add(static_cast<int64_t>(it->second.bytes));
+    resident_entries_->Add(1);
     EvictOverBudgetLocked(shard);
     QKBFLY_INVARIANT(CheckShardAccountingLocked(shard),
                      "DocumentResultCache::FetchOrCompute");
-    QKBFLY_INVARIANT(CheckCacheStatsMonotonic(stats_before, shard.stats),
+    // Counters are lock-free atomics, so reading the registry totals while
+    // holding the shard mutex cannot deadlock.
+    QKBFLY_INVARIANT(CheckCacheStatsMonotonic(stats_before, TotalsNow()),
                      "DocumentResultCache::FetchOrCompute");
   }
   return value;
 }
 
 CacheStats DocumentResultCache::stats() const {
-  CacheStats total;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->stats;
-  }
-  return total;
+  return TotalsNow() - baseline_;
 }
 
 size_t DocumentResultCache::ApproxBytesUsed() const {
@@ -154,6 +177,8 @@ size_t DocumentResultCache::entry_count() const {
 void DocumentResultCache::Clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    resident_bytes_->Add(-static_cast<int64_t>(shard->bytes));
+    resident_entries_->Add(-static_cast<int64_t>(shard->lru.size()));
     for (const std::string& key : shard->lru) shard->map.erase(key);
     shard->lru.clear();
     shard->bytes = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/qkbfly.h"
+#include "obs/metrics.h"
 #include "util/cache_stats.h"
 
 namespace qkbfly {
@@ -44,6 +45,10 @@ class DocumentResultCache {
   explicit DocumentResultCache(Options options);
   DocumentResultCache() : DocumentResultCache(Options()) {}
 
+  /// Clears on destruction so the resident-bytes/entries gauges drop this
+  /// instance's contribution.
+  ~DocumentResultCache() { Clear(); }
+
   using ComputeFn = std::function<DocumentResult()>;
 
   /// Returns the cached result for (doc_id, fingerprint), computing and
@@ -55,7 +60,9 @@ class DocumentResultCache {
       std::string_view doc_id, std::string_view fingerprint,
       const ComputeFn& compute, bool* was_hit = nullptr);
 
-  /// Aggregated hit/miss/eviction counters across shards.
+  /// Hit/miss/eviction counters. The live counters are the registry's
+  /// `doc_cache_*_total`; this view subtracts the construction-time baseline
+  /// so each cache instance reports only its own traffic.
   CacheStats stats() const;
 
   /// Total ApproxBytes of ready entries.
@@ -83,11 +90,11 @@ class DocumentResultCache {
     std::unordered_map<std::string, Entry> map;
     std::list<std::string> lru;  ///< Ready keys, most recently used first.
     size_t bytes = 0;
-    CacheStats stats;
   };
 
   Shard& ShardFor(const std::string& key);
   void EvictOverBudgetLocked(Shard& shard);
+  CacheStats TotalsNow() const;
 
   /// Recomputes ready-entry bytes/counts and compares them with the shard's
   /// running counters (util/invariants.h). Requires shard.mutex held. Always
@@ -97,6 +104,16 @@ class DocumentResultCache {
   Options options_;
   size_t budget_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Registry instruments (process-wide); counters are read lock-free, so the
+  // monotonicity invariant can run while a shard mutex is held. The gauges
+  // track resident bytes/entries across every cache instance.
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Gauge* resident_bytes_;
+  obs::Gauge* resident_entries_;
+  CacheStats baseline_;
 };
 
 }  // namespace qkbfly

@@ -12,20 +12,37 @@ namespace qkbfly {
 KbService::KbService(const QkbflyEngine* engine, const SearchEngine* search,
                      KbServiceOptions options)
     : engine_(engine), search_(search), options_(options),
-      fingerprint_(engine->config().Fingerprint()), cache_(options.cache) {
+      fingerprint_(engine->config().Fingerprint()), cache_(options.cache),
+      trace_sink_(options.keep_slowest_traces) {
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  queries_total_ = registry.GetCounter("service_queries_total",
+                                       "Answer() calls served");
+  answer_seconds_ = registry.GetHistogram("service_answer_seconds",
+                                          "End-to-end Answer() latency");
+  retrieve_seconds_ = registry.GetHistogram(
+      "service_retrieve_seconds", "Per-query search-engine retrieval time");
+  queries_baseline_ = queries_total_->Value();
+  latency_baseline_ = answer_seconds_->Snapshot();
 }
 
 KbService::~KbService() = default;
 
 std::shared_ptr<const DocumentResult> KbService::FetchOrCompute(
-    const Document& doc, CacheStats* tally) {
+    const Document& doc, CacheStats* tally, obs::TraceContext trace) {
+  obs::ScopedSpan span(trace, "fetch_or_compute");
+  span.AddAttribute("doc_id", std::string_view(doc.id));
   bool was_hit = false;
+  obs::TraceContext compute_trace = span.context();
   auto result = cache_.FetchOrCompute(
       doc.id, fingerprint_,
-      [this, &doc] { return engine_->ProcessDocument(doc); }, &was_hit);
+      [this, &doc, compute_trace] {
+        return engine_->ProcessDocument(doc, compute_trace);
+      },
+      &was_hit);
+  span.AddAttribute("cache_hit", was_hit);
   if (was_hit) {
     ++tally->hits;
   } else {
@@ -35,7 +52,7 @@ std::shared_ptr<const DocumentResult> KbService::FetchOrCompute(
 }
 
 OnTheFlyKb KbService::BuildKb(const std::vector<const Document*>& docs,
-                              ServiceStats* stats) {
+                              ServiceStats* stats, obs::TraceContext trace) {
   WallTimer total;
   ServiceStats local;
   local.documents = docs.size();
@@ -44,21 +61,24 @@ OnTheFlyKb KbService::BuildKb(const std::vector<const Document*>& docs,
   std::vector<std::shared_ptr<const DocumentResult>> results(docs.size());
   if (pool_ != nullptr && docs.size() > 1) {
     // The per-document tallies are written by pool workers; give each task
-    // its own counter and merge after the barrier.
+    // its own counter and merge after the barrier. The trace context rides
+    // into each task by value, so every fetch_or_compute span parents to the
+    // query span regardless of which worker runs it.
     std::vector<CacheStats> tallies(docs.size());
     std::vector<std::future<std::shared_ptr<const DocumentResult>>> futures;
     futures.reserve(docs.size());
     for (size_t i = 0; i < docs.size(); ++i) {
       const Document* doc = docs[i];
       CacheStats* tally = &tallies[i];
-      futures.push_back(
-          pool_->Submit([this, doc, tally] { return FetchOrCompute(*doc, tally); }));
+      futures.push_back(pool_->Submit([this, doc, tally, trace] {
+        return FetchOrCompute(*doc, tally, trace);
+      }));
     }
     for (size_t i = 0; i < futures.size(); ++i) results[i] = futures[i].get();
     for (const CacheStats& t : tallies) local.cache += t;
   } else {
     for (size_t i = 0; i < docs.size(); ++i) {
-      results[i] = FetchOrCompute(*docs[i], &local.cache);
+      results[i] = FetchOrCompute(*docs[i], &local.cache, trace);
     }
   }
   local.process_s = stage.ElapsedSeconds();
@@ -67,7 +87,11 @@ OnTheFlyKb KbService::BuildKb(const std::vector<const Document*>& docs,
   // order as QkbflyEngine::BuildKb, so cached and uncached builds agree.
   stage.Restart();
   OnTheFlyKb kb = engine_->MakeKb();
-  for (const auto& result : results) engine_->PopulateKb(&kb, *result);
+  {
+    obs::ScopedSpan span(trace, "merge");
+    span.AddAttribute("documents", static_cast<int64_t>(results.size()));
+    for (const auto& result : results) engine_->PopulateKb(&kb, *result);
+  }
   local.canonicalize_s = stage.ElapsedSeconds();
 
   local.total_s = total.ElapsedSeconds();
@@ -84,16 +108,34 @@ KbService::QueryResult KbService::Answer(const std::string& query) {
   WallTimer total;
   QueryResult out{engine_->MakeKb(), {}, {}};
 
+  // Span capture is per-query opt-in: without a sink no Trace is allocated
+  // and the pipeline's instrumentation points reduce to null checks.
+  std::shared_ptr<obs::Trace> trace;
+  obs::TraceContext query_trace;
+  if (options_.keep_slowest_traces > 0) {
+    trace = std::make_shared<obs::Trace>("answer");
+    query_trace = {trace.get(), trace->root()};
+    trace->AddAttribute(trace->root(), "query", std::string_view(query));
+  }
+
   WallTimer stage;
-  std::vector<const Document*> docs = search_->Retrieve(
-      query, SearchEngine::Source::kWikipedia, options_.wiki_k);
-  for (const Document* d :
-       search_->Retrieve(query, SearchEngine::Source::kNews, options_.news_k)) {
-    if (std::find(docs.begin(), docs.end(), d) == docs.end()) docs.push_back(d);
+  std::vector<const Document*> docs;
+  {
+    obs::ScopedSpan span(query_trace, "retrieve");
+    docs = search_->Retrieve(query, SearchEngine::Source::kWikipedia,
+                             options_.wiki_k);
+    for (const Document* d : search_->Retrieve(
+             query, SearchEngine::Source::kNews, options_.news_k)) {
+      if (std::find(docs.begin(), docs.end(), d) == docs.end()) {
+        docs.push_back(d);
+      }
+    }
+    span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
   }
   out.stats.retrieve_s = stage.ElapsedSeconds();
+  retrieve_seconds_->Observe(out.stats.retrieve_s);
 
-  out.kb = BuildKb(docs, &out.stats);
+  out.kb = BuildKb(docs, &out.stats, query_trace);
 
   // Rank facts by confidence (stable, so ties keep canonicalization order)
   // and render the top ones as the human-readable answer.
@@ -108,21 +150,25 @@ KbService::QueryResult KbService::Answer(const std::string& query) {
   for (const Fact* f : ranked) out.answers.push_back(out.kb.FactToString(*f));
 
   out.stats.total_s = total.ElapsedSeconds();
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++queries_;
-    latency_.Record(out.stats.total_s);
+  queries_total_->Increment();
+  answer_seconds_->Observe(out.stats.total_s);
+
+  if (trace != nullptr) {
+    trace->AddAttribute(trace->root(), "cache_hits",
+                        static_cast<int64_t>(out.stats.cache.hits));
+    trace->AddAttribute(trace->root(), "cache_misses",
+                        static_cast<int64_t>(out.stats.cache.misses));
+    trace->Finish();
+    trace_sink_.Offer(std::move(trace));
   }
   return out;
 }
 
 KbService::Metrics KbService::metrics() const {
   Metrics m;
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    m.queries = queries_;
-    m.latency = latency_;
-  }
+  m.queries = queries_total_->Value() - queries_baseline_;
+  m.latency = answer_seconds_->Snapshot();
+  m.latency.SubtractPrefix(latency_baseline_);
   m.cache = cache_.stats();
   return m;
 }

@@ -15,6 +15,8 @@
 
 #include "canon/onthefly_kb.h"
 #include "core/qkbfly.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "retrieval/search_engine.h"
 #include "service/document_result_cache.h"
 #include "util/cache_stats.h"
@@ -40,6 +42,12 @@ struct KbServiceOptions {
 
   /// Facts rendered into QueryResult::answers.
   size_t max_answers = 5;
+
+  /// When > 0, every Answer() call captures a structured span trace and the
+  /// slowest N are retained (see traces()). 0 — the default — disables span
+  /// capture entirely: no Trace is allocated and every instrumentation
+  /// point is a single null check.
+  size_t keep_slowest_traces = 0;
 };
 
 /// Per-query serving statistics.
@@ -79,11 +87,15 @@ class KbService {
   /// Document-level entry point (QaSystem routes here with its own
   /// retrieval): cache-backed equivalent of QkbflyEngine::BuildKb. The KB is
   /// byte-identical to the uncached build — canonicalization merges results
-  /// in input order either way.
+  /// in input order either way. An enabled `trace` gets per-document
+  /// `fetch_or_compute` spans (with cache-hit attributes) and a `merge` span.
   OnTheFlyKb BuildKb(const std::vector<const Document*>& docs,
-                     ServiceStats* stats = nullptr);
+                     ServiceStats* stats = nullptr,
+                     obs::TraceContext trace = {});
 
-  /// Service-wide metrics snapshot.
+  /// Service-wide metrics snapshot: a view over the default metrics registry
+  /// (`service_queries_total`, `service_answer_seconds`, `doc_cache_*`),
+  /// baselined at construction so the numbers cover this instance only.
   struct Metrics {
     uint64_t queries = 0;
     CacheStats cache;           ///< Cumulative DocumentResultCache counters.
@@ -91,13 +103,18 @@ class KbService {
   };
   Metrics metrics() const;
 
+  /// The slowest-N retained query traces (empty unless
+  /// options().keep_slowest_traces > 0).
+  const obs::TraceSink& traces() const { return trace_sink_; }
+
   const DocumentResultCache& cache() const { return cache_; }
   const QkbflyEngine& engine() const { return *engine_; }
   const KbServiceOptions& options() const { return options_; }
 
  private:
   std::shared_ptr<const DocumentResult> FetchOrCompute(const Document& doc,
-                                                       CacheStats* tally);
+                                                       CacheStats* tally,
+                                                       obs::TraceContext trace);
 
   const QkbflyEngine* engine_;
   const SearchEngine* search_;
@@ -105,10 +122,14 @@ class KbService {
   std::string fingerprint_;  ///< Engine-config fingerprint, part of cache keys.
   DocumentResultCache cache_;
   std::unique_ptr<ThreadPool> pool_;  ///< Present when num_threads > 1.
+  obs::TraceSink trace_sink_;
 
-  mutable std::mutex metrics_mutex_;
-  uint64_t queries_ = 0;
-  LatencyHistogram latency_;
+  // Registry instruments plus the construction-time baseline for metrics().
+  obs::Counter* queries_total_;
+  obs::Histogram* answer_seconds_;
+  obs::Histogram* retrieve_seconds_;
+  uint64_t queries_baseline_ = 0;
+  LatencyHistogram latency_baseline_;
 };
 
 }  // namespace qkbfly

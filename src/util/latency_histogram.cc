@@ -22,10 +22,13 @@ double LatencyHistogram::BucketUpperSeconds(int bucket) {
 }
 
 void LatencyHistogram::Record(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
+  // `!(x > 0)` also catches NaN, which would otherwise stick in min_s_ and
+  // break the percentile clamp forever after.
+  if (!(seconds > 0.0)) seconds = 0.0;
   ++counts_[static_cast<size_t>(BucketFor(seconds))];
   if (count_ == 0 || seconds < min_s_) min_s_ = seconds;
   if (seconds > max_s_) max_s_ = seconds;
+  sum_s_ += seconds;
   ++count_;
 }
 
@@ -35,7 +38,41 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
       other.counts_[static_cast<size_t>(i)];
   if (count_ == 0 || other.min_s_ < min_s_) min_s_ = other.min_s_;
   max_s_ = std::max(max_s_, other.max_s_);
+  sum_s_ += other.sum_s_;
   count_ += other.count_;
+}
+
+void LatencyHistogram::SubtractPrefix(const LatencyHistogram& baseline) {
+  if (baseline.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    size_t b = static_cast<size_t>(i);
+    counts_[b] = counts_[b] >= baseline.counts_[b]
+                     ? counts_[b] - baseline.counts_[b]
+                     : 0;
+  }
+  count_ = count_ >= baseline.count_ ? count_ - baseline.count_ : 0;
+  sum_s_ = std::max(0.0, sum_s_ - baseline.sum_s_);
+  if (count_ == 0) {
+    min_s_ = 0.0;
+    max_s_ = 0.0;
+    sum_s_ = 0.0;
+  }
+}
+
+uint64_t LatencyHistogram::BucketSamples(int bucket) const {
+  if (bucket < 0 || bucket >= kBuckets) return 0;
+  return counts_[static_cast<size_t>(bucket)];
+}
+
+int LatencyHistogram::MaxBucket() const {
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (counts_[static_cast<size_t>(i)] > 0) return i;
+  }
+  return -1;
+}
+
+double LatencyHistogram::BucketUpperBoundSeconds(int bucket) {
+  return BucketUpperSeconds(bucket);
 }
 
 double LatencyHistogram::PercentileSeconds(double p) const {

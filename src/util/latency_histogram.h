@@ -14,27 +14,52 @@ namespace qkbfly {
 /// Fixed-size histogram over latencies. Buckets are geometric in
 /// microseconds: bucket i covers [2^(i/4), 2^((i+1)/4)) us, so the range
 /// spans sub-microsecond to ~17 minutes. Not internally synchronized;
-/// owners guard it (KbService) or keep one per thread and Merge().
+/// owners guard it (obs::Histogram) or keep one per thread and Merge().
 class LatencyHistogram {
  public:
+  // 160 quarter-octave buckets: 2^(160/4) us ~= 1.1e6 s upper bound.
+  static constexpr int kBucketCount = 160;
+
+  /// Records one sample. Negative and NaN inputs are clamped to zero (they
+  /// can only come from clock anomalies and must not poison min/max).
   void Record(double seconds);
 
   /// Adds all of `other`'s samples to this histogram.
   void Merge(const LatencyHistogram& other);
 
+  /// Removes the samples of an earlier snapshot of this same histogram
+  /// (`baseline` must have been copied from *this before the samples being
+  /// kept were recorded). Used to turn cumulative registry histograms into
+  /// per-instance views. min/max stay exact when the baseline is empty (the
+  /// common fresh-instance case) and remain conservative bounds otherwise.
+  void SubtractPrefix(const LatencyHistogram& baseline);
+
   uint64_t count() const { return count_; }
   double min_seconds() const { return count_ == 0 ? 0.0 : min_s_; }
   double max_seconds() const { return max_s_; }
 
-  /// Interpolated percentile in seconds; `p` in [0, 1]. Returns 0 when empty.
+  /// Sum of all recorded samples in seconds (Prometheus `_sum` series).
+  double sum_seconds() const { return sum_s_; }
+
+  /// Interpolated percentile in seconds; `p` in [0, 1]. An empty histogram
+  /// returns 0 for every percentile (defined, never bucket garbage).
   double PercentileSeconds(double p) const;
+
+  /// Raw per-bucket sample count; `bucket` in [0, kBucketCount).
+  uint64_t BucketSamples(int bucket) const;
+
+  /// Index of the highest non-empty bucket, or -1 when empty. Exporters emit
+  /// buckets [0, MaxBucket()] plus +Inf instead of all 160.
+  int MaxBucket() const;
+
+  /// Inclusive upper bound of a bucket in seconds (Prometheus `le` label).
+  static double BucketUpperBoundSeconds(int bucket);
 
   /// One-line "count N  min A ms  p50 B ms  p95 C ms  p99 D ms  max E ms".
   std::string Report() const;
 
  private:
-  // 160 quarter-octave buckets: 2^(160/4) us ~= 1.1e6 s upper bound.
-  static constexpr int kBuckets = 160;
+  static constexpr int kBuckets = kBucketCount;
 
   static int BucketFor(double seconds);
   static double BucketLowerSeconds(int bucket);
@@ -44,6 +69,7 @@ class LatencyHistogram {
   uint64_t count_ = 0;
   double min_s_ = 0.0;
   double max_s_ = 0.0;
+  double sum_s_ = 0.0;
 };
 
 }  // namespace qkbfly

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace qkbfly {
@@ -79,6 +80,70 @@ TEST(LatencyHistogramTest, MergeIntoEmpty) {
   EXPECT_DOUBLE_EQ(a.min_seconds(), 0.004);
   a.Merge(LatencyHistogram());  // merging empty is a no-op
   EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(LatencyHistogramTest, NegativeAndNanSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-0.5);
+  h.Record(std::nan(""));
+  h.Record(0.020);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.020);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.020);
+  EXPECT_GE(h.PercentileSeconds(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, SumTracksSamples) {
+  LatencyHistogram h;
+  h.Record(0.010);
+  h.Record(0.030);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.040);
+}
+
+TEST(LatencyHistogramTest, BucketAccessorsMatchRecording) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.MaxBucket(), -1);
+  h.Record(0.005);
+  int top = h.MaxBucket();
+  ASSERT_GE(top, 0);
+  ASSERT_LT(top, LatencyHistogram::kBucketCount);
+  EXPECT_EQ(h.BucketSamples(top), 1u);
+  // The sample sits at or below its bucket's inclusive upper bound.
+  EXPECT_LE(0.005, LatencyHistogram::BucketUpperBoundSeconds(top));
+  uint64_t total = 0;
+  for (int b = 0; b <= top; ++b) total += h.BucketSamples(b);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(LatencyHistogramTest, SubtractPrefixYieldsDeltaView) {
+  LatencyHistogram cumulative;
+  cumulative.Record(0.001);
+  cumulative.Record(0.002);
+  LatencyHistogram baseline = cumulative;  // snapshot before "my" samples
+  cumulative.Record(0.010);
+  cumulative.Record(0.040);
+
+  LatencyHistogram view = cumulative;
+  view.SubtractPrefix(baseline);
+  EXPECT_EQ(view.count(), 2u);
+  // Delta percentiles reflect only the post-baseline samples (within the
+  // quarter-octave bucket resolution).
+  EXPECT_GT(view.PercentileSeconds(0.5), 0.005);
+
+  // Empty baseline is a no-op and keeps exact extremes.
+  LatencyHistogram untouched = cumulative;
+  untouched.SubtractPrefix(LatencyHistogram());
+  EXPECT_EQ(untouched.count(), 4u);
+  EXPECT_DOUBLE_EQ(untouched.min_seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(untouched.max_seconds(), 0.040);
+
+  // Subtracting everything resets to an empty histogram.
+  LatencyHistogram empty = cumulative;
+  empty.SubtractPrefix(cumulative);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.PercentileSeconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.sum_seconds(), 0.0);
 }
 
 TEST(LatencyHistogramTest, ReportMentionsPercentiles) {

@@ -353,6 +353,63 @@ TEST(RuleH1Test, CcFilesNeedNoGuard) {
 }
 
 // ---------------------------------------------------------------------------
+// O1: metric/span names must be snake_case string literals
+// ---------------------------------------------------------------------------
+
+TEST(RuleO1Test, FlagsRuntimeComputedMetricName) {
+  constexpr char kSrc[] =
+      "void f(MetricsRegistry* r, const std::string& shard) {\n"
+      "  r->GetCounter(\"cache_hits_\" + shard);\n"
+      "}\n";
+  auto diags = LintSource("src/a.cc", kSrc);
+  ASSERT_TRUE(Has(diags, Rule::kO1));
+  EXPECT_EQ(diags[0].key, "GetCounter/\"cache_hits_\"");
+}
+
+TEST(RuleO1Test, FlagsNonSnakeCaseLiteral) {
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc", "auto* c = r->GetCounter(\"CacheHits\");\n"),
+      Rule::kO1));
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc", "auto* g = r->GetGauge(\"resident-bytes\");\n"),
+      Rule::kO1));
+  EXPECT_TRUE(
+      Has(LintSource("src/a.cc", "trace->StartSpan(name_variable);\n"),
+          Rule::kO1));
+}
+
+TEST(RuleO1Test, ScopedSpanNameIsSecondArgument) {
+  // Both the expression form and the `ScopedSpan var(...)` declaration form.
+  EXPECT_TRUE(Has(
+      LintSource("src/a.cc", "obs::ScopedSpan span(ctx, MakeName(doc));\n"),
+      Rule::kO1));
+  EXPECT_TRUE(
+      Has(LintSource("src/a.cc", "auto s = obs::ScopedSpan(ctx, \"Bad\");\n"),
+          Rule::kO1));
+  EXPECT_FALSE(Has(
+      LintSource("src/a.cc", "obs::ScopedSpan span(ctx, \"graph_build\");\n"),
+      Rule::kO1));
+}
+
+TEST(RuleO1Test, SnakeCaseLiteralsAndDeclarationsAreClean) {
+  constexpr char kSrc[] =
+      "Counter* GetCounter(const std::string& name, std::string help);\n"
+      "void f(MetricsRegistry* r, Trace* t, TraceContext ctx) {\n"
+      "  r->GetCounter(\"pipeline_documents_total\");\n"
+      "  r->GetHistogram(\"service_answer_seconds\", \"query latency\");\n"
+      "  t->StartSpan(\"fetch_or_compute\", parent);\n"
+      "}\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kO1));
+}
+
+TEST(RuleO1Test, SuppressedByAllowMarker) {
+  constexpr char kSrc[] =
+      "// qkbfly-lint: allow(O1)\n"
+      "id_ = trace_->StartSpan(name, context.parent);\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kO1));
+}
+
+// ---------------------------------------------------------------------------
 // Baseline
 // ---------------------------------------------------------------------------
 

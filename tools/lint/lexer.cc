@@ -225,8 +225,12 @@ class Lexer {
       }
       ++i;
     }
-    Emit(kind, kind == Token::Kind::kString ? "\"\"" : "''");
-    pos_ = i < src_.size() ? i + 1 : src_.size();
+    size_t stop = i < src_.size() ? i + 1 : src_.size();
+    // Literal text is preserved, quotes included (rule O1 validates metric
+    // and span names); the quote characters keep a literal from ever
+    // matching an identifier comparison in other rules.
+    Emit(kind, std::string(src_.substr(pos_, stop - pos_)));
+    pos_ = stop;
   }
 
   void LexIdent() {
@@ -309,6 +313,7 @@ const char* RuleName(Rule rule) {
     case Rule::kC1: return "C1";
     case Rule::kC2: return "C2";
     case Rule::kH1: return "H1";
+    case Rule::kO1: return "O1";
   }
   return "?";
 }
@@ -319,6 +324,7 @@ std::optional<Rule> ParseRuleName(std::string_view name) {
   if (name == "C1") return Rule::kC1;
   if (name == "C2") return Rule::kC2;
   if (name == "H1") return Rule::kH1;
+  if (name == "O1") return Rule::kO1;
   return std::nullopt;
 }
 

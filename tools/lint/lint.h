@@ -19,6 +19,10 @@
 //       the documented ThreadPool -> cache-shard -> metrics lock order.
 //   H1  headers without include guards / #pragma once; TODO/FIXME comments
 //       without an issue tag.
+//   O1  metric/span registration (GetCounter/GetGauge/GetHistogram,
+//       StartSpan, ScopedSpan) whose name argument is not a snake_case
+//       string literal — runtime-concatenated names allocate on hot paths
+//       and break the registry naming contract.
 #ifndef QKBFLY_TOOLS_LINT_LINT_H_
 #define QKBFLY_TOOLS_LINT_LINT_H_
 
@@ -31,7 +35,7 @@
 
 namespace qkbfly::lint {
 
-enum class Rule { kD1, kD2, kC1, kC2, kH1 };
+enum class Rule { kD1, kD2, kC1, kC2, kH1, kO1 };
 
 const char* RuleName(Rule rule);
 std::optional<Rule> ParseRuleName(std::string_view name);
@@ -74,9 +78,10 @@ struct LexedFile {
   std::map<int, std::set<std::string>> allowed;
 };
 
-/// Lexes C++ source: comments and string/char literals are stripped from the
-/// token stream (strings appear as placeholder kString tokens), raw strings
-/// and line continuations are handled, line numbers are 1-based.
+/// Lexes C++ source: comments are stripped from the token stream; string and
+/// char literals become kString/kChar tokens carrying the literal text with
+/// its quotes (raw strings collapse to an empty placeholder). Line
+/// continuations are handled, line numbers are 1-based.
 LexedFile Lex(std::string_view source);
 
 // ---------------------------------------------------------------------------

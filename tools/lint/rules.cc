@@ -807,6 +807,118 @@ void CheckH1(const Context& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// O1 — metric/span names must be snake_case string literals
+// ---------------------------------------------------------------------------
+
+/// `"snake_case_body"` including the quotes the lexer preserves.
+bool IsSnakeCaseLiteral(const Token& t) {
+  if (t.kind != Token::Kind::kString || t.text.size() < 3) return false;
+  std::string_view body(t.text);
+  body.remove_prefix(1);
+  body.remove_suffix(1);
+  if (body.front() < 'a' || body.front() > 'z') return false;
+  for (char c : body) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Registration/span calls whose name argument (0-based index) rule O1
+/// validates. ScopedSpan takes (context, name).
+struct ObsCallee {
+  const char* name;
+  size_t name_arg;
+};
+constexpr ObsCallee kObsCallees[] = {
+    {"GetCounter", 0},   {"GetGauge", 0},  {"GetHistogram", 0},
+    {"StartSpan", 0},    {"ScopedSpan", 1},
+};
+
+void CheckO1(const Context& ctx) {
+  size_t n = Count(ctx);
+  for (size_t f = 0; f + 1 < n; ++f) {
+    const Token& t = Tok(ctx, f);
+    if (!IsIdent(t)) continue;
+    const ObsCallee* callee = nullptr;
+    for (const ObsCallee& c : kObsCallees) {
+      if (t.text == c.name) {
+        callee = &c;
+        break;
+      }
+    }
+    if (callee == nullptr) continue;
+    // Call shapes: `Callee(...)` and — for the RAII helper — the declaration
+    // form `ScopedSpan var(...)`.
+    size_t paren;
+    if (Is(Tok(ctx, f + 1), "(")) {
+      paren = f + 1;
+    } else if (t.text == std::string_view("ScopedSpan") && f + 2 < n &&
+               IsIdent(Tok(ctx, f + 1)) && Is(Tok(ctx, f + 2), "(")) {
+      paren = f + 2;
+    } else {
+      continue;
+    }
+    size_t close = MatchParen(ctx, paren);
+    if (close >= n) continue;
+    // Skip the functions' own declarations/definitions: their parameter
+    // lists spell a type (`const char* name`, `string_view`).
+    bool is_declaration = false;
+    for (size_t i = paren + 1; i < close; ++i) {
+      const Token& a = Tok(ctx, i);
+      if (Is(a, "const") || Is(a, "char") || Is(a, "string_view")) {
+        is_declaration = true;
+        break;
+      }
+    }
+    if (is_declaration || close == paren + 1) continue;
+    // Split the argument list at top-level commas; find the name argument.
+    size_t arg_begin = paren + 1;
+    size_t arg_index = 0;
+    int depth = 0;
+    size_t name_begin = 0, name_end = 0;
+    for (size_t i = paren + 1; i <= close; ++i) {
+      const Token& a = Tok(ctx, i);
+      if (Is(a, "(") || Is(a, "[") || Is(a, "{") || Is(a, "<")) ++depth;
+      if (Is(a, ")") || Is(a, "]") || Is(a, "}") || Is(a, ">")) --depth;
+      bool at_end = i == close;
+      if ((Is(a, ",") && depth == 0) || (at_end && depth < 0)) {
+        if (arg_index == callee->name_arg) {
+          name_begin = arg_begin;
+          name_end = i;
+          break;
+        }
+        ++arg_index;
+        arg_begin = i + 1;
+      }
+    }
+    if (name_end == 0) continue;  // fewer arguments than the name index
+    bool ok = name_end == name_begin + 1 &&
+              IsSnakeCaseLiteral(Tok(ctx, name_begin));
+    if (ok) continue;
+    // Key on the callee plus the first identifying token of the bad
+    // argument, so the baseline entry survives line shifts.
+    std::string detail = "expr";
+    bool has_literal = false;
+    for (size_t i = name_begin; i < name_end; ++i) {
+      const Token& a = Tok(ctx, i);
+      if (a.kind == Token::Kind::kString) has_literal = true;
+      if (detail == "expr" && (IsIdent(a) || a.kind == Token::Kind::kString)) {
+        detail = a.text;
+      }
+    }
+    std::string problem =
+        has_literal
+            ? "name is not a snake_case string literal"
+            : "name is computed at runtime (allocates on the hot path)";
+    Report(ctx, Rule::kO1, t.line, std::string(callee->name) + "/" + detail,
+           std::string(callee->name) + ": " + problem +
+               "; fix-it: pass a `[a-z][a-z0-9_]*` literal and encode any "
+               "dynamic dimension as a span attribute instead");
+  }
+}
+
 }  // namespace
 
 FileClass ClassifyPath(std::string_view path) {
@@ -853,6 +965,7 @@ std::vector<Diagnostic> LintSource(std::string_view path,
   CheckC1(ctx);
   CheckC2(ctx);
   CheckH1(ctx);
+  CheckO1(ctx);
   std::stable_sort(out.begin(), out.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      return a.line < b.line;
