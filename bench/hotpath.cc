@@ -8,6 +8,7 @@
 // before the trie-gazetteer / interned-token / heap-densifier rewrite, so
 // the before/after stage throughputs are recorded side by side in the repo.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -48,7 +49,32 @@ void Print(const char* name, const StageResult& r, const char* unit) {
               r.per_doc.Percentile(0.95) * 1e3);
 }
 
-int Run(bool smoke) {
+// Pulls the densify-stage p50 (milliseconds) out of a committed
+// BENCH_hotpath.json-shaped file. Deliberately string-level, like
+// ValidateJsonFile: the key is matched with its trailing quote-comma so
+// "hotpath/densify" never matches the "hotpath/densify_scan" record.
+bool ReadBaselineDensifyP50(const std::string& path, double* p50_ms) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  size_t record = text.find("\"name\": \"hotpath/densify\",");
+  if (record == std::string::npos) return false;
+  size_t end = text.find('}', record);
+  size_t key = text.find("\"p50_ms\": ", record);
+  if (key == std::string::npos || (end != std::string::npos && key > end)) {
+    return false;
+  }
+  *p50_ms = std::strtod(text.c_str() + key + std::strlen("\"p50_ms\": "),
+                        nullptr);
+  return *p50_ms > 0.0;
+}
+
+int Run(bool smoke, const char* baseline_path) {
   DatasetConfig config;
   config.wiki_eval_articles = smoke ? 6 : 60;
   config.news_docs = smoke ? 4 : 40;
@@ -184,6 +210,36 @@ int Run(bool smoke) {
   report.Add("hotpath/densify", static_cast<int>(docs.size()) * densify_reps,
              1, densify.wall_s, densify.items, ToFields(densify));
 
+  // --- densify regression gate against the committed baseline ---------------
+  // Smoke runs print the comparison but never fail on it: the tiny corpus
+  // under parallel ctest makes the median too noisy for a hard gate. Full
+  // runs (the ones that regenerate the committed BENCH_hotpath.json) fail
+  // when the densify p50 regresses more than 10% past the baseline file.
+  bool densify_regressed = false;
+  if (baseline_path != nullptr) {
+    double baseline_p50 = 0.0;
+    if (!ReadBaselineDensifyP50(baseline_path, &baseline_p50)) {
+      std::fprintf(stderr, "FAILED to read densify p50 from %s\n",
+                   baseline_path);
+      return 1;
+    }
+    const double current_p50 = densify.per_doc.Percentile(0.50) * 1e3;
+    const double budget = baseline_p50 * 1.10;
+    std::printf("\ndensify p50 vs baseline: %.4f ms vs %.4f ms (%.2fx, "
+                "budget %.4f ms)%s\n",
+                current_p50, baseline_p50,
+                current_p50 > 0.0 ? baseline_p50 / current_p50 : 0.0, budget,
+                smoke ? " [report-only in smoke]" : "");
+    densify_regressed = current_p50 > budget;
+    if (densify_regressed && !smoke) {
+      std::fprintf(stderr,
+                   "DENSIFY P50 REGRESSION: %.4f ms > %.4f ms (baseline "
+                   "%.4f ms + 10%%)\n",
+                   current_p50, budget, baseline_p50);
+      // Fall through so the report still gets written; fail at the end.
+    }
+  }
+
   // --- densify (scan reference): same graphs on the pre-heap loop ----------
   {
     GreedyDensifier scan_densifier(&ds->stats, ds->repository.get(),
@@ -277,6 +333,7 @@ int Run(bool smoke) {
     return 1;
   }
   std::printf("Schema validation: ok\n");
+  if (densify_regressed && !smoke) return 1;
   return 0;
 }
 
@@ -285,8 +342,12 @@ int Run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  const char* baseline = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    }
   }
-  return qkbfly::Run(smoke);
+  return qkbfly::Run(smoke, baseline);
 }

@@ -28,6 +28,9 @@ echo "==> ctest (full suite, includes lint)"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
 echo "==> bench smoke"
+# bench_smoke_hotpath also diffs the densify p50 against the committed
+# BENCH_hotpath_baseline.json (report-only here; full `hotpath --baseline`
+# runs hard-fail when the p50 regresses more than 10%).
 (cd build && ctest --output-on-failure -L bench-smoke)
 
 echo "==> metrics exporter schema check"

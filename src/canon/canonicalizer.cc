@@ -112,9 +112,9 @@ void Canonicalizer::Populate(OnTheFlyKb* kb, const SemanticGraph& graph,
   // Pronouns resolve through their antecedent, with a small confidence
   // discount for the extra inference step.
   for (NodeId p : graph.NodesOfKind(NodeKind::kPronoun)) {
-    auto it = densified.pronoun_antecedents.find(p);
-    if (it == densified.pronoun_antecedents.end()) continue;
-    auto res = resolutions.find(it->second);
+    NodeId antecedent = densified.AntecedentOf(p);
+    if (antecedent == kNoNode) continue;
+    auto res = resolutions.find(antecedent);
     if (res != resolutions.end()) {
       Resolution r = res->second;
       r.confidence *= 0.95;

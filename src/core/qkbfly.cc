@@ -54,13 +54,13 @@ size_t GraphBytes(const SemanticGraph& graph) {
     const GraphNode& n = graph.node(static_cast<NodeId>(i));
     bytes += sizeof(n) + n.text.size() + n.normalized_literal.size() +
              n.relation_pattern.size();
-    // Adjacency list slot (two entries per edge across all lists).
-    bytes += sizeof(std::vector<EdgeId>);
   }
   for (size_t i = 0; i < graph.edge_count(); ++i) {
-    bytes += sizeof(GraphEdge) + graph.edge(static_cast<EdgeId>(i)).label.size() +
-             2 * sizeof(EdgeId);
+    bytes += sizeof(GraphEdge) + graph.edge(static_cast<EdgeId>(i)).label.size();
   }
+  // The CSR adjacency index (offsets + both-endpoint edge lists) lives in
+  // the graph's arena; report the arena's actual block footprint.
+  bytes += graph.arena_resident_bytes();
   return bytes;
 }
 
@@ -68,8 +68,7 @@ size_t DensifiedBytes(const DensifyResult& densified) {
   return sizeof(densified) +
          densified.assignments.size() * sizeof(DensifyResult::Assignment) +
          densified.removal_order.size() * sizeof(EdgeId) +
-         densified.pronoun_antecedents.size() *
-             (sizeof(NodeId) * 2 + sizeof(void*) * 2);
+         densified.pronoun_antecedents.size() * sizeof(std::pair<NodeId, NodeId>);
 }
 
 }  // namespace

@@ -46,12 +46,16 @@ std::vector<TokenSpan> FindSurfaceSpans(const std::vector<Token>& tokens,
 }  // namespace
 
 double BackgroundStats::Prior(std::string_view mention, EntityId entity) const {
-  std::string key = Lowercase(mention);
-  auto it = anchor_counts_.find(key);
+  return PriorLowered(Lowercase(mention), entity);
+}
+
+double BackgroundStats::PriorLowered(std::string_view lowered_mention,
+                                     EntityId entity) const {
+  auto it = anchor_counts_.find(lowered_mention);
   if (it == anchor_counts_.end()) return 0.0;
   auto jt = it->second.find(entity);
   if (jt == it->second.end()) return 0.0;
-  auto total = mention_totals_.find(key);
+  auto total = mention_totals_.find(lowered_mention);
   QKB_CHECK(total != mention_totals_.end());
   return static_cast<double>(jt->second) / static_cast<double>(total->second);
 }
@@ -65,15 +69,24 @@ const SparseVector& BackgroundStats::EntityContext(EntityId entity) const {
 SparseVector BackgroundStats::MentionContext(
     const std::vector<Token>& sentence_tokens) const {
   SparseVector v;
+  std::string scratch;
+  MentionContextInto(sentence_tokens, &scratch, &v);
+  return v;
+}
+
+void BackgroundStats::MentionContextInto(
+    const std::vector<Token>& sentence_tokens, std::string* scratch,
+    SparseVector* out) const {
+  out->Clear();
   for (const Token& t : sentence_tokens) {
     if (!IsContentToken(t)) continue;
-    auto id = terms_.Lookup(TermOf(t));
+    LowercaseInto(t.lemma.empty() ? t.text : t.lemma, scratch);
+    auto id = terms_.Lookup(*scratch);
     if (!id) continue;  // unseen terms cannot overlap any entity context
     double idf = std::log((1.0 + document_count_) / (1.0 + doc_freq_[*id]));
-    v.Add(*id, idf);
+    out->Add(*id, idf);
   }
-  v.Finalize();
-  return v;
+  out->Finalize();
 }
 
 double BackgroundStats::Coherence(EntityId e1, EntityId e2) const {
@@ -82,39 +95,51 @@ double BackgroundStats::Coherence(EntityId e1, EntityId e2) const {
 
 double BackgroundStats::TypeSignature(TypeId t1, std::string_view pattern,
                                       TypeId t2) const {
-  std::string key(pattern);
-  auto it = type_sig_counts_.find(key);
+  auto it = type_sig_counts_.find(pattern);
   if (it == type_sig_counts_.end()) return 0.0;
   auto jt = it->second.find(TypePairKey(t1, t2));
   if (jt == it->second.end()) return 0.0;
-  auto total = type_sig_totals_.find(key);
+  auto total = type_sig_totals_.find(pattern);
   QKB_CHECK(total != type_sig_totals_.end());
   return static_cast<double>(jt->second) / static_cast<double>(total->second);
+}
+
+BackgroundStats::TypeSignatureTable BackgroundStats::FindTypeSignatureTable(
+    std::string_view pattern) const {
+  TypeSignatureTable table;
+  auto it = type_sig_counts_.find(pattern);
+  if (it == type_sig_counts_.end()) return table;
+  auto total = type_sig_totals_.find(pattern);
+  QKB_CHECK(total != type_sig_totals_.end());
+  table.counts = &it->second;
+  table.denom = static_cast<double>(total->second);
+  return table;
+}
+
+double BackgroundStats::TypeSignatureSum(const TypeSignatureTable& table,
+                                         Span<TypeId> subject_types,
+                                         Span<TypeId> object_types) const {
+  if (subject_types.empty() || object_types.empty()) return 0.0;
+  if (table.counts == nullptr) return 0.0;
+  // Each term is count/total summed in the same nested-loop order as the
+  // per-pair TypeSignature(), so the result is bit-identical.
+  double sum = 0.0;
+  for (TypeId t1 : subject_types) {
+    for (TypeId t2 : object_types) {
+      auto jt = table.counts->find(TypePairKey(t1, t2));
+      if (jt == table.counts->end()) continue;
+      sum += static_cast<double>(jt->second) / table.denom;
+    }
+  }
+  return sum;
 }
 
 double BackgroundStats::TypeSignatureSum(
     const std::vector<TypeId>& subject_types, std::string_view pattern,
     const std::vector<TypeId>& object_types) const {
-  if (subject_types.empty() || object_types.empty()) return 0.0;
-  // The pattern tables are resolved once per call, not once per type pair:
-  // each term is still count/total summed in the same nested-loop order, so
-  // the result is bit-identical to summing TypeSignature() per pair.
-  std::string key(pattern);
-  auto it = type_sig_counts_.find(key);
-  if (it == type_sig_counts_.end()) return 0.0;
-  auto total = type_sig_totals_.find(key);
-  QKB_CHECK(total != type_sig_totals_.end());
-  const auto& counts = it->second;
-  const double denom = static_cast<double>(total->second);
-  double sum = 0.0;
-  for (TypeId t1 : subject_types) {
-    for (TypeId t2 : object_types) {
-      auto jt = counts.find(TypePairKey(t1, t2));
-      if (jt == counts.end()) continue;
-      sum += static_cast<double>(jt->second) / denom;
-    }
-  }
-  return sum;
+  return TypeSignatureSum(FindTypeSignatureTable(pattern),
+                          Span<TypeId>(subject_types.data(), subject_types.size()),
+                          Span<TypeId>(object_types.data(), object_types.size()));
 }
 
 double BackgroundStats::Idf(std::string_view term) const {

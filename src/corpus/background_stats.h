@@ -16,7 +16,9 @@
 #include "kb/type_system.h"
 #include "nlp/pipeline.h"
 #include "util/interner.h"
+#include "util/span.h"
 #include "util/sparse_vector.h"
+#include "util/string_util.h"
 
 namespace qkbfly {
 
@@ -28,6 +30,10 @@ class BackgroundStats {
   /// given surface links to `entity`. 0 when the mention is unseen.
   double Prior(std::string_view mention, EntityId entity) const;
 
+  /// Prior for an already-lowercased mention: the allocation-free variant the
+  /// densifier's weight lanes use (the caller folds case once per node).
+  double PriorLowered(std::string_view lowered_mention, EntityId entity) const;
+
   /// TF-IDF context vector of an entity, built from its own article and the
   /// sentences that link to it. Empty for unseen entities.
   const SparseVector& EntityContext(EntityId entity) const;
@@ -35,6 +41,13 @@ class BackgroundStats {
   /// Builds the TF-IDF context vector of a mention from the tokens of the
   /// sentence containing it.
   SparseVector MentionContext(const std::vector<Token>& sentence_tokens) const;
+
+  /// MentionContext into caller-owned storage: `out` is Clear()ed and
+  /// refilled, `scratch` holds the per-token lowercase buffer. Both reuse
+  /// their capacity, so a warm caller performs no heap traffic. Produces the
+  /// bit-identical vector MentionContext returns.
+  void MentionContextInto(const std::vector<Token>& sentence_tokens,
+                          std::string* scratch, SparseVector* out) const;
 
   /// coh(e1, e2): weighted-overlap similarity of the entities' contexts.
   double Coherence(EntityId e1, EntityId e2) const;
@@ -49,6 +62,22 @@ class BackgroundStats {
                           std::string_view pattern,
                           const std::vector<TypeId>& object_types) const;
 
+  /// One relation pattern's type-pair table, resolved once so a caller
+  /// evaluating many pairs under the same pattern skips the per-call string
+  /// lookups. `counts` is null for unseen patterns.
+  struct TypeSignatureTable {
+    const std::unordered_map<uint64_t, uint32_t>* counts = nullptr;
+    double denom = 0.0;
+  };
+  TypeSignatureTable FindTypeSignatureTable(std::string_view pattern) const;
+
+  /// TypeSignatureSum against a pre-resolved table, over type-id spans.
+  /// Identical nested-loop order (and therefore bit-identical sums) as the
+  /// vector overload.
+  double TypeSignatureSum(const TypeSignatureTable& table,
+                          Span<TypeId> subject_types,
+                          Span<TypeId> object_types) const;
+
   /// IDF of a term (default IDF for unseen terms).
   double Idf(std::string_view term) const;
 
@@ -62,10 +91,15 @@ class BackgroundStats {
     return (static_cast<uint64_t>(a) << 32) | b;
   }
 
+  // String-keyed tables use heterogeneous hashing so the densifier's
+  // per-document hot path can probe with string_views of reused buffers.
+  template <typename V>
+  using StringMap =
+      std::unordered_map<std::string, V, TransparentStringHash, std::equal_to<>>;
+
   // mention(lowercased) -> entity -> anchor count; plus per-mention totals.
-  std::unordered_map<std::string, std::unordered_map<EntityId, uint32_t>>
-      anchor_counts_;
-  std::unordered_map<std::string, uint32_t> mention_totals_;
+  StringMap<std::unordered_map<EntityId, uint32_t>> anchor_counts_;
+  StringMap<uint32_t> mention_totals_;
 
   std::unordered_map<EntityId, SparseVector> entity_contexts_;
 
@@ -75,9 +109,8 @@ class BackgroundStats {
   double default_idf_ = 0.0;
 
   // pattern -> (type pair -> count), plus per-pattern totals.
-  std::unordered_map<std::string, std::unordered_map<uint64_t, uint32_t>>
-      type_sig_counts_;
-  std::unordered_map<std::string, uint32_t> type_sig_totals_;
+  StringMap<std::unordered_map<uint64_t, uint32_t>> type_sig_counts_;
+  StringMap<uint32_t> type_sig_totals_;
 };
 
 /// Builds BackgroundStats by running the full annotation + clause pipeline

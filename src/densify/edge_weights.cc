@@ -6,27 +6,60 @@
 
 namespace qkbfly {
 
-EdgeWeights::EdgeWeights(const SemanticGraph* graph, const AnnotatedDocument* doc,
-                         const BackgroundStats* stats,
-                         const EntityRepository* repository,
-                         const DensifyParams& params)
-    : graph_(graph), doc_(doc), stats_(stats), repository_(repository),
-      params_(params) {
-  // Precompute mention context vectors for all text nodes.
-  for (size_t i = 0; i < graph_->node_count(); ++i) {
-    const GraphNode& node = graph_->node(static_cast<NodeId>(i));
-    if (node.kind != NodeKind::kNounPhrase && node.kind != NodeKind::kPronoun) {
-      continue;
-    }
-    if (node.sentence < 0 ||
-        node.sentence >= static_cast<int>(doc_->sentences.size())) {
-      continue;
-    }
-    mention_contexts_.emplace(
-        static_cast<NodeId>(i),
-        stats_->MentionContext(
-            doc_->sentences[static_cast<size_t>(node.sentence)].tokens));
+namespace {
+
+// clear() keeps a map's bucket array, but a later reserve() for a DIFFERENT
+// element count rehashes to the matching prime even when that means
+// shrinking — reallocating the buckets on every document of a new size.
+// Growing only when the existing buckets cannot hold `n` keeps warm maps
+// allocation-free across a stream of mixed-size documents.
+template <typename Map>
+void ClearAndReserve(Map& map, size_t n) {
+  map.clear();
+  if (map.bucket_count() * map.max_load_factor() <
+      static_cast<float>(n)) {
+    map.reserve(n);
   }
+}
+
+}  // namespace
+
+void EdgeWeights::Reset(const SemanticGraph* graph, const AnnotatedDocument* doc,
+                        const BackgroundStats* stats,
+                        const EntityRepository* repository,
+                        const DensifyParams& params) {
+  graph_ = graph;
+  doc_ = doc;
+  stats_ = stats;
+  repository_ = repository;
+  params_ = params;
+  const size_t nodes = graph_->node_count();
+  const size_t edges = graph_->edge_count();
+  ClearAndReserve(mention_contexts_, nodes);
+  ClearAndReserve(type_cache_, nodes);
+  ClearAndReserve(exact_cache_, nodes);
+  ClearAndReserve(exact_sets_, nodes);
+  ClearAndReserve(literal_type_cache_, nodes);
+  ClearAndReserve(means_cache_, edges);
+  ClearAndReserve(coherence_cache_, 2 * edges);
+  ts_cache_.clear();
+}
+
+const SparseVector& EdgeWeights::ContextOf(NodeId np) const {
+  auto it = mention_contexts_.find(np);
+  if (it == mention_contexts_.end()) {
+    SparseVector ctx;
+    const GraphNode& node = graph_->node(np);
+    if ((node.kind == NodeKind::kNounPhrase ||
+         node.kind == NodeKind::kPronoun) &&
+        node.sentence >= 0 &&
+        node.sentence < static_cast<int>(doc_->sentences.size())) {
+      ctx = stats_->MentionContext(
+          doc_->sentences[static_cast<size_t>(node.sentence)].tokens);
+    }
+    it = mention_contexts_.emplace(np, std::move(ctx)).first;
+  }
+  return it->second;
 }
 
 const std::vector<EntityId>& EdgeWeights::ExactCandidates(NodeId np) const {
@@ -64,11 +97,9 @@ double EdgeWeights::MeansWeight(NodeId np, EntityId entity) const {
   if (!inserted) return cached->second;
   const GraphNode& node = graph_->node(np);
   double prior = stats_->Prior(node.text, entity);
-  double sim = 0.0;
-  auto it = mention_contexts_.find(np);
-  if (it != mention_contexts_.end()) {
-    sim = WeightedOverlap(it->second, stats_->EntityContext(entity));
-  }
+  // A node without a usable sentence gets an empty context; the overlap with
+  // anything is exactly 0.0, matching the old absent-entry behavior.
+  double sim = WeightedOverlap(ContextOf(np), stats_->EntityContext(entity));
   double weight = params_.alpha1 * prior + params_.alpha2 * sim;
   // Loose dictionary candidates (partial-name matches) are dampened: the
   // mention is not an actual alias of the entity.

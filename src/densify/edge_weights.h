@@ -32,9 +32,23 @@ struct DensifyParams {
 /// ILP translation and confidence scoring.
 class EdgeWeights {
  public:
+  /// An empty instance; call Reset before use. Exists so a retained
+  /// DensifyWorkspace can hold one across documents.
+  EdgeWeights() = default;
+
   EdgeWeights(const SemanticGraph* graph, const AnnotatedDocument* doc,
               const BackgroundStats* stats, const EntityRepository* repository,
-              const DensifyParams& params);
+              const DensifyParams& params) {
+    Reset(graph, doc, stats, repository, params);
+  }
+
+  /// Re-targets the instance at a new document. Every memo is cleared but
+  /// keeps its bucket storage, and capacity is reserved up front from the
+  /// graph's node/edge counts, so a warm instance serves a stream of
+  /// documents without rehashing.
+  void Reset(const SemanticGraph* graph, const AnnotatedDocument* doc,
+             const BackgroundStats* stats, const EntityRepository* repository,
+             const DensifyParams& params);
 
   /// w(n_i, e_ij) = a1 * prior + a2 * sim(cxt(n_i), cxt(e_ij)).
   double MeansWeight(NodeId np, EntityId entity) const;
@@ -65,18 +79,23 @@ class EdgeWeights {
   /// factors.
   const std::unordered_set<EntityId>& ExactSet(NodeId np) const;
 
+  /// Mention context of a text node, built lazily (empty when the node has
+  /// no usable sentence — the overlap with an empty vector is 0).
+  const SparseVector& ContextOf(NodeId np) const;
+
   /// Memoized stats_->Coherence(e1, e2), keyed on the pair in call order so
   /// the cached value is the identical double.
   double CachedCoherence(EntityId e1, EntityId e2) const;
 
-  const SemanticGraph* graph_;
-  const AnnotatedDocument* doc_;
-  const BackgroundStats* stats_;
-  const EntityRepository* repository_;
+  const SemanticGraph* graph_ = nullptr;
+  const AnnotatedDocument* doc_ = nullptr;
+  const BackgroundStats* stats_ = nullptr;
+  const EntityRepository* repository_ = nullptr;
   DensifyParams params_;
 
-  // Mention context vectors per text node, built once.
-  std::unordered_map<NodeId, SparseVector> mention_contexts_;
+  // Mention context vectors per text node, built on first use (the flat
+  // densify path never touches these; only the ILP translation does).
+  mutable std::unordered_map<NodeId, SparseVector> mention_contexts_;
   mutable std::unordered_map<EntityId, std::vector<TypeId>> type_cache_;
 
   // The greedy loop re-evaluates the same node/entity pairs hundreds of

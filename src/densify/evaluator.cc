@@ -1,27 +1,60 @@
 #include "densify/evaluator.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace qkbfly {
+
+namespace {
+
+// Side keys of the type-signature memo: entity ids, or literal node ids
+// tagged with the high bit; an (absurdly large) entity id that would collide
+// with the tag bypasses the cache instead. Same scheme as the legacy
+// EdgeWeights::RelationWeight.
+constexpr uint64_t kLiteralBit = 0x80000000ull;
+constexpr uint64_t kUncacheable = ~0ull;
+
+uint64_t CoherenceKey(EntityId e1, EntityId e2) {
+  return (static_cast<uint64_t>(e1) << 32) | e2;
+}
+
+}  // namespace
 
 DensifyEvaluator::DensifyEvaluator(SemanticGraph* graph,
                                    const AnnotatedDocument& doc,
                                    const BackgroundStats* stats,
                                    const EntityRepository* repository,
-                                   const DensifyParams& params)
-    : graph_(graph), repository_(repository),
-      weights_(graph, &doc, stats, repository, params) {
-  for (size_t e = 0; e < graph_->edge_count(); ++e) {
+                                   const DensifyParams& params,
+                                   DensifyWorkspace* workspace)
+    : graph_(graph), doc_(&doc), repository_(repository), stats_(stats),
+      params_(params), ws_(workspace) {
+  if (ws_ == nullptr) {
+    owned_ = std::make_unique<DensifyWorkspace>();
+    ws_ = owned_.get();
+  }
+  // Hand-built test graphs arrive unfinalized; every adjacency query below
+  // runs off the CSR index.
+  graph_->Finalize();
+  ws_->weights.Reset(graph, &doc, stats, repository, params);
+  BuildEdgeLists();
+  BuildNodeData(doc);
+  BuildUniverses();
+  BuildLanes();
+}
+
+void DensifyEvaluator::BuildEdgeLists() {
+  ws_->means_edges.clear();
+  ws_->relation_edges.clear();
+  const size_t edges = graph_->edge_count();
+  for (size_t e = 0; e < edges; ++e) {
     switch (graph_->edge(static_cast<EdgeId>(e)).kind) {
       case EdgeKind::kMeans:
-        means_edges_.push_back(static_cast<EdgeId>(e));
+        ws_->means_edges.push_back(static_cast<EdgeId>(e));
         break;
       case EdgeKind::kRelation:
-        relation_edges_.push_back(static_cast<EdgeId>(e));
+        ws_->relation_edges.push_back(static_cast<EdgeId>(e));
         break;
       default:
         break;
@@ -29,10 +62,363 @@ DensifyEvaluator::DensifyEvaluator(SemanticGraph* graph,
   }
 }
 
+void DensifyEvaluator::BuildNodeData(const AnnotatedDocument& doc) {
+  DensifyWorkspace& ws = *ws_;
+  const size_t n = graph_->node_count();
+  if (ws.lowered.size() < n) ws.lowered.resize(n);  // strings never shrink
+  ws.exact.assign(n, nullptr);
+  ws.has_context.assign(n, 0);
+  const size_t sentences = doc.sentences.size();
+  if (ws.sentence_contexts.size() < sentences) {
+    ws.sentence_contexts.resize(sentences);
+  }
+  ws.sentence_built.assign(sentences, 0);
+  ws.types_of_node.assign(n, DensifyWorkspace::TypeRef{});
+  ws.type_pool.clear();
+  ws.literal_type.assign(n, 0);
+  ws.has_literal_type.assign(n, 0);
+  ws.visit_mark.assign(n, 0);
+  ws.visit_epoch = 0;
+
+  const TypeSystem& ts = repository_->type_system();
+  for (size_t i = 0; i < n; ++i) {
+    const GraphNode& node = graph_->node(static_cast<NodeId>(i));
+    if (node.kind == NodeKind::kEntity) {
+      // The entity's types with ancestors, flattened in the same order as
+      // the legacy per-entity TypesOf memo (no dedup).
+      uint32_t off = static_cast<uint32_t>(ws.type_pool.size());
+      for (TypeId t : repository_->Get(node.entity).types) {
+        ts.AncestorsInto(t, &ws.type_pool);
+      }
+      ws.types_of_node[i] = {off,
+                             static_cast<uint32_t>(ws.type_pool.size()) - off};
+      continue;
+    }
+    LowercaseInto(node.text, &ws.lowered[i]);
+    ws.exact[i] = &repository_->CandidatesForAliasLowered(ws.lowered[i]);
+    if ((node.kind == NodeKind::kNounPhrase ||
+         node.kind == NodeKind::kPronoun) &&
+        node.sentence >= 0 &&
+        node.sentence < static_cast<int>(sentences)) {
+      ws.has_context[i] = 1;
+    }
+    // Literal / coarse-NER type of the node (at most one), the legacy
+    // LiteralTypes. The Find keys are short coarse-type names, so the
+    // temporary map key stays in SSO storage.
+    if (node.ner == NerType::kTime) {
+      ws.literal_type[i] = ts.time();
+      ws.has_literal_type[i] = 1;
+    } else if (node.ner == NerType::kNumber) {
+      ws.literal_type[i] = ts.number();
+      ws.has_literal_type[i] = 1;
+    } else if (node.ner != NerType::kNone) {
+      if (auto type = ts.Find(NerTypeName(node.ner))) {
+        ws.literal_type[i] = *type;
+        ws.has_literal_type[i] = 1;
+      }
+    }
+  }
+}
+
+void DensifyEvaluator::BuildUniverses() {
+  DensifyWorkspace& ws = *ws_;
+  const size_t n = graph_->node_count();
+
+  // NP universes: stable counting sort of the means edges by their mention,
+  // so each noun phrase's universe is its means edges in ascending EdgeId
+  // order — the exact EntOfNp / ActiveMeans enumeration order.
+  ws.np_univ_off.assign(n + 1, 0);
+  for (EdgeId m : ws.means_edges) {
+    ++ws.np_univ_off[static_cast<size_t>(graph_->edge(m).a) + 1];
+  }
+  for (size_t i = 0; i < n; ++i) ws.np_univ_off[i + 1] += ws.np_univ_off[i];
+  ws.cursor.assign(ws.np_univ_off.begin(), ws.np_univ_off.end() - 1);
+  ws.np_univ.resize(ws.means_edges.size());
+  for (EdgeId m : ws.means_edges) {
+    const GraphEdge& e = graph_->edge(m);
+    ws.np_univ[ws.cursor[static_cast<size_t>(e.a)]++] = {
+        m, e.b, graph_->node(e.b).entity};
+  }
+
+  // Pronoun universes: distinct gender-compatible entities over all
+  // NP-linked sameAs neighbors, ascending by entity (the EntOfPronoun
+  // sort+unique order), each entity backed by its (sameAs, means) support
+  // pairs.
+  ws.pro_univ_off.assign(n + 1, 0);
+  ws.pro_univ.clear();
+  ws.pro_pairs.clear();
+  for (NodeId p : graph_->NodesOfKind(NodeKind::kPronoun)) {
+    const GraphNode& pro = graph_->node(p);
+    ws.pro_triples.clear();
+    for (EdgeId se : graph_->IncidentEdges(p)) {
+      const GraphEdge& s = graph_->edge(se);
+      if (s.kind != EdgeKind::kSameAs) continue;
+      NodeId np = s.a == p ? s.b : s.a;
+      if (graph_->node(np).kind != NodeKind::kNounPhrase) continue;
+      for (uint32_t i = ws.np_univ_off[static_cast<size_t>(np)];
+           i < ws.np_univ_off[static_cast<size_t>(np) + 1]; ++i) {
+        const DensifyWorkspace::MeansCandidate& cand = ws.np_univ[i];
+        // Constraint (4) is static: the repository gender never changes.
+        if (GenderConflict(pro, cand.entity)) continue;
+        ws.pro_triples.push_back({cand.entity, cand.entity_node, se, cand.edge});
+      }
+    }
+    std::sort(ws.pro_triples.begin(), ws.pro_triples.end(),
+              [](const DensifyWorkspace::PronounTriple& x,
+                 const DensifyWorkspace::PronounTriple& y) {
+                if (x.entity != y.entity) return x.entity < y.entity;
+                if (x.same_as != y.same_as) return x.same_as < y.same_as;
+                return x.means < y.means;
+              });
+    size_t k = 0;
+    while (k < ws.pro_triples.size()) {
+      const EntityId entity = ws.pro_triples[k].entity;
+      const NodeId entity_node = ws.pro_triples[k].entity_node;
+      const uint32_t begin = static_cast<uint32_t>(ws.pro_pairs.size());
+      while (k < ws.pro_triples.size() && ws.pro_triples[k].entity == entity) {
+        ws.pro_pairs.push_back(
+            {ws.pro_triples[k].same_as, ws.pro_triples[k].means});
+        ++k;
+      }
+      ws.pro_univ.push_back({entity, entity_node, begin,
+                             static_cast<uint32_t>(ws.pro_pairs.size())});
+    }
+    ws.pro_univ_off[static_cast<size_t>(p) + 1] =
+        static_cast<uint32_t>(ws.pro_univ.size());
+  }
+  // Fill forward so the offsets form a proper CSR over all nodes.
+  for (size_t i = 1; i <= n; ++i) {
+    if (ws.pro_univ_off[i] < ws.pro_univ_off[i - 1]) {
+      ws.pro_univ_off[i] = ws.pro_univ_off[i - 1];
+    }
+  }
+}
+
+uint32_t DensifyEvaluator::PatternIdOf(const std::string& pattern) {
+  auto& pats = ws_->patterns;
+  for (size_t i = 0; i < pats.size(); ++i) {
+    if (*pats[i].first == pattern) return static_cast<uint32_t>(i);
+  }
+  pats.emplace_back(&pattern, stats_->FindTypeSignatureTable(pattern));
+  if (ws_->ts_caches.size() < pats.size()) ws_->ts_caches.emplace_back();
+  ws_->ts_caches[pats.size() - 1].Reset(64);
+  return static_cast<uint32_t>(pats.size() - 1);
+}
+
+double DensifyEvaluator::TsPairValue(
+    const BackgroundStats::TypeSignatureTable& table, size_t pattern_id,
+    uint64_t key_a, uint64_t key_b, Span<TypeId> types_a,
+    Span<TypeId> types_b) const {
+  if (key_a == kUncacheable || key_b == kUncacheable) {
+    return stats_->TypeSignatureSum(table, types_a, types_b);
+  }
+  const uint64_t pair_key = (key_a << 32) | key_b;
+  FlatPairCache& cache = ws_->ts_caches[pattern_id];
+  if (const double* hit = cache.Lookup(pair_key)) return *hit;
+  double value = stats_->TypeSignatureSum(table, types_a, types_b);
+  cache.Insert(pair_key, value);
+  return value;
+}
+
+namespace {
+
+/// One relation-edge side: a view of the node's candidate universe.
+struct SideRef {
+  uint32_t off = 0;
+  uint32_t len = 0;
+  bool pronoun = false;
+};
+
+}  // namespace
+
+void DensifyEvaluator::BuildLanes() {
+  DensifyWorkspace& ws = *ws_;
+  const AnnotatedDocument& doc = *doc_;
+  const size_t edges = graph_->edge_count();
+
+  // Means lane: w(n_i, e_ij) = a1 * prior + a2 * sim, dampened 0.3x for
+  // loose (partial-name) candidates — the exact MeansWeight formula, one
+  // value per means edge. Mention contexts are shared per sentence (they
+  // are a pure function of the sentence tokens).
+  ws.mw_lane.assign(edges, 0.0);
+  for (EdgeId m : ws.means_edges) {
+    const GraphEdge& edge = graph_->edge(m);
+    const NodeId np = edge.a;
+    const EntityId entity = graph_->node(edge.b).entity;
+    double prior = stats_->PriorLowered(ws.lowered[static_cast<size_t>(np)],
+                                        entity);
+    double sim = 0.0;
+    if (ws.has_context[static_cast<size_t>(np)]) {
+      const size_t s = static_cast<size_t>(graph_->node(np).sentence);
+      if (!ws.sentence_built[s]) {
+        stats_->MentionContextInto(doc.sentences[s].tokens, &ws.scratch,
+                                   &ws.sentence_contexts[s]);
+        ws.sentence_built[s] = 1;
+      }
+      sim = WeightedOverlap(ws.sentence_contexts[s],
+                            stats_->EntityContext(entity));
+    }
+    double weight = params_.alpha1 * prior + params_.alpha2 * sim;
+    const std::vector<EntityId>* exact = ws.exact[static_cast<size_t>(np)];
+    const bool is_exact =
+        exact != nullptr &&
+        std::find(exact->begin(), exact->end(), entity) != exact->end();
+    ws.mw_lane[static_cast<size_t>(m)] = is_exact ? weight : 0.3 * weight;
+  }
+
+  // Relation lanes: per edge, dense per-pair term matrices with the
+  // looseness factors folded in, so the greedy loop's re-evaluations are
+  // pure gathers. Each entry replicates the legacy term expression
+  // (factor_a * factor_b * memoized pure value) for bit-identical sums.
+  ws.rel_lanes.clear();
+  ws.lane_of_edge.assign(edges, -1);
+  ws.coh_pool.clear();
+  ws.ts_pool.clear();
+  ws.patterns.clear();
+  ws.coherence_cache.Reset(2 * edges + 16);
+
+  auto side_of = [&](NodeId node) -> SideRef {
+    const GraphNode& n = graph_->node(node);
+    const size_t i = static_cast<size_t>(node);
+    if (n.kind == NodeKind::kPronoun) {
+      return {ws.pro_univ_off[i], ws.pro_univ_off[i + 1] - ws.pro_univ_off[i],
+              true};
+    }
+    if (n.kind == NodeKind::kNounPhrase && !n.is_literal) {
+      return {ws.np_univ_off[i], ws.np_univ_off[i + 1] - ws.np_univ_off[i],
+              false};
+    }
+    return {};
+  };
+  auto entity_of = [&](const SideRef& s, uint32_t i) -> EntityId {
+    return s.pronoun ? ws.pro_univ[s.off + i].entity
+                     : ws.np_univ[s.off + i].entity;
+  };
+  auto entity_node_of = [&](const SideRef& s, uint32_t i) -> NodeId {
+    return s.pronoun ? ws.pro_univ[s.off + i].entity_node
+                     : ws.np_univ[s.off + i].entity_node;
+  };
+
+  for (EdgeId r : ws.relation_edges) {
+    const GraphEdge& e = graph_->edge(r);
+    DensifyWorkspace::RelationLane lane;
+    lane.edge = r;
+    lane.a = e.a;
+    lane.b = e.b;
+    const SideRef sa = side_of(e.a);
+    const SideRef sb = side_of(e.b);
+    lane.ua_len = sa.len;
+    lane.ub_len = sb.len;
+    lane.lit_a = ws.has_literal_type[static_cast<size_t>(e.a)] != 0;
+    lane.lit_b = ws.has_literal_type[static_cast<size_t>(e.b)] != 0;
+
+    // Looseness factors: 1.0 for exact alias candidates, 0.3 for loose ones.
+    const std::vector<EntityId>* exact_a = ws.exact[static_cast<size_t>(e.a)];
+    const std::vector<EntityId>* exact_b = ws.exact[static_cast<size_t>(e.b)];
+    ws.factor_a.resize(sa.len);
+    for (uint32_t i = 0; i < sa.len; ++i) {
+      EntityId ent = entity_of(sa, i);
+      ws.factor_a[i] =
+          (exact_a != nullptr &&
+           std::find(exact_a->begin(), exact_a->end(), ent) != exact_a->end())
+              ? 1.0
+              : 0.3;
+    }
+    ws.factor_b.resize(sb.len);
+    for (uint32_t j = 0; j < sb.len; ++j) {
+      EntityId ent = entity_of(sb, j);
+      ws.factor_b[j] =
+          (exact_b != nullptr &&
+           std::find(exact_b->begin(), exact_b->end(), ent) != exact_b->end())
+              ? 1.0
+              : 0.3;
+    }
+
+    const uint32_t pid = PatternIdOf(e.label);
+    const BackgroundStats::TypeSignatureTable table = ws.patterns[pid].second;
+
+    // Coherence matrix: |Ua| x |Ub|.
+    lane.coh_off = static_cast<uint32_t>(ws.coh_pool.size());
+    for (uint32_t i = 0; i < sa.len; ++i) {
+      const EntityId ea = entity_of(sa, i);
+      for (uint32_t j = 0; j < sb.len; ++j) {
+        const EntityId eb = entity_of(sb, j);
+        const uint64_t key = CoherenceKey(ea, eb);
+        double coh;
+        if (const double* hit = ws.coherence_cache.Lookup(key)) {
+          coh = *hit;
+        } else {
+          coh = stats_->Coherence(ea, eb);
+          ws.coherence_cache.Insert(key, coh);
+        }
+        ws.coh_pool.push_back(ws.factor_a[i] * ws.factor_b[j] * coh);
+      }
+    }
+
+    // Type-signature matrix: (|Ua|+1) x (|Ub|+1); the last row/column is the
+    // literal fallback, selected at evaluation time when a side's active set
+    // is empty. Slots for absent literal types are zero-filled placeholders
+    // that are never read.
+    lane.ts_off = static_cast<uint32_t>(ws.ts_pool.size());
+    for (uint32_t i = 0; i <= sa.len; ++i) {
+      const bool row_lit = (i == sa.len);
+      uint64_t ka = 0;
+      Span<TypeId> ta(nullptr, 0);
+      double tfa = 1.0;
+      bool row_valid = true;
+      if (row_lit) {
+        if (!lane.lit_a) {
+          row_valid = false;
+        } else {
+          ka = kLiteralBit | static_cast<uint64_t>(static_cast<uint32_t>(e.a));
+          ta = Span<TypeId>(ws.literal_type.data() + static_cast<size_t>(e.a),
+                            1);
+        }
+      } else {
+        const EntityId ea = entity_of(sa, i);
+        ka = ea < kLiteralBit ? ea : kUncacheable;
+        const DensifyWorkspace::TypeRef tr =
+            ws.types_of_node[static_cast<size_t>(entity_node_of(sa, i))];
+        ta = Span<TypeId>(ws.type_pool.data() + tr.off, tr.len);
+        tfa = ws.factor_a[i];
+      }
+      for (uint32_t j = 0; j <= sb.len; ++j) {
+        const bool col_lit = (j == sb.len);
+        if (!row_valid || (col_lit && !lane.lit_b)) {
+          ws.ts_pool.push_back(0.0);
+          continue;
+        }
+        uint64_t kb;
+        Span<TypeId> tb(nullptr, 0);
+        double tfb = 1.0;
+        if (col_lit) {
+          kb = kLiteralBit | static_cast<uint64_t>(static_cast<uint32_t>(e.b));
+          tb = Span<TypeId>(ws.literal_type.data() + static_cast<size_t>(e.b),
+                            1);
+        } else {
+          const EntityId eb = entity_of(sb, j);
+          kb = eb < kLiteralBit ? eb : kUncacheable;
+          const DensifyWorkspace::TypeRef tr =
+              ws.types_of_node[static_cast<size_t>(entity_node_of(sb, j))];
+          tb = Span<TypeId>(ws.type_pool.data() + tr.off, tr.len);
+          tfb = ws.factor_b[j];
+        }
+        const double value = TsPairValue(table, pid, ka, kb, ta, tb);
+        ws.ts_pool.push_back(tfa * tfb * value);
+      }
+    }
+
+    ws.lane_of_edge[static_cast<size_t>(r)] =
+        static_cast<int32_t>(ws.rel_lanes.size());
+    ws.rel_lanes.push_back(lane);
+  }
+}
+
 std::vector<EntityId> DensifyEvaluator::EntOfNp(NodeId np) const {
   std::vector<EntityId> out;
   // Same traversal order as ActiveMeans, without materializing the edge
-  // pairs: this sits inside every RelationEdgeWeight call.
+  // pairs. Kept graph-walking for the ILP translation and tests; the flat
+  // paths use the universe arrays instead.
   for (EdgeId e : graph_->IncidentEdges(np)) {
     const GraphEdge& edge = graph_->edge(e);
     if (!edge.active || edge.kind != EdgeKind::kMeans || edge.a != np) continue;
@@ -71,21 +457,93 @@ bool DensifyEvaluator::GenderConflict(const GraphNode& pronoun, EntityId e) cons
   return g != pronoun.gender;
 }
 
+void DensifyEvaluator::CollectActiveSide(NodeId n,
+                                         std::vector<uint32_t>* out) const {
+  out->clear();
+  const DensifyWorkspace& ws = *ws_;
+  const GraphNode& node = graph_->node(n);
+  const size_t id = static_cast<size_t>(n);
+  if (node.kind == NodeKind::kPronoun) {
+    const uint32_t begin = ws.pro_univ_off[id];
+    const uint32_t end = ws.pro_univ_off[id + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const DensifyWorkspace::PronounCandidate& c = ws.pro_univ[i];
+      for (uint32_t k = c.pair_begin; k < c.pair_end; ++k) {
+        const DensifyWorkspace::SupportPair& pair = ws.pro_pairs[k];
+        if (graph_->edge(pair.same_as).active &&
+            graph_->edge(pair.means).active) {
+          out->push_back(i - begin);
+          break;
+        }
+      }
+    }
+  } else if (node.kind == NodeKind::kNounPhrase && !node.is_literal) {
+    const uint32_t begin = ws.np_univ_off[id];
+    const uint32_t end = ws.np_univ_off[id + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      if (graph_->edge(ws.np_univ[i].edge).active) out->push_back(i - begin);
+    }
+  }
+}
+
+double DensifyEvaluator::LaneWeight(
+    const DensifyWorkspace::RelationLane& lane) const {
+  DensifyWorkspace& ws = *ws_;
+  CollectActiveSide(lane.a, &ws.act_a);
+  CollectActiveSide(lane.b, &ws.act_b);
+
+  double coherence = 0.0;
+  {
+    const double* coh = ws.coh_pool.data() + lane.coh_off;
+    for (uint32_t i : ws.act_a) {
+      const double* row = coh + static_cast<size_t>(i) * lane.ub_len;
+      for (uint32_t j : ws.act_b) coherence += row[j];
+    }
+  }
+
+  // Empty active sides fall back to the literal row/column; an empty side
+  // without literal types contributes no rows/columns at all.
+  double ts_score = 0.0;
+  {
+    const uint32_t lit_row = lane.ua_len;
+    const uint32_t lit_col = lane.ub_len;
+    const uint32_t* rows = ws.act_a.data();
+    size_t nrows = ws.act_a.size();
+    if (nrows == 0 && lane.lit_a) {
+      rows = &lit_row;
+      nrows = 1;
+    }
+    const uint32_t* cols = ws.act_b.data();
+    size_t ncols = ws.act_b.size();
+    if (ncols == 0 && lane.lit_b) {
+      cols = &lit_col;
+      ncols = 1;
+    }
+    const double* ts = ws.ts_pool.data() + lane.ts_off;
+    const size_t stride = static_cast<size_t>(lane.ub_len) + 1;
+    for (size_t i = 0; i < nrows; ++i) {
+      const double* row = ts + static_cast<size_t>(rows[i]) * stride;
+      for (size_t j = 0; j < ncols; ++j) ts_score += row[cols[j]];
+    }
+  }
+
+  return params_.alpha3 * coherence + params_.alpha4 * ts_score;
+}
+
 double DensifyEvaluator::RelationEdgeWeight(EdgeId e) const {
-  const GraphEdge& edge = graph_->edge(e);
-  return weights_.RelationWeight(edge.a, edge.b, edge.label, EntOf(edge.a),
-                                 EntOf(edge.b));
+  const int32_t lane = ws_->lane_of_edge[static_cast<size_t>(e)];
+  QKB_CHECK(lane >= 0);
+  return LaneWeight(ws_->rel_lanes[static_cast<size_t>(lane)]);
 }
 
 double DensifyEvaluator::Objective() const {
   double total = 0.0;
-  for (EdgeId e : means_edges_) {
-    const GraphEdge& edge = graph_->edge(e);
-    if (!edge.active) continue;
-    total += weights_.MeansWeight(edge.a, graph_->node(edge.b).entity);
+  for (EdgeId e : ws_->means_edges) {
+    if (!graph_->edge(e).active) continue;
+    total += ws_->mw_lane[static_cast<size_t>(e)];
   }
-  for (EdgeId e : relation_edges_) {
-    total += RelationEdgeWeight(e);
+  for (const DensifyWorkspace::RelationLane& lane : ws_->rel_lanes) {
+    total += LaneWeight(lane);
   }
   return total;
 }
@@ -93,44 +551,54 @@ double DensifyEvaluator::Objective() const {
 double DensifyEvaluator::Contribution(EdgeId e) const {
   const GraphEdge& edge = graph_->edge(e);
   QKB_CHECK(edge.active);
-  const auto affected = AffectedRelationEdges(e);
+  AffectedRelationEdgesInto(e, &ws_->affected);
   double before = 0.0;
-  for (EdgeId r : affected) before += RelationEdgeWeight(r);
+  for (EdgeId r : ws_->affected) before += RelationEdgeWeight(r);
   double self = 0.0;
   if (edge.kind == EdgeKind::kMeans) {
-    self = weights_.MeansWeight(edge.a, graph_->node(edge.b).entity);
+    self = ws_->mw_lane[static_cast<size_t>(e)];
   }
   graph_->SetEdgeActive(e, false);
   double after = 0.0;
-  for (EdgeId r : affected) after += RelationEdgeWeight(r);
+  for (EdgeId r : ws_->affected) after += RelationEdgeWeight(r);
   graph_->SetEdgeActive(e, true);
   return self + (before - after);
 }
 
-std::vector<EdgeId> DensifyEvaluator::AffectedRelationEdges(EdgeId e) const {
+void DensifyEvaluator::AffectedRelationEdgesInto(EdgeId e,
+                                                 std::vector<EdgeId>* out) const {
+  out->clear();
+  DensifyWorkspace& ws = *ws_;
+  ws.sources.clear();
   const GraphEdge& edge = graph_->edge(e);
-  std::unordered_set<NodeId> sources;
   if (edge.kind == EdgeKind::kMeans) {
-    NodeId mention = edge.a;
-    sources.insert(mention);
-    for (const auto& [se, other] : graph_->ActiveSameAs(mention)) {
-      if (graph_->node(other).kind == NodeKind::kPronoun) sources.insert(other);
+    const NodeId mention = edge.a;
+    ws.sources.push_back(mention);
+    for (EdgeId se : graph_->IncidentEdges(mention)) {
+      const GraphEdge& s = graph_->edge(se);
+      if (!s.active || s.kind != EdgeKind::kSameAs) continue;
+      const NodeId other = s.a == mention ? s.b : s.a;
+      if (graph_->node(other).kind != NodeKind::kPronoun) continue;
+      if (std::find(ws.sources.begin(), ws.sources.end(), other) ==
+          ws.sources.end()) {
+        ws.sources.push_back(other);
+      }
     }
   } else {
-    NodeId p = graph_->node(edge.a).kind == NodeKind::kPronoun ? edge.a : edge.b;
-    sources.insert(p);
+    ws.sources.push_back(
+        graph_->node(edge.a).kind == NodeKind::kPronoun ? edge.a : edge.b);
   }
-  std::vector<EdgeId> out;
-  for (NodeId s : sources) {
-    for (EdgeId r : graph_->ActiveEdges(s, EdgeKind::kRelation)) {
-      out.push_back(r);
+  for (NodeId s : ws.sources) {
+    for (EdgeId r : graph_->IncidentEdges(s)) {
+      const GraphEdge& re = graph_->edge(r);
+      if (re.active && re.kind == EdgeKind::kRelation) out->push_back(r);
     }
   }
   // Canonical order: callers sum RelationEdgeWeight over these edges, and
-  // floating-point addition is order-sensitive, so hash order must not pick
-  // the summation order.
-  std::sort(out.begin(), out.end());
-  return out;
+  // floating-point addition is order-sensitive, so source order must not
+  // pick the summation order. Duplicates (an edge incident to two sources)
+  // are deliberately kept.
+  std::sort(out->begin(), out->end());
 }
 
 void DensifyEvaluator::Preprocess() {
@@ -138,45 +606,73 @@ void DensifyEvaluator::Preprocess() {
   ApplyGenderConstraint();
 }
 
+void DensifyEvaluator::ActiveEntitiesOfNp(NodeId np,
+                                          std::vector<EntityId>* out) const {
+  const size_t id = static_cast<size_t>(np);
+  for (uint32_t i = ws_->np_univ_off[id]; i < ws_->np_univ_off[id + 1]; ++i) {
+    const DensifyWorkspace::MeansCandidate& c = ws_->np_univ[i];
+    if (graph_->edge(c.edge).active) out->push_back(c.entity);
+  }
+}
+
 void DensifyEvaluator::IntersectSameAsClusters() {
+  DensifyWorkspace& ws = *ws_;
   auto nps = graph_->NodesOfKind(NodeKind::kNounPhrase);
-  std::unordered_set<NodeId> visited;
+  ++ws.visit_epoch;
+  const uint32_t epoch = ws.visit_epoch;
   for (NodeId start : nps) {
-    if (visited.count(start) > 0) continue;
-    std::vector<NodeId> component;
-    std::vector<NodeId> stack = {start};
-    visited.insert(start);
-    while (!stack.empty()) {
-      NodeId n = stack.back();
-      stack.pop_back();
-      component.push_back(n);
-      for (const auto& [e, other] : graph_->ActiveSameAs(n)) {
+    if (ws.visit_mark[static_cast<size_t>(start)] == epoch) continue;
+    ws.component.clear();
+    ws.dfs_stack.clear();
+    ws.dfs_stack.push_back(start);
+    ws.visit_mark[static_cast<size_t>(start)] = epoch;
+    while (!ws.dfs_stack.empty()) {
+      const NodeId n = ws.dfs_stack.back();
+      ws.dfs_stack.pop_back();
+      ws.component.push_back(n);
+      for (EdgeId se : graph_->IncidentEdges(n)) {
+        const GraphEdge& s = graph_->edge(se);
+        if (!s.active || s.kind != EdgeKind::kSameAs) continue;
+        const NodeId other = s.a == n ? s.b : s.a;
         if (graph_->node(other).kind != NodeKind::kNounPhrase) continue;
-        if (visited.insert(other).second) stack.push_back(other);
+        if (ws.visit_mark[static_cast<size_t>(other)] != epoch) {
+          ws.visit_mark[static_cast<size_t>(other)] = epoch;
+          ws.dfs_stack.push_back(other);
+        }
       }
     }
-    if (component.size() < 2) continue;
-    std::set<EntityId> intersection;
+    if (ws.component.size() < 2) continue;
+    // Sorted-unique flat vectors stand in for the legacy std::sets; the
+    // set_intersection chain over them computes the identical result.
+    ws.intersection.clear();
     bool first = true;
-    for (NodeId n : component) {
-      auto ents = EntOfNp(n);
-      if (ents.empty()) continue;  // out-of-KB member does not constrain
-      std::set<EntityId> s(ents.begin(), ents.end());
+    for (NodeId n : ws.component) {
+      ws.ents.clear();
+      ActiveEntitiesOfNp(n, &ws.ents);
+      if (ws.ents.empty()) continue;  // out-of-KB member does not constrain
+      std::sort(ws.ents.begin(), ws.ents.end());
+      ws.ents.erase(std::unique(ws.ents.begin(), ws.ents.end()),
+                    ws.ents.end());
       if (first) {
-        intersection = std::move(s);
+        ws.intersection.assign(ws.ents.begin(), ws.ents.end());
         first = false;
       } else {
-        std::set<EntityId> merged;
-        std::set_intersection(intersection.begin(), intersection.end(), s.begin(),
-                              s.end(), std::inserter(merged, merged.begin()));
-        intersection = std::move(merged);
+        ws.inter_tmp.clear();
+        std::set_intersection(ws.intersection.begin(), ws.intersection.end(),
+                              ws.ents.begin(), ws.ents.end(),
+                              std::back_inserter(ws.inter_tmp));
+        ws.intersection.swap(ws.inter_tmp);
       }
     }
-    if (first || intersection.empty()) continue;
-    for (NodeId n : component) {
-      for (const auto& [e, entity_node] : graph_->ActiveMeans(n)) {
-        if (intersection.count(graph_->node(entity_node).entity) == 0) {
-          graph_->SetEdgeActive(e, false);
+    if (first || ws.intersection.empty()) continue;
+    for (NodeId n : ws.component) {
+      const size_t id = static_cast<size_t>(n);
+      for (uint32_t i = ws.np_univ_off[id]; i < ws.np_univ_off[id + 1]; ++i) {
+        const DensifyWorkspace::MeansCandidate& cand = ws.np_univ[i];
+        if (!graph_->edge(cand.edge).active) continue;
+        if (!std::binary_search(ws.intersection.begin(), ws.intersection.end(),
+                                cand.entity)) {
+          graph_->SetEdgeActive(cand.edge, false);
         }
       }
     }
@@ -184,39 +680,57 @@ void DensifyEvaluator::IntersectSameAsClusters() {
 }
 
 void DensifyEvaluator::ApplyGenderConstraint() {
+  DensifyWorkspace& ws = *ws_;
   for (NodeId p : graph_->NodesOfKind(NodeKind::kPronoun)) {
     const GraphNode& pro = graph_->node(p);
     if (pro.gender == Gender::kUnknown) continue;
-    for (const auto& [e, np] : graph_->ActiveSameAs(p)) {
+    for (EdgeId se : graph_->IncidentEdges(p)) {
+      const GraphEdge& s = graph_->edge(se);
+      if (!s.active || s.kind != EdgeKind::kSameAs) continue;
+      const NodeId np = s.a == p ? s.b : s.a;
       if (graph_->node(np).kind != NodeKind::kNounPhrase) continue;
-      auto candidates = EntOfNp(np);
-      if (candidates.empty()) continue;  // out-of-KB antecedent: keep
+      ws.ents.clear();
+      ActiveEntitiesOfNp(np, &ws.ents);
+      if (ws.ents.empty()) continue;  // out-of-KB antecedent: keep
       bool any_compatible = false;
-      for (EntityId c : candidates) {
+      for (EntityId c : ws.ents) {
         if (!GenderConflict(pro, c)) any_compatible = true;
       }
-      if (!any_compatible) graph_->SetEdgeActive(e, false);
+      if (!any_compatible) graph_->SetEdgeActive(se, false);
     }
   }
 }
 
 std::vector<EdgeId> DensifyEvaluator::RemovableEdges() const {
   std::vector<EdgeId> out;
+  RemovableEdgesInto(&out);
+  return out;
+}
+
+void DensifyEvaluator::RemovableEdgesInto(std::vector<EdgeId>* out) const {
+  out->clear();
+  const DensifyWorkspace& ws = *ws_;
   // The O(1) active-degree counters answer the >= 2 test without
   // materializing the incident-edge lists of unremovable mentions.
   for (NodeId np : graph_->NodesOfKind(NodeKind::kNounPhrase)) {
     if (graph_->ActiveMeansCount(np) < 2) continue;
-    for (const auto& [e, entity_node] : graph_->ActiveMeans(np)) {
-      out.push_back(e);
+    const size_t id = static_cast<size_t>(np);
+    for (uint32_t i = ws.np_univ_off[id]; i < ws.np_univ_off[id + 1]; ++i) {
+      const EdgeId e = ws.np_univ[i].edge;
+      if (graph_->edge(e).active) out->push_back(e);
     }
   }
   for (NodeId p : graph_->NodesOfKind(NodeKind::kPronoun)) {
     if (graph_->ActiveSameAsNpCount(p) < 2) continue;
-    for (const auto& [e, other] : graph_->ActiveSameAs(p)) {
-      if (graph_->node(other).kind == NodeKind::kNounPhrase) out.push_back(e);
+    for (EdgeId se : graph_->IncidentEdges(p)) {
+      const GraphEdge& s = graph_->edge(se);
+      if (!s.active || s.kind != EdgeKind::kSameAs) continue;
+      const NodeId other = s.a == p ? s.b : s.a;
+      if (graph_->node(other).kind == NodeKind::kNounPhrase) {
+        out->push_back(se);
+      }
     }
   }
-  return out;
 }
 
 bool DensifyEvaluator::IsRemovable(EdgeId e) const {
@@ -229,52 +743,69 @@ bool DensifyEvaluator::IsRemovable(EdgeId e) const {
   return graph_->ActiveSameAsNpCount(p) >= 2;
 }
 
-std::unordered_map<NodeId, std::vector<EdgeId>> CollectOriginalMeans(
-    const SemanticGraph& graph) {
-  std::unordered_map<NodeId, std::vector<EdgeId>> out;
-  for (size_t e = 0; e < graph.edge_count(); ++e) {
-    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
-    if (edge.kind == EdgeKind::kMeans && edge.active) {
-      out[edge.a].push_back(static_cast<EdgeId>(e));
-    }
+void DensifyEvaluator::SnapshotOriginalMeans() {
+  ws_->orig_active.assign(graph_->edge_count(), 0);
+  for (EdgeId m : ws_->means_edges) {
+    ws_->orig_active[static_cast<size_t>(m)] =
+        graph_->edge(m).active ? 1 : 0;
   }
-  return out;
 }
 
-std::vector<DensifyResult::Assignment> ComputeAssignmentConfidences(
-    DensifyEvaluator* eval,
-    const std::unordered_map<NodeId, std::vector<EdgeId>>& original_means) {
-  std::vector<DensifyResult::Assignment> out;
-  SemanticGraph& graph = eval->graph();
-  for (const auto& [np, candidates] : original_means) {
-    auto active = graph.ActiveMeans(np);
-    if (active.empty()) continue;  // out-of-KB mention
-    EdgeId chosen = active[0].first;
-    EntityId chosen_entity = graph.node(active[0].second).entity;
+void DensifyEvaluator::ComputeConfidencesInto(
+    std::vector<DensifyResult::Assignment>* out) {
+  out->clear();
+  DensifyWorkspace& ws = *ws_;
+  const size_t n = graph_->node_count();
+  // Ascending node order over every mention with originally-active means
+  // edges: the same set the legacy hash-map grouping produced, already in
+  // the final (mention-sorted) output order.
+  for (size_t np = 0; np < n; ++np) {
+    const uint32_t begin = ws.np_univ_off[np];
+    const uint32_t end = ws.np_univ_off[np + 1];
+    if (begin == end) continue;
+    int orig_count = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      if (ws.orig_active[static_cast<size_t>(ws.np_univ[i].edge)]) {
+        ++orig_count;
+      }
+    }
+    if (orig_count == 0) continue;
+    EdgeId chosen = -1;
+    EntityId chosen_entity = kInvalidEntity;
+    for (uint32_t i = begin; i < end; ++i) {
+      const DensifyWorkspace::MeansCandidate& c = ws.np_univ[i];
+      if (graph_->edge(c.edge).active) {
+        chosen = c.edge;
+        chosen_entity = c.entity;
+        break;
+      }
+    }
+    if (chosen < 0) continue;  // out-of-KB mention
 
-    double chosen_c = std::max(eval->Contribution(chosen), 0.0);
+    double chosen_c = std::max(Contribution(chosen), 0.0);
     double denom = 0.0;
-    for (EdgeId alt : candidates) {
-      if (alt == chosen) {
+    for (uint32_t i = begin; i < end; ++i) {
+      const DensifyWorkspace::MeansCandidate& c = ws.np_univ[i];
+      if (!ws.orig_active[static_cast<size_t>(c.edge)]) continue;
+      if (c.edge == chosen) {
         denom += chosen_c;
         continue;
       }
-      graph.SetEdgeActive(chosen, false);
-      graph.SetEdgeActive(alt, true);
-      denom += std::max(eval->Contribution(alt), 0.0);
-      graph.SetEdgeActive(alt, false);
-      graph.SetEdgeActive(chosen, true);
+      graph_->SetEdgeActive(chosen, false);
+      graph_->SetEdgeActive(c.edge, true);
+      denom += std::max(Contribution(c.edge), 0.0);
+      graph_->SetEdgeActive(c.edge, false);
+      graph_->SetEdgeActive(chosen, true);
     }
 
     DensifyResult::Assignment a;
-    a.mention = np;
+    a.mention = static_cast<NodeId>(np);
     a.entity = chosen_entity;
-    a.weight = eval->weights().MeansWeight(np, chosen_entity);
-    {
-      const auto& exact = eval->weights().ExactCandidates(np);
-      a.exact_alias =
-          std::find(exact.begin(), exact.end(), chosen_entity) != exact.end();
-    }
+    a.weight = ws.mw_lane[static_cast<size_t>(chosen)];
+    const std::vector<EntityId>* exact = ws.exact[np];
+    a.exact_alias =
+        exact != nullptr &&
+        std::find(exact->begin(), exact->end(), chosen_entity) != exact->end();
     if (chosen_c > 1e-12) {
       a.confidence = denom > 0.0 ? chosen_c / denom : 1.0;
     } else {
@@ -282,32 +813,36 @@ std::vector<DensifyResult::Assignment> ComputeAssignmentConfidences(
       // link (uniform over alternatives); a loose partial-name match is a
       // dictionary artifact and gets rejected downstream.
       a.confidence =
-          a.exact_alias ? 1.0 / static_cast<double>(candidates.size()) : 0.0;
+          a.exact_alias ? 1.0 / static_cast<double>(orig_count) : 0.0;
     }
-    out.push_back(a);
+    out->push_back(a);
   }
-  // original_means iterates in hash order; assignments are user-visible
-  // output (KB population, reports), so emit them in mention order.
-  std::sort(out.begin(), out.end(),
-            [](const DensifyResult::Assignment& a,
-               const DensifyResult::Assignment& b) {
-              return a.mention < b.mention;
-            });
+}
+
+std::vector<std::pair<NodeId, NodeId>> ExtractPronounAntecedents(
+    const SemanticGraph& graph) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  ExtractPronounAntecedentsInto(graph, &out);
   return out;
 }
 
-std::unordered_map<NodeId, NodeId> ExtractPronounAntecedents(
-    const SemanticGraph& graph) {
-  std::unordered_map<NodeId, NodeId> out;
+void ExtractPronounAntecedentsInto(
+    const SemanticGraph& graph, std::vector<std::pair<NodeId, NodeId>>* out) {
+  out->clear();
+  // Same traversal as ActiveSameAs (incident edges ascending) without
+  // materializing the pair list — this runs inside the allocation-free
+  // steady state of GreedyDensifier::Densify.
   for (NodeId p : graph.NodesOfKind(NodeKind::kPronoun)) {
-    for (const auto& [e, np] : graph.ActiveSameAs(p)) {
+    for (EdgeId e : graph.IncidentEdges(p)) {
+      const GraphEdge& edge = graph.edge(e);
+      if (!edge.active || edge.kind != EdgeKind::kSameAs) continue;
+      const NodeId np = edge.a == p ? edge.b : edge.a;
       if (graph.node(np).kind == NodeKind::kNounPhrase) {
-        out[p] = np;
+        out->emplace_back(p, np);
         break;
       }
     }
   }
-  return out;
 }
 
 }  // namespace qkbfly

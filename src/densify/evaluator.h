@@ -2,13 +2,23 @@
 // the ILP densifier (Appendix A) and confidence scoring: candidate-set
 // queries (the ent()/np() notation of Section 4), the objective W(S), and
 // edge contributions c(x, y, S).
+//
+// The evaluator runs off flat per-edge weight lanes in a DensifyWorkspace:
+// construction builds candidate universes and dense coherence/type-signature
+// matrices once, and every later Contribution/Objective call is a
+// gather-and-sum over contiguous arrays with no hashing. The lane entries
+// replicate the legacy hash-map computation expression for expression, so
+// both produce bit-identical doubles.
 #ifndef QKBFLY_DENSIFY_EVALUATOR_H_
 #define QKBFLY_DENSIFY_EVALUATOR_H_
 
-#include <unordered_map>
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "densify/edge_weights.h"
+#include "densify/workspace.h"
 #include "graph/semantic_graph.h"
 
 namespace qkbfly {
@@ -26,8 +36,8 @@ struct DensifyResult {
   };
   std::vector<Assignment> assignments;
 
-  /// Resolved pronoun -> antecedent noun-phrase links.
-  std::unordered_map<NodeId, NodeId> pronoun_antecedents;
+  /// Resolved pronoun -> antecedent noun-phrase links, ascending by pronoun.
+  std::vector<std::pair<NodeId, NodeId>> pronoun_antecedents;
 
   double objective = 0.0;  ///< W(S*) of the final subgraph.
   int edges_removed = 0;
@@ -36,19 +46,44 @@ struct DensifyResult {
   /// ties on contribution break toward the smaller EdgeId, so the heap and
   /// scan strategies produce identical sequences run after run.
   std::vector<EdgeId> removal_order;
+
+  /// Antecedent of a pronoun node, or kNoNode.
+  NodeId AntecedentOf(NodeId pronoun) const {
+    auto it = std::lower_bound(
+        pronoun_antecedents.begin(), pronoun_antecedents.end(), pronoun,
+        [](const std::pair<NodeId, NodeId>& e, NodeId p) { return e.first < p; });
+    if (it == pronoun_antecedents.end() || it->first != pronoun) return kNoNode;
+    return it->second;
+  }
+
+  /// Empties the result but keeps vector capacity, for reuse across
+  /// documents.
+  void Clear() {
+    assignments.clear();
+    pronoun_antecedents.clear();
+    removal_order.clear();
+    objective = 0.0;
+    edges_removed = 0;
+  }
 };
 
 /// Evaluates the current subgraph state (the graph's active-edge flags).
 /// Mutating calls toggle edges through the graph pointer.
+///
+/// Pass a retained DensifyWorkspace to make construction and evaluation
+/// allocation-free once the workspace is warm; without one the evaluator
+/// owns a private workspace (the ILP / test path).
 class DensifyEvaluator {
  public:
   DensifyEvaluator(SemanticGraph* graph, const AnnotatedDocument& doc,
                    const BackgroundStats* stats,
                    const EntityRepository* repository,
-                   const DensifyParams& params);
+                   const DensifyParams& params,
+                   DensifyWorkspace* workspace = nullptr);
 
   SemanticGraph& graph() { return *graph_; }
-  const EdgeWeights& weights() const { return weights_; }
+  const EdgeWeights& weights() const { return ws_->weights; }
+  DensifyWorkspace& workspace() { return *ws_; }
 
   /// ent(n_i, S): candidate entities of a noun-phrase node.
   std::vector<EntityId> EntOfNp(NodeId np) const;
@@ -81,42 +116,78 @@ class DensifyEvaluator {
   /// sameAs edges of multi-antecedent pronouns.
   std::vector<EdgeId> RemovableEdges() const;
 
+  /// RemovableEdges into a retained buffer (same contents and order).
+  void RemovableEdgesInto(std::vector<EdgeId>* out) const;
+
   /// O(1) membership test against the same rule, for one edge that was in
   /// an earlier RemovableEdges() snapshot. Active degrees only ever shrink
   /// during the greedy loop, so once this turns false for an edge it stays
   /// false (the basis for the heap path's lazy deletion).
   bool IsRemovable(EdgeId e) const;
 
-  const std::vector<EdgeId>& means_edges() const { return means_edges_; }
-  const std::vector<EdgeId>& relation_edges() const { return relation_edges_; }
+  /// Records which means edges are active right now; call before Preprocess.
+  /// The confidence denominators evaluate every originally-active
+  /// alternative of each mention.
+  void SnapshotOriginalMeans();
+
+  /// Section 4 confidence scores for the current (already pruned) graph: the
+  /// chosen means edge's contribution normalized over all original
+  /// alternatives, each evaluated in the swapped subgraph S_t. Emits in
+  /// ascending mention order. Requires a prior SnapshotOriginalMeans().
+  void ComputeConfidencesInto(std::vector<DensifyResult::Assignment>* out);
+
+  const std::vector<EdgeId>& means_edges() const { return ws_->means_edges; }
+  const std::vector<EdgeId>& relation_edges() const {
+    return ws_->relation_edges;
+  }
 
  private:
-  std::vector<EdgeId> AffectedRelationEdges(EdgeId e) const;
+  // Construction-time lane building (all storage in the workspace).
+  void BuildEdgeLists();
+  void BuildNodeData(const AnnotatedDocument& doc);
+  void BuildUniverses();
+  void BuildLanes();
+  double TsPairValue(const BackgroundStats::TypeSignatureTable& table,
+                     size_t pattern_id, uint64_t key_a, uint64_t key_b,
+                     Span<TypeId> types_a, Span<TypeId> types_b) const;
+  uint32_t PatternIdOf(const std::string& pattern);
+
+  /// Active universe indices of one relation-edge side, in universe order
+  /// (== ascending entity order for pronouns, means-edge order for NPs).
+  void CollectActiveSide(NodeId n, std::vector<uint32_t>* out) const;
+
+  /// Sum of one lane under the current active flags; bit-identical to the
+  /// legacy EdgeWeights::RelationWeight of the same state.
+  double LaneWeight(const DensifyWorkspace::RelationLane& lane) const;
+
+  /// Active relation edges whose weight can change when `e` toggles, sorted
+  /// ascending, duplicates preserved (an edge incident to two sources is
+  /// summed twice, exactly as the legacy per-source concatenation did).
+  void AffectedRelationEdgesInto(EdgeId e, std::vector<EdgeId>* out) const;
+
   void IntersectSameAsClusters();
   void ApplyGenderConstraint();
 
+  /// Active entities of an NP in means-edge order, duplicates preserved.
+  void ActiveEntitiesOfNp(NodeId np, std::vector<EntityId>* out) const;
+
   SemanticGraph* graph_;
+  const AnnotatedDocument* doc_;
   const EntityRepository* repository_;
-  EdgeWeights weights_;
-  std::vector<EdgeId> means_edges_;
-  std::vector<EdgeId> relation_edges_;
+  const BackgroundStats* stats_;
+  DensifyParams params_;
+  DensifyWorkspace* ws_;
+  std::unique_ptr<DensifyWorkspace> owned_;  ///< When no workspace was given.
 };
 
-/// Records every noun phrase's means edges before pruning (the confidence
-/// denominators need the original candidate set).
-std::unordered_map<NodeId, std::vector<EdgeId>> CollectOriginalMeans(
+/// Reads the surviving pronoun -> antecedent links off the pruned graph,
+/// ascending by pronoun node.
+std::vector<std::pair<NodeId, NodeId>> ExtractPronounAntecedents(
     const SemanticGraph& graph);
 
-/// Section 4 confidence scores for the current (already pruned) graph: the
-/// chosen means edge's contribution normalized over all original
-/// alternatives, each evaluated in the swapped subgraph S_t.
-std::vector<DensifyResult::Assignment> ComputeAssignmentConfidences(
-    DensifyEvaluator* eval,
-    const std::unordered_map<NodeId, std::vector<EdgeId>>& original_means);
-
-/// Reads the surviving pronoun -> antecedent links off the pruned graph.
-std::unordered_map<NodeId, NodeId> ExtractPronounAntecedents(
-    const SemanticGraph& graph);
+/// ExtractPronounAntecedents into a retained buffer.
+void ExtractPronounAntecedentsInto(const SemanticGraph& graph,
+                                   std::vector<std::pair<NodeId, NodeId>>* out);
 
 /// Whether an assignment is a real entity link, as opposed to a leftover
 /// dictionary artifact: both the normalized confidence and the absolute

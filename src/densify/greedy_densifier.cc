@@ -1,7 +1,8 @@
 #include "densify/greedy_densifier.h"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/invariants.h"
@@ -26,6 +27,37 @@ NodeId MentionOfEdge(const SemanticGraph& graph, EdgeId e) {
 // contributions within two hops of m (pronoun unions span one hop, their
 // relation edges another). Built once over ALL relation/sameAs edges
 // regardless of active flag, exactly like the original scan path.
+//
+// CSR flavor into the retained workspace: the per-node neighbor lists come
+// out in ascending edge order, the same order the legacy map's vectors had.
+void BuildMentionAdjacencyFlat(const SemanticGraph& graph,
+                               DensifyWorkspace* ws) {
+  const size_t n = graph.node_count();
+  const size_t edges = graph.edge_count();
+  ws->adj_off.assign(n + 1, 0);
+  for (size_t e = 0; e < edges; ++e) {
+    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+    if (edge.kind != EdgeKind::kRelation && edge.kind != EdgeKind::kSameAs) {
+      continue;
+    }
+    ++ws->adj_off[static_cast<size_t>(edge.a) + 1];
+    ++ws->adj_off[static_cast<size_t>(edge.b) + 1];
+  }
+  for (size_t i = 0; i < n; ++i) ws->adj_off[i + 1] += ws->adj_off[i];
+  ws->cursor.assign(ws->adj_off.begin(), ws->adj_off.end() - 1);
+  ws->adj_data.resize(ws->adj_off[n]);
+  for (size_t e = 0; e < edges; ++e) {
+    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+    if (edge.kind != EdgeKind::kRelation && edge.kind != EdgeKind::kSameAs) {
+      continue;
+    }
+    ws->adj_data[ws->cursor[static_cast<size_t>(edge.a)]++] = edge.b;
+    ws->adj_data[ws->cursor[static_cast<size_t>(edge.b)]++] = edge.a;
+  }
+}
+
+// Reference-path adjacency (hash map), kept for the scan loop so that code
+// stays byte-for-byte the historical implementation.
 std::unordered_map<NodeId, std::vector<NodeId>> BuildMentionAdjacency(
     const SemanticGraph& graph) {
   std::unordered_map<NodeId, std::vector<NodeId>> adjacency;
@@ -40,31 +72,53 @@ std::unordered_map<NodeId, std::vector<NodeId>> BuildMentionAdjacency(
   return adjacency;
 }
 
+// Min-heap on contribution, then on EdgeId — ties between distinct edges
+// break toward the smaller id; ties between versions of the same edge are
+// resolved by the stale-version check on pop.
+struct HeapOrder {
+  bool operator()(const DensifyWorkspace::HeapEntry& a,
+                  const DensifyWorkspace::HeapEntry& b) const {
+    if (a.c != b.c) return a.c > b.c;
+    return a.e > b.e;
+  }
+};
+
 }  // namespace
 
 DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
                                        const AnnotatedDocument& doc) const {
-  DensifyEvaluator eval(graph, doc, stats_, repository_, params_);
   DensifyResult result;
+  Densify(graph, doc, &result);
+  return result;
+}
 
-  auto original_means = CollectOriginalMeans(*graph);
+void GreedyDensifier::Densify(SemanticGraph* graph, const AnnotatedDocument& doc,
+                              DensifyResult* result) const {
+  // One retained workspace per thread: universes, weight lanes and loop
+  // buffers all live there, so a warm thread densifies a stream of documents
+  // without heap allocations. thread_local keeps the batch pipeline's
+  // worker threads from sharing state.
+  static thread_local DensifyWorkspace workspace;
 
+  result->Clear();
+  DensifyEvaluator eval(graph, doc, stats_, repository_, params_, &workspace);
+
+  eval.SnapshotOriginalMeans();
   eval.Preprocess();
 
   if (strategy_ == DensifyStrategy::kHeap) {
-    RunHeapLoop(&eval, graph, &result);
+    RunHeapLoop(&eval, graph, result);
   } else {
-    RunScanLoop(&eval, graph, &result);
+    RunScanLoop(&eval, graph, result);
   }
 
   // After the removal loop the O(1) degree counters must agree with a full
   // recount, or removability decisions (and thus the KB) were wrong.
   QKBFLY_INVARIANT(CheckGraphInvariants(*graph), "GreedyDensifier::Densify");
 
-  result.objective = eval.Objective();
-  result.assignments = ComputeAssignmentConfidences(&eval, original_means);
-  result.pronoun_antecedents = ExtractPronounAntecedents(*graph);
-  return result;
+  result->objective = eval.Objective();
+  eval.ComputeConfidencesInto(&result->assignments);
+  ExtractPronounAntecedentsInto(*graph, &result->pronoun_antecedents);
 }
 
 // Incremental greedy loop. Correctness rests on two invariants:
@@ -80,60 +134,84 @@ DensifyResult GreedyDensifier::Densify(SemanticGraph* graph,
 //     as the scan path kept its cache entries.
 //
 // Ties on contribution break toward the smaller EdgeId via the heap order,
-// matching the scan path's explicit (c, EdgeId) tie-break.
+// matching the scan path's explicit (c, EdgeId) tie-break. All loop state
+// (heap vector, version array, edges-of-mention buckets, epoch-marked dirty
+// set) lives in the retained workspace: zero heap traffic once warm.
 void GreedyDensifier::RunHeapLoop(DensifyEvaluator* eval, SemanticGraph* graph,
                                   DensifyResult* result) const {
-  auto adjacency = BuildMentionAdjacency(*graph);
+  DensifyWorkspace& ws = eval->workspace();
+  const size_t n = graph->node_count();
+  BuildMentionAdjacencyFlat(*graph, &ws);
 
-  struct HeapEntry {
-    double c = 0.0;
-    EdgeId e = -1;
-    uint32_t version = 0;
-  };
-  struct HeapOrder {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.c != b.c) return a.c > b.c;  // min-heap on contribution
-      return a.e > b.e;                  // then on EdgeId
-    }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap;
-  std::vector<uint32_t> version(graph->edge_count(), 0);
+  ws.version.assign(graph->edge_count(), 0);
+  ws.dirty_mark.assign(n, 0);
+  ws.dirty_epoch = 0;
 
   // Candidate edges grouped by their (static) mention node; the initial
   // removable set is a superset of all future ones (invariant 1), so no
   // edge ever needs to be added later.
-  std::unordered_map<NodeId, std::vector<EdgeId>> edges_of_mention;
-  for (EdgeId e : eval->RemovableEdges()) {
-    heap.push({eval->Contribution(e), e, 0});
-    edges_of_mention[MentionOfEdge(*graph, e)].push_back(e);
+  eval->RemovableEdgesInto(&ws.removable);
+  ws.eom_off.assign(n + 1, 0);
+  for (EdgeId e : ws.removable) {
+    ++ws.eom_off[static_cast<size_t>(MentionOfEdge(*graph, e)) + 1];
+  }
+  for (size_t i = 0; i < n; ++i) ws.eom_off[i + 1] += ws.eom_off[i];
+  ws.cursor.assign(ws.eom_off.begin(), ws.eom_off.end() - 1);
+  ws.eom_data.resize(ws.removable.size());
+  for (EdgeId e : ws.removable) {
+    ws.eom_data[ws.cursor[static_cast<size_t>(MentionOfEdge(*graph, e))]++] = e;
   }
 
-  while (!heap.empty()) {
-    HeapEntry top = heap.top();
-    heap.pop();
-    if (version[static_cast<size_t>(top.e)] != top.version) continue;  // stale
+  const HeapOrder order;
+  ws.heap.clear();
+  for (EdgeId e : ws.removable) {
+    ws.heap.push_back({eval->Contribution(e), e, 0});
+    std::push_heap(ws.heap.begin(), ws.heap.end(), order);
+  }
+
+  auto add_dirty = [&ws](NodeId d) {
+    uint32_t& mark = ws.dirty_mark[static_cast<size_t>(d)];
+    if (mark != ws.dirty_epoch) {
+      mark = ws.dirty_epoch;
+      ws.dirty.push_back(d);
+    }
+  };
+
+  while (!ws.heap.empty()) {
+    const DensifyWorkspace::HeapEntry top = ws.heap.front();
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), order);
+    ws.heap.pop_back();
+    if (ws.version[static_cast<size_t>(top.e)] != top.version) continue;  // stale
     if (!eval->IsRemovable(top.e)) continue;  // permanently out (invariant 1)
 
     graph->SetEdgeActive(top.e, false);
     ++result->edges_removed;
     result->removal_order.push_back(top.e);
-    ++version[static_cast<size_t>(top.e)];  // no heap entry survives removal
+    ++ws.version[static_cast<size_t>(top.e)];  // no heap entry survives removal
 
-    NodeId mention = MentionOfEdge(*graph, top.e);
-    std::unordered_set<NodeId> dirty = {mention};
-    for (NodeId n1 : adjacency[mention]) {
-      dirty.insert(n1);
-      for (NodeId n2 : adjacency[n1]) dirty.insert(n2);
+    const NodeId mention = MentionOfEdge(*graph, top.e);
+    ++ws.dirty_epoch;
+    ws.dirty.clear();
+    add_dirty(mention);
+    const size_t m = static_cast<size_t>(mention);
+    for (uint32_t a = ws.adj_off[m]; a < ws.adj_off[m + 1]; ++a) {
+      const NodeId n1 = ws.adj_data[a];
+      add_dirty(n1);
+      const size_t i1 = static_cast<size_t>(n1);
+      for (uint32_t b = ws.adj_off[i1]; b < ws.adj_off[i1 + 1]; ++b) {
+        add_dirty(ws.adj_data[b]);
+      }
     }
-    for (NodeId d : dirty) {
-      auto it = edges_of_mention.find(d);
-      if (it == edges_of_mention.end()) continue;
-      for (EdgeId de : it->second) {
+    for (NodeId d : ws.dirty) {
+      const size_t id = static_cast<size_t>(d);
+      for (uint32_t k = ws.eom_off[id]; k < ws.eom_off[id + 1]; ++k) {
+        const EdgeId de = ws.eom_data[k];
         if (de == top.e) continue;
         if (!eval->IsRemovable(de)) continue;  // never coming back; skip
-        ++version[static_cast<size_t>(de)];
-        heap.push({eval->Contribution(de), de,
-                   version[static_cast<size_t>(de)]});
+        ++ws.version[static_cast<size_t>(de)];
+        ws.heap.push_back({eval->Contribution(de), de,
+                           ws.version[static_cast<size_t>(de)]});
+        std::push_heap(ws.heap.begin(), ws.heap.end(), order);
       }
     }
   }

@@ -34,6 +34,12 @@ class GreedyDensifier {
 
   DensifyResult Densify(SemanticGraph* graph, const AnnotatedDocument& doc) const;
 
+  /// Reuse form: clears and refills `*result`, so a caller looping over
+  /// documents with one DensifyResult (and the retained thread-local
+  /// workspace) densifies with zero steady-state heap allocations.
+  void Densify(SemanticGraph* graph, const AnnotatedDocument& doc,
+               DensifyResult* result) const;
+
   const DensifyParams& params() const { return params_; }
   DensifyStrategy strategy() const { return strategy_; }
 

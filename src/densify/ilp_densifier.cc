@@ -42,7 +42,7 @@ DensifyResult IlpDensifier::Densify(SemanticGraph* graph,
                                     const AnnotatedDocument& doc) const {
   DensifyEvaluator eval(graph, doc, stats_, repository_, params_);
   DensifyResult result;
-  auto original_means = CollectOriginalMeans(*graph);
+  eval.SnapshotOriginalMeans();
   eval.Preprocess();
 
   for (const Component& comp : FindComponents(*graph)) {
@@ -248,7 +248,7 @@ DensifyResult IlpDensifier::Densify(SemanticGraph* graph,
   }
 
   result.objective = eval.Objective();
-  result.assignments = ComputeAssignmentConfidences(&eval, original_means);
+  eval.ComputeConfidencesInto(&result.assignments);
   result.pronoun_antecedents = ExtractPronounAntecedents(*graph);
   return result;
 }

@@ -87,7 +87,9 @@ DensifyResult PipelineDensifier::Densify(SemanticGraph* graph,
         ++result.edges_removed;
       }
     }
-    if (best_np != kNoNode) result.pronoun_antecedents[p] = best_np;
+    // NodesOfKind iterates ascending, keeping the pair list sorted by
+    // pronoun as AntecedentOf's binary search requires.
+    if (best_np != kNoNode) result.pronoun_antecedents.emplace_back(p, best_np);
   }
 
   return result;

@@ -280,7 +280,10 @@ SemanticGraph GraphBuilder::Build(const AnnotatedDocument& doc) const {
   }
 
   // --- sameAs edges from pronouns to candidate antecedents -------------------
-  if (!options_.pronoun_coreference) return state.graph;
+  if (!options_.pronoun_coreference) {
+    state.graph.Finalize();
+    return state.graph;
+  }
   for (NodeId p : state.graph.NodesOfKind(NodeKind::kPronoun)) {
     const GraphNode& pro = state.graph.node(p);
     auto info = Lexicon::Get().GetPronoun(pro.text);
@@ -304,6 +307,9 @@ SemanticGraph GraphBuilder::Build(const AnnotatedDocument& doc) const {
     }
   }
 
+  // Build the CSR adjacency index now, while the graph is still warm: the
+  // densifier and every downstream reader start from an indexed graph.
+  state.graph.Finalize();
   return state.graph;
 }
 

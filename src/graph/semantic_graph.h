@@ -2,6 +2,14 @@
 // pronoun and entity nodes connected by depends, relation, sameAs and means
 // edges. One graph covers one document (the per-sentence graphs of the paper
 // linked by cross-sentence co-reference edges).
+//
+// Storage is data-oriented: nodes and edges live in contiguous arrays, and
+// adjacency is a CSR index (per-node offset table plus one flat incident-edge
+// array) built once after construction, allocated from a per-document bump
+// arena. Construction stays append-only; the CSR index is (re)built lazily on
+// the first adjacency query after a mutation, so hand-assembled test graphs
+// work unchanged while GraphBuilder finalizes eagerly before handing the
+// graph to the densifier.
 #ifndef QKBFLY_GRAPH_SEMANTIC_GRAPH_H_
 #define QKBFLY_GRAPH_SEMANTIC_GRAPH_H_
 
@@ -13,6 +21,8 @@
 #include "nlp/annotation.h"
 #include "nlp/lexicon.h"
 #include "text/token.h"
+#include "util/arena.h"
+#include "util/span.h"
 
 namespace qkbfly {
 
@@ -22,6 +32,7 @@ inline constexpr NodeId kNoNode = -1;
 
 /// The four node kinds of the semantic graph.
 enum class NodeKind : uint8_t { kClause, kNounPhrase, kPronoun, kEntity };
+inline constexpr size_t kNodeKindCount = 4;
 
 /// The four edge kinds of the semantic graph.
 enum class EdgeKind : uint8_t { kDepends, kRelation, kSameAs, kMeans };
@@ -74,6 +85,19 @@ struct GraphEdge {
 /// active flags maintained by the densification algorithm.
 class SemanticGraph {
  public:
+  using EdgeSpan = Span<EdgeId>;
+  using NodeSpan = Span<NodeId>;
+
+  SemanticGraph() = default;
+  // Copies duplicate the logical graph (nodes, edges, active flags); the CSR
+  // index is rebuilt lazily in the copy, never shared. Moves carry the arena
+  // (block storage is pointer-stable), so spans taken from the source stay
+  // valid against the destination.
+  SemanticGraph(const SemanticGraph& other);
+  SemanticGraph& operator=(const SemanticGraph& other);
+  SemanticGraph(SemanticGraph&& other) noexcept;
+  SemanticGraph& operator=(SemanticGraph&& other) noexcept;
+
   NodeId AddNode(GraphNode node);
   EdgeId AddEdge(GraphEdge edge);
 
@@ -83,6 +107,13 @@ class SemanticGraph {
   const GraphNode& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
   GraphNode& mutable_node(NodeId id) { return nodes_.at(static_cast<size_t>(id)); }
   const GraphEdge& edge(EdgeId id) const { return edges_.at(static_cast<size_t>(id)); }
+
+  /// Builds the CSR adjacency index over the current node/edge set. Idempotent;
+  /// adjacency accessors call it lazily, GraphBuilder calls it eagerly so the
+  /// densifier starts from an indexed graph. Toggling active flags does NOT
+  /// invalidate the index (CSR covers every edge regardless of flag).
+  void Finalize() const { EnsureFinalized(); }
+  bool finalized() const { return finalized_; }
 
   /// Toggles an edge and maintains the per-node active-degree counters.
   /// No-op when the flag already has the requested value.
@@ -109,8 +140,15 @@ class SemanticGraph {
   /// Ids of active edges of `kind` incident to `node` (either endpoint).
   std::vector<EdgeId> ActiveEdges(NodeId node, EdgeKind kind) const;
 
-  /// All edge ids incident to `node` regardless of active flag.
-  const std::vector<EdgeId>& IncidentEdges(NodeId node) const;
+  /// All edge ids incident to `node` regardless of active flag, ascending
+  /// (self-loops appear twice). The span points into the CSR arena and stays
+  /// valid until the next AddNode/AddEdge.
+  EdgeSpan IncidentEdges(NodeId node) const {
+    EnsureFinalized();
+    const size_t n = static_cast<size_t>(node);
+    return EdgeSpan(csr_edges_ + csr_offsets_[n],
+                    csr_offsets_[n + 1] - csr_offsets_[n]);
+  }
 
   /// Entity node reached from mention `np` via an active means edge id.
   /// (The means edge goes np -> entity.)
@@ -119,11 +157,19 @@ class SemanticGraph {
   /// Noun-phrase nodes reachable from `pronoun` via active sameAs edges.
   std::vector<std::pair<EdgeId, NodeId>> ActiveSameAs(NodeId node) const;
 
-  /// All node ids of a given kind.
-  std::vector<NodeId> NodesOfKind(NodeKind kind) const;
+  /// All node ids of a given kind, ascending. The span reads a per-kind id
+  /// vector maintained incrementally by AddNode, so it is valid regardless
+  /// of finalization and is invalidated only by adding a node of this kind.
+  NodeSpan NodesOfKind(NodeKind kind) const {
+    const auto& ids = kind_nodes_[static_cast<size_t>(kind)];
+    return NodeSpan(ids.data(), ids.size());
+  }
 
   /// Pre-existing entity node for an entity id, or kNoNode.
   NodeId EntityNode(EntityId entity) const;
+
+  /// Bytes of CSR/arena storage currently resident (0 until finalized).
+  size_t arena_resident_bytes() const { return arena_.resident_bytes(); }
 
   /// Debug rendering.
   std::string ToString() const;
@@ -135,7 +181,17 @@ class SemanticGraph {
     active_means_count_.at(static_cast<size_t>(n)) += delta;
   }
 
+  /// Test-only: finalizes and then perturbs one CSR offset so the span
+  /// checker in util/invariants.cc can observe a corruption. Never call
+  /// outside tests.
+  void TestOnlyCorruptIncidentSpan(NodeId n, int delta) {
+    EnsureFinalized();
+    csr_offsets_[static_cast<size_t>(n)] += static_cast<uint32_t>(delta);
+  }
+
  private:
+  void EnsureFinalized() const;
+
   void ApplyActiveDelta(const GraphEdge& edge, int delta) {
     if (edge.kind == EdgeKind::kMeans) {
       active_means_count_[static_cast<size_t>(edge.a)] += delta;
@@ -151,10 +207,17 @@ class SemanticGraph {
 
   std::vector<GraphNode> nodes_;
   std::vector<GraphEdge> edges_;
-  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<NodeId> kind_nodes_[kNodeKindCount];  ///< Ascending, per kind.
   std::unordered_map<EntityId, NodeId> entity_nodes_;
   std::vector<int> active_means_count_;      ///< Indexed by NodeId.
   std::vector<int> active_sameas_np_count_;  ///< Indexed by NodeId.
+
+  // CSR adjacency, arena-backed; rebuilt by EnsureFinalized after mutations.
+  // Mutable so const adjacency queries can finalize lazily.
+  mutable Arena arena_;
+  mutable uint32_t* csr_offsets_ = nullptr;  ///< node_count() + 1 entries.
+  mutable EdgeId* csr_edges_ = nullptr;      ///< One entry per edge endpoint.
+  mutable bool finalized_ = false;
 };
 
 }  // namespace qkbfly

@@ -147,8 +147,13 @@ const Entity& EntityRepository::Get(EntityId id) const {
 
 const std::vector<EntityId>& EntityRepository::CandidatesForAlias(
     std::string_view alias) const {
+  return CandidatesForAliasLowered(Lowercase(alias));
+}
+
+const std::vector<EntityId>& EntityRepository::CandidatesForAliasLowered(
+    std::string_view lowered_alias) const {
   static const std::vector<EntityId> kEmpty;
-  auto it = alias_index_.find(Lowercase(alias));
+  auto it = alias_index_.find(lowered_alias);
   return it == alias_index_.end() ? kEmpty : it->second;
 }
 
@@ -222,7 +227,7 @@ CacheStats EntityRepository::loose_cache_stats() const {
 
 StatusOr<EntityId> EntityRepository::FindByName(
     std::string_view canonical_name) const {
-  auto it = by_name_.find(std::string(canonical_name));
+  auto it = by_name_.find(canonical_name);
   if (it == by_name_.end()) {
     return Status::NotFound("no entity named '" + std::string(canonical_name) + "'");
   }
@@ -290,7 +295,15 @@ int EntityRepository::LongestMatchAtLinear(const std::vector<Token>& tokens,
   std::string candidate;
   for (int len = 1; len <= max_alias_tokens_ && begin + len <= n; ++len) {
     if (len > 1) candidate += ' ';
-    candidate += Lowercase(tokens[static_cast<size_t>(begin + len - 1)].text);
+    // The tokenizer already folded case into Token::lower; re-lowercasing the
+    // surface here charged tokenization-time work to the timed match loop in
+    // the hot-path benchmark. Hand-built tokens without `lower` still fold.
+    const Token& t = tokens[static_cast<size_t>(begin + len - 1)];
+    if (t.lower.empty()) {
+      candidate += Lowercase(t.text);
+    } else {
+      candidate += t.lower;
+    }
     auto it = alias_index_.find(candidate);
     if (it != alias_index_.end() && !it->second.empty()) {
       best_len = len;

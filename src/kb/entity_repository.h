@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "util/cache_stats.h"
 #include "util/status.h"
+#include "util/string_util.h"
 #include "util/symbol_table.h"
 
 namespace qkbfly {
@@ -62,6 +63,12 @@ class EntityRepository : public Gazetteer {
 
   /// Entity ids whose alias set contains `alias` (case-insensitive).
   const std::vector<EntityId>& CandidatesForAlias(std::string_view alias) const;
+
+  /// CandidatesForAlias for an already-lowercased alias: probes the index
+  /// directly with the view, no temporary string. The hot path folds case
+  /// once per mention and reuses the buffer.
+  const std::vector<EntityId>& CandidatesForAliasLowered(
+      std::string_view lowered_alias) const;
 
   /// True if any entity carries this alias.
   bool HasAlias(std::string_view alias) const;
@@ -126,9 +133,15 @@ class EntityRepository : public Gazetteer {
 
   const TypeSystem* types_;
   std::vector<Entity> entities_;
-  std::unordered_map<std::string, std::vector<EntityId>> alias_index_;
+  // Heterogeneous hashing: the linear gazetteer and the densifier probe with
+  // string_views over reused buffers, so lookups never build a temporary key.
+  std::unordered_map<std::string, std::vector<EntityId>, TransparentStringHash,
+                     std::equal_to<>>
+      alias_index_;
   std::unordered_map<Symbol, std::vector<EntityId>> token_index_;
-  std::unordered_map<std::string, EntityId> by_name_;
+  std::unordered_map<std::string, EntityId, TransparentStringHash,
+                     std::equal_to<>>
+      by_name_;
   std::vector<AliasTrieNode> trie_;  ///< trie_[0] is the root.
   int max_alias_tokens_ = 0;
 

@@ -60,6 +60,14 @@ std::vector<TypeId> TypeSystem::AncestorsOf(TypeId a) const {
   return out;
 }
 
+void TypeSystem::AncestorsInto(TypeId a, std::vector<TypeId>* out) const {
+  QKB_CHECK_LT(a, names_.size());
+  const auto& mask = ancestor_mask_[a];
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) out->push_back(static_cast<TypeId>(i));
+  }
+}
+
 NerType TypeSystem::CoarseOf(TypeId a) const {
   struct Root {
     const char* name;

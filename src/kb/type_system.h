@@ -40,6 +40,10 @@ class TypeSystem {
   /// All ancestors of `a`, including `a` itself.
   std::vector<TypeId> AncestorsOf(TypeId a) const;
 
+  /// Appends the ancestors of `a` (including `a`) to `out` in the same
+  /// ascending order as AncestorsOf, without allocating a fresh vector.
+  void AncestorsInto(TypeId a, std::vector<TypeId>* out) const;
+
   /// The coarse NER category a type rolls up to (PERSON, ORGANIZATION,
   /// LOCATION, TIME, NUMBER or MISC).
   NerType CoarseOf(TypeId a) const;

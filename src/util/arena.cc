@@ -1,0 +1,101 @@
+#include "util/arena.h"
+
+#include "obs/metrics.h"
+
+namespace qkbfly {
+
+namespace {
+
+constexpr size_t AlignUp(size_t n, size_t alignment) {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+// The registry hands out one process-wide gauge per name; fetching it at
+// construction keeps block acquire/release lock-free.
+Arena::Arena(size_t min_block_bytes)
+    : min_block_bytes_(min_block_bytes),
+      resident_gauge_(obs::MetricsRegistry::Default().GetGauge(
+          "graph_arena_bytes",
+          "Resident bytes of per-document graph arenas")) {}
+
+Arena::~Arena() { ReleaseResident(); }
+
+Arena::Arena(Arena&& other) noexcept
+    : blocks_(std::move(other.blocks_)),
+      current_(other.current_),
+      offset_(other.offset_),
+      allocated_(other.allocated_),
+      resident_(other.resident_),
+      min_block_bytes_(other.min_block_bytes_),
+      resident_gauge_(other.resident_gauge_) {
+  other.blocks_.clear();
+  other.current_ = 0;
+  other.offset_ = 0;
+  other.allocated_ = 0;
+  other.resident_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseResident();
+  blocks_ = std::move(other.blocks_);
+  current_ = other.current_;
+  offset_ = other.offset_;
+  allocated_ = other.allocated_;
+  resident_ = other.resident_;
+  min_block_bytes_ = other.min_block_bytes_;
+  resident_gauge_ = other.resident_gauge_;
+  other.blocks_.clear();
+  other.current_ = 0;
+  other.offset_ = 0;
+  other.allocated_ = 0;
+  other.resident_ = 0;
+  return *this;
+}
+
+void Arena::ReleaseResident() {
+  if (resident_ > 0) {
+    resident_gauge_->Add(-static_cast<int64_t>(resident_));
+    resident_ = 0;
+  }
+  blocks_.clear();
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = 1;
+  while (current_ < blocks_.size()) {
+    // new char[] storage is max_align_t-aligned, so aligning the offset
+    // aligns the returned pointer.
+    size_t aligned = AlignUp(offset_, alignment);
+    if (aligned + bytes <= blocks_[current_].capacity) {
+      offset_ = aligned + bytes;
+      allocated_ += bytes;
+      return blocks_[current_].data.get() + aligned;
+    }
+    // A retained block too small for this request is skipped until the next
+    // Reset; a fresh large-enough block is appended below.
+    ++current_;
+    offset_ = 0;
+  }
+  size_t capacity = bytes + alignment;
+  if (capacity < min_block_bytes_) capacity = min_block_bytes_;
+  Block block;
+  block.data = std::make_unique<char[]>(capacity);
+  block.capacity = capacity;
+  blocks_.push_back(std::move(block));
+  resident_ += capacity;
+  resident_gauge_->Add(static_cast<int64_t>(capacity));
+  offset_ = bytes;
+  allocated_ += bytes;
+  return blocks_.back().data.get();
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace qkbfly

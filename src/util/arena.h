@@ -1,0 +1,79 @@
+// Bump-pointer arena for the per-document graph structures. Allocation is a
+// pointer increment within retained blocks; Reset() rewinds to empty while
+// keeping every block, so a warm arena serves a stream of documents without
+// touching the heap again. Allocations larger than the block size get their
+// own dedicated block (and are likewise retained across Reset).
+//
+// Only trivially-destructible payloads are supported: the arena never runs
+// destructors, and AllocateArray enforces that at compile time, which also
+// keeps placement-new out of the hot path entirely.
+#ifndef QKBFLY_UTIL_ARENA_H_
+#define QKBFLY_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace qkbfly::obs {
+class Gauge;
+}
+
+namespace qkbfly {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t min_block_bytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned storage. `alignment` must be a power of two no larger than
+  /// what operator new guarantees (alignof(std::max_align_t) is always safe).
+  void* Allocate(size_t bytes, size_t alignment);
+
+  /// `count` default-initialized (i.e. uninitialized) elements of T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (count == 0) return nullptr;
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty. Every block is retained for reuse, so a Reset/refill
+  /// cycle of the same shape performs no heap traffic.
+  void Reset();
+
+  /// Bytes handed out since construction or the last Reset (excluding
+  /// alignment padding).
+  size_t allocated_bytes() const { return allocated_; }
+
+  /// Bytes of block capacity currently owned (survives Reset).
+  size_t resident_bytes() const { return resident_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+  };
+
+  void ReleaseResident();
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  ///< Block being filled; == blocks_.size() when full.
+  size_t offset_ = 0;   ///< Fill offset within blocks_[current_].
+  size_t allocated_ = 0;
+  size_t resident_ = 0;
+  size_t min_block_bytes_;
+  obs::Gauge* resident_gauge_;  ///< `graph_arena_bytes` in the default registry.
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_ARENA_H_

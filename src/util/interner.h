@@ -10,15 +10,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/string_util.h"
+
 namespace qkbfly {
 
 /// Bidirectional string <-> dense-id map. Ids are assigned in insertion order
 /// starting at 0. Not thread-safe; builders own one per corpus pass.
+/// Lookups are heterogeneous (no temporary std::string per probe).
 class StringInterner {
  public:
   /// Returns the id of `s`, inserting it if new.
   uint32_t Intern(std::string_view s) {
-    auto it = ids_.find(std::string(s));
+    auto it = ids_.find(s);
     if (it != ids_.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(strings_.size());
     strings_.emplace_back(s);
@@ -28,7 +31,7 @@ class StringInterner {
 
   /// Returns the id of `s` if present, without inserting.
   std::optional<uint32_t> Lookup(std::string_view s) const {
-    auto it = ids_.find(std::string(s));
+    auto it = ids_.find(s);
     if (it == ids_.end()) return std::nullopt;
     return it->second;
   }
@@ -39,7 +42,9 @@ class StringInterner {
   size_t size() const { return strings_.size(); }
 
  private:
-  std::unordered_map<std::string, uint32_t> ids_;
+  std::unordered_map<std::string, uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      ids_;
   std::vector<std::string> strings_;
 };
 

@@ -1,0 +1,33 @@
+// A minimal non-owning contiguous view, in the spirit of std::span but
+// trimmed to what the CSR graph accessors need. The pointee is not owned;
+// the creator guarantees the backing storage outlives every read.
+#ifndef QKBFLY_UTIL_SPAN_H_
+#define QKBFLY_UTIL_SPAN_H_
+
+#include <cstddef>
+
+namespace qkbfly {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_UTIL_SPAN_H_

@@ -10,19 +10,21 @@ namespace qkbfly {
 void SparseVector::Finalize() {
   std::sort(entries_.begin(), entries_.end(),
             [](const Entry& a, const Entry& b) { return a.id < b.id; });
-  std::vector<Entry> merged;
-  merged.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    if (!merged.empty() && merged.back().id == e.id) {
-      merged.back().value += e.value;
+  // Merge duplicate ids in place (two-pointer compaction) so a reused
+  // vector's capacity survives Finalize — the densifier calls this on
+  // retained per-sentence context vectors in its allocation-free hot path.
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].id == entries_[i].id) {
+      entries_[out - 1].value += entries_[i].value;
     } else {
-      merged.push_back(e);
+      entries_[out++] = entries_[i];
     }
   }
-  merged.erase(std::remove_if(merged.begin(), merged.end(),
-                              [](const Entry& e) { return e.value == 0.0; }),
-               merged.end());
-  entries_ = std::move(merged);
+  entries_.resize(out);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.value == 0.0; }),
+                 entries_.end());
   finalized_ = true;
 }
 

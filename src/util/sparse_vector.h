@@ -24,6 +24,12 @@ class SparseVector {
     finalized_ = false;
   }
 
+  /// Empties the vector, keeping its capacity for reuse.
+  void Clear() {
+    entries_.clear();
+    finalized_ = false;
+  }
+
   /// Sorts entries by id and sums duplicates; drops zero entries.
   void Finalize();
 

@@ -12,6 +12,12 @@ std::string Lowercase(std::string_view s) {
   return out;
 }
 
+void LowercaseInto(std::string_view s, std::string* out) {
+  out->assign(s);
+  std::transform(out->begin(), out->end(), out->begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+}
+
 std::string Uppercase(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(),

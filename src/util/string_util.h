@@ -4,6 +4,7 @@
 #ifndef QKBFLY_UTIL_STRING_UTIL_H_
 #define QKBFLY_UTIL_STRING_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,26 @@ namespace qkbfly {
 
 /// Returns a lowercased copy (ASCII case folding).
 std::string Lowercase(std::string_view s);
+
+/// Lowercases into a caller-owned buffer, reusing its capacity: the
+/// allocation-free variant for per-document hot paths.
+void LowercaseInto(std::string_view s, std::string* out);
+
+/// Heterogeneous string hash for unordered containers keyed by std::string:
+/// with std::equal_to<> as the key-equal, find(string_view) probes without
+/// materializing a temporary std::string.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Returns an uppercased copy (ASCII case folding).
 std::string Uppercase(std::string_view s);

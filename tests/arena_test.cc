@@ -1,0 +1,120 @@
+#include "util/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace qkbfly {
+namespace {
+
+obs::Gauge* ArenaGauge() {
+  return obs::MetricsRegistry::Default().GetGauge("graph_arena_bytes");
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  for (size_t alignment : {1u, 2u, 4u, 8u, 16u}) {
+    for (size_t bytes : {1u, 3u, 7u, 64u, 1000u}) {
+      void* p = arena.Allocate(bytes, alignment);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignment, 0u)
+          << "bytes=" << bytes << " alignment=" << alignment;
+      std::memset(p, 0xab, bytes);  // must be writable
+    }
+  }
+}
+
+TEST(ArenaTest, AllocateArrayAlignsToElementType) {
+  Arena arena;
+  arena.Allocate(1, 1);  // misalign the bump offset
+  double* d = arena.AllocateArray<double>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+  for (int i = 0; i < 5; ++i) d[i] = i * 1.5;
+  EXPECT_EQ(d[4], 6.0);
+  EXPECT_EQ(arena.AllocateArray<int>(0), nullptr);
+}
+
+TEST(ArenaTest, LargeAllocationGetsDedicatedBlock) {
+  Arena arena(/*min_block_bytes=*/256);
+  char* small = static_cast<char*>(arena.Allocate(16, 1));
+  // Far larger than the block size: must still succeed, in its own block.
+  const size_t big_bytes = 4096;
+  char* big = static_cast<char*>(arena.Allocate(big_bytes, 8));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5a, big_bytes);
+  EXPECT_GE(arena.resident_bytes(), 256 + big_bytes);
+  // The small block is skipped but retained; later small allocations that
+  // fit a fresh block do not disturb earlier memory.
+  char* more = static_cast<char*>(arena.Allocate(32, 1));
+  ASSERT_NE(more, nullptr);
+  EXPECT_EQ(small[0], small[15]);  // still mapped (no crash reading)
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutGrowingResident) {
+  Arena arena(/*min_block_bytes=*/1024);
+  auto fill = [&arena] {
+    for (int i = 0; i < 10; ++i) arena.Allocate(100, 8);
+  };
+  fill();
+  const size_t resident_after_warmup = arena.resident_bytes();
+  const size_t allocated_after_warmup = arena.allocated_bytes();
+  EXPECT_GT(resident_after_warmup, 0u);
+  EXPECT_EQ(allocated_after_warmup, 1000u);
+
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.allocated_bytes(), 0u);
+    fill();
+    EXPECT_EQ(arena.allocated_bytes(), allocated_after_warmup);
+    EXPECT_EQ(arena.resident_bytes(), resident_after_warmup)
+        << "same-shape refill after Reset must not acquire new blocks";
+  }
+}
+
+TEST(ArenaTest, ResidentGaugeTracksBlockFootprint) {
+  obs::Gauge* gauge = ArenaGauge();
+  const int64_t before = gauge->Value();
+  {
+    Arena arena(/*min_block_bytes=*/512);
+    arena.Allocate(64, 8);
+    EXPECT_EQ(gauge->Value() - before,
+              static_cast<int64_t>(arena.resident_bytes()));
+    arena.Allocate(8192, 8);  // dedicated large block
+    EXPECT_EQ(gauge->Value() - before,
+              static_cast<int64_t>(arena.resident_bytes()));
+    arena.Reset();  // blocks retained: gauge unchanged
+    EXPECT_EQ(gauge->Value() - before,
+              static_cast<int64_t>(arena.resident_bytes()));
+  }
+  // Destruction returns every block's capacity to the gauge.
+  EXPECT_EQ(gauge->Value(), before);
+}
+
+TEST(ArenaTest, MoveTransfersResidentAccounting) {
+  obs::Gauge* gauge = ArenaGauge();
+  const int64_t before = gauge->Value();
+  {
+    Arena a(/*min_block_bytes=*/512);
+    a.Allocate(100, 8);
+    const size_t resident = a.resident_bytes();
+    Arena b = std::move(a);
+    EXPECT_EQ(a.resident_bytes(), 0u);
+    EXPECT_EQ(b.resident_bytes(), resident);
+    // Move is a transfer of ownership, not an acquire/release pair.
+    EXPECT_EQ(gauge->Value() - before, static_cast<int64_t>(resident));
+
+    Arena c(/*min_block_bytes=*/512);
+    c.Allocate(50, 8);
+    c = std::move(b);  // c's original block is released
+    EXPECT_EQ(c.resident_bytes(), resident);
+    EXPECT_EQ(gauge->Value() - before, static_cast<int64_t>(resident));
+  }
+  EXPECT_EQ(gauge->Value(), before);
+}
+
+}  // namespace
+}  // namespace qkbfly

@@ -136,6 +136,41 @@ TEST_F(GraphBuilderTest, EntityNodesDeduplicated) {
   EXPECT_EQ(brad_nodes, 1);
 }
 
+TEST(SemanticGraphTest, IncidentSpansMatchNaiveAdjacency) {
+  // Hand-built star-plus-loop graph: spans must list each node's edges in
+  // ascending EdgeId order, with self-loops twice, regardless of flags.
+  SemanticGraph g;
+  GraphNode np;
+  np.kind = NodeKind::kNounPhrase;
+  NodeId n0 = g.AddNode(np);
+  NodeId n1 = g.AddNode(np);
+  NodeId n2 = g.AddNode(np);
+  EdgeId e0 = g.AddEdge({EdgeKind::kSameAs, n0, n1, "", true, kNoNode});
+  EdgeId e1 = g.AddEdge({EdgeKind::kSameAs, n0, n2, "", true, kNoNode});
+  EdgeId e2 = g.AddEdge({EdgeKind::kDepends, n0, n0, "", true, kNoNode});
+  EdgeId e3 = g.AddEdge({EdgeKind::kSameAs, n1, n2, "", false, kNoNode});
+  g.Finalize();
+  ASSERT_TRUE(g.finalized());
+
+  auto ids = [](SemanticGraph::EdgeSpan span) {
+    return std::vector<EdgeId>(span.begin(), span.end());
+  };
+  EXPECT_EQ(ids(g.IncidentEdges(n0)), (std::vector<EdgeId>{e0, e1, e2, e2}));
+  EXPECT_EQ(ids(g.IncidentEdges(n1)), (std::vector<EdgeId>{e0, e3}));
+  EXPECT_EQ(ids(g.IncidentEdges(n2)), (std::vector<EdgeId>{e1, e3}));
+  EXPECT_GT(g.arena_resident_bytes(), 0u);
+
+  // Mutation invalidates; the lazily rebuilt index covers the new edge.
+  EdgeId e4 = g.AddEdge({EdgeKind::kSameAs, n1, n0, "", true, kNoNode});
+  EXPECT_EQ(ids(g.IncidentEdges(n0)), (std::vector<EdgeId>{e0, e1, e2, e2, e4}));
+  EXPECT_EQ(ids(g.IncidentEdges(n1)), (std::vector<EdgeId>{e0, e3, e4}));
+
+  // Copies rebuild their own index and agree with the source.
+  SemanticGraph copy = g;
+  EXPECT_EQ(ids(copy.IncidentEdges(n0)), ids(g.IncidentEdges(n0)));
+  EXPECT_EQ(ids(copy.IncidentEdges(n2)), ids(g.IncidentEdges(n2)));
+}
+
 TEST(SemanticGraphTest, EdgeActivationToggles) {
   SemanticGraph g;
   GraphNode a;

@@ -61,6 +61,36 @@ TEST_F(InvariantsTest, CorruptedDegreeCounterIsDetected) {
   EXPECT_NE(violation.find("active-means"), std::string::npos);
 }
 
+TEST_F(InvariantsTest, ActiveDegreeCountersSurviveDensify) {
+  // The heap loop's removability tests read the O(1) counters; after a full
+  // Densify (which toggles many edges) every counter must still equal a
+  // naive recount, on every processed document.
+  QkbflyEngine engine = MakeEngine();
+  int total_removed = 0;
+  for (const Document& doc : docs_) {
+    DocumentResult result = engine.ProcessDocument(doc);
+    total_removed += result.densified.edges_removed;
+    EXPECT_EQ(CheckGraphInvariants(result.graph), "") << doc.id;
+  }
+  EXPECT_GT(total_removed, 0);  // the recount must have been exercised
+}
+
+TEST_F(InvariantsTest, CorruptedIncidentSpanIsDetected) {
+  QkbflyEngine engine = MakeEngine();
+  DocumentResult result = engine.ProcessDocument(docs_.front());
+  ASSERT_TRUE(result.graph.finalized());
+  EXPECT_EQ(CheckGraphInvariants(result.graph), "");
+
+  // Shift one interior offset: some node's span now disagrees with the
+  // naive adjacency rebuild, and the checker must say which.
+  ASSERT_GT(result.graph.node_count(), 2u);
+  result.graph.TestOnlyCorruptIncidentSpan(
+      static_cast<NodeId>(result.graph.node_count() / 2), +1);
+  std::string violation = CheckGraphInvariants(result.graph);
+  EXPECT_NE(violation, "");
+  EXPECT_NE(violation.find("incident span"), std::string::npos);
+}
+
 TEST_F(InvariantsTest, EnforceAbortsOnCorruptedCounter) {
   QkbflyEngine engine = MakeEngine();
   DocumentResult result = engine.ProcessDocument(docs_.front());
