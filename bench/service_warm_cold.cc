@@ -1,10 +1,17 @@
 // Serving-layer warm/cold bench: replays an entity-query workload against
-// KbService twice — a cold pass that populates the DocumentResult cache and
-// a warm pass that should be served almost entirely from it — verifies the
-// warm KBs are byte-identical to the cold ones, and writes the
-// machine-readable BENCH_service.json (records carry the cache columns:
-// hits, misses, hit_rate, p95_ms).
+// KbService three times —
+//   cold        empty tiers, every answer runs the full pipeline;
+//   doc-warm    query tier cleared first, answers served from the
+//               per-document cache (retrieval + canonicalization still run);
+//   query-warm  answers served whole from the query-level cache.
+// Verifies all three passes produce byte-identical KBs (the Serialize
+// round-trip contract) and that query-warm p95 is strictly below doc-warm
+// p95, then writes BENCH_service.json (cold + doc-warm, the historical
+// schema) and BENCH_store.json (all three passes plus fact-store counters).
+// Exits non-zero on an identity or ordering violation so the bench-smoke
+// ctest entry catches regressions.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,27 +23,13 @@
 namespace qkbfly {
 namespace {
 
-/// Canonical text form of a KB, used to check warm/cold identity.
-std::string Serialize(const OnTheFlyKb& kb) {
-  std::string out;
-  char buf[64];
-  for (const Fact& f : kb.facts()) {
-    std::snprintf(buf, sizeof(buf), " conf=%.9f\n", f.confidence);
-    out += kb.FactToString(f);
-    out += buf;
-  }
-  for (const EmergingEntity& e : kb.emerging_entities()) {
-    out += "emerging: " + e.representative + "\n";
-  }
-  return out;
-}
-
 struct PassResult {
   LatencyHistogram latency;
-  CacheStats cache;
+  CacheStats doc_cache;
+  CacheStats query_cache;
   uint64_t facts = 0;
   double wall_s = 0.0;
-  std::vector<std::string> kbs;
+  std::vector<std::string> kbs;  ///< OnTheFlyKb::Serialize bytes per query.
 };
 
 PassResult RunPass(KbService* service, const std::vector<std::string>& queries) {
@@ -44,27 +37,39 @@ PassResult RunPass(KbService* service, const std::vector<std::string>& queries) 
   for (const std::string& q : queries) {
     KbService::QueryResult result = service->Answer(q);
     pass.latency.Record(result.stats.total_s);
-    pass.cache += result.stats.cache;
+    pass.doc_cache += result.stats.cache;
+    pass.query_cache += result.stats.query_cache;
     pass.facts += result.kb.size();
     pass.wall_s += result.stats.total_s;
-    pass.kbs.push_back(Serialize(result.kb));
+    pass.kbs.push_back(result.kb.Serialize());
   }
   return pass;
 }
 
 void Report(const char* name, const PassResult& pass) {
-  std::printf("%-6s %s\n       cache: %llu hits / %llu misses "
-              "(hit rate %.1f%%)\n",
+  std::printf("%-10s %s\n           doc tier: %llu hits / %llu misses  "
+              "query tier: %llu hits / %llu misses\n",
               name, pass.latency.Report().c_str(),
-              static_cast<unsigned long long>(pass.cache.hits),
-              static_cast<unsigned long long>(pass.cache.misses),
-              pass.cache.HitRate() * 100.0);
+              static_cast<unsigned long long>(pass.doc_cache.hits),
+              static_cast<unsigned long long>(pass.doc_cache.misses),
+              static_cast<unsigned long long>(pass.query_cache.hits),
+              static_cast<unsigned long long>(pass.query_cache.misses));
 }
 
-void Run() {
+BenchReport::CacheFields Fields(const CacheStats& cache,
+                                const LatencyHistogram& latency) {
+  BenchReport::CacheFields fields;
+  fields.hits = cache.hits;
+  fields.misses = cache.misses;
+  fields.hit_rate = cache.HitRate();
+  fields.p95_ms = latency.PercentileSeconds(0.95) * 1e3;
+  return fields;
+}
+
+int Run(bool smoke) {
   DatasetConfig config;
-  config.wiki_eval_articles = 24;
-  config.news_docs = 16;
+  config.wiki_eval_articles = smoke ? 8 : 24;
+  config.news_docs = smoke ? 6 : 16;
   auto ds = BuildDataset(config);
   DocumentStore wiki;
   DocumentStore news;
@@ -83,47 +88,90 @@ void Run() {
               queries.size(), wiki.size(), news.size());
 
   PassResult cold = RunPass(&service, queries);
-  PassResult warm = RunPass(&service, queries);
+  // Doc-warm pass: drop the query tier so the doc tier has to answer.
+  service.ClearQueryTier();
+  PassResult doc_warm = RunPass(&service, queries);
+  // Query-warm pass: the doc-warm pass just refilled the query tier.
+  PassResult query_warm = RunPass(&service, queries);
 
   Report("cold", cold);
-  Report("warm", warm);
+  Report("doc-warm", doc_warm);
+  Report("query-warm", query_warm);
+  std::printf("           store: %zu facts, %zu qa pairs\n",
+              service.fact_store()->fact_count(),
+              service.fact_store()->qa_pairs().size());
 
-  bool identical = cold.kbs == warm.kbs;
+  int failures = 0;
+  bool identical = cold.kbs == doc_warm.kbs && cold.kbs == query_warm.kbs;
   double cold_p95 = cold.latency.PercentileSeconds(0.95);
-  double warm_p95 = warm.latency.PercentileSeconds(0.95);
-  std::printf("\nwarm/cold p95 ratio: %.3fx   warm KBs identical to cold: %s\n",
-              cold_p95 > 0.0 ? warm_p95 / cold_p95 : 0.0,
+  double doc_warm_p95 = doc_warm.latency.PercentileSeconds(0.95);
+  double query_warm_p95 = query_warm.latency.PercentileSeconds(0.95);
+  std::printf("\np95: cold %.3fms  doc-warm %.3fms  query-warm %.3fms   "
+              "all passes byte-identical: %s\n",
+              cold_p95 * 1e3, doc_warm_p95 * 1e3, query_warm_p95 * 1e3,
               identical ? "yes" : "NO << BUG");
-  if (!identical) std::printf("WARM/COLD MISMATCH — cache is unsound\n");
-  if (warm.cache.HitRate() <= 0.9) {
-    std::printf("WARNING: warm hit rate %.1f%% <= 90%%\n",
-                warm.cache.HitRate() * 100.0);
+  if (!identical) {
+    std::printf("WARM/COLD MISMATCH — a cache tier is unsound\n");
+    ++failures;
   }
-  if (warm_p95 >= cold_p95) {
-    std::printf("WARNING: warm p95 not below cold p95\n");
+  if (doc_warm.doc_cache.HitRate() <= 0.9) {
+    std::printf("WARNING: doc-warm hit rate %.1f%% <= 90%%\n",
+                doc_warm.doc_cache.HitRate() * 100.0);
+  }
+  if (doc_warm_p95 >= cold_p95) {
+    std::printf("WARNING: doc-warm p95 not below cold p95\n");
+  }
+  if (query_warm_p95 >= doc_warm_p95) {
+    std::printf("FAIL: query-warm p95 not strictly below doc-warm p95\n");
+    ++failures;
   }
 
-  BenchReport report;
-  auto add = [&](const char* name, const PassResult& pass) {
-    BenchReport::CacheFields cache;
-    cache.hits = pass.cache.hits;
-    cache.misses = pass.cache.misses;
-    cache.hit_rate = pass.cache.HitRate();
-    cache.p95_ms = pass.latency.PercentileSeconds(0.95) * 1e3;
-    report.Add(name, static_cast<int>(queries.size()), 1, pass.wall_s,
-               pass.facts, cache);
-  };
-  add("service_cold", cold);
-  add("service_warm", warm);
-  if (report.WriteJson("BENCH_service.json")) {
+  BenchReport service_report;
+  service_report.Add("service_cold", static_cast<int>(queries.size()), 1,
+                     cold.wall_s, cold.facts,
+                     Fields(cold.doc_cache, cold.latency));
+  service_report.Add("service_warm", static_cast<int>(queries.size()), 1,
+                     doc_warm.wall_s, doc_warm.facts,
+                     Fields(doc_warm.doc_cache, doc_warm.latency));
+  if (service_report.WriteJson("BENCH_service.json")) {
     std::printf("Wrote BENCH_service.json\n");
   }
+
+  // The store report carries the query-tier columns: doc-tier counters for
+  // cold/doc-warm (the tier that did the work), query-tier counters for the
+  // query-warm pass.
+  BenchReport store_report;
+  store_report.Add("store_cold", static_cast<int>(queries.size()), 1,
+                   cold.wall_s, cold.facts,
+                   Fields(cold.doc_cache, cold.latency));
+  store_report.Add("store_doc_warm", static_cast<int>(queries.size()), 1,
+                   doc_warm.wall_s, doc_warm.facts,
+                   Fields(doc_warm.doc_cache, doc_warm.latency));
+  store_report.Add("store_query_warm", static_cast<int>(queries.size()), 1,
+                   query_warm.wall_s, query_warm.facts,
+                   Fields(query_warm.query_cache, query_warm.latency));
+  if (!store_report.WriteJson("BENCH_store.json")) {
+    std::printf("FAIL: cannot write BENCH_store.json\n");
+    ++failures;
+  } else {
+    std::string error;
+    if (!BenchReport::ValidateJsonFile("BENCH_store.json", &error)) {
+      std::printf("FAIL: BENCH_store.json schema: %s\n", error.c_str());
+      ++failures;
+    } else {
+      std::printf("Wrote BENCH_store.json\n");
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace qkbfly
 
-int main() {
-  qkbfly::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return qkbfly::Run(smoke);
 }

@@ -40,6 +40,17 @@ echo "==> metrics exporter schema check"
     --metrics-out examples/check_metrics.json \
     --trace-out examples/check_traces.json >/dev/null)
 
+echo "==> fact store snapshot round-trip"
+# Two replays sharing one --store-path: run 1 saves the accumulated store,
+# run 2 loads it and serves the repeated questions from persisted QA pairs.
+# Either run exits non-zero on a load/save failure or schema violation.
+(cd build \
+    && rm -f examples/check_store.jsonl \
+    && ./examples/qkbfly_serve --smoke \
+        --store-path examples/check_store.jsonl >/dev/null \
+    && ./examples/qkbfly_serve --smoke \
+        --store-path examples/check_store.jsonl >/dev/null)
+
 if [[ "$SKIP_SANITIZER" -eq 0 ]]; then
   echo "==> sanitizer tree (QKBFLY_SANITIZE=$SANITIZER)"
   cmake -B "build-$SANITIZER" -S . -DQKBFLY_SANITIZE="$SANITIZER" >/dev/null

@@ -1,11 +1,140 @@
 #include "canon/onthefly_kb.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace qkbfly {
+
+namespace {
+
+// Serialization escaping: fields are tab-separated and records are
+// newline-separated, so those two characters (plus backslash and CR) are the
+// only ones that need escaping. Everything else passes through byte-for-byte,
+// which keeps the format deterministic and diffable.
+void AppendEscaped(std::string_view field, std::string* out) {
+  for (char c : field) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '\t': out->append("\\t"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+bool Unescape(std::string_view field, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < field.size(); ++i) {
+    char c = field[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= field.size()) return false;
+    switch (field[i]) {
+      case '\\': out->push_back('\\'); break;
+      case 't': out->push_back('\t'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+/// Splits one record on raw tabs (escaped tabs are the two-byte "\t").
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+bool ParseUint(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  bool negative = !s.empty() && s.front() == '-';
+  uint64_t magnitude = 0;
+  if (!ParseUint(negative ? s.substr(1) : s, &magnitude)) return false;
+  *out = negative ? -static_cast<int64_t>(magnitude)
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+/// %.17g prints enough digits that strtod recovers the exact double, so
+/// confidence survives serialize -> deserialize -> serialize byte-stably.
+void AppendDouble(double value, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  std::string buf(s);
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && !buf.empty();
+}
+
+void AppendArg(const FactArg& arg, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\t%d\t%" PRIu32 "\t%" PRIu32 "\t",
+                static_cast<int>(arg.kind), arg.entity, arg.emerging);
+  out->append(buf);
+  AppendEscaped(arg.surface, out);
+  out->push_back('\t');
+  AppendEscaped(arg.normalized, out);
+  std::snprintf(buf, sizeof(buf), "\t%d", static_cast<int>(arg.ner));
+  out->append(buf);
+}
+
+constexpr size_t kArgFields = 6;
+constexpr char kHeader[] = "qkbfly-kb\t1";
+
+bool ParseArg(const std::vector<std::string_view>& fields, size_t at,
+              FactArg* arg) {
+  int64_t kind = 0;
+  uint64_t entity = 0;
+  uint64_t emerging = 0;
+  int64_t ner = 0;
+  if (!ParseInt(fields[at], &kind) || kind < 0 ||
+      kind > static_cast<int64_t>(FactArg::Kind::kLiteral) ||
+      !ParseUint(fields[at + 1], &entity) ||
+      !ParseUint(fields[at + 2], &emerging) ||
+      !Unescape(fields[at + 3], &arg->surface) ||
+      !Unescape(fields[at + 4], &arg->normalized) ||
+      !ParseInt(fields[at + 5], &ner) || ner < 0 ||
+      ner > static_cast<int64_t>(NerType::kNumber)) {
+    return false;
+  }
+  arg->kind = static_cast<FactArg::Kind>(kind);
+  arg->entity = static_cast<EntityId>(entity);
+  arg->emerging = static_cast<EmergingId>(emerging);
+  arg->ner = static_cast<NerType>(ner);
+  return true;
+}
+
+}  // namespace
 
 void OnTheFlyKb::AddFact(Fact fact) {
   // Merge with an equivalent fact: same canonical relation, same subject and
@@ -111,6 +240,150 @@ bool OnTheFlyKb::ArgMatches(const FactArg& arg, std::string_view filter) const {
   std::string name = Lowercase(ArgName(arg));
   std::string needle = Lowercase(filter);
   return name.find(needle) != std::string::npos;
+}
+
+std::string OnTheFlyKb::Serialize() const {
+  std::string out(kHeader);
+  out.push_back('\n');
+  char buf[32];
+  // Emerging entities and KB-local relations are emitted in id order (their
+  // storage order), facts in first-occurrence input order — every sequence
+  // below is already deterministic, so no sorting is needed here and the
+  // bytes are stable across serial/parallel/warm/cold builds.
+  for (const EmergingEntity& e : emerging_) {
+    std::snprintf(buf, sizeof(buf), "E\t%d\t", static_cast<int>(e.ner));
+    out.append(buf);
+    AppendEscaped(e.representative, &out);
+    for (const std::string& m : e.mentions) {
+      out.push_back('\t');
+      AppendEscaped(m, &out);
+    }
+    out.push_back('\n');
+  }
+  for (const std::string& name : new_relation_names_) {
+    out.append("R\t");
+    AppendEscaped(name, &out);
+    out.push_back('\n');
+  }
+  for (const Fact& f : facts_) {
+    std::snprintf(buf, sizeof(buf), "F\t%" PRIu32 "\t", f.relation);
+    out.append(buf);
+    AppendEscaped(f.relation_pattern, &out);
+    out.append(f.negated ? "\t1\t" : "\t0\t");
+    AppendDouble(f.confidence, &out);
+    out.push_back('\t');
+    AppendEscaped(f.doc_id, &out);
+    std::snprintf(buf, sizeof(buf), "\t%d", f.sentence);
+    out.append(buf);
+    AppendArg(f.subject, &out);
+    for (const FactArg& arg : f.args) AppendArg(arg, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status OnTheFlyKb::Deserialize(std::string_view data) {
+  if (!facts_.empty() || !emerging_.empty() || !new_relation_names_.empty()) {
+    return Status::FailedPrecondition("Deserialize requires an empty KB");
+  }
+  size_t line_no = 0;
+  size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    facts_.clear();
+    emerging_.clear();
+    new_relations_.clear();
+    new_relation_names_.clear();
+    return Status::InvalidArgument("KB line " + std::to_string(line_no) + ": " +
+                                   what);
+  };
+  bool saw_header = false;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) return fail("missing trailing newline");
+    std::string_view line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line_no == 1) {
+      if (line != kHeader) return fail("bad header");
+      saw_header = true;
+      continue;
+    }
+    auto fields = SplitFields(line);
+    if (fields[0] == "E") {
+      if (fields.size() < 3) return fail("short emerging-entity record");
+      int64_t ner = 0;
+      if (!ParseInt(fields[1], &ner) || ner < 0 ||
+          ner > static_cast<int64_t>(NerType::kNumber)) {
+        return fail("bad NER type");
+      }
+      EmergingEntity e;
+      e.id = static_cast<EmergingId>(emerging_.size());
+      e.ner = static_cast<NerType>(ner);
+      if (!Unescape(fields[2], &e.representative)) return fail("bad escape");
+      e.mentions.resize(fields.size() - 3);
+      for (size_t i = 3; i < fields.size(); ++i) {
+        if (!Unescape(fields[i], &e.mentions[i - 3])) return fail("bad escape");
+      }
+      emerging_.push_back(std::move(e));
+    } else if (fields[0] == "R") {
+      if (fields.size() != 2) return fail("bad relation record");
+      std::string name;
+      if (!Unescape(fields[1], &name)) return fail("bad escape");
+      RelationId id =
+          static_cast<RelationId>(patterns_->size() + new_relation_names_.size());
+      new_relations_.emplace(name, id);
+      new_relation_names_.push_back(std::move(name));
+    } else if (fields[0] == "F") {
+      if (fields.size() < 7 + kArgFields ||
+          (fields.size() - 7) % kArgFields != 0) {
+        return fail("bad fact field count");
+      }
+      Fact f;
+      uint64_t relation = 0;
+      int64_t negated = 0;
+      int64_t sentence = 0;
+      if (!ParseUint(fields[1], &relation) ||
+          !Unescape(fields[2], &f.relation_pattern) ||
+          !ParseInt(fields[3], &negated) || (negated != 0 && negated != 1) ||
+          !ParseDouble(fields[4], &f.confidence) ||
+          !Unescape(fields[5], &f.doc_id) || !ParseInt(fields[6], &sentence)) {
+        return fail("bad fact fields");
+      }
+      f.relation = static_cast<RelationId>(relation);
+      if (f.relation >= patterns_->size() + new_relation_names_.size()) {
+        return fail("fact references undeclared relation");
+      }
+      f.negated = negated == 1;
+      f.sentence = static_cast<int>(sentence);
+      if (!ParseArg(fields, 7, &f.subject)) return fail("bad subject arg");
+      size_t extra = (fields.size() - 7) / kArgFields - 1;
+      f.args.resize(extra);
+      for (size_t i = 0; i < extra; ++i) {
+        if (!ParseArg(fields, 7 + (i + 1) * kArgFields, &f.args[i])) {
+          return fail("bad fact arg");
+        }
+      }
+      auto check_arg = [&](const FactArg& arg) {
+        if (arg.kind == FactArg::Kind::kEmerging &&
+            arg.emerging >= emerging_.size()) {
+          return false;
+        }
+        return arg.kind != FactArg::Kind::kEntity ||
+               arg.entity < repository_->size();
+      };
+      if (!check_arg(f.subject)) return fail("bad subject reference");
+      for (const FactArg& arg : f.args) {
+        if (!check_arg(arg)) return fail("bad arg reference");
+      }
+      // Facts are appended verbatim (not via AddFact): the serialized stream
+      // is already merged, and re-merging would reorder confidence updates.
+      facts_.push_back(std::move(f));
+    } else {
+      return fail("unknown record kind");
+    }
+  }
+  if (!saw_header) return fail("empty input");
+  return Status::OK();
 }
 
 std::vector<const Fact*> OnTheFlyKb::Search(std::string_view subject_filter,

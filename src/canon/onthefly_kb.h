@@ -13,6 +13,7 @@
 #include "kb/entity_repository.h"
 #include "kb/pattern_repository.h"
 #include "kb/type_system.h"
+#include "util/status.h"
 
 namespace qkbfly {
 
@@ -75,6 +76,20 @@ class OnTheFlyKb {
                                   std::string_view object_filter) const;
 
   const EntityRepository& repository() const { return *repository_; }
+
+  /// Deterministic, byte-stable text serialization of the whole KB: emerging
+  /// entities in id order, KB-local relations in id order, facts in stored
+  /// (first-occurrence input) order, every field tab-separated and escaped.
+  /// Two KBs built from the same inputs serialize to identical bytes, so the
+  /// output doubles as the canonical identity digest for warm/cold checks
+  /// and as the value format of the query-level cache and fact store.
+  std::string Serialize() const;
+
+  /// Rebuilds this KB from Serialize() output. The KB must be empty and
+  /// bound to the same repositories the serialized KB was built against
+  /// (entity and relation ids are repository-relative). Round-trip contract:
+  /// Deserialize(s) succeeded implies Serialize() == s byte-for-byte.
+  Status Deserialize(std::string_view data);
 
  private:
   bool ArgMatches(const FactArg& arg, std::string_view filter) const;

@@ -46,11 +46,19 @@ struct EngineConfig {
   /// the KB is identical for every thread count.
   int num_threads = 1;
 
+  /// The corpus version this engine's outputs are derived from, used when no
+  /// SearchEngine is attached (the serving layer prefers the live
+  /// SearchEngine::epoch()). Cache tiers and the fact store key/tag their
+  /// artifacts with the epoch, so bumping it lazily invalidates them.
+  CorpusEpoch corpus_epoch = 1;
+
   /// Deterministic string identifying every config field that changes the
   /// *result* of ProcessDocument (mode, densify alphas, canonicalizer and
   /// graph-builder options). `num_threads` is deliberately excluded: it only
-  /// affects scheduling. Used as part of serving-layer cache keys, so two
-  /// engines with the same fingerprint may share cached DocumentResults.
+  /// affects scheduling; `corpus_epoch` is excluded too because the epoch is
+  /// a separate component of every cache key. Used as part of serving-layer
+  /// cache keys, so two engines with the same fingerprint may share cached
+  /// DocumentResults.
   std::string Fingerprint() const;
 };
 

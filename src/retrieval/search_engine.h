@@ -3,6 +3,7 @@
 #ifndef QKBFLY_RETRIEVAL_SEARCH_ENGINE_H_
 #define QKBFLY_RETRIEVAL_SEARCH_ENGINE_H_
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -68,11 +69,23 @@ class SearchEngine {
   std::vector<const Document*> Retrieve(std::string_view query, Source source,
                                         size_t k) const;
 
+  /// The corpus version retrieval currently serves. Starts at 1. Consumers
+  /// (the serving layer's cache tiers, the fact store) tag derived artifacts
+  /// with this epoch and lazily invalidate them when it advances.
+  CorpusEpoch epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Advances the epoch after the underlying document stores changed (the
+  /// caller is responsible for reindexing / rebuilding this SearchEngine or
+  /// its stores first). Safe to call while queries are in flight: readers
+  /// pick up the new epoch on their next query.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   const DocumentStore* wikipedia_;
   const DocumentStore* news_;
   Bm25Index wikipedia_index_;
   Bm25Index news_index_;
+  std::atomic<CorpusEpoch> epoch_{1};
 };
 
 }  // namespace qkbfly

@@ -187,4 +187,11 @@ void DocumentResultCache::Clear() {
   }
 }
 
+void DocumentResultCache::EvictAll(CorpusEpoch epoch) {
+  CorpusEpoch seen = epoch_.load(std::memory_order_acquire);
+  if (seen >= epoch) return;
+  epoch_.store(epoch, std::memory_order_release);
+  Clear();
+}
+
 }  // namespace qkbfly

@@ -7,6 +7,7 @@
 #ifndef QKBFLY_SERVICE_DOCUMENT_RESULT_CACHE_H_
 #define QKBFLY_SERVICE_DOCUMENT_RESULT_CACHE_H_
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <list>
@@ -77,6 +78,13 @@ class DocumentResultCache {
   /// complete, fulfil their waiters and insert as usual.
   void Clear();
 
+  /// Epoch-aware invalidation: Clear() when `epoch` advances past the last
+  /// epoch seen (idempotent per epoch). Unlike the query tier's keys, doc
+  /// cache keys carry no epoch — (doc id, fingerprint) entries from an old
+  /// corpus would otherwise be served forever — so this call is the
+  /// correctness-critical half of a corpus-epoch bump.
+  void EvictAll(CorpusEpoch epoch);
+
  private:
   struct Entry {
     std::shared_future<std::shared_ptr<const DocumentResult>> future;
@@ -104,6 +112,7 @@ class DocumentResultCache {
   Options options_;
   size_t budget_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<CorpusEpoch> epoch_{0};  ///< Last epoch EvictAll acted on.
 
   // Registry instruments (process-wide); counters are read lock-free, so the
   // monotonicity invariant can run while a shard mutex is held. The gauges

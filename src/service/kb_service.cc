@@ -4,6 +4,8 @@
 #include <future>
 #include <utility>
 
+#include "store/qa_pair_index.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -13,7 +15,14 @@ KbService::KbService(const QkbflyEngine* engine, const SearchEngine* search,
                      KbServiceOptions options)
     : engine_(engine), search_(search), options_(options),
       fingerprint_(engine->config().Fingerprint()), cache_(options.cache),
+      query_cache_(options.query_cache),
       trace_sink_(options.keep_slowest_traces) {
+  if (options_.fact_store != nullptr) {
+    store_ = options_.fact_store;
+  } else {
+    owned_store_ = std::make_unique<FactStore>();
+    store_ = owned_store_.get();
+  }
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -104,6 +113,57 @@ OnTheFlyKb KbService::BuildKb(const std::vector<const Document*>& docs,
   return kb;
 }
 
+void KbService::AnswerCold(const std::string& query, QueryResult* out,
+                           obs::TraceContext trace) {
+  WallTimer stage;
+  std::vector<const Document*> docs;
+  {
+    obs::ScopedSpan span(trace, "retrieve");
+    docs = search_->Retrieve(query, SearchEngine::Source::kWikipedia,
+                             options_.wiki_k);
+    for (const Document* d : search_->Retrieve(
+             query, SearchEngine::Source::kNews, options_.news_k)) {
+      if (std::find(docs.begin(), docs.end(), d) == docs.end()) {
+        docs.push_back(d);
+      }
+    }
+    span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
+  }
+  out->stats.retrieve_s = stage.ElapsedSeconds();
+  retrieve_seconds_->Observe(out->stats.retrieve_s);
+
+  out->kb = BuildKb(docs, &out->stats, trace);
+
+  // Rank facts by confidence (stable, so ties keep canonicalization order)
+  // and render the top ones as the human-readable answer.
+  std::vector<const Fact*> ranked;
+  ranked.reserve(out->kb.facts().size());
+  for (const Fact& f : out->kb.facts()) ranked.push_back(&f);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Fact* a, const Fact* b) {
+                     return a->confidence > b->confidence;
+                   });
+  if (ranked.size() > options_.max_answers) ranked.resize(options_.max_answers);
+  for (const Fact* f : ranked) {
+    out->answers.push_back(out->kb.FactToString(*f));
+  }
+}
+
+CorpusEpoch KbService::CurrentEpoch() const {
+  return search_ != nullptr ? search_->epoch()
+                            : engine_->config().corpus_epoch;
+}
+
+void KbService::SyncEpoch(CorpusEpoch epoch) {
+  // Tier by tier in the documented lock order (the locks are taken
+  // sequentially, never nested). The query tier's keys embed the epoch, so
+  // its EvictAll is memory reclamation; the doc tier's keys do not, so its
+  // EvictAll is the correctness-critical half of a corpus bump.
+  query_cache_.EvictAll(epoch);
+  cache_.EvictAll(epoch);
+  store_->SetEpoch(epoch);
+}
+
 KbService::QueryResult KbService::Answer(const std::string& query) {
   WallTimer total;
   QueryResult out{engine_->MakeKb(), {}, {}};
@@ -118,36 +178,78 @@ KbService::QueryResult KbService::Answer(const std::string& query) {
     trace->AddAttribute(trace->root(), "query", std::string_view(query));
   }
 
-  WallTimer stage;
-  std::vector<const Document*> docs;
-  {
-    obs::ScopedSpan span(query_trace, "retrieve");
-    docs = search_->Retrieve(query, SearchEngine::Source::kWikipedia,
-                             options_.wiki_k);
-    for (const Document* d : search_->Retrieve(
-             query, SearchEngine::Source::kNews, options_.news_k)) {
-      if (std::find(docs.begin(), docs.end(), d) == docs.end()) {
-        docs.push_back(d);
-      }
+  CorpusEpoch epoch = CurrentEpoch();
+  SyncEpoch(epoch);
+  std::string normalized = QaPairIndex::NormalizeQuestion(query);
+
+  if (!options_.enable_query_cache) {
+    AnswerCold(query, &out, query_trace);
+    store_->IngestKb(out.kb, query, epoch, query_trace);
+    QaPair pair;
+    pair.question = normalized;
+    pair.fingerprint = fingerprint_;
+    pair.epoch = epoch;
+    pair.documents = out.stats.documents;
+    pair.answers = out.answers;
+    pair.kb_bytes = out.kb.Serialize();
+    store_->qa_pairs().Record(std::move(pair));
+    out.stats.query_cache.misses = 1;
+  } else {
+    std::string key = QueryKbCache::Key(normalized, epoch, fingerprint_);
+    // `built` flags that *this thread* ran the cold pipeline, in which case
+    // out.kb already holds the directly-built KB (the byte-identity anchor).
+    // Waiters, hits, and store-served answers rebuild from the cached bytes
+    // instead; the Serialize/Deserialize round-trip contract makes the two
+    // paths byte-identical.
+    bool built = false;
+    bool was_hit = false;
+    auto cached = query_cache_.FetchOrCompute(
+        key,
+        [&]() -> CachedAnswer {
+          CachedAnswer answer;
+          if (options_.serve_from_store) {
+            std::shared_ptr<const QaPair> pair = store_->FindQaPair(
+                normalized, epoch, fingerprint_, options_.match_paraphrases,
+                query_trace);
+            if (pair != nullptr) {
+              answer.kb_bytes = pair->kb_bytes;
+              answer.answers = pair->answers;
+              answer.documents = pair->documents;
+              answer.from_store = true;
+              return answer;
+            }
+          }
+          AnswerCold(query, &out, query_trace);
+          built = true;
+          answer.kb_bytes = out.kb.Serialize();
+          answer.answers = out.answers;
+          answer.documents = out.stats.documents;
+          store_->IngestKb(out.kb, query, epoch, query_trace);
+          QaPair pair;
+          pair.question = normalized;
+          pair.fingerprint = fingerprint_;
+          pair.epoch = epoch;
+          pair.documents = answer.documents;
+          pair.answers = answer.answers;
+          pair.kb_bytes = answer.kb_bytes;
+          store_->qa_pairs().Record(std::move(pair));
+          return answer;
+        },
+        &was_hit);
+    out.stats.query_cache_hit = was_hit;
+    out.stats.served_from_store = cached->from_store;
+    if (was_hit) {
+      out.stats.query_cache.hits = 1;
+    } else {
+      out.stats.query_cache.misses = 1;
     }
-    span.AddAttribute("documents", static_cast<int64_t>(docs.size()));
+    if (!built) {
+      out.answers = cached->answers;
+      out.stats.documents = cached->documents;
+      Status status = out.kb.Deserialize(cached->kb_bytes);
+      QKB_CHECK(status.ok());
+    }
   }
-  out.stats.retrieve_s = stage.ElapsedSeconds();
-  retrieve_seconds_->Observe(out.stats.retrieve_s);
-
-  out.kb = BuildKb(docs, &out.stats, query_trace);
-
-  // Rank facts by confidence (stable, so ties keep canonicalization order)
-  // and render the top ones as the human-readable answer.
-  std::vector<const Fact*> ranked;
-  ranked.reserve(out.kb.facts().size());
-  for (const Fact& f : out.kb.facts()) ranked.push_back(&f);
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const Fact* a, const Fact* b) {
-                     return a->confidence > b->confidence;
-                   });
-  if (ranked.size() > options_.max_answers) ranked.resize(options_.max_answers);
-  for (const Fact* f : ranked) out.answers.push_back(out.kb.FactToString(*f));
 
   out.stats.total_s = total.ElapsedSeconds();
   queries_total_->Increment();
@@ -158,6 +260,10 @@ KbService::QueryResult KbService::Answer(const std::string& query) {
                         static_cast<int64_t>(out.stats.cache.hits));
     trace->AddAttribute(trace->root(), "cache_misses",
                         static_cast<int64_t>(out.stats.cache.misses));
+    trace->AddAttribute(trace->root(), "query_cache_hit",
+                        out.stats.query_cache_hit);
+    trace->AddAttribute(trace->root(), "served_from_store",
+                        out.stats.served_from_store);
     trace->Finish();
     trace_sink_.Offer(std::move(trace));
   }
@@ -170,6 +276,7 @@ KbService::Metrics KbService::metrics() const {
   m.latency = answer_seconds_->Snapshot();
   m.latency.SubtractPrefix(latency_baseline_);
   m.cache = cache_.stats();
+  m.query_cache = query_cache_.stats();
   return m;
 }
 

@@ -1,10 +1,25 @@
 // The serving layer: fronts SearchEngine + QkbflyEngine for concurrent
-// query traffic. Per-document extraction results are reused across queries
-// through a DocumentResultCache (warm path); only retrieval and per-query
-// canonicalization run on every request. Thread-safety contract: all public
-// methods may be called concurrently from any thread once the service is
-// constructed; the engine and search index are shared read-only, the cache
-// and metrics are internally synchronized.
+// query traffic through two cache tiers plus a persistent fact store:
+//
+//   query tier (QueryKbCache)  — whole answered queries, keyed by
+//     (normalized question, corpus epoch, config fingerprint); a hit skips
+//     everything, including retrieval.
+//   doc tier (DocumentResultCache) — per-document extraction results shared
+//     across queries; on a query-tier miss only retrieval and per-query
+//     canonicalization run per request.
+//   fact store (FactStore)     — canonicalized facts + QA pairs accumulated
+//     across queries, optionally persisted (Save/Load) and optionally
+//     serving repeated questions across process restarts.
+//
+// Corpus-epoch contract: every Answer() syncs the tiers to the current
+// epoch (SearchEngine::epoch(), else EngineConfig::corpus_epoch); a bump
+// lazily invalidates both tiers and stales the store's records.
+//
+// Thread-safety contract: all public methods may be called concurrently from
+// any thread once the service is constructed; the engine and search index
+// are shared read-only, the caches, store and metrics are internally
+// synchronized. Lock order (qkbfly-lint C2): query-tier shard -> doc-tier
+// shard -> store shard -> metrics.
 #ifndef QKBFLY_SERVICE_KB_SERVICE_H_
 #define QKBFLY_SERVICE_KB_SERVICE_H_
 
@@ -19,6 +34,8 @@
 #include "obs/trace.h"
 #include "retrieval/search_engine.h"
 #include "service/document_result_cache.h"
+#include "store/fact_store.h"
+#include "store/query_cache.h"
 #include "util/cache_stats.h"
 #include "util/latency_histogram.h"
 
@@ -48,13 +65,38 @@ struct KbServiceOptions {
   /// capture entirely: no Trace is allocated and every instrumentation
   /// point is a single null check.
   size_t keep_slowest_traces = 0;
+
+  /// Byte budget and sharding of the query-level cache tier.
+  QueryKbCache::Options query_cache;
+
+  /// When false, Answer() skips the query tier entirely (every call runs
+  /// retrieval + the doc tier). The fact store still accumulates.
+  bool enable_query_cache = true;
+
+  /// When true, a query-tier miss first probes the fact store's QA-pair
+  /// index (exact normalized question, same epoch + fingerprint) before
+  /// running the full pipeline — this is what serves repeated questions
+  /// across process restarts after FactStore::Load.
+  bool serve_from_store = false;
+
+  /// With serve_from_store, also accept token-bag paraphrase matches
+  /// ("who married ann" serves "ann married who").
+  bool match_paraphrases = false;
+
+  /// Optional externally-owned fact store (shared across services, or
+  /// preloaded from a snapshot). Must outlive the service. When null the
+  /// service owns a private store.
+  FactStore* fact_store = nullptr;
 };
 
 /// Per-query serving statistics.
 struct ServiceStats {
   size_t documents = 0;        ///< Documents retrieved for the query.
-  CacheStats cache;            ///< This query's cache hits/misses.
-  double retrieve_s = 0.0;     ///< Search-engine time.
+  CacheStats cache;            ///< This query's doc-tier hits/misses.
+  CacheStats query_cache;      ///< This query's query-tier hit/miss (0/1).
+  bool query_cache_hit = false;    ///< Served from the query tier.
+  bool served_from_store = false;  ///< Served from persisted QA pairs.
+  double retrieve_s = 0.0;     ///< Search-engine time (0 on query-tier hit).
   double process_s = 0.0;      ///< Fetch-or-compute time (all documents).
   double canonicalize_s = 0.0; ///< Per-query KB assembly time.
   double total_s = 0.0;        ///< End-to-end latency.
@@ -79,9 +121,12 @@ class KbService {
     ServiceStats stats;
   };
 
-  /// Full query path: retrieve documents for an entity-centric query (the
-  /// query's Wikipedia article plus top news hits), build the query-specific
-  /// KB through the cache, rank facts into `answers`.
+  /// Full query path. Checked in order: the query-level cache (normalized
+  /// question + epoch + fingerprint; single-flight on miss), then — with
+  /// serve_from_store — the fact store's QA pairs, then the cold pipeline
+  /// (retrieve, build the KB through the doc tier, rank facts into
+  /// `answers`, ingest the facts into the store). Warm answers deserialize
+  /// the cached KB bytes, so result.kb is byte-identical to the cold build.
   QueryResult Answer(const std::string& query);
 
   /// Document-level entry point (QaSystem routes here with its own
@@ -99,6 +144,7 @@ class KbService {
   struct Metrics {
     uint64_t queries = 0;
     CacheStats cache;           ///< Cumulative DocumentResultCache counters.
+    CacheStats query_cache;     ///< Cumulative QueryKbCache counters.
     LatencyHistogram latency;   ///< End-to-end Answer() latencies.
   };
   Metrics metrics() const;
@@ -108,19 +154,45 @@ class KbService {
   const obs::TraceSink& traces() const { return trace_sink_; }
 
   const DocumentResultCache& cache() const { return cache_; }
+  const QueryKbCache& query_cache() const { return query_cache_; }
   const QkbflyEngine& engine() const { return *engine_; }
   const KbServiceOptions& options() const { return options_; }
+
+  /// The fact store answers are ingested into (the service-owned one unless
+  /// options.fact_store was set). Mutable so callers can Save/Load it.
+  FactStore* fact_store() { return store_; }
+  const FactStore* fact_store() const { return store_; }
+
+  /// Drops the query tier's entries (the doc tier and store are untouched).
+  /// Benches use this to measure the doc-warm path in isolation.
+  void ClearQueryTier() { query_cache_.Clear(); }
 
  private:
   std::shared_ptr<const DocumentResult> FetchOrCompute(const Document& doc,
                                                        CacheStats* tally,
                                                        obs::TraceContext trace);
 
+  /// The cold pipeline: retrieval + BuildKb + fact ranking. Fills
+  /// out->kb, out->answers, and the retrieval/process/canonicalize stats.
+  void AnswerCold(const std::string& query, QueryResult* out,
+                  obs::TraceContext trace);
+
+  /// The corpus epoch to serve at: the live SearchEngine::epoch() when a
+  /// search engine is attached, else the engine config's corpus_epoch.
+  CorpusEpoch CurrentEpoch() const;
+
+  /// Propagates an epoch bump to every tier (query tier, doc tier, store),
+  /// in documented lock order. Idempotent per epoch.
+  void SyncEpoch(CorpusEpoch epoch);
+
   const QkbflyEngine* engine_;
   const SearchEngine* search_;
   KbServiceOptions options_;
   std::string fingerprint_;  ///< Engine-config fingerprint, part of cache keys.
   DocumentResultCache cache_;
+  QueryKbCache query_cache_;
+  std::unique_ptr<FactStore> owned_store_;  ///< When options.fact_store null.
+  FactStore* store_;
   std::unique_ptr<ThreadPool> pool_;  ///< Present when num_threads > 1.
   obs::TraceSink trace_sink_;
 

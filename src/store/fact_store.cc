@@ -1,0 +1,638 @@
+#include "store/fact_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace qkbfly {
+
+namespace {
+
+constexpr char kSep = '\x1f';
+
+// ---------------------------------------------------------------------------
+// JSONL helpers: escape/emit on the Save side, a minimal strict parser for
+// the flat line objects on the Load side (strings, finite numbers, bools and
+// arrays of strings — the full value range of the snapshot schema).
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonStringArray(const std::vector<std::string>& values,
+                           std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(values[i], out);
+  }
+  out->push_back(']');
+}
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kStringArray };
+  Kind kind = Kind::kString;
+  std::string str;
+  double number = 0.0;
+  bool boolean = false;
+  std::vector<std::string> array;
+};
+
+/// Strict single-line object parser. Duplicate keys are rejected, so the
+/// schema checks below can key on exact field sets.
+class JsonLineParser {
+ public:
+  explicit JsonLineParser(std::string_view line) : line_(line) {}
+
+  bool Parse(std::vector<std::pair<std::string, JsonValue>>* fields,
+             std::string* error) {
+    fields->clear();
+    SkipSpace();
+    if (!Consume('{')) return Fail("expected '{'", error);
+    SkipSpace();
+    if (Consume('}')) return AtEnd(error);
+    while (true) {
+      std::pair<std::string, JsonValue> field;
+      if (!ParseString(&field.first)) return Fail("bad key string", error);
+      for (const auto& existing : *fields) {
+        if (existing.first == field.first) {
+          return Fail("duplicate key '" + field.first + "'", error);
+        }
+      }
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'", error);
+      if (!ParseValue(&field.second, error)) return false;
+      fields->push_back(std::move(field));
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      if (Consume('}')) return AtEnd(error);
+      return Fail("expected ',' or '}'", error);
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Fail(const std::string& what, std::string* error) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool AtEnd(std::string* error) {
+    SkipSpace();
+    if (pos_ != line_.size()) return Fail("trailing characters", error);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < line_.size()) {
+      char c = line_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= line_.size()) return false;
+      char esc = line_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > line_.size()) return false;
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = line_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (value > 0xFF) return false;  // snapshots are byte-oriented
+          out->push_back(static_cast<char>(value));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (pos_ >= line_.size()) return Fail("missing value", error);
+    char c = line_[pos_];
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      if (!ParseString(&out->str)) return Fail("bad string value", error);
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kStringArray;
+      out->array.clear();
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        std::string element;
+        if (!ParseString(&element)) return Fail("bad array element", error);
+        out->array.push_back(std::move(element));
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume(']')) return true;
+        return Fail("expected ',' or ']'", error);
+      }
+    }
+    if (line_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (line_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    // Number.
+    size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isdigit(static_cast<unsigned char>(line_[pos_])) ||
+            line_[pos_] == '-' || line_[pos_] == '+' || line_[pos_] == '.' ||
+            line_[pos_] == 'e' || line_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("bad value", error);
+    std::string buf(line_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->number = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return Fail("bad number", error);
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+/// Field accessor enforcing presence + kind in one step.
+const JsonValue* FindField(
+    const std::vector<std::pair<std::string, JsonValue>>& fields,
+    std::string_view key, JsonValue::Kind kind) {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return value.kind == kind ? &value : nullptr;
+  }
+  return nullptr;
+}
+
+void SortUnique(std::vector<std::string>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+/// Merges two sorted-unique string sets in place.
+void MergeInto(std::vector<std::string>* into,
+               const std::vector<std::string>& from) {
+  for (const std::string& s : from) into->push_back(s);
+  SortUnique(into);
+}
+
+void AppendEpoch(CorpusEpoch epoch, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(epoch));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string FactRecord::Key() const {
+  std::string key;
+  key.reserve(subject.size() + relation.size() + 8);
+  key.append(subject);
+  key.push_back(kSep);
+  key.append(relation);
+  key.push_back(kSep);
+  key.push_back(negated ? '1' : '0');
+  for (const std::string& a : args) {
+    key.push_back(kSep);
+    key.append(a);
+  }
+  return key;
+}
+
+size_t FactRecord::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + subject.size() + relation.size();
+  for (const std::string& a : args) bytes += sizeof(a) + a.size();
+  for (const std::string& d : doc_ids) bytes += sizeof(d) + d.size();
+  for (const std::string& q : queries) bytes += sizeof(q) + q.size();
+  return bytes;
+}
+
+FactStore::FactStore(Options options) : options_(options) {
+  int shards = std::max(1, options_.num_shards);
+  options_.num_shards = shards;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  facts_total_ = registry.GetCounter(
+      "store_facts_total",
+      "Facts ingested into the FactStore as new keys (merges excluded)");
+  resident_bytes_ = registry.GetGauge(
+      "store_resident_bytes",
+      "Approximate bytes of fact records resident across FactStore shards");
+}
+
+FactStore::Shard& FactStore::ShardFor(std::string_view key) {
+  size_t h = std::hash<std::string_view>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+const FactStore::Shard& FactStore::ShardFor(std::string_view key) const {
+  size_t h = std::hash<std::string_view>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+void FactStore::DropStaleLocked(Shard& store_shard, CorpusEpoch epoch) {
+  for (auto it = store_shard.map.begin(); it != store_shard.map.end();) {
+    if (it->second.epoch < epoch) {
+      size_t bytes = it->first.size() + it->second.ApproxBytes();
+      store_shard.bytes -= bytes;
+      resident_bytes_->Add(-static_cast<int64_t>(bytes));
+      it = store_shard.map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool FactStore::Ingest(FactRecord record) {
+  SortUnique(&record.doc_ids);
+  SortUnique(&record.queries);
+  std::string key = record.Key();
+  CorpusEpoch current = epoch();
+  Shard& store_shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(store_shard.mutex);
+  DropStaleLocked(store_shard, current);
+  if (record.epoch < current) return false;  // stale on arrival
+  auto it = store_shard.map.find(key);
+  if (it == store_shard.map.end()) {
+    size_t bytes = key.size() + record.ApproxBytes();
+    store_shard.map.emplace(std::move(key), std::move(record));
+    store_shard.bytes += bytes;
+    resident_bytes_->Add(static_cast<int64_t>(bytes));
+    facts_total_->Increment();
+    return true;
+  }
+  FactRecord& existing = it->second;
+  size_t before = existing.ApproxBytes();
+  existing.confidence = std::max(existing.confidence, record.confidence);
+  existing.epoch = std::max(existing.epoch, record.epoch);
+  MergeInto(&existing.doc_ids, record.doc_ids);
+  MergeInto(&existing.queries, record.queries);
+  size_t after = existing.ApproxBytes();
+  store_shard.bytes += after - before;
+  resident_bytes_->Add(static_cast<int64_t>(after) -
+                       static_cast<int64_t>(before));
+  return false;
+}
+
+size_t FactStore::IngestKb(const OnTheFlyKb& kb, std::string_view query,
+                           CorpusEpoch epoch, obs::TraceContext trace) {
+  obs::ScopedSpan span(trace, "store_ingest");
+  span.AddAttribute("facts", static_cast<int64_t>(kb.size()));
+  size_t fresh = 0;
+  for (const Fact& f : kb.facts()) {
+    FactRecord record;
+    record.subject = kb.ArgName(f.subject);
+    record.relation = kb.RelationName(f.relation);
+    record.args.reserve(f.args.size());
+    for (const FactArg& arg : f.args) record.args.push_back(kb.ArgName(arg));
+    record.negated = f.negated;
+    record.confidence = f.confidence;
+    record.epoch = epoch;
+    if (!f.doc_id.empty()) record.doc_ids.push_back(f.doc_id);
+    if (!query.empty()) record.queries.emplace_back(query);
+    if (Ingest(std::move(record))) ++fresh;
+  }
+  span.AddAttribute("new_facts", static_cast<int64_t>(fresh));
+  return fresh;
+}
+
+std::vector<FactRecord> FactStore::LookupSubject(std::string_view subject,
+                                                 obs::TraceContext trace) const {
+  obs::ScopedSpan span(trace, "store_lookup");
+  span.AddAttribute("subject", subject);
+  CorpusEpoch current = epoch();
+  std::vector<FactRecord> out;
+  for (const auto& store_shard : shards_) {
+    std::lock_guard<std::mutex> lock(store_shard->mutex);
+    for (const auto& [key, record] : store_shard->map) {
+      if (record.epoch >= current && record.subject == subject) {
+        out.push_back(record);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FactRecord& a, const FactRecord& b) {
+              return a.Key() < b.Key();
+            });
+  span.AddAttribute("facts", static_cast<int64_t>(out.size()));
+  return out;
+}
+
+std::vector<FactRecord> FactStore::Snapshot() const {
+  CorpusEpoch current = epoch();
+  std::vector<FactRecord> out;
+  for (const auto& store_shard : shards_) {
+    std::lock_guard<std::mutex> lock(store_shard->mutex);
+    for (const auto& [key, record] : store_shard->map) {
+      if (record.epoch >= current) out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FactRecord& a, const FactRecord& b) {
+              return a.Key() < b.Key();
+            });
+  return out;
+}
+
+void FactStore::SetEpoch(CorpusEpoch epoch) {
+  CorpusEpoch seen = epoch_.load(std::memory_order_acquire);
+  if (seen >= epoch) return;
+  epoch_.store(epoch, std::memory_order_release);
+  // Stale facts are dropped lazily per shard; the QA index is small enough
+  // to sweep eagerly so restarts never resurrect stale answers.
+  qa_pairs_.DropStale(epoch);
+}
+
+size_t FactStore::fact_count() const {
+  CorpusEpoch current = epoch();
+  size_t count = 0;
+  for (const auto& store_shard : shards_) {
+    std::lock_guard<std::mutex> lock(store_shard->mutex);
+    for (const auto& [key, record] : store_shard->map) {
+      if (record.epoch >= current) ++count;
+    }
+  }
+  return count;
+}
+
+size_t FactStore::ApproxBytesUsed() const {
+  size_t bytes = 0;
+  for (const auto& store_shard : shards_) {
+    std::lock_guard<std::mutex> lock(store_shard->mutex);
+    bytes += store_shard->bytes;
+  }
+  return bytes + qa_pairs_.ApproxBytesUsed();
+}
+
+void FactStore::Clear() {
+  for (const auto& store_shard : shards_) {
+    std::lock_guard<std::mutex> lock(store_shard->mutex);
+    resident_bytes_->Add(-static_cast<int64_t>(store_shard->bytes));
+    store_shard->map.clear();
+    store_shard->bytes = 0;
+  }
+  qa_pairs_.Clear();
+}
+
+std::shared_ptr<const QaPair> FactStore::FindQaPair(
+    std::string_view question, CorpusEpoch epoch, std::string_view fingerprint,
+    bool match_paraphrases, obs::TraceContext trace) const {
+  obs::ScopedSpan span(trace, "store_lookup");
+  span.AddAttribute("question", question);
+  std::shared_ptr<const QaPair> pair =
+      qa_pairs_.Find(question, epoch, fingerprint);
+  bool paraphrase = false;
+  if (pair == nullptr && match_paraphrases) {
+    pair = qa_pairs_.FindParaphrase(question, epoch, fingerprint);
+    paraphrase = pair != nullptr;
+  }
+  span.AddAttribute("found", pair != nullptr);
+  span.AddAttribute("paraphrase", paraphrase);
+  return pair;
+}
+
+Status FactStore::Save(const std::string& path) const {
+  std::string out;
+  out.append("{\"qkbfly_fact_store\":1,\"epoch\":");
+  AppendEpoch(epoch(), &out);
+  out.append("}\n");
+
+  char buf[48];
+  for (const FactRecord& record : Snapshot()) {
+    out.append("{\"kind\":\"fact\",\"subject\":");
+    AppendJsonString(record.subject, &out);
+    out.append(",\"relation\":");
+    AppendJsonString(record.relation, &out);
+    out.append(",\"args\":");
+    AppendJsonStringArray(record.args, &out);
+    out.append(record.negated ? ",\"negated\":true" : ",\"negated\":false");
+    std::snprintf(buf, sizeof(buf), ",\"confidence\":%.17g", record.confidence);
+    out.append(buf);
+    out.append(",\"epoch\":");
+    AppendEpoch(record.epoch, &out);
+    out.append(",\"docs\":");
+    AppendJsonStringArray(record.doc_ids, &out);
+    out.append(",\"queries\":");
+    AppendJsonStringArray(record.queries, &out);
+    out.append("}\n");
+  }
+
+  for (const auto& pair : qa_pairs_.All()) {
+    if (pair->epoch < epoch()) continue;
+    out.append("{\"kind\":\"qa\",\"question\":");
+    AppendJsonString(pair->question, &out);
+    out.append(",\"fingerprint\":");
+    AppendJsonString(pair->fingerprint, &out);
+    out.append(",\"epoch\":");
+    AppendEpoch(pair->epoch, &out);
+    std::snprintf(buf, sizeof(buf), ",\"documents\":%llu",
+                  static_cast<unsigned long long>(pair->documents));
+    out.append(buf);
+    out.append(",\"answers\":");
+    AppendJsonStringArray(pair->answers, &out);
+    out.append(",\"kb\":");
+    AppendJsonString(pair->kb_bytes, &out);
+    out.append("}\n");
+  }
+
+  // Write-to-temp + rename so readers never observe a torn snapshot.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::Internal("cannot open " + tmp + " for writing");
+    file << out;
+    if (!file.good()) return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status FactStore::Load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  std::string data = contents.str();
+
+  Clear();
+  size_t line_no = 0;
+  size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    Clear();
+    return Status::InvalidArgument(path + " line " + std::to_string(line_no) +
+                                   ": " + what);
+  };
+
+  bool saw_header = false;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string::npos) return fail("missing trailing newline");
+    std::string_view line(data.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::vector<std::pair<std::string, JsonValue>> fields;
+    std::string error;
+    if (!JsonLineParser(line).Parse(&fields, &error)) return fail(error);
+
+    if (!saw_header) {
+      const JsonValue* version =
+          FindField(fields, "qkbfly_fact_store", JsonValue::Kind::kNumber);
+      const JsonValue* header_epoch =
+          FindField(fields, "epoch", JsonValue::Kind::kNumber);
+      if (version == nullptr || header_epoch == nullptr || fields.size() != 2 ||
+          version->number != 1.0 || header_epoch->number < 1.0) {
+        return fail("bad snapshot header");
+      }
+      epoch_.store(static_cast<CorpusEpoch>(header_epoch->number),
+                   std::memory_order_release);
+      saw_header = true;
+      continue;
+    }
+
+    const JsonValue* kind = FindField(fields, "kind", JsonValue::Kind::kString);
+    if (kind == nullptr) return fail("record missing string 'kind'");
+    if (kind->str == "fact") {
+      const JsonValue* subject =
+          FindField(fields, "subject", JsonValue::Kind::kString);
+      const JsonValue* relation =
+          FindField(fields, "relation", JsonValue::Kind::kString);
+      const JsonValue* args =
+          FindField(fields, "args", JsonValue::Kind::kStringArray);
+      const JsonValue* negated =
+          FindField(fields, "negated", JsonValue::Kind::kBool);
+      const JsonValue* confidence =
+          FindField(fields, "confidence", JsonValue::Kind::kNumber);
+      const JsonValue* record_epoch =
+          FindField(fields, "epoch", JsonValue::Kind::kNumber);
+      const JsonValue* docs =
+          FindField(fields, "docs", JsonValue::Kind::kStringArray);
+      const JsonValue* queries =
+          FindField(fields, "queries", JsonValue::Kind::kStringArray);
+      if (subject == nullptr || relation == nullptr || args == nullptr ||
+          negated == nullptr || confidence == nullptr ||
+          record_epoch == nullptr || docs == nullptr || queries == nullptr ||
+          fields.size() != 9) {
+        return fail("bad fact record schema");
+      }
+      FactRecord record;
+      record.subject = subject->str;
+      record.relation = relation->str;
+      record.args = args->array;
+      record.negated = negated->boolean;
+      record.confidence = confidence->number;
+      record.epoch = static_cast<CorpusEpoch>(record_epoch->number);
+      record.doc_ids = docs->array;
+      record.queries = queries->array;
+      (void)Ingest(std::move(record));
+    } else if (kind->str == "qa") {
+      const JsonValue* question =
+          FindField(fields, "question", JsonValue::Kind::kString);
+      const JsonValue* fingerprint =
+          FindField(fields, "fingerprint", JsonValue::Kind::kString);
+      const JsonValue* pair_epoch =
+          FindField(fields, "epoch", JsonValue::Kind::kNumber);
+      const JsonValue* documents =
+          FindField(fields, "documents", JsonValue::Kind::kNumber);
+      const JsonValue* answers =
+          FindField(fields, "answers", JsonValue::Kind::kStringArray);
+      const JsonValue* kb = FindField(fields, "kb", JsonValue::Kind::kString);
+      if (question == nullptr || fingerprint == nullptr ||
+          pair_epoch == nullptr || documents == nullptr || answers == nullptr ||
+          kb == nullptr || fields.size() != 7) {
+        return fail("bad qa record schema");
+      }
+      QaPair pair;
+      pair.question = question->str;
+      pair.fingerprint = fingerprint->str;
+      pair.epoch = static_cast<CorpusEpoch>(pair_epoch->number);
+      pair.documents = static_cast<size_t>(documents->number);
+      pair.answers = answers->array;
+      pair.kb_bytes = kb->str;
+      qa_pairs_.Record(std::move(pair));
+    } else {
+      return fail("unknown record kind '" + kind->str + "'");
+    }
+  }
+  if (!saw_header) return fail("empty snapshot");
+  return Status::OK();
+}
+
+}  // namespace qkbfly

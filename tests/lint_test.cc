@@ -272,7 +272,7 @@ TEST(RuleC2Test, FlagsDetachAndRawNewThread) {
 }
 
 TEST(RuleC2Test, FlagsLockOrderInversion) {
-  // metrics (rank 3) held while acquiring a shard mutex (rank 2).
+  // metrics (rank 5) held while acquiring a doc-tier shard mutex (rank 3).
   constexpr char kSrc[] = R"cc(
     void Report() {
       std::lock_guard<std::mutex> m(metrics_mutex_);
@@ -285,13 +285,40 @@ TEST(RuleC2Test, FlagsLockOrderInversion) {
 }
 
 TEST(RuleC2Test, DocumentedOrderIsClean) {
+  // The full documented chain, outer to inner: query tier (2) -> doc tier
+  // (3) -> store shard (4) -> metrics (5).
   constexpr char kSrc[] = R"cc(
     void Report() {
+      std::lock_guard<std::mutex> q(qshard.mutex);
       std::lock_guard<std::mutex> s(shard.mutex);
+      std::lock_guard<std::mutex> f(store_shard.mutex);
       std::lock_guard<std::mutex> m(metrics_mutex_);
     }
   )cc";
   EXPECT_FALSE(Has(LintSource("src/service/a.cc", kSrc), Rule::kC2));
+}
+
+TEST(RuleC2Test, FlagsQueryTierAcquiredUnderDocTier) {
+  // doc-tier shard (rank 3) held while acquiring a query-tier shard (rank
+  // 2): the tiers nest the wrong way around.
+  constexpr char kSrc[] = R"cc(
+    void Serve() {
+      std::lock_guard<std::mutex> s(shard.mutex);
+      std::lock_guard<std::mutex> q(qshard.mutex);
+    }
+  )cc";
+  EXPECT_TRUE(Has(LintSource("src/store/a.cc", kSrc), Rule::kC2));
+}
+
+TEST(RuleC2Test, FlagsDocTierAcquiredUnderStoreShard) {
+  // FactStore shard (rank 4) held while acquiring a doc-tier shard (rank 3).
+  constexpr char kSrc[] = R"cc(
+    void Ingest() {
+      std::lock_guard<std::mutex> f(store_shard.mutex);
+      std::lock_guard<std::mutex> s(shard.mutex);
+    }
+  )cc";
+  EXPECT_TRUE(Has(LintSource("src/store/a.cc", kSrc), Rule::kC2));
 }
 
 TEST(RuleC2Test, ScopeExitReleasesHeldLocks) {

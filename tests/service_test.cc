@@ -89,7 +89,11 @@ DocumentResult FakeResult(const std::string& id) {
 }
 
 TEST_F(ServiceTest, WarmAnswerIsByteIdenticalToCold) {
-  KbService service(engine_, search_);
+  // Doc-tier test: disable the query tier so the second Answer() exercises
+  // the per-document cache (store_test covers the query-warm path).
+  KbServiceOptions options;
+  options.enable_query_cache = false;
+  KbService service(engine_, search_, options);
   std::string query = dataset_->wiki_eval.front().doc.title;
 
   KbService::QueryResult cold = service.Answer(query);

@@ -654,15 +654,21 @@ void CheckC1(const Context& ctx) {
 /// Documented lock order (outer acquired before inner):
 ///   rank 1  ThreadPool queue mutex        (name contains "pool" or lives in
 ///                                          util/thread_pool)
-///   rank 2  DocumentResultCache shard     (name contains "shard")
-///   rank 3  service metrics               (name contains "metrics")
+///   rank 2  QueryKbCache shard            (name contains "qshard" or "query")
+///   rank 3  DocumentResultCache shard     (name contains "shard")
+///   rank 4  FactStore shard               (name contains "store")
+///   rank 5  service metrics               (name contains "metrics")
 /// Acquiring a lower rank while holding a higher one inverts the order.
+/// Substring checks are ordered most-specific first: "qshard" and "store"
+/// would both also match the bare doc-tier "shard" pattern.
 int LockRank(const Context& ctx, const std::string& expr) {
   auto contains = [&](const char* needle) {
     return expr.find(needle) != std::string::npos;
   };
-  if (contains("shard")) return 2;
-  if (contains("metrics")) return 3;
+  if (contains("qshard") || contains("query")) return 2;
+  if (contains("store")) return 4;
+  if (contains("shard")) return 3;
+  if (contains("metrics")) return 5;
   if (contains("pool") ||
       ctx.path.find("thread_pool") != std::string::npos) {
     return 1;
@@ -746,7 +752,8 @@ void CheckC2(const Context& ctx) {
                  "acquiring rank-" + std::to_string(rank) + " mutex '" + expr +
                      "' while holding rank-" + std::to_string(h.rank) +
                      " mutex '" + h.expr + "' inverts the documented "
-                     "ThreadPool -> cache-shard -> metrics lock order; "
+                     "ThreadPool -> query-tier -> doc-tier -> store-shard "
+                     "-> metrics lock order; "
                      "fix-it: release the inner lock first or restructure so "
                      "outer locks are taken first");
           break;
