@@ -16,7 +16,7 @@
 #include "core/qkbfly.h"
 #include "graph/graph_builder.h"
 #include "obs/trace.h"
-#include "parser/malt_parser.h"
+#include "parser/router.h"
 #include "synth/dataset.h"
 #include "util/bench_report.h"
 #include "util/timer.h"
@@ -172,8 +172,45 @@ int Run(bool smoke, const char* baseline_path) {
                gaz.facts_accumulator, ToFields(gaz));
   }
 
+  // --- dependency parse: linear vs MST vs adaptive routing ------------------
+  // Same annotated sentences through each backend, so the per-mode rates are
+  // directly comparable. The adaptive row should land between the two pure
+  // modes (bench/parser_frontier sweeps the threshold; this is the fixed
+  // default-threshold point).
+  {
+    const int parse_reps = smoke ? 1 : 6;  // MST is O(n^3); keep reps modest.
+    const ParserMode modes[] = {ParserMode::kLinear, ParserMode::kMst,
+                                ParserMode::kAdaptive};
+    for (ParserMode mode : modes) {
+      std::unique_ptr<DependencyParser> parser = MakeParser(mode);
+      StageResult parse;
+      for (int rep = 0; rep < parse_reps; ++rep) {
+        for (const AnnotatedDocument& ad : annotated) {
+          WallTimer t;
+          uint64_t arcs = 0;
+          for (const AnnotatedSentence& s : ad.sentences) {
+            DependencyParse dp = parser->Parse(s.tokens);
+            arcs += dp.arcs.size();
+            parse.items += s.tokens.size();
+          }
+          parse.per_doc.Add(t.ElapsedSeconds());
+          parse.wall_s += t.ElapsedSeconds();
+          parse.facts_accumulator += arcs;
+        }
+      }
+      char label[48];
+      std::snprintf(label, sizeof(label), "parse-%s", ParserModeName(mode));
+      Print(label, parse, "tokens");
+      std::snprintf(label, sizeof(label), "hotpath/parse_%s",
+                    ParserModeName(mode));
+      report.Add(label, static_cast<int>(docs.size()) * parse_reps, 1,
+                 parse.wall_s, parse.facts_accumulator, ToFields(parse));
+    }
+  }
+
   // --- graph build ----------------------------------------------------------
-  GraphBuilder builder(ds->repository.get(), std::make_unique<MaltLikeParser>(),
+  GraphBuilder builder(ds->repository.get(),
+                       MakeParser(ParserMode::kLinear),
                        GraphBuilder::Options());
   StageResult graph_stage;
   std::vector<SemanticGraph> graphs;

@@ -9,8 +9,7 @@
 #include "core/qkbfly.h"
 #include "densify/ilp_densifier.h"
 #include "nlp/pipeline.h"
-#include "parser/malt_parser.h"
-#include "parser/mst_parser.h"
+#include "parser/router.h"
 #include "retrieval/search_engine.h"
 #include "synth/dataset.h"
 
@@ -42,22 +41,39 @@ std::vector<Token> SampleSentence() {
 }
 
 void BM_MaltParser(benchmark::State& state) {
-  MaltLikeParser parser;
+  auto parser = MakeParser(ParserMode::kLinear);
   auto tokens = SampleSentence();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(parser.Parse(tokens));
+    benchmark::DoNotOptimize(parser->Parse(tokens));
   }
 }
 BENCHMARK(BM_MaltParser);
 
 void BM_GraphMstParser(benchmark::State& state) {
-  GraphMstParser parser;
+  auto parser = MakeParser(ParserMode::kMst);
   auto tokens = SampleSentence();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(parser.Parse(tokens));
+    benchmark::DoNotOptimize(parser->Parse(tokens));
   }
 }
 BENCHMARK(BM_GraphMstParser);
+
+void BM_AdaptiveParser(benchmark::State& state) {
+  auto parser = MakeParser(ParserMode::kAdaptive);
+  auto tokens = SampleSentence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser->Parse(tokens));
+  }
+}
+BENCHMARK(BM_AdaptiveParser);
+
+void BM_SentenceComplexity(benchmark::State& state) {
+  auto tokens = SampleSentence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SentenceComplexity(tokens));
+  }
+}
+BENCHMARK(BM_SentenceComplexity);
 
 void BM_NlpPipeline(benchmark::State& state) {
   const auto& ds = Dataset();

@@ -5,6 +5,7 @@
 //
 // Usage:
 //   qkbfly_serve [workload_file] [--repeat N] [--threads N] [--cache-mb M]
+//                [--parser MODE] [--parser-threshold X]
 //                [--store-path FILE] [--metrics] [--metrics-out FILE]
 //                [--trace-out FILE] [--trace-keep N] [--smoke]
 //
@@ -19,6 +20,13 @@
 //                      exists; repeated questions are then served from the
 //                      persisted QA pairs) and save it back after, so the
 //                      knowledge accumulated by one run carries to the next
+//
+// Parsing dial (src/parser/router.h):
+//   --parser MODE      dependency-parser backend: linear (default), mst, or
+//                      adaptive (per-sentence complexity routing)
+//   --parser-threshold X
+//                      adaptive routing threshold: sentences scoring >= X go
+//                      to the MST parser (0 = all-MST, inf = all-linear)
 //
 // Observability flags:
 //   --metrics          print the full registry (Prometheus text + JSON)
@@ -36,6 +44,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parser/router.h"
 #include "service/kb_service.h"
 #include "synth/dataset.h"
 
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   bool trace_requested = false;
   bool smoke = false;
+  ParserMode parser_mode = ParserMode::kLinear;
+  double parser_threshold = kDefaultParserComplexityThreshold;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::atoi(argv[++i]);
@@ -92,6 +103,15 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
       cache_mb = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--parser") == 0 && i + 1 < argc) {
+      if (!ParseParserMode(argv[++i], &parser_mode)) {
+        std::fprintf(stderr, "unknown --parser mode %s "
+                     "(expected linear|mst|adaptive)\n", argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--parser-threshold") == 0 &&
+               i + 1 < argc) {
+      parser_threshold = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--store-path") == 0 && i + 1 < argc) {
       store_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -122,8 +142,11 @@ int main(int argc, char** argv) {
   for (const GoldDocument& gd : dataset->wiki_eval) (void)wiki.Add(gd.doc);
   for (const GoldDocument& gd : dataset->news) (void)news.Add(gd.doc);
   SearchEngine search(&wiki, &news);
+  EngineConfig engine_config;
+  engine_config.parser_mode = parser_mode;
+  engine_config.parser_complexity_threshold = parser_threshold;
   QkbflyEngine engine(dataset->repository.get(), &dataset->patterns,
-                      &dataset->stats, EngineConfig());
+                      &dataset->stats, engine_config);
 
   // With --store-path, load accumulated knowledge from a previous run (a
   // missing file just means a first run) and serve repeated questions from
@@ -166,8 +189,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("qkbfly_serve: %zu queries, %d worker thread(s), "
-              "%zu MiB result cache\n\n",
-              queries.size(), threads, cache_mb);
+              "%zu MiB result cache, parser=%s",
+              queries.size(), threads, cache_mb, ParserModeName(parser_mode));
+  if (parser_mode == ParserMode::kAdaptive) {
+    std::printf(" (threshold %.2f)", parser_threshold);
+  }
+  std::printf("\n\n");
   std::printf("%-28s %6s %6s %8s %10s %7s\n", "query", "docs", "facts",
               "hitrate", "latency ms", "path");
 
@@ -231,6 +258,25 @@ int main(int argc, char** argv) {
               service.fact_store()->fact_count(),
               service.fact_store()->qa_pairs().size(),
               service.fact_store()->ApproxBytesUsed());
+
+  if (parser_mode == ParserMode::kAdaptive) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    uint64_t to_linear =
+        reg.GetCounter("parser_route_linear_total",
+                       "Sentences routed to the linear parser")->Value();
+    uint64_t to_mst =
+        reg.GetCounter("parser_route_mst_total",
+                       "Sentences routed to the MST parser")->Value();
+    uint64_t routed = to_linear + to_mst;
+    std::printf("\n== Parser routing ==\n");
+    std::printf("linear       %llu\nmst          %llu  (%.1f%% of %llu "
+                "sentences)\n",
+                static_cast<unsigned long long>(to_linear),
+                static_cast<unsigned long long>(to_mst),
+                routed == 0 ? 0.0 : 100.0 * static_cast<double>(to_mst) /
+                                        static_cast<double>(routed),
+                static_cast<unsigned long long>(routed));
+  }
 
   // Registry exports. The JSON is schema-checked before it is printed or
   // written, so a malformed exporter fails the run (and the smoke ctest).

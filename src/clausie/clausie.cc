@@ -1,20 +1,19 @@
 #include "clausie/clausie.h"
 
-#include "parser/malt_parser.h"
-#include "parser/mst_parser.h"
+#include "parser/router.h"
 
 namespace qkbfly {
 
 ClausIe ClausIe::Original() {
   PropositionGenerator::Options options;
   options.all_adverbial_subsets = true;
-  return ClausIe(std::make_unique<GraphMstParser>(), options);
+  return ClausIe(MakeParser(ParserMode::kMst), options);
 }
 
 ClausIe ClausIe::Fast() {
   PropositionGenerator::Options options;
   options.all_adverbial_subsets = false;
-  return ClausIe(std::make_unique<MaltLikeParser>(), options);
+  return ClausIe(MakeParser(ParserMode::kLinear), options);
 }
 
 }  // namespace qkbfly

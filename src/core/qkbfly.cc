@@ -6,7 +6,7 @@
 
 #include "densify/ilp_densifier.h"
 #include "densify/pipeline_densifier.h"
-#include "parser/malt_parser.h"
+#include "parser/router.h"
 #include "util/invariants.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -14,17 +14,19 @@
 namespace qkbfly {
 
 std::string EngineConfig::Fingerprint() const {
-  char buf[384];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "mode=%d;a1=%.17g;a2=%.17g;a3=%.17g;a4=%.17g;"
       "conf=%.17g;emerge=%.17g;triples=%d;"
-      "pwin=%d;poss=%d;coref=%d;loose=%d;maxcand=%d",
+      "pwin=%d;poss=%d;coref=%d;loose=%d;maxcand=%d;"
+      "pmode=%d;pthresh=%.17g",
       static_cast<int>(mode), params.alpha1, params.alpha2, params.alpha3,
       params.alpha4, canon.confidence_threshold, canon.emerging_threshold,
       canon.triples_only ? 1 : 0, graph.pronoun_window,
       graph.possessive_relations ? 1 : 0, graph.pronoun_coreference ? 1 : 0,
-      graph.loose_candidates ? 1 : 0, graph.max_candidates);
+      graph.loose_candidates ? 1 : 0, graph.max_candidates,
+      static_cast<int>(parser_mode), parser_complexity_threshold);
   return buf;
 }
 
@@ -104,7 +106,9 @@ QkbflyEngine::QkbflyEngine(const EntityRepository* repository,
   }
   config_.params = params;
   builder_ = std::make_unique<GraphBuilder>(
-      repository, std::make_unique<MaltLikeParser>(), graph_options);
+      repository,
+      MakeParser(config_.parser_mode, config_.parser_complexity_threshold),
+      graph_options);
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   documents_total_ = registry.GetCounter(
@@ -163,6 +167,7 @@ DocumentResult QkbflyEngine::ProcessDocument(const Document& doc,
   stage.Restart();
   {
     obs::ScopedSpan span(doc_span.context(), "graph_build");
+    span.AddAttribute("parse", std::string_view(builder_->parser().Name()));
     result.graph = builder_->Build(result.annotated);
     span.AddAttribute("nodes", static_cast<int64_t>(result.graph.node_count()));
     span.AddAttribute("edges", static_cast<int64_t>(result.graph.edge_count()));

@@ -18,6 +18,7 @@
 #include "kb/entity_repository.h"
 #include "kb/pattern_repository.h"
 #include "nlp/pipeline.h"
+#include "parser/router.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -41,6 +42,16 @@ struct EngineConfig {
   Canonicalizer::Options canon;
   GraphBuilder::Options graph;
 
+  /// Dependency-parser backend for graph building: the linear MaltParser
+  /// stand-in, the O(n^3) MST parser, or per-sentence complexity routing
+  /// between them (see src/parser/router.h).
+  ParserMode parser_mode = ParserMode::kLinear;
+
+  /// The routing dial for kAdaptive: sentences whose complexity score is >=
+  /// the threshold are parsed by the MST backend, the rest by the linear
+  /// one. 0 reproduces pure MST byte-for-byte, +inf pure linear.
+  double parser_complexity_threshold = kDefaultParserComplexityThreshold;
+
   /// Worker threads used by BuildKb to fan ProcessDocument across documents.
   /// Values <= 1 run the serial path. Results are merged in input order, so
   /// the KB is identical for every thread count.
@@ -54,10 +65,14 @@ struct EngineConfig {
 
   /// Deterministic string identifying every config field that changes the
   /// *result* of ProcessDocument (mode, densify alphas, canonicalizer and
-  /// graph-builder options). `num_threads` is deliberately excluded: it only
-  /// affects scheduling; `corpus_epoch` is excluded too because the epoch is
-  /// a separate component of every cache key. Used as part of serving-layer
-  /// cache keys, so two engines with the same fingerprint may share cached
+  /// graph-builder options, parser routing policy). `num_threads` is
+  /// deliberately excluded: it only affects scheduling; `corpus_epoch` is
+  /// excluded too because the epoch is a separate component of every cache
+  /// key. Both parser fields are always folded in — including the threshold
+  /// under the non-adaptive modes, where it cannot change results — so the
+  /// doc-tier and query-tier caches can never serve a result computed under
+  /// a different routing policy. Used as part of serving-layer cache keys,
+  /// so two engines with the same fingerprint may share cached
   /// DocumentResults.
   std::string Fingerprint() const;
 };

@@ -49,6 +49,9 @@ class GraphBuilder {
   /// Builds the semantic graph of an annotated document.
   SemanticGraph Build(const AnnotatedDocument& doc) const;
 
+  /// The configured dependency-parser backend (trace attributes, tests).
+  const DependencyParser& parser() const { return *parser_; }
+
  private:
   struct BuildState;
 

@@ -1,0 +1,168 @@
+#include "parser/router.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+#include "util/string_util.h"
+#include "util/symbol_table.h"
+
+namespace qkbfly {
+
+namespace {
+
+/// Clause-cue vocabulary, interned once into the process-wide symbol table.
+/// Covers the subordinators both backends treat as clause markers, the
+/// complementizer "that", and the relativizers/wh-adverbs the POS tagger may
+/// leave as IN on tagging misses (wh-tagged tokens are counted by POS below,
+/// so the two detection paths never double-count one token).
+class CueLexicon {
+ public:
+  static const CueLexicon& Get() {
+    static CueLexicon* lexicon = new CueLexicon();
+    return *lexicon;
+  }
+
+  bool IsCue(Symbol sym) const { return sym != kNoSymbol && cues_.count(sym) > 0; }
+
+ private:
+  CueLexicon() {
+    static const char* kCues[] = {
+        "that",  "because", "although", "while", "after",  "before",
+        "when",  "since",   "if",       "until", "unless", "though",
+        "whereas", "who",   "whom",     "whose", "which",  "where",
+        "why",   "how",     "whenever",
+    };
+    TokenSymbols& table = TokenSymbols::Get();
+    for (const char* cue : kCues) cues_.insert(table.Intern(cue));
+  }
+
+  std::unordered_set<Symbol> cues_;
+};
+
+/// Symbol of the token's lowercased surface: the interned one when the
+/// tokenizer filled it, else a non-interning lookup (hand-built tokens in
+/// tests). Either path resolves identically for any word the cue lexicon
+/// interned at construction.
+Symbol SymbolOf(const Token& t) {
+  if (t.sym != kNoSymbol) return t.sym;
+  const std::string lower = t.lower.empty() ? Lowercase(t.text) : t.lower;
+  return TokenSymbols::Get().Lookup(lower);
+}
+
+bool IsClauseSeparator(const Token& t) {
+  if (t.pos != PosTag::kPUNCT) return false;
+  return t.text == "," || t.text == ";" || t.text == ":" || t.text == "(" ||
+         t.text == ")" || t.text == "--" || t.text == "-" ||
+         t.text == "–" || t.text == "—";
+}
+
+// Feature weights of SentenceComplexity. Fixed constants, not config: the
+// dial the engine exposes is the threshold, so two processes always agree on
+// what a given threshold means.
+constexpr double kWeightTokens = 0.10;
+constexpr double kWeightExtraVerbs = 1.50;
+constexpr double kWeightCues = 2.00;
+constexpr double kWeightConjunctions = 1.00;
+constexpr double kWeightSeparators = 0.75;
+
+}  // namespace
+
+ComplexityFeatures ExtractComplexityFeatures(const std::vector<Token>& tokens) {
+  const CueLexicon& cues = CueLexicon::Get();
+  ComplexityFeatures f;
+  f.tokens = static_cast<int>(tokens.size());
+  for (const Token& t : tokens) {
+    if (IsVerbTag(t.pos)) {
+      ++f.verbs;
+      continue;  // verb forms of cue homographs count once, as verbs
+    }
+    if (t.pos == PosTag::kCC) {
+      ++f.conjunctions;
+      continue;
+    }
+    if (IsClauseSeparator(t)) {
+      ++f.separators;
+      continue;
+    }
+    if (t.pos == PosTag::kWP || t.pos == PosTag::kWDT || t.pos == PosTag::kWRB) {
+      ++f.clause_cues;
+      continue;
+    }
+    // Lexical cues ("that", subordinating INs) via the interned symbols.
+    // Pronoun-tagged wh-forms were counted above; everything else falls
+    // through to the symbol probe.
+    if ((t.pos == PosTag::kIN || t.pos == PosTag::kDT ||
+         t.pos == PosTag::kUNK) &&
+        cues.IsCue(SymbolOf(t))) {
+      ++f.clause_cues;
+    }
+  }
+  return f;
+}
+
+double SentenceComplexity(const std::vector<Token>& tokens) {
+  const ComplexityFeatures f = ExtractComplexityFeatures(tokens);
+  const int extra_verbs = f.verbs > 1 ? f.verbs - 1 : 0;
+  return kWeightTokens * f.tokens + kWeightExtraVerbs * extra_verbs +
+         kWeightCues * f.clause_cues + kWeightConjunctions * f.conjunctions +
+         kWeightSeparators * f.separators;
+}
+
+const char* ParserModeName(ParserMode mode) {
+  switch (mode) {
+    case ParserMode::kLinear: return "linear";
+    case ParserMode::kMst: return "mst";
+    case ParserMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+bool ParseParserMode(const char* s, ParserMode* mode) {
+  if (std::strcmp(s, "linear") == 0) {
+    *mode = ParserMode::kLinear;
+    return true;
+  }
+  if (std::strcmp(s, "mst") == 0) {
+    *mode = ParserMode::kMst;
+    return true;
+  }
+  if (std::strcmp(s, "adaptive") == 0) {
+    *mode = ParserMode::kAdaptive;
+    return true;
+  }
+  return false;
+}
+
+AdaptiveParser::AdaptiveParser(double complexity_threshold)
+    : threshold_(complexity_threshold) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  route_linear_total_ = registry.GetCounter(
+      "parser_route_linear_total",
+      "Sentences routed to the linear (malt-like) parser backend");
+  route_mst_total_ = registry.GetCounter(
+      "parser_route_mst_total",
+      "Sentences routed to the graph-based MST parser backend");
+}
+
+DependencyParse AdaptiveParser::Parse(const std::vector<Token>& tokens) const {
+  if (SentenceComplexity(tokens) >= threshold_) {
+    route_mst_total_->Increment();
+    return mst_.Parse(tokens);
+  }
+  route_linear_total_->Increment();
+  return linear_.Parse(tokens);
+}
+
+std::unique_ptr<DependencyParser> MakeParser(ParserMode mode,
+                                             double complexity_threshold) {
+  switch (mode) {
+    case ParserMode::kLinear: return std::make_unique<MaltLikeParser>();
+    case ParserMode::kMst: return std::make_unique<GraphMstParser>();
+    case ParserMode::kAdaptive:
+      return std::make_unique<AdaptiveParser>(complexity_threshold);
+  }
+  return nullptr;
+}
+
+}  // namespace qkbfly

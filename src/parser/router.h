@@ -1,0 +1,104 @@
+// Complexity-routed adaptive parsing: a dependency-free per-sentence
+// complexity scorer plus an AdaptiveParser that sends easy sentences to the
+// linear MaltLikeParser and hard ones to the O(n^3) GraphMstParser. This is
+// the quality/latency dial over the speed asymmetry of the paper's Table 5:
+// instead of picking one backend globally, every sentence pays only for the
+// parse quality its structure needs.
+//
+// Determinism contract: the score is a pure function of the token stream
+// (text, POS tags, interned symbols), so routing is identical across runs
+// and thread counts, and the dial extremes reproduce the pure backends
+// byte-for-byte (threshold 0 == pure MST, threshold +inf == pure linear).
+#ifndef QKBFLY_PARSER_ROUTER_H_
+#define QKBFLY_PARSER_ROUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "parser/dependency.h"
+#include "parser/malt_parser.h"
+#include "parser/mst_parser.h"
+
+namespace qkbfly {
+
+/// Which dependency-parser backend GraphBuilder (and ClausIE) runs.
+enum class ParserMode {
+  kLinear,    ///< MaltLikeParser everywhere (the fast default).
+  kMst,       ///< GraphMstParser everywhere (ClausIE-original quality).
+  kAdaptive,  ///< Per-sentence routing on the complexity score.
+};
+
+/// Human-readable mode name ("linear", "mst", "adaptive").
+const char* ParserModeName(ParserMode mode);
+
+/// Parses a mode name as spelled by ParserModeName (CLI flags). Returns
+/// false, leaving *mode untouched, on anything else.
+bool ParseParserMode(const char* s, ParserMode* mode);
+
+/// Default routing threshold: tuned on the synthetic gold corpus so the
+/// adaptive engine stays within 25% of pure-linear wall time while matching
+/// pure-MST extraction F1 (see bench/parser_frontier and EXPERIMENTS.md).
+inline constexpr double kDefaultParserComplexityThreshold = 6.0;
+
+/// Per-feature breakdown of one sentence's complexity, exposed for tests
+/// and the frontier bench's routing diagnostics.
+struct ComplexityFeatures {
+  int tokens = 0;        ///< Sentence length.
+  int verbs = 0;         ///< Verb-tagged tokens (clause count proxy).
+  int clause_cues = 0;   ///< Wh-words, subordinators, complementizer "that".
+  int conjunctions = 0;  ///< Coordinating conjunctions (CC).
+  int separators = 0;    ///< Clause-separating punctuation (, ; : dashes).
+};
+
+/// Extracts the scorer's features. Cue words are matched through the
+/// process-wide interned-symbol table (Token::sym when present, a
+/// non-interning lookup of the lowercased surface otherwise), so the hot
+/// path never hashes a string per token.
+ComplexityFeatures ExtractComplexityFeatures(const std::vector<Token>& tokens);
+
+/// The complexity score: a fixed non-negative linear combination of the
+/// features above. Deterministic — identical token streams always score
+/// identically — and >= 0, so a threshold of 0 routes every sentence to the
+/// MST backend and +inf routes every sentence to the linear one.
+double SentenceComplexity(const std::vector<Token>& tokens);
+
+/// Routing parser: scores each sentence and delegates to the linear backend
+/// when the score is below the threshold, to the MST backend otherwise.
+/// Stateless apart from process-wide routing counters
+/// (parser_route_linear_total / parser_route_mst_total), so one instance may
+/// be shared across threads like the pure backends.
+class AdaptiveParser : public DependencyParser {
+ public:
+  explicit AdaptiveParser(
+      double complexity_threshold = kDefaultParserComplexityThreshold);
+
+  DependencyParse Parse(const std::vector<Token>& tokens) const override;
+  const char* Name() const override { return "adaptive"; }
+
+  double complexity_threshold() const { return threshold_; }
+
+  /// Whether this instance would route the sentence to the MST backend.
+  bool RoutesToMst(const std::vector<Token>& tokens) const {
+    return SentenceComplexity(tokens) >= threshold_;
+  }
+
+ private:
+  double threshold_;
+  MaltLikeParser linear_;
+  GraphMstParser mst_;
+  obs::Counter* route_linear_total_;
+  obs::Counter* route_mst_total_;
+};
+
+/// The single construction point for parser backends. The engine, the
+/// ClausIE configurations and the benches all build their parsers here, so
+/// backend wiring (including the Edmonds-based MST setup) lives in exactly
+/// one place. `complexity_threshold` only matters for kAdaptive.
+std::unique_ptr<DependencyParser> MakeParser(
+    ParserMode mode,
+    double complexity_threshold = kDefaultParserComplexityThreshold);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_PARSER_ROUTER_H_

@@ -42,7 +42,8 @@ const char* QaModeName(QaMode mode) {
 QaSystem::QaSystem(const SynthDataset* dataset, const DocumentStore* wiki,
                    const DocumentStore* news,
                    std::vector<StaticFact> snapshot_facts, QaMode mode,
-                   int num_threads)
+                   int num_threads, ParserMode parser_mode,
+                   double parser_complexity_threshold)
     : dataset_(dataset), wiki_(wiki), news_(news),
       snapshot_facts_(std::move(snapshot_facts)), mode_(mode),
       search_(wiki, news) {
@@ -50,6 +51,8 @@ QaSystem::QaSystem(const SynthDataset* dataset, const DocumentStore* wiki,
   config.canon.triples_only = mode == QaMode::kTriples;
   config.canon.confidence_threshold = 0.3;  // recall-oriented (Appendix B)
   config.num_threads = num_threads;
+  config.parser_mode = parser_mode;
+  config.parser_complexity_threshold = parser_complexity_threshold;
   engine_ = std::make_unique<QkbflyEngine>(dataset->repository.get(),
                                            &dataset->patterns, &dataset->stats,
                                            config);

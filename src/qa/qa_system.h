@@ -44,9 +44,15 @@ class QaSystem {
 
   /// `num_threads` is forwarded to the extraction engine: documents retrieved
   /// for a question are processed in parallel (the answers are unchanged).
+  /// `parser_mode` + `parser_complexity_threshold` select the engine's
+  /// dependency-parser backend (the serving layer's quality/latency dial;
+  /// see src/parser/router.h).
   QaSystem(const SynthDataset* dataset, const DocumentStore* wiki,
            const DocumentStore* news, std::vector<StaticFact> snapshot_facts,
-           QaMode mode, int num_threads = 1);
+           QaMode mode, int num_threads = 1,
+           ParserMode parser_mode = ParserMode::kLinear,
+           double parser_complexity_threshold =
+               kDefaultParserComplexityThreshold);
 
   /// Trains the answer classifier on WebQuestions-style training questions
   /// (Appendix B: candidates containing correct answers are positives).

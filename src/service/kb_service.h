@@ -15,6 +15,12 @@
 // epoch (SearchEngine::epoch(), else EngineConfig::corpus_epoch); a bump
 // lazily invalidates both tiers and stales the store's records.
 //
+// Config-fingerprint contract: both cache tiers key on
+// EngineConfig::Fingerprint(), which covers every result-changing engine
+// field — including the parser routing policy (parser_mode +
+// parser_complexity_threshold) — so moving the quality/latency dial can
+// never serve results computed under a different policy.
+//
 // Thread-safety contract: all public methods may be called concurrently from
 // any thread once the service is constructed; the engine and search index
 // are shared read-only, the caches, store and metrics are internally

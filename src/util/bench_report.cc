@@ -50,6 +50,13 @@ void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
   entries_.back().stage = stage;
 }
 
+void BenchReport::Add(std::string name, int docs, int threads, double wall_s,
+                      uint64_t facts, const QualityFields& quality) {
+  Add(std::move(name), docs, threads, wall_s, facts);
+  entries_.back().has_quality = true;
+  entries_.back().quality = quality;
+}
+
 bool BenchReport::WriteJson(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -74,6 +81,13 @@ bool BenchReport::WriteJson(const std::string& path) const {
                    ", \"rate\": %.2f, \"p50_ms\": %.4f, \"p95_ms\": %.4f",
                    e.stage.items, e.stage.rate, e.stage.p50_ms,
                    e.stage.p95_ms);
+    }
+    if (e.has_quality) {
+      std::fprintf(f,
+                   ", \"precision\": %.4f, \"recall\": %.4f, \"f1\": %.4f"
+                   ", \"mst_share\": %.4f",
+                   e.quality.precision, e.quality.recall, e.quality.f1,
+                   e.quality.mst_share);
     }
     std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
   }
@@ -148,8 +162,9 @@ struct JsonScanner {
 
 bool IsKnownKey(const std::string& key) {
   static const char* kKeys[] = {
-      "name",     "docs",  "threads", "wall_s", "facts", "hits",
-      "misses",   "hit_rate", "p95_ms", "items", "rate",  "p50_ms",
+      "name",     "docs",     "threads", "wall_s", "facts",     "hits",
+      "misses",   "hit_rate", "p95_ms",  "items",  "rate",      "p50_ms",
+      "precision", "recall",  "f1",      "mst_share",
   };
   for (const char* k : kKeys) {
     if (key == k) return true;

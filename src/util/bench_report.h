@@ -35,6 +35,17 @@ class BenchReport {
     double p95_ms = 0.0;  ///< p95 per-document latency.
   };
 
+  /// Optional extraction-quality columns for quality/latency-frontier
+  /// workloads (BENCH_parser.json): precision/recall/F1 against the synth
+  /// gold plus the share of sentences the adaptive router sent to the
+  /// expensive MST backend.
+  struct QualityFields {
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+    double mst_share = 0.0;  ///< Fraction of sentences routed to MST [0,1].
+  };
+
   struct Entry {
     std::string name;     ///< Workload identifier, e.g. "table3/QKBfly".
     int docs = 0;         ///< Documents (or items) processed.
@@ -45,6 +56,8 @@ class BenchReport {
     CacheFields cache;
     bool has_stage = false;
     StageFields stage;
+    bool has_quality = false;
+    QualityFields quality;
   };
 
   void Add(std::string name, int docs, int threads, double wall_s,
@@ -57,6 +70,10 @@ class BenchReport {
   /// Same record plus the optional stage-throughput columns.
   void Add(std::string name, int docs, int threads, double wall_s,
            uint64_t facts, const StageFields& stage);
+
+  /// Same record plus the optional extraction-quality columns.
+  void Add(std::string name, int docs, int threads, double wall_s,
+           uint64_t facts, const QualityFields& quality);
 
   /// Writes all entries as a JSON array to `path` (overwrites). Returns
   /// false on I/O failure.

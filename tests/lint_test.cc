@@ -429,6 +429,22 @@ TEST(RuleO1Test, SnakeCaseLiteralsAndDeclarationsAreClean) {
   EXPECT_FALSE(Has(LintSource("src/a.cc", kSrc), Rule::kO1));
 }
 
+TEST(RuleO1Test, ParserRoutingCounterNamesAreClean) {
+  // The adaptive parser's routing counters (src/parser/router.cc) follow
+  // the literal snake_case convention; a backend-computed name does not.
+  constexpr char kClean[] =
+      "void f(MetricsRegistry* r) {\n"
+      "  r->GetCounter(\"parser_route_linear_total\");\n"
+      "  r->GetCounter(\"parser_route_mst_total\", \"routed sentences\");\n"
+      "}\n";
+  EXPECT_FALSE(Has(LintSource("src/a.cc", kClean), Rule::kO1));
+  constexpr char kComputed[] =
+      "void f(MetricsRegistry* r, const std::string& backend) {\n"
+      "  r->GetCounter(\"parser_route_\" + backend + \"_total\");\n"
+      "}\n";
+  EXPECT_TRUE(Has(LintSource("src/a.cc", kComputed), Rule::kO1));
+}
+
 TEST(RuleO1Test, SuppressedByAllowMarker) {
   constexpr char kSrc[] =
       "// qkbfly-lint: allow(O1)\n"

@@ -1,0 +1,185 @@
+// Tests for the complexity-routed adaptive parser (src/parser/router.h):
+// scorer determinism, the dial-extreme contracts (threshold 0 == pure MST,
+// threshold inf == pure linear, all the way out to the serialized KB), and
+// parallel routed builds matching the serial build byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qkbfly.h"
+#include "nlp/pos_tagger.h"
+#include "parser/router.h"
+#include "synth/dataset.h"
+#include "text/tokenizer.h"
+
+namespace qkbfly {
+namespace {
+
+const double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<Token> Tokens(const std::string& text) {
+  Tokenizer tok;
+  PosTagger tagger;
+  std::vector<Token> tokens = tok.Tokenize(text);
+  tagger.Tag(&tokens);
+  return tokens;
+}
+
+TEST(ComplexityScorerTest, DeterministicAcrossCalls) {
+  auto tokens = Tokens(
+      "Emily Clark, who married David Cook, was born in Clearbrook because "
+      "her parents lived there.");
+  double first = SentenceComplexity(tokens);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SentenceComplexity(tokens), first);
+  }
+  ComplexityFeatures f = ExtractComplexityFeatures(tokens);
+  ComplexityFeatures g = ExtractComplexityFeatures(tokens);
+  EXPECT_EQ(f.tokens, g.tokens);
+  EXPECT_EQ(f.verbs, g.verbs);
+  EXPECT_EQ(f.clause_cues, g.clause_cues);
+  EXPECT_EQ(f.conjunctions, g.conjunctions);
+  EXPECT_EQ(f.separators, g.separators);
+}
+
+TEST(ComplexityScorerTest, ScoreIsNonNegativeAndFinite) {
+  const char* sentences[] = {
+      "",
+      "Pitt",
+      "Brad Pitt supports the ONE Campaign",
+      "Emily Clark, who married David Cook, was born in Clearbrook on May 3, "
+      "1985 and studied at University of Clearbrook.",
+  };
+  for (const char* s : sentences) {
+    double score = SentenceComplexity(Tokens(s));
+    EXPECT_GE(score, 0.0) << s;
+    EXPECT_TRUE(std::isfinite(score)) << s;
+  }
+}
+
+TEST(ComplexityScorerTest, ComplexSentenceScoresAboveSimple) {
+  double simple = SentenceComplexity(Tokens("Pitt supports the campaign"));
+  double complex_score = SentenceComplexity(Tokens(
+      "Emily Clark, who married David Cook and studied in Clearbrook, was "
+      "born in 1985 because her parents, while travelling, settled there."));
+  EXPECT_GT(complex_score, simple);
+  // Clause cues are what the router keys on: a relative clause alone must
+  // move the score.
+  double plain = SentenceComplexity(Tokens("Emily married David in 1985"));
+  double cued = SentenceComplexity(
+      Tokens("Emily , who married David , lived there"));
+  EXPECT_GT(cued, plain);
+}
+
+TEST(AdaptiveParserTest, ExtremesMatchPureBackendsPerSentence) {
+  AdaptiveParser all_mst(0.0);
+  AdaptiveParser all_linear(kInf);
+  MaltLikeParser linear;
+  GraphMstParser mst;
+  const char* sentences[] = {
+      "Brad Pitt supports the ONE Campaign",
+      "Emily Clark, who married David Cook, was born in Clearbrook on May 3, "
+      "1985 and studied at University of Clearbrook.",
+      "She lived there because the town was quiet",
+  };
+  for (const char* s : sentences) {
+    auto tokens = Tokens(s);
+    EXPECT_TRUE(all_mst.RoutesToMst(tokens)) << s;
+    EXPECT_FALSE(all_linear.RoutesToMst(tokens)) << s;
+    auto mst_parse = mst.Parse(tokens);
+    auto routed_mst = all_mst.Parse(tokens);
+    auto linear_parse = linear.Parse(tokens);
+    auto routed_linear = all_linear.Parse(tokens);
+    ASSERT_EQ(routed_mst.arcs.size(), mst_parse.arcs.size());
+    ASSERT_EQ(routed_linear.arcs.size(), linear_parse.arcs.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      EXPECT_EQ(routed_mst.arcs[i].head, mst_parse.arcs[i].head) << s;
+      EXPECT_EQ(routed_mst.arcs[i].label, mst_parse.arcs[i].label) << s;
+      EXPECT_EQ(routed_linear.arcs[i].head, linear_parse.arcs[i].head) << s;
+      EXPECT_EQ(routed_linear.arcs[i].label, linear_parse.arcs[i].label) << s;
+    }
+  }
+}
+
+TEST(AdaptiveParserTest, FactoryNamesAndModeRoundTrip) {
+  EXPECT_STREQ(MakeParser(ParserMode::kLinear)->Name(), "malt-like");
+  EXPECT_STREQ(MakeParser(ParserMode::kMst)->Name(), "graph-mst");
+  EXPECT_STREQ(MakeParser(ParserMode::kAdaptive)->Name(), "adaptive");
+  for (ParserMode mode : {ParserMode::kLinear, ParserMode::kMst,
+                          ParserMode::kAdaptive}) {
+    ParserMode parsed;
+    ASSERT_TRUE(ParseParserMode(ParserModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  ParserMode ignored;
+  EXPECT_FALSE(ParseParserMode("chart", &ignored));
+  EXPECT_FALSE(ParseParserMode("", &ignored));
+}
+
+// End-to-end dial contracts over a real corpus: built KBs, not just parses.
+class RoutedBuildTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.wiki_eval_articles = 8;
+    config.news_docs = 4;
+    dataset_ = BuildDataset(config).release();
+    for (const GoldDocument& gd : dataset_->wiki_eval) {
+      docs_.push_back(gd.doc);
+    }
+    for (const GoldDocument& gd : dataset_->news) docs_.push_back(gd.doc);
+  }
+
+  static std::string Build(ParserMode mode, double threshold,
+                           int num_threads = 1) {
+    EngineConfig config;
+    config.parser_mode = mode;
+    config.parser_complexity_threshold = threshold;
+    config.num_threads = num_threads;
+    QkbflyEngine engine(dataset_->repository.get(), &dataset_->patterns,
+                        &dataset_->stats, config);
+    return engine.BuildKb(docs_).Serialize();
+  }
+
+  static SynthDataset* dataset_;
+  static std::vector<Document> docs_;
+};
+
+SynthDataset* RoutedBuildTest::dataset_ = nullptr;
+std::vector<Document> RoutedBuildTest::docs_;
+
+TEST_F(RoutedBuildTest, ThresholdZeroMatchesPureMstByteForByte) {
+  std::string pure = Build(ParserMode::kMst, 0.0);
+  ASSERT_FALSE(pure.empty());
+  EXPECT_EQ(Build(ParserMode::kAdaptive, 0.0), pure);
+}
+
+TEST_F(RoutedBuildTest, ThresholdInfMatchesPureLinearByteForByte) {
+  std::string pure = Build(ParserMode::kLinear, 0.0);
+  ASSERT_FALSE(pure.empty());
+  EXPECT_EQ(Build(ParserMode::kAdaptive, kInf), pure);
+}
+
+TEST_F(RoutedBuildTest, DefaultThresholdMixesBackends) {
+  // At the default threshold the two pure builds differ from each other and
+  // the adaptive build is deterministic across runs.
+  std::string adaptive =
+      Build(ParserMode::kAdaptive, kDefaultParserComplexityThreshold);
+  EXPECT_EQ(Build(ParserMode::kAdaptive, kDefaultParserComplexityThreshold),
+            adaptive);
+}
+
+TEST_F(RoutedBuildTest, ParallelRoutedBuildMatchesSerial) {
+  std::string serial =
+      Build(ParserMode::kAdaptive, kDefaultParserComplexityThreshold, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(Build(ParserMode::kAdaptive, kDefaultParserComplexityThreshold, 4),
+            serial);
+}
+
+}  // namespace
+}  // namespace qkbfly

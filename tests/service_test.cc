@@ -255,21 +255,58 @@ TEST_F(ServiceTest, ApproxBytesGrowsWithContent) {
 
 TEST_F(ServiceTest, FingerprintSeparatesResultChangingConfigs) {
   EngineConfig base;
+
+  // Scheduling- and epoch-only knobs must NOT perturb the fingerprint:
+  // num_threads never changes results (the merge is order-preserving), and
+  // the corpus epoch is a separate component of the cache keys.
   EngineConfig threads = base;
-  threads.num_threads = 8;  // scheduling only: same results, same fingerprint
+  threads.num_threads = 8;
   EXPECT_EQ(base.Fingerprint(), threads.Fingerprint());
+  EngineConfig epoch = base;
+  epoch.corpus_epoch = 99;
+  EXPECT_EQ(base.Fingerprint(), epoch.Fingerprint());
 
-  EngineConfig triples = base;
-  triples.canon.triples_only = true;
-  EXPECT_NE(base.Fingerprint(), triples.Fingerprint());
+  // Every result-changing field must perturb it. One mutation per field.
+  std::vector<std::pair<const char*, EngineConfig>> mutants;
+  auto add = [&](const char* name, void (*mutate)(EngineConfig*)) {
+    EngineConfig c = base;
+    mutate(&c);
+    mutants.emplace_back(name, c);
+  };
+  add("mode", [](EngineConfig* c) { c->mode = InferenceMode::kPipeline; });
+  add("alpha1", [](EngineConfig* c) { c->params.alpha1 += 0.01; });
+  add("alpha2", [](EngineConfig* c) { c->params.alpha2 += 0.01; });
+  add("alpha3", [](EngineConfig* c) { c->params.alpha3 += 0.01; });
+  add("alpha4", [](EngineConfig* c) { c->params.alpha4 += 0.01; });
+  add("confidence_threshold",
+      [](EngineConfig* c) { c->canon.confidence_threshold += 0.01; });
+  add("emerging_threshold",
+      [](EngineConfig* c) { c->canon.emerging_threshold += 0.01; });
+  add("triples_only", [](EngineConfig* c) { c->canon.triples_only = true; });
+  add("pronoun_window", [](EngineConfig* c) { ++c->graph.pronoun_window; });
+  add("possessive_relations",
+      [](EngineConfig* c) { c->graph.possessive_relations = false; });
+  add("pronoun_coreference",
+      [](EngineConfig* c) { c->graph.pronoun_coreference = false; });
+  add("loose_candidates",
+      [](EngineConfig* c) { c->graph.loose_candidates = false; });
+  add("max_candidates", [](EngineConfig* c) { ++c->graph.max_candidates; });
+  add("parser_mode",
+      [](EngineConfig* c) { c->parser_mode = ParserMode::kAdaptive; });
+  add("parser_complexity_threshold",
+      [](EngineConfig* c) { c->parser_complexity_threshold += 0.5; });
 
-  EngineConfig mode = base;
-  mode.mode = InferenceMode::kPipeline;
-  EXPECT_NE(base.Fingerprint(), mode.Fingerprint());
-
-  EngineConfig alphas = base;
-  alphas.params.alpha1 += 0.01;
-  EXPECT_NE(base.Fingerprint(), alphas.Fingerprint());
+  // Each mutant differs from base AND from every other mutant (no two
+  // fields may alias to the same fingerprint bytes).
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    EXPECT_NE(base.Fingerprint(), mutants[i].second.Fingerprint())
+        << mutants[i].first << " does not perturb the fingerprint";
+    for (size_t j = i + 1; j < mutants.size(); ++j) {
+      EXPECT_NE(mutants[i].second.Fingerprint(),
+                mutants[j].second.Fingerprint())
+          << mutants[i].first << " aliases " << mutants[j].first;
+    }
+  }
 }
 
 }  // namespace
