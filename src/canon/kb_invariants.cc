@@ -1,0 +1,40 @@
+#include "canon/kb_invariants.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "canon/onthefly_kb.h"
+
+namespace qkbfly {
+
+std::string CheckKbMergeOrder(const OnTheFlyKb& kb,
+                              const std::vector<std::string>& doc_order) {
+  std::unordered_map<std::string, size_t> position;
+  position.reserve(doc_order.size());
+  for (size_t i = 0; i < doc_order.size(); ++i) {
+    position.emplace(doc_order[i], i);
+  }
+  size_t last = 0;
+  const std::vector<Fact>& facts = kb.facts();
+  for (size_t f = 0; f < facts.size(); ++f) {
+    auto it = position.find(facts[f].doc_id);
+    if (it == position.end()) {
+      std::ostringstream out;
+      out << "fact " << f << " cites document '" << facts[f].doc_id
+          << "' which is not in the merge input";
+      return out.str();
+    }
+    if (it->second < last) {
+      std::ostringstream out;
+      out << "fact " << f << " from document '" << facts[f].doc_id
+          << "' (input position " << it->second
+          << ") appears after a fact from input position " << last
+          << "; the merge is not in first-occurrence input order";
+      return out.str();
+    }
+    last = it->second;
+  }
+  return std::string();
+}
+
+}  // namespace qkbfly

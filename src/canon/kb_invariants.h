@@ -1,0 +1,24 @@
+// OnTheFlyKb invariant checker. Lives in canon/ (next to the structure it
+// inspects) so util/invariants.h stays layer-free (lint rule L1); the
+// EnforceInvariant/QKBFLY_INVARIANT plumbing it feeds remains in util/.
+#ifndef QKBFLY_CANON_KB_INVARIANTS_H_
+#define QKBFLY_CANON_KB_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+namespace qkbfly {
+
+class OnTheFlyKb;
+
+/// Merged facts must appear in first-occurrence input order: AddFact merges
+/// duplicates in place, so the doc_id of each fact must be non-decreasing
+/// with respect to `doc_order` (the BuildKb input sequence). Facts from
+/// documents not in `doc_order` are violations too. Returns an empty string
+/// when the invariant holds, else a description.
+std::string CheckKbMergeOrder(const OnTheFlyKb& kb,
+                              const std::vector<std::string>& doc_order);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_CANON_KB_INVARIANTS_H_

@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "canon/kb_invariants.h"
 #include "densify/ilp_densifier.h"
 #include "densify/pipeline_densifier.h"
 #include "parser/router.h"

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/graph_invariants.h"
 #include "util/invariants.h"
 #include "util/logging.h"
 
@@ -109,11 +110,17 @@ void GreedyDensifier::Densify(SemanticGraph* graph, const AnnotatedDocument& doc
   if (strategy_ == DensifyStrategy::kHeap) {
     RunHeapLoop(&eval, graph, result);
   } else {
+    // The scan loop is the historical reference implementation; it allocates
+    // (hash-map adjacency, contribution cache) by design and is excluded from
+    // the zero-allocation contract, mirroring densify_alloc_test.
+    // qkbfly-lint: allow(A1)
     RunScanLoop(&eval, graph, result);
   }
 
   // After the removal loop the O(1) degree counters must agree with a full
-  // recount, or removability decisions (and thus the KB) were wrong.
+  // recount, or removability decisions (and thus the KB) were wrong. The
+  // invariant walk is debug-only cross-checking, off the measured hot path.
+  // qkbfly-lint: allow(A1)
   QKBFLY_INVARIANT(CheckGraphInvariants(*graph), "GreedyDensifier::Densify");
 
   result->objective = eval.Objective();

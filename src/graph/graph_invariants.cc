@@ -1,0 +1,110 @@
+#include "graph/graph_invariants.h"
+
+#include <sstream>
+#include <vector>
+
+#include "graph/semantic_graph.h"
+
+namespace qkbfly {
+
+std::string CheckGraphInvariants(const SemanticGraph& graph) {
+  const int node_count = static_cast<int>(graph.node_count());
+  std::vector<int> means_recount(graph.node_count(), 0);
+  std::vector<int> sameas_np_recount(graph.node_count(), 0);
+
+  for (size_t e = 0; e < graph.edge_count(); ++e) {
+    const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+    if (edge.a < 0 || edge.a >= node_count || edge.b < 0 ||
+        edge.b >= node_count) {
+      std::ostringstream out;
+      out << "edge " << e << " (" << EdgeKindName(edge.kind)
+          << ") has endpoint(s) " << edge.a << "/" << edge.b
+          << " outside [0, " << node_count << ")";
+      return out.str();
+    }
+    if (edge.kind == EdgeKind::kMeans &&
+        graph.node(edge.b).kind != NodeKind::kEntity) {
+      std::ostringstream out;
+      out << "means edge " << e << " points at node " << edge.b << " of kind "
+          << NodeKindName(graph.node(edge.b).kind) << ", expected entity";
+      return out.str();
+    }
+    if (!edge.active) continue;
+    if (edge.kind == EdgeKind::kMeans) {
+      ++means_recount[static_cast<size_t>(edge.a)];
+    } else if (edge.kind == EdgeKind::kSameAs) {
+      if (graph.node(edge.b).kind == NodeKind::kNounPhrase) {
+        ++sameas_np_recount[static_cast<size_t>(edge.a)];
+      }
+      if (graph.node(edge.a).kind == NodeKind::kNounPhrase) {
+        ++sameas_np_recount[static_cast<size_t>(edge.b)];
+      }
+    }
+  }
+
+  // CSR adjacency index vs a naive rebuild: every per-node incident span must
+  // hold exactly that node's edges in ascending EdgeId order (self-loops
+  // twice), and the offset table must tile the flat edge array completely.
+  // Only checked on finalized graphs — querying an unfinalized one here would
+  // rebuild (and thus silently repair) the index under test.
+  if (graph.finalized()) {
+    std::vector<std::vector<EdgeId>> naive(graph.node_count());
+    for (size_t e = 0; e < graph.edge_count(); ++e) {
+      const GraphEdge& edge = graph.edge(static_cast<EdgeId>(e));
+      naive[static_cast<size_t>(edge.a)].push_back(static_cast<EdgeId>(e));
+      naive[static_cast<size_t>(edge.b)].push_back(static_cast<EdgeId>(e));
+    }
+    size_t covered = 0;
+    for (NodeId n = 0; n < node_count; ++n) {
+      auto span = graph.IncidentEdges(n);
+      const auto& expect = naive[static_cast<size_t>(n)];
+      if (span.size() != expect.size()) {
+        std::ostringstream out;
+        out << "node " << n << " incident span holds " << span.size()
+            << " edges, naive adjacency rebuild found " << expect.size();
+        return out.str();
+      }
+      for (size_t i = 0; i < expect.size(); ++i) {
+        if (span[i] != expect[i]) {
+          std::ostringstream out;
+          out << "node " << n << " incident span entry " << i << " is edge "
+              << span[i] << ", naive adjacency rebuild found " << expect[i];
+          return out.str();
+        }
+        if (i > 0 && span[i] < span[i - 1]) {
+          std::ostringstream out;
+          out << "node " << n << " incident span not ascending at entry " << i;
+          return out.str();
+        }
+      }
+      covered += span.size();
+    }
+    if (covered != 2 * graph.edge_count()) {
+      std::ostringstream out;
+      out << "incident spans cover " << covered << " edge endpoints, expected "
+          << 2 * graph.edge_count();
+      return out.str();
+    }
+  }
+
+  for (NodeId n = 0; n < node_count; ++n) {
+    if (graph.ActiveMeansCount(n) != means_recount[static_cast<size_t>(n)]) {
+      std::ostringstream out;
+      out << "node " << n << " active-means counter "
+          << graph.ActiveMeansCount(n) << " != recount "
+          << means_recount[static_cast<size_t>(n)];
+      return out.str();
+    }
+    if (graph.ActiveSameAsNpCount(n) !=
+        sameas_np_recount[static_cast<size_t>(n)]) {
+      std::ostringstream out;
+      out << "node " << n << " active-sameAs-NP counter "
+          << graph.ActiveSameAsNpCount(n) << " != recount "
+          << sameas_np_recount[static_cast<size_t>(n)];
+      return out.str();
+    }
+  }
+  return std::string();
+}
+
+}  // namespace qkbfly

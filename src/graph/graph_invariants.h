@@ -1,0 +1,22 @@
+// SemanticGraph invariant checker. Lives in graph/ (not util/) so the
+// dependency points up the layer DAG: util/invariants.h stays layer-free and
+// provides only EnforceInvariant/QKBFLY_INVARIANT (lint rule L1).
+#ifndef QKBFLY_GRAPH_GRAPH_INVARIANTS_H_
+#define QKBFLY_GRAPH_GRAPH_INVARIANTS_H_
+
+#include <string>
+
+namespace qkbfly {
+
+class SemanticGraph;
+
+/// Edge-endpoint validity (ids in range, means edges point at entity nodes)
+/// plus a full recount of the O(1) active-degree counters the densifier's
+/// removability tests read (ActiveMeansCount / ActiveSameAsNpCount), and —
+/// on finalized graphs — a naive rebuild of the CSR incident-edge index.
+/// Returns an empty string when the invariant holds, else a description.
+std::string CheckGraphInvariants(const SemanticGraph& graph);
+
+}  // namespace qkbfly
+
+#endif  // QKBFLY_GRAPH_GRAPH_INVARIANTS_H_

@@ -175,7 +175,8 @@ class SemanticGraph {
   std::string ToString() const;
 
   /// Test-only: perturbs an active-degree counter so invariant-checker tests
-  /// (util/invariants.h recount vs counter) can observe a detection. Never
+  /// (graph/graph_invariants.h recount vs counter) can observe a detection.
+  /// Never
   /// call outside tests.
   void TestOnlyCorruptActiveMeansCount(NodeId n, int delta) {
     active_means_count_.at(static_cast<size_t>(n)) += delta;

@@ -1,6 +1,6 @@
 #include "util/arena.h"
 
-#include "obs/metrics.h"
+#include <atomic>
 
 namespace qkbfly {
 
@@ -10,15 +10,23 @@ constexpr size_t AlignUp(size_t n, size_t alignment) {
   return (n + alignment - 1) & ~(alignment - 1);
 }
 
+// Process-wide resident-byte total across every live Arena. The obs layer
+// reads it through Arena::TotalResidentBytes() via a gauge provider, so the
+// arena itself never touches the metrics registry (util/ must not depend on
+// obs/ — layering rule L1). Relaxed ordering: the gauge is an eventually
+// consistent observability signal, never a synchronization point.
+std::atomic<int64_t>& TotalResidentCell() {
+  static std::atomic<int64_t> cell{0};
+  return cell;
+}
+
 }  // namespace
 
-// The registry hands out one process-wide gauge per name; fetching it at
-// construction keeps block acquire/release lock-free.
-Arena::Arena(size_t min_block_bytes)
-    : min_block_bytes_(min_block_bytes),
-      resident_gauge_(obs::MetricsRegistry::Default().GetGauge(
-          "graph_arena_bytes",
-          "Resident bytes of per-document graph arenas")) {}
+int64_t Arena::TotalResidentBytes() {
+  return TotalResidentCell().load(std::memory_order_relaxed);
+}
+
+Arena::Arena(size_t min_block_bytes) : min_block_bytes_(min_block_bytes) {}
 
 Arena::~Arena() { ReleaseResident(); }
 
@@ -28,8 +36,7 @@ Arena::Arena(Arena&& other) noexcept
       offset_(other.offset_),
       allocated_(other.allocated_),
       resident_(other.resident_),
-      min_block_bytes_(other.min_block_bytes_),
-      resident_gauge_(other.resident_gauge_) {
+      min_block_bytes_(other.min_block_bytes_) {
   other.blocks_.clear();
   other.current_ = 0;
   other.offset_ = 0;
@@ -46,7 +53,6 @@ Arena& Arena::operator=(Arena&& other) noexcept {
   allocated_ = other.allocated_;
   resident_ = other.resident_;
   min_block_bytes_ = other.min_block_bytes_;
-  resident_gauge_ = other.resident_gauge_;
   other.blocks_.clear();
   other.current_ = 0;
   other.offset_ = 0;
@@ -57,7 +63,8 @@ Arena& Arena::operator=(Arena&& other) noexcept {
 
 void Arena::ReleaseResident() {
   if (resident_ > 0) {
-    resident_gauge_->Add(-static_cast<int64_t>(resident_));
+    TotalResidentCell().fetch_sub(static_cast<int64_t>(resident_),
+                                  std::memory_order_relaxed);
     resident_ = 0;
   }
   blocks_.clear();
@@ -86,7 +93,8 @@ void* Arena::Allocate(size_t bytes, size_t alignment) {
   block.capacity = capacity;
   blocks_.push_back(std::move(block));
   resident_ += capacity;
-  resident_gauge_->Add(static_cast<int64_t>(capacity));
+  TotalResidentCell().fetch_add(static_cast<int64_t>(capacity),
+                                std::memory_order_relaxed);
   offset_ = bytes;
   allocated_ += bytes;
   return blocks_.back().data.get();

@@ -11,13 +11,10 @@
 #define QKBFLY_UTIL_ARENA_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <type_traits>
 #include <vector>
-
-namespace qkbfly::obs {
-class Gauge;
-}
 
 namespace qkbfly {
 
@@ -57,6 +54,12 @@ class Arena {
   /// Bytes of block capacity currently owned (survives Reset).
   size_t resident_bytes() const { return resident_; }
 
+  /// Sum of resident_bytes() over every live Arena in the process. The obs
+  /// layer exports this as the `graph_arena_bytes` gauge; keeping the cell
+  /// here (a relaxed atomic) lets util/ stay free of any obs/ dependency
+  /// (include-layering rule L1).
+  static int64_t TotalResidentBytes();
+
  private:
   struct Block {
     std::unique_ptr<char[]> data;
@@ -71,7 +74,6 @@ class Arena {
   size_t allocated_ = 0;
   size_t resident_ = 0;
   size_t min_block_bytes_;
-  obs::Gauge* resident_gauge_;  ///< `graph_arena_bytes` in the default registry.
 };
 
 }  // namespace qkbfly

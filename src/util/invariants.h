@@ -7,31 +7,21 @@
 // tests can exercise them in any tree. The hot-path call sites are wired
 // through QKBFLY_INVARIANT, which compiles to nothing unless the build sets
 // -DQKBFLY_CHECK_INVARIANTS=1 (CMake option QKBFLY_CHECK_INVARIANTS=ON).
+//
+// Only layer-free checks live here: util/ sits at the bottom of the include
+// DAG (lint rule L1), so checkers that inspect higher-layer structures live
+// next to those structures (graph/graph_invariants.h for SemanticGraph,
+// canon/kb_invariants.h for OnTheFlyKb) and share this header's
+// EnforceInvariant/QKBFLY_INVARIANT plumbing.
 #ifndef QKBFLY_UTIL_INVARIANTS_H_
 #define QKBFLY_UTIL_INVARIANTS_H_
 
 #include <cstddef>
 #include <string>
-#include <vector>
 
 #include "util/cache_stats.h"
 
 namespace qkbfly {
-
-class SemanticGraph;
-class OnTheFlyKb;
-
-/// Edge-endpoint validity (ids in range, means edges point at entity nodes)
-/// plus a full recount of the O(1) active-degree counters the densifier's
-/// removability tests read (ActiveMeansCount / ActiveSameAsNpCount).
-std::string CheckGraphInvariants(const SemanticGraph& graph);
-
-/// Merged facts must appear in first-occurrence input order: AddFact merges
-/// duplicates in place, so the doc_id of each fact must be non-decreasing
-/// with respect to `doc_order` (the BuildKb input sequence). Facts from
-/// documents not in `doc_order` are violations too.
-std::string CheckKbMergeOrder(const OnTheFlyKb& kb,
-                              const std::vector<std::string>& doc_order);
 
 /// Cumulative cache counters only grow: `after` must dominate `before`
 /// component-wise, and the hit/miss split must keep Lookups() consistent.

@@ -11,8 +11,16 @@
 namespace qkbfly {
 namespace {
 
-obs::Gauge* ArenaGauge() {
-  return obs::MetricsRegistry::Default().GetGauge("graph_arena_bytes");
+// The process-wide resident total, as the obs layer exports it: the default
+// registry registers a gauge provider reading Arena::TotalResidentBytes(),
+// synced into `graph_arena_bytes` at Snapshot() time.
+int64_t SnapshotArenaGauge() {
+  auto snapshot = obs::MetricsRegistry::Default().Snapshot();
+  for (const auto& g : snapshot.gauges) {
+    if (g.name == "graph_arena_bytes") return g.value;
+  }
+  ADD_FAILURE() << "graph_arena_bytes gauge not registered";
+  return 0;
 }
 
 TEST(ArenaTest, AllocationsAreAligned) {
@@ -76,27 +84,25 @@ TEST(ArenaTest, ResetReusesBlocksWithoutGrowingResident) {
 }
 
 TEST(ArenaTest, ResidentGaugeTracksBlockFootprint) {
-  obs::Gauge* gauge = ArenaGauge();
-  const int64_t before = gauge->Value();
+  const int64_t before = SnapshotArenaGauge();
   {
     Arena arena(/*min_block_bytes=*/512);
     arena.Allocate(64, 8);
-    EXPECT_EQ(gauge->Value() - before,
+    EXPECT_EQ(SnapshotArenaGauge() - before,
               static_cast<int64_t>(arena.resident_bytes()));
     arena.Allocate(8192, 8);  // dedicated large block
-    EXPECT_EQ(gauge->Value() - before,
+    EXPECT_EQ(SnapshotArenaGauge() - before,
               static_cast<int64_t>(arena.resident_bytes()));
     arena.Reset();  // blocks retained: gauge unchanged
-    EXPECT_EQ(gauge->Value() - before,
+    EXPECT_EQ(SnapshotArenaGauge() - before,
               static_cast<int64_t>(arena.resident_bytes()));
   }
-  // Destruction returns every block's capacity to the gauge.
-  EXPECT_EQ(gauge->Value(), before);
+  // Destruction returns every block's capacity to the process-wide total.
+  EXPECT_EQ(SnapshotArenaGauge(), before);
 }
 
 TEST(ArenaTest, MoveTransfersResidentAccounting) {
-  obs::Gauge* gauge = ArenaGauge();
-  const int64_t before = gauge->Value();
+  const int64_t before = SnapshotArenaGauge();
   {
     Arena a(/*min_block_bytes=*/512);
     a.Allocate(100, 8);
@@ -105,15 +111,15 @@ TEST(ArenaTest, MoveTransfersResidentAccounting) {
     EXPECT_EQ(a.resident_bytes(), 0u);
     EXPECT_EQ(b.resident_bytes(), resident);
     // Move is a transfer of ownership, not an acquire/release pair.
-    EXPECT_EQ(gauge->Value() - before, static_cast<int64_t>(resident));
+    EXPECT_EQ(SnapshotArenaGauge() - before, static_cast<int64_t>(resident));
 
     Arena c(/*min_block_bytes=*/512);
     c.Allocate(50, 8);
     c = std::move(b);  // c's original block is released
     EXPECT_EQ(c.resident_bytes(), resident);
-    EXPECT_EQ(gauge->Value() - before, static_cast<int64_t>(resident));
+    EXPECT_EQ(SnapshotArenaGauge() - before, static_cast<int64_t>(resident));
   }
-  EXPECT_EQ(gauge->Value(), before);
+  EXPECT_EQ(SnapshotArenaGauge(), before);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
-// Runtime invariant checker (util/invariants.h): each check accepts healthy
-// state and describes corrupted state; EnforceInvariant aborts on a
+// Runtime invariant checkers (util/invariants.h plus the per-layer
+// graph/graph_invariants.h and canon/kb_invariants.h): each check accepts
+// healthy state and describes corrupted state; EnforceInvariant aborts on a
 // violation (death test), which is what the QKBFLY_CHECK_INVARIANTS wiring
 // in the densifier / cache / KB merge relies on.
 #include "util/invariants.h"
@@ -8,8 +9,10 @@
 
 #include <set>
 
+#include "canon/kb_invariants.h"
 #include "canon/onthefly_kb.h"
 #include "core/qkbfly.h"
+#include "graph/graph_invariants.h"
 #include "graph/semantic_graph.h"
 #include "synth/dataset.h"
 

@@ -4,6 +4,10 @@
 // and the baseline round-trip.
 #include "lint/lint.h"
 
+#include "lint/index.h"
+#include "lint/sarif.h"
+#include "lint/wholeprogram.h"
+
 #include <gtest/gtest.h>
 
 namespace qkbfly::lint {
@@ -487,6 +491,370 @@ TEST(RenderTest, FormatsFileLineRule) {
   d.line = 7;
   d.message = "msg";
   EXPECT_EQ(Render(d), "src/a.cc:7: D2: msg");
+}
+
+
+// ---------------------------------------------------------------------------
+// Whole-program: project index
+// ---------------------------------------------------------------------------
+
+ProjectIndex BuildIndex(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  ProjectIndexBuilder builder;
+  for (const auto& [path, source] : files) builder.AddFile(path, source);
+  return builder.Build();
+}
+
+bool HasKey(const std::vector<Diagnostic>& diags, Rule rule,
+            std::string_view key_fragment) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule && d.key.find(key_fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ProjectIndexTest, ScopedLockMultiMutexExtractsGroupedSites) {
+  ProjectIndex index = BuildIndex({{"src/x/cache.cc", R"cc(
+    void DocumentResultCache::Evict() {
+      std::scoped_lock guard(mu_a_, mu_b_);
+      Touch();
+    }
+  )cc"}});
+  ASSERT_EQ(index.functions.size(), 1u);
+  const IndexedFunction& fn = index.functions[0];
+  EXPECT_EQ(fn.qualified, "DocumentResultCache::Evict");
+  ASSERT_EQ(fn.locks.size(), 2u);
+  EXPECT_EQ(fn.locks[0].node, "DocumentResultCache::mu_a_");
+  EXPECT_EQ(fn.locks[1].node, "DocumentResultCache::mu_b_");
+  // Atomic multi-mutex acquisition: one group, no intra-group order edges.
+  EXPECT_EQ(fn.locks[0].group, fn.locks[1].group);
+  EXPECT_GE(fn.locks[0].group, 0);
+  EXPECT_TRUE(fn.lock_edges.empty());
+  // Both mutexes count as held at the call that follows.
+  ASSERT_EQ(fn.calls.size(), 1u);
+  EXPECT_EQ(fn.calls[0].held.size(), 2u);
+}
+
+TEST(ProjectIndexTest, SequentialGuardsProduceOrderEdge) {
+  ProjectIndex index = BuildIndex({{"src/x/one.cc", R"cc(
+    void TakeBoth() {
+      std::lock_guard<std::mutex> g1(mu_a);
+      std::lock_guard<std::mutex> g2(mu_b);
+    }
+  )cc"}});
+  ASSERT_EQ(index.functions.size(), 1u);
+  const IndexedFunction& fn = index.functions[0];
+  ASSERT_EQ(fn.lock_edges.size(), 1u);
+  EXPECT_EQ(fn.lock_edges[0].outer, "x::mu_a");
+  EXPECT_EQ(fn.lock_edges[0].inner, "x::mu_b");
+}
+
+TEST(ProjectIndexTest, ResolvesIncludesBySuffixAndAssignsModules) {
+  ProjectIndex index = BuildIndex({
+      {"src/util/arena.h", "int a;\n"},
+      {"src/graph/graph.h", "#include \"util/arena.h\"\nint g;\n"},
+  });
+  const IndexedFile* graph = index.FindFile("src/graph/graph.h");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(graph->module, "graph");
+  ASSERT_EQ(graph->includes.size(), 1u);
+  EXPECT_EQ(graph->includes[0].resolved, "src/util/arena.h");
+}
+
+// ---------------------------------------------------------------------------
+// L1: layering and include cycles
+// ---------------------------------------------------------------------------
+
+LayerConfig TwoLayers() {
+  LayerConfig layers;
+  std::string error;
+  EXPECT_TRUE(ParseLayerConfig("layer util\nlayer core\n", &layers, &error))
+      << error;
+  return layers;
+}
+
+TEST(RuleL1Test, FlagsLayerBackEdge) {
+  ProjectIndex index = BuildIndex({
+      {"src/core/c.h", "int c;\n"},
+      {"src/util/u.h", "#include \"core/c.h\"\nint u;\n"},
+  });
+  auto diags = CheckLayering(index, TwoLayers());
+  ASSERT_TRUE(HasKey(diags, Rule::kL1, "util->core"));
+}
+
+TEST(RuleL1Test, DownwardAndSameRankIncludesAreClean) {
+  LayerConfig layers;
+  std::string error;
+  ASSERT_TRUE(
+      ParseLayerConfig("layer util\nlayer graph corpus\nlayer core\n",
+                       &layers, &error));
+  ProjectIndex index = BuildIndex({
+      {"src/util/u.h", "int u;\n"},
+      {"src/graph/g.h", "#include \"util/u.h\"\n#include \"corpus/x.h\"\n"},
+      {"src/corpus/x.h", "int x;\n"},
+      {"src/core/c.cc", "#include \"graph/g.h\"\nint c;\n"},
+  });
+  EXPECT_TRUE(CheckLayering(index, layers).empty());
+}
+
+TEST(RuleL1Test, BackEdgeSuppressedByAllowMarker) {
+  ProjectIndex index = BuildIndex({
+      {"src/core/c.h", "int c;\n"},
+      {"src/util/u.h",
+       "// qkbfly-lint: allow(L1)\n#include \"core/c.h\"\nint u;\n"},
+  });
+  EXPECT_TRUE(CheckLayering(index, TwoLayers()).empty());
+}
+
+TEST(RuleL1Test, FlagsModuleMissingFromConfig) {
+  ProjectIndex index = BuildIndex({{"src/zzz/f.h", "int f;\n"}});
+  auto diags = CheckLayering(index, TwoLayers());
+  ASSERT_TRUE(HasKey(diags, Rule::kL1, "module-zzz"));
+}
+
+TEST(RuleL1Test, FlagsIncludeCycle) {
+  ProjectIndex index = BuildIndex({
+      {"src/a/x.h", "#include \"a/y.h\"\nint x;\n"},
+      {"src/a/y.h", "#include \"a/x.h\"\nint y;\n"},
+  });
+  auto diags = CheckIncludeCycles(index);
+  ASSERT_EQ(diags.size(), 1u);  // one canonical report per cycle
+  EXPECT_TRUE(HasKey(diags, Rule::kL1, "src/a/x.h -> src/a/y.h -> src/a/x.h"));
+}
+
+TEST(RuleL1Test, AcyclicIncludesAreClean) {
+  ProjectIndex index = BuildIndex({
+      {"src/a/x.h", "#include \"a/y.h\"\nint x;\n"},
+      {"src/a/y.h", "int y;\n"},
+  });
+  EXPECT_TRUE(CheckIncludeCycles(index).empty());
+}
+
+TEST(LayerConfigTest, ParsesCommentsBlanksAndSharedRanks) {
+  LayerConfig layers;
+  std::string error;
+  ASSERT_TRUE(ParseLayerConfig(
+      "# comment\n\nlayer util\nlayer graph corpus  # trailing\nlayer core\n",
+      &layers, &error))
+      << error;
+  EXPECT_EQ(layers.rank.at("util"), 0);
+  EXPECT_EQ(layers.rank.at("graph"), 1);
+  EXPECT_EQ(layers.rank.at("corpus"), 1);
+  EXPECT_EQ(layers.rank.at("core"), 2);
+}
+
+TEST(LayerConfigTest, RejectsMalformedAndDuplicateLines) {
+  LayerConfig layers;
+  std::string error;
+  EXPECT_FALSE(ParseLayerConfig("tier util\n", &layers, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseLayerConfig("layer util\nlayer util\n", &layers, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+  EXPECT_FALSE(ParseLayerConfig("", &layers, &error));
+}
+
+// ---------------------------------------------------------------------------
+// C3: inferred whole-program lock order
+// ---------------------------------------------------------------------------
+
+constexpr char kInversionOne[] = R"cc(
+  void LockB() { std::lock_guard<std::mutex> g(mu_b); }
+  void AThenB() {
+    std::lock_guard<std::mutex> g(mu_a);
+    LockB();
+  }
+)cc";
+
+constexpr char kInversionTwo[] = R"cc(
+  void LockA() { std::lock_guard<std::mutex> g(mu_a); }
+  void BThenA() {
+    std::lock_guard<std::mutex> g(mu_b);
+    LockA();
+  }
+)cc";
+
+TEST(RuleC3Test, FlagsCrossFunctionInversionInvisibleToC2) {
+  // Neither file names a rank-classified mutex, so the per-file C2 pass sees
+  // nothing in either one...
+  EXPECT_FALSE(Has(LintSource("src/x/one.cc", kInversionOne), Rule::kC2));
+  EXPECT_FALSE(Has(LintSource("src/x/two.cc", kInversionTwo), Rule::kC2));
+  // ...but the whole-program graph has mu_a -> mu_b (via AThenB -> LockB)
+  // and mu_b -> mu_a (via BThenA -> LockA): a deadlock-shaped cycle.
+  ProjectIndex index = BuildIndex(
+      {{"src/x/one.cc", kInversionOne}, {"src/x/two.cc", kInversionTwo}});
+  auto diags = CheckLockOrder(index);
+  ASSERT_TRUE(HasKey(diags, Rule::kC3, "x::mu_a -> x::mu_b -> x::mu_a"));
+}
+
+TEST(RuleC3Test, FlagsRankContradiction) {
+  // Acquiring a query-tier (rank 2) mutex while holding a store (rank 4)
+  // mutex contradicts the documented order even without a cycle.
+  ProjectIndex index = BuildIndex({{"src/store/fact_store.cc", R"cc(
+    void FactStore::Write() {
+      std::lock_guard<std::mutex> g(store_mu_);
+      std::lock_guard<std::mutex> h(query_mu_);
+    }
+  )cc"}});
+  auto diags = CheckLockOrder(index);
+  ASSERT_TRUE(HasKey(diags, Rule::kC3,
+                     "FactStore::store_mu_->FactStore::query_mu_"));
+}
+
+TEST(RuleC3Test, DocumentedOrderAndScopedLockGroupsAreClean) {
+  ProjectIndex index = BuildIndex({{"src/core/pipeline.cc", R"cc(
+    void Pipeline::Run() {
+      std::lock_guard<std::mutex> g(query_mu_);
+      std::lock_guard<std::mutex> h(store_mu_);
+      std::lock_guard<std::mutex> m(metrics_mu_);
+    }
+    void Pipeline::Evict() {
+      std::scoped_lock both(store_mu_, query_mu_);
+    }
+  )cc"}});
+  EXPECT_TRUE(CheckLockOrder(index).empty());
+}
+
+TEST(RuleC3Test, SuppressedByAllowMarker) {
+  ProjectIndex index = BuildIndex({{"src/store/fact_store.cc", R"cc(
+    void FactStore::Write() {
+      std::lock_guard<std::mutex> g(store_mu_);
+      // qkbfly-lint: allow(C3)
+      std::lock_guard<std::mutex> h(query_mu_);
+    }
+  )cc"}});
+  EXPECT_TRUE(CheckLockOrder(index).empty());
+}
+
+// ---------------------------------------------------------------------------
+// A1: hot-path allocation
+// ---------------------------------------------------------------------------
+
+TEST(RuleA1Test, FlagsAllocationReachableFromDensify) {
+  ProjectIndex index = BuildIndex({{"src/densify/d.cc", R"cc(
+    void Helper() { buf.push_back(1); }
+    void GreedyDensifier::Densify() { Helper(); }
+  )cc"}});
+  auto diags = CheckHotPathAlloc(index, DefaultHotPathRoots());
+  ASSERT_TRUE(HasKey(diags, Rule::kA1, "Helper/push_back"));
+}
+
+TEST(RuleA1Test, AllowOnCallLineIsReachabilityBarrier) {
+  ProjectIndex index = BuildIndex({{"src/densify/d.cc", R"cc(
+    void Helper() { buf.push_back(1); }
+    void GreedyDensifier::Densify() {
+      // qkbfly-lint: allow(A1)
+      Helper();
+    }
+  )cc"}});
+  EXPECT_TRUE(CheckHotPathAlloc(index, DefaultHotPathRoots()).empty());
+}
+
+TEST(RuleA1Test, SuppressedAtTheAllocationSite) {
+  ProjectIndex index = BuildIndex({{"src/densify/d.cc", R"cc(
+    void GreedyDensifier::Densify() {
+      // qkbfly-lint: allow(A1)
+      scratch.push_back(1);
+    }
+  )cc"}});
+  EXPECT_TRUE(CheckHotPathAlloc(index, DefaultHotPathRoots()).empty());
+}
+
+TEST(RuleA1Test, WorkspaceAndOutParamGrowthIsExempt) {
+  ProjectIndex index = BuildIndex({{"src/densify/d.cc", R"cc(
+    void GreedyDensifier::Densify() {
+      ws->adj_data.push_back(1);
+      result->removal_order.push_back(2);
+      auto& lane = ws_->lanes;
+      lane.resize(8);
+    }
+  )cc"}});
+  EXPECT_TRUE(CheckHotPathAlloc(index, DefaultHotPathRoots()).empty());
+}
+
+TEST(RuleA1Test, OperatorNewAndMakeUniqueAreFlagged) {
+  ProjectIndex index = BuildIndex({{"src/densify/d.cc", R"cc(
+    void GreedyDensifier::Densify() {
+      auto* p = new int(3);
+      auto q = std::make_unique<int>(4);
+    }
+  )cc"}});
+  auto diags = CheckHotPathAlloc(index, DefaultHotPathRoots());
+  EXPECT_TRUE(HasKey(diags, Rule::kA1, "Densify/new"));
+  EXPECT_TRUE(HasKey(diags, Rule::kA1, "Densify/make_unique"));
+}
+
+TEST(RuleA1Test, UnreachableAllocationIsClean) {
+  ProjectIndex index = BuildIndex({{"src/densify/d.cc", R"cc(
+    void ColdSetup() { buf.push_back(1); }
+    void GreedyDensifier::Densify() { Trim(); }
+  )cc"}});
+  EXPECT_TRUE(CheckHotPathAlloc(index, DefaultHotPathRoots()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF export
+// ---------------------------------------------------------------------------
+
+TEST(SarifTest, EmittedReportValidates) {
+  Diagnostic d;
+  d.rule = Rule::kL1;
+  d.file = "src/util/u.h";
+  d.line = 3;
+  d.key = "util->core";
+  d.message = "back-edge with \"quotes\" and\nnewline";
+  std::string sarif = SarifReport({d});
+  std::string error;
+  EXPECT_TRUE(ValidateSarif(sarif, &error)) << error;
+  EXPECT_NE(sarif.find("\"ruleId\": \"L1\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+}
+
+TEST(SarifTest, EmptyReportValidates) {
+  std::string sarif = SarifReport({});
+  std::string error;
+  EXPECT_TRUE(ValidateSarif(sarif, &error)) << error;
+}
+
+TEST(SarifTest, RejectsCorruptJsonAndContractViolations) {
+  std::string error;
+  EXPECT_FALSE(ValidateSarif("{ \"version\": \"2.1.0\", ", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ValidateSarif("{\"version\": \"1.0\", \"runs\": []}", &error));
+  EXPECT_FALSE(ValidateSarif("{\"version\": \"2.1.0\", \"runs\": []}", &error));
+  // Unknown ruleId.
+  EXPECT_FALSE(ValidateSarif(
+      "{\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": {\"name\": "
+      "\"x\"}}, \"results\": [{\"ruleId\": \"Z9\", \"message\": {\"text\": "
+      "\"m\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+      "{\"uri\": \"f\"}, \"region\": {\"startLine\": 1}}}]}]}]}",
+      &error));
+  EXPECT_NE(error.find("Z9"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline file formatting
+// ---------------------------------------------------------------------------
+
+TEST(BaselineTest, FormatBaselineFileSortsAndDedupes) {
+  Diagnostic d1, d2, d3;
+  d1.rule = Rule::kL1;
+  d1.file = "src/b.h";
+  d1.key = "k";
+  d2.rule = Rule::kA1;
+  d2.file = "src/a.cc";
+  d2.key = "f/new";
+  d3 = d1;  // duplicate collapses
+  std::string text = FormatBaselineFile({d1, d2, d3});
+  size_t a1 = text.find("A1|src/a.cc|f/new");
+  size_t l1 = text.find("L1|src/b.h|k");
+  ASSERT_NE(a1, std::string::npos);
+  ASSERT_NE(l1, std::string::npos);
+  EXPECT_LT(a1, l1);  // rule-major field order
+  EXPECT_EQ(text.find("L1|src/b.h|k", l1 + 1), std::string::npos);
+  EXPECT_EQ(text.front(), '#');  // policy header survives
 }
 
 }  // namespace

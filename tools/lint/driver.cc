@@ -1,5 +1,6 @@
 // Filesystem driver and baseline handling for qkbfly-lint.
 #include <algorithm>
+#include <array>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -17,13 +18,6 @@ bool HasExtension(const fs::path& p) {
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
 }
 
-std::string ReadFile(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
 /// Repo-relative display path: strips `root_prefix` (with trailing '/') when
 /// the file lives beneath it, otherwise returns the path unchanged.
 std::string DisplayPath(const fs::path& p, const std::string& root_prefix) {
@@ -38,14 +32,21 @@ std::string DisplayPath(const fs::path& p, const std::string& root_prefix) {
 
 }  // namespace
 
-std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
-                                 const std::string& root_prefix) {
-  std::vector<fs::path> files;
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<SourceFile> ListSourceFiles(const std::vector<std::string>& roots,
+                                        const std::string& root_prefix) {
+  std::vector<fs::path> paths;
   for (const std::string& root : roots) {
     fs::path rp(root);
     std::error_code ec;
     if (fs::is_regular_file(rp, ec)) {
-      if (HasExtension(rp)) files.push_back(rp);
+      if (HasExtension(rp)) paths.push_back(rp);
       continue;
     }
     if (!fs::is_directory(rp, ec)) continue;
@@ -53,32 +54,41 @@ std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
          it.increment(ec)) {
       if (ec) break;
       if (it->is_regular_file(ec) && HasExtension(it->path())) {
-        files.push_back(it->path());
+        paths.push_back(it->path());
       }
     }
   }
   // Deterministic scan order regardless of directory enumeration order.
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    files.push_back(SourceFile{p.generic_string(), DisplayPath(p, root_prefix)});
+  }
+  return files;
+}
 
+std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
+                                 const std::string& root_prefix) {
   std::vector<Diagnostic> out;
-  for (const fs::path& file : files) {
-    std::string source = ReadFile(file);
-    std::string display = DisplayPath(file, root_prefix);
+  for (const SourceFile& file : ListSourceFiles(roots, root_prefix)) {
+    std::string source = ReadFileToString(file.path);
     // A .cc sees the unordered declarations of its same-directory header so
     // D1 catches loops over members declared in the class.
     std::vector<std::string> extra;
-    std::string ext = file.extension().string();
+    fs::path fp(file.path);
+    std::string ext = fp.extension().string();
     if (ext == ".cc" || ext == ".cpp") {
-      fs::path header = file;
+      fs::path header = fp;
       header.replace_extension(".h");
       std::error_code ec;
       if (fs::is_regular_file(header, ec)) {
-        LexedFile lexed = Lex(ReadFile(header));
+        LexedFile lexed = Lex(ReadFileToString(header.generic_string()));
         extra = UnorderedDeclNames(lexed);
       }
     }
-    std::vector<Diagnostic> diags = LintSource(display, source, extra);
+    std::vector<Diagnostic> diags = LintSource(file.display, source, extra);
     out.insert(out.end(), std::make_move_iterator(diags.begin()),
                std::make_move_iterator(diags.end()));
   }
@@ -115,6 +125,32 @@ std::vector<BaselineEntry> ParseBaseline(std::string_view text) {
 
 std::string FormatBaselineEntry(const Diagnostic& diag) {
   return std::string(RuleName(diag.rule)) + "|" + diag.file + "|" + diag.key;
+}
+
+std::string FormatBaselineFile(const std::vector<Diagnostic>& diags) {
+  // Field-wise (rule, file, key) sort so the file diffs stably even when a
+  // key happens to contain '|'-adjacent characters.
+  std::vector<std::array<std::string, 3>> rows;
+  rows.reserve(diags.size());
+  for (const Diagnostic& d : diags) {
+    rows.push_back({std::string(RuleName(d.rule)), d.file, d.key});
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  std::string out =
+      "# qkbfly-lint baseline: grandfathered findings, one rule|file|key per "
+      "line.\n"
+      "# Policy: this file only shrinks. Fix the site or add a justified\n"
+      "# `// qkbfly-lint: allow(<rule>)` comment instead of adding entries.\n";
+  for (const auto& row : rows) {
+    out += row[0];
+    out += '|';
+    out += row[1];
+    out += '|';
+    out += row[2];
+    out += '\n';
+  }
+  return out;
 }
 
 BaselineResult ApplyBaseline(std::vector<Diagnostic> diags,

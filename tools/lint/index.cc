@@ -1,0 +1,429 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "lint/structure.h"
+
+namespace qkbfly::lint {
+
+namespace {
+
+bool Is(const Token& t, std::string_view text) { return t.text == text; }
+bool IsIdent(const Token& t) { return t.kind == Token::Kind::kIdent; }
+
+bool IsGuardType(const Token& t) {
+  return Is(t, "lock_guard") || Is(t, "unique_lock") || Is(t, "scoped_lock") ||
+         Is(t, "shared_lock");
+}
+
+bool IsGrowthCall(const Token& t) {
+  return Is(t, "push_back") || Is(t, "emplace_back") || Is(t, "emplace") ||
+         Is(t, "resize") || Is(t, "reserve") || Is(t, "insert") ||
+         Is(t, "append");
+}
+
+bool IsCallKeyword(const Token& t) {
+  return Is(t, "if") || Is(t, "for") || Is(t, "while") || Is(t, "switch") ||
+         Is(t, "return") || Is(t, "sizeof") || Is(t, "catch") ||
+         Is(t, "static_assert") || Is(t, "alignof") || Is(t, "decltype") ||
+         Is(t, "assert") || Is(t, "noexcept");
+}
+
+/// Receivers whose growth is exempt from A1: the thread_local densify
+/// workspace (retained capacity by design) and caller-owned out-parameters
+/// (capacity retained across reuse by the caller — the runtime twin,
+/// densify_alloc_test, measures steady-state allocations the same way).
+bool IsExemptRoot(std::string_view ident) {
+  return ident == "ws" || ident == "ws_" || ident == "workspace" ||
+         ident == "workspace_" || ident == "out" || ident == "result" ||
+         ident == "output";
+}
+
+struct FnScanner {
+  const std::vector<Token>& toks;
+  const Structure& s;
+
+  const Token& Tok(size_t f) const { return toks[s.idx[f]]; }
+  size_t Count() const { return s.idx.size(); }
+
+  size_t SkipAngles(size_t f) const {
+    int depth = 0;
+    size_t n = Count();
+    for (size_t i = f; i < n; ++i) {
+      if (Is(Tok(i), "<")) ++depth;
+      if (Is(Tok(i), ">") && --depth == 0) return i + 1;
+      if (Is(Tok(i), ";")) return i;
+    }
+    return n;
+  }
+
+  size_t MatchParen(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < Count(); ++i) {
+      if (Is(Tok(i), "(")) ++depth;
+      if (Is(Tok(i), ")") && --depth == 0) return i;
+    }
+    return Count();
+  }
+
+  /// Receiver chain before position `f` (exclusive), innermost first when
+  /// read forward: for `a->b.c` before `push_back`, returns "a->b.c" and
+  /// sets `first` to "a", `last` to "c".
+  std::string ChainBefore(size_t f, std::string* first,
+                          std::string* last) const {
+    std::vector<std::string> parts;
+    size_t j = f;
+    while (j > 0) {
+      const Token& p = Tok(j - 1);
+      if (IsIdent(p) || Is(p, ".") || Is(p, "->") || Is(p, "::")) {
+        parts.push_back(p.text);
+        --j;
+      } else {
+        break;
+      }
+    }
+    std::string chain;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) chain += *it;
+    if (first != nullptr) {
+      first->clear();
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        if (!it->empty() && (std::isalpha(static_cast<unsigned char>((*it)[0])) ||
+                             (*it)[0] == '_')) {
+          *first = *it;
+          break;
+        }
+      }
+    }
+    if (last != nullptr) {
+      last->clear();
+      for (const std::string& p : parts) {
+        if (!p.empty() && (std::isalpha(static_cast<unsigned char>(p[0])) ||
+                           p[0] == '_')) {
+          *last = p;
+          break;
+        }
+      }
+    }
+    return chain;
+  }
+};
+
+/// Last `.`/`->`-separated component of a lock receiver expression, used to
+/// fold per-instance spellings ("shard.mutex", "s->mutex") into one member.
+std::string LastComponent(const std::vector<std::string>& idents) {
+  return idents.empty() ? std::string("lock") : idents.back();
+}
+
+}  // namespace
+
+std::string ModuleOf(std::string_view path) {
+  std::string_view rest = path;
+  if (rest.rfind("src/", 0) == 0) {
+    rest.remove_prefix(4);
+    size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return "src";
+    return std::string(rest.substr(0, slash));
+  }
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return std::string(rest);
+  return std::string(rest.substr(0, slash));
+}
+
+const IndexedFile* ProjectIndex::FindFile(std::string_view path) const {
+  for (const IndexedFile& f : files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+bool ProjectIndex::IsAllowed(std::string_view file, int line,
+                             std::string_view rule) const {
+  const IndexedFile* f = FindFile(file);
+  if (f == nullptr) return false;
+  for (int l : {line, line - 1}) {
+    auto it = f->allowed.find(l);
+    if (it == f->allowed.end()) continue;
+    if (it->second.count("*") > 0 ||
+        it->second.count(std::string(rule)) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ProjectIndexBuilder::AddFile(std::string path, std::string_view source) {
+  LexedFile lexed = Lex(source);
+  Structure structure = BuildStructure(lexed.tokens);
+
+  IndexedFile file;
+  file.path = path;
+  file.module = ModuleOf(path);
+  file.allowed = lexed.allowed;
+
+  // Include edges: `# include "x/y.h"` token triples (preproc tokens carry
+  // line numbers; the normalized directive strings do not). System includes
+  // in <...> never resolve to project files and are skipped here.
+  const std::vector<Token>& all = lexed.tokens;
+  for (size_t i = 0; i + 2 < all.size(); ++i) {
+    if (!all[i].preproc || !Is(all[i], "#")) continue;
+    if (!Is(all[i + 1], "include")) continue;
+    if (all[i + 2].kind != Token::Kind::kString ||
+        all[i + 2].text.size() < 3) {
+      continue;
+    }
+    IncludeRef ref;
+    ref.raw = all[i + 2].text.substr(1, all[i + 2].text.size() - 2);
+    ref.line = all[i + 2].line;
+    file.includes.push_back(std::move(ref));
+  }
+
+  // Per-function facts.
+  for (const FunctionRegion& region : structure.functions) {
+    IndexedFunction fn;
+    fn.file = path;
+    fn.name = region.name;
+    fn.qualified = region.qualified;
+    fn.line = structure.idx.empty()
+                  ? 0
+                  : lexed.tokens[structure.idx[region.open]].line;
+    std::string owner;
+    size_t sep = region.qualified.rfind("::");
+    owner = sep == std::string::npos ? file.module
+                                     : region.qualified.substr(0, sep);
+
+    FnScanner scan{lexed.tokens, structure};
+    size_t n = scan.Count();
+
+    // Alias pass: `auto& name = ws_->...;` makes `name` an exempt growth
+    // receiver inside this function.
+    std::set<std::string> exempt_aliases;
+    for (size_t f = region.open; f + 3 < region.close && f + 3 < n; ++f) {
+      if (!Is(scan.Tok(f), "auto")) continue;
+      size_t j = f + 1;
+      while (j < n && (Is(scan.Tok(j), "&") || Is(scan.Tok(j), "&&") ||
+                       Is(scan.Tok(j), "const"))) {
+        ++j;
+      }
+      if (j + 2 >= n || !IsIdent(scan.Tok(j)) || !Is(scan.Tok(j + 1), "=") ||
+          !IsIdent(scan.Tok(j + 2))) {
+        continue;
+      }
+      if (IsExemptRoot(scan.Tok(j + 2).text) ||
+          exempt_aliases.count(scan.Tok(j + 2).text) > 0) {
+        exempt_aliases.insert(scan.Tok(j).text);
+      }
+    }
+
+    struct HeldLock {
+      std::string node;
+      int depth = 0;
+      int group = -1;
+    };
+    std::vector<HeldLock> held;
+    int depth = 0;
+    int next_group = 0;
+    // Token indices of guard variable names (`std::scoped_lock g(...)`):
+    // `g(` would otherwise be re-scanned as a call site.
+    std::set<size_t> guard_var_toks;
+
+    for (size_t f = region.open; f < region.close && f < n; ++f) {
+      const Token& t = scan.Tok(f);
+      if (Is(t, "{")) ++depth;
+      if (Is(t, "}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+
+      // --- Lock acquisitions -------------------------------------------
+      bool is_guard = IsGuardType(t);
+      bool is_lock_call = Is(t, "lock") && f > region.open &&
+                          (Is(scan.Tok(f - 1), ".") ||
+                           Is(scan.Tok(f - 1), "->")) &&
+                          f + 1 < n && Is(scan.Tok(f + 1), "(");
+      if (is_guard || is_lock_call) {
+        // Each entry: the ident components of one mutex expression.
+        std::vector<std::vector<std::string>> member_chains;
+        std::vector<std::string> exprs;
+        if (is_guard) {
+          size_t i = f + 1;
+          if (i < n && Is(scan.Tok(i), "<")) i = scan.SkipAngles(i);
+          if (i < n && IsIdent(scan.Tok(i))) {
+            guard_var_toks.insert(i);
+            ++i;  // guard variable name
+          }
+          if (i >= n || !Is(scan.Tok(i), "(")) continue;
+          size_t close = scan.MatchParen(i);
+          std::vector<std::string> idents;
+          std::string expr;
+          int pdepth = 0;
+          for (size_t j = i + 1; j <= close && j < n; ++j) {
+            const Token& a = scan.Tok(j);
+            if (Is(a, "(") || Is(a, "[")) ++pdepth;
+            if (Is(a, ")") || Is(a, "]")) --pdepth;
+            bool at_end = j == close;
+            if ((Is(a, ",") && pdepth == 0) || at_end) {
+              // `std::defer_lock` etc. are tag arguments, not mutexes.
+              bool tag = expr.find("defer_lock") != std::string::npos ||
+                         expr.find("adopt_lock") != std::string::npos ||
+                         expr.find("try_to_lock") != std::string::npos;
+              if (!expr.empty() && !tag) {
+                member_chains.push_back(idents);
+                exprs.push_back(expr);
+              }
+              idents.clear();
+              expr.clear();
+              continue;
+            }
+            if (IsIdent(a) && !Is(a, "std")) idents.push_back(a.text);
+            expr += a.text;
+          }
+        } else {
+          // `X.lock()` / `X->lock()`: collect the receiver chain backwards.
+          size_t j = f - 1;  // the '.'/'->'
+          std::vector<std::string> parts;
+          while (j > region.open) {
+            const Token& p = scan.Tok(j - 1);
+            if (IsIdent(p) || Is(p, ".") || Is(p, "->") || Is(p, "::")) {
+              parts.push_back(p.text);
+              --j;
+            } else {
+              break;
+            }
+          }
+          std::vector<std::string> idents;
+          std::string expr;
+          for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+            expr += *it;
+            if (!it->empty() &&
+                (std::isalpha(static_cast<unsigned char>((*it)[0])) ||
+                 (*it)[0] == '_')) {
+              idents.push_back(*it);
+            }
+          }
+          if (expr.empty()) continue;
+          member_chains.push_back(idents);
+          exprs.push_back(expr);
+        }
+        if (exprs.empty()) continue;
+        int group = exprs.size() > 1 ? next_group++ : -1;
+        std::vector<std::string> new_nodes;
+        for (size_t k = 0; k < exprs.size(); ++k) {
+          new_nodes.push_back(owner + "::" + LastComponent(member_chains[k]));
+        }
+        // Order edges from every held lock to every newly acquired one; no
+        // edges among members of one scoped_lock group.
+        for (size_t k = 0; k < new_nodes.size(); ++k) {
+          for (const HeldLock& h : held) {
+            if (h.node == new_nodes[k]) continue;
+            LockEdge edge;
+            edge.outer = h.node;
+            edge.inner = new_nodes[k];
+            edge.line = t.line;
+            fn.lock_edges.push_back(std::move(edge));
+          }
+        }
+        for (size_t k = 0; k < new_nodes.size(); ++k) {
+          LockAcquisition acq;
+          acq.node = new_nodes[k];
+          acq.expr = exprs[k];
+          acq.line = t.line;
+          acq.group = group;
+          fn.locks.push_back(acq);
+          held.push_back({new_nodes[k], depth, group});
+        }
+        continue;
+      }
+
+      // --- Allocation sites --------------------------------------------
+      if (Is(t, "new")) {
+        if (f + 1 < n && Is(scan.Tok(f + 1), "(")) continue;  // placement
+        AllocSite site;
+        site.what = "new";
+        site.line = t.line;
+        fn.allocs.push_back(std::move(site));
+        continue;
+      }
+      if ((Is(t, "make_unique") || Is(t, "make_shared")) && f + 1 < n &&
+          (Is(scan.Tok(f + 1), "<") || Is(scan.Tok(f + 1), "("))) {
+        AllocSite site;
+        site.what = t.text;
+        site.line = t.line;
+        fn.allocs.push_back(std::move(site));
+        continue;
+      }
+      if (IsGrowthCall(t) && f > region.open && f + 1 < n &&
+          Is(scan.Tok(f + 1), "(") &&
+          (Is(scan.Tok(f - 1), ".") || Is(scan.Tok(f - 1), "->"))) {
+        std::string first, last_unused;
+        // Collects the receiver plus its trailing '.'/'->'.
+        std::string chain = scan.ChainBefore(f, &first, &last_unused);
+        AllocSite site;
+        site.what = t.text;
+        site.receiver = chain;
+        site.line = t.line;
+        site.exempt =
+            IsExemptRoot(first) || exempt_aliases.count(first) > 0;
+        fn.allocs.push_back(std::move(site));
+        continue;
+      }
+
+      // --- Call sites --------------------------------------------------
+      if (IsIdent(t) && !IsCallKeyword(t) && !IsGuardType(t) &&
+          guard_var_toks.count(f) == 0 && f + 1 < n &&
+          Is(scan.Tok(f + 1), "(")) {
+        // `new Foo(...)` is recorded as an allocation above, not a call;
+        // `.lock()` is a lock site.
+        if (f > region.open && Is(scan.Tok(f - 1), "new")) continue;
+        CallSite call;
+        call.name = t.text;
+        call.line = t.line;
+        if (f >= region.open + 2 && Is(scan.Tok(f - 1), "::") &&
+            IsIdent(scan.Tok(f - 2))) {
+          call.qualifier = scan.Tok(f - 2).text;
+        }
+        for (const HeldLock& h : held) call.held.push_back(h.node);
+        fn.calls.push_back(std::move(call));
+      }
+    }
+    index_.functions.push_back(std::move(fn));
+  }
+
+  index_.files.push_back(std::move(file));
+}
+
+ProjectIndex ProjectIndexBuilder::Build() {
+  std::sort(index_.files.begin(), index_.files.end(),
+            [](const IndexedFile& a, const IndexedFile& b) {
+              return a.path < b.path;
+            });
+  // Resolve includes by exact or unique path-suffix match against the
+  // indexed file set ("util/arena.h" -> "src/util/arena.h").
+  for (IndexedFile& file : index_.files) {
+    for (IncludeRef& ref : file.includes) {
+      std::string match;
+      int hits = 0;
+      for (const IndexedFile& cand : index_.files) {
+        bool ok = cand.path == ref.raw;
+        if (!ok && cand.path.size() > ref.raw.size() + 1) {
+          size_t at = cand.path.size() - ref.raw.size();
+          ok = cand.path[at - 1] == '/' &&
+               cand.path.compare(at, std::string::npos, ref.raw) == 0;
+        }
+        if (ok) {
+          match = cand.path;
+          ++hits;
+        }
+      }
+      if (hits == 1) ref.resolved = match;
+    }
+  }
+  for (size_t i = 0; i < index_.functions.size(); ++i) {
+    index_.functions_by_name[index_.functions[i].name].push_back(i);
+    index_.functions_by_qualified[index_.functions[i].qualified].push_back(i);
+  }
+  return std::move(index_);
+}
+
+}  // namespace qkbfly::lint

@@ -314,6 +314,9 @@ const char* RuleName(Rule rule) {
     case Rule::kC2: return "C2";
     case Rule::kH1: return "H1";
     case Rule::kO1: return "O1";
+    case Rule::kL1: return "L1";
+    case Rule::kC3: return "C3";
+    case Rule::kA1: return "A1";
   }
   return "?";
 }
@@ -325,6 +328,9 @@ std::optional<Rule> ParseRuleName(std::string_view name) {
   if (name == "C2") return Rule::kC2;
   if (name == "H1") return Rule::kH1;
   if (name == "O1") return Rule::kO1;
+  if (name == "L1") return Rule::kL1;
+  if (name == "C3") return Rule::kC3;
+  if (name == "A1") return Rule::kA1;
   return std::nullopt;
 }
 

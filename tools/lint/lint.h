@@ -17,12 +17,22 @@
 //       atomic, or the leaky-singleton interner shape.
 //   C2  thread::detach, raw `new std::thread`, and acquisitions inverting
 //       the documented ThreadPool -> cache-shard -> metrics lock order.
-//   H1  headers without include guards / #pragma once; TODO/FIXME comments
-//       without an issue tag.
+//   H1  headers without include guards / #pragma once; debt comments
+//       (TODO(tag)/FIXME(tag) style) missing their issue tag.
 //   O1  metric/span registration (GetCounter/GetGauge/GetHistogram,
 //       StartSpan, ScopedSpan) whose name argument is not a snake_case
 //       string literal — runtime-concatenated names allocate on hot paths
 //       and break the registry naming contract.
+//
+// Whole-program rules (phase 2, over a ProjectIndex — see lint/index.h and
+// lint/wholeprogram.h):
+//   L1  include-graph layering: module back-edges against the DAG declared
+//       in tools/lint_layers.txt, and include cycles.
+//   C3  inferred lock order: the acquired-while-held graph built from actual
+//       lock sites must be acyclic and consistent with the documented C2
+//       ranks.
+//   A1  hot-path allocation: functions reachable from the densify hot path
+//       must not allocate or grow non-workspace containers.
 #ifndef QKBFLY_TOOLS_LINT_LINT_H_
 #define QKBFLY_TOOLS_LINT_LINT_H_
 
@@ -35,7 +45,7 @@
 
 namespace qkbfly::lint {
 
-enum class Rule { kD1, kD2, kC1, kC2, kH1, kO1 };
+enum class Rule { kD1, kD2, kC1, kC2, kH1, kO1, kL1, kC3, kA1 };
 
 const char* RuleName(Rule rule);
 std::optional<Rule> ParseRuleName(std::string_view name);
@@ -139,6 +149,22 @@ BaselineResult ApplyBaseline(std::vector<Diagnostic> diags,
 // Driver
 // ---------------------------------------------------------------------------
 
+/// One enumerated source file: `path` opens on disk, `display` is the
+/// repo-relative name used in diagnostics and the project index.
+struct SourceFile {
+  std::string path;
+  std::string display;
+};
+
+/// Every *.h/*.cc/*.cpp under `roots`, sorted and de-duplicated; `display`
+/// strips `root_prefix` when the file lives beneath it.
+std::vector<SourceFile> ListSourceFiles(const std::vector<std::string>& roots,
+                                        const std::string& root_prefix);
+
+/// Whole-file read ("" for unreadable paths — the driver treats an empty
+/// file as having nothing to lint).
+std::string ReadFileToString(const std::string& path);
+
 /// Recursively lints every *.h/*.cc/*.cpp under `roots` (paths reported
 /// relative to `root_prefix` when they live beneath it). For a .cc/.cpp the
 /// paired .h in the same directory contributes its unordered declarations.
@@ -147,6 +173,11 @@ std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
 
 /// Renders "file:line: rule: message" for terminals and CI logs.
 std::string Render(const Diagnostic& diag);
+
+/// Full baseline file text for --write-baseline: header comment plus one
+/// entry per diagnostic, de-duplicated and sorted field-wise by
+/// (rule, file, key) so regeneration is byte-stable.
+std::string FormatBaselineFile(const std::vector<Diagnostic>& diags);
 
 }  // namespace qkbfly::lint
 

@@ -1,0 +1,375 @@
+#include "lint/sarif.h"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace qkbfly::lint {
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          *out += "\\u00";
+          *out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          *out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+struct RuleDoc {
+  const char* id;
+  const char* text;
+};
+
+constexpr RuleDoc kRuleDocs[] = {
+    {"D1", "unordered container iteration order leaks into output"},
+    {"D2", "wall-clock time on a deterministic path"},
+    {"C1", "mutable global state outside the allowed shapes"},
+    {"C2", "per-file lock acquisition order violates documented ranks"},
+    {"H1", "header hygiene (guard, namespace, include style)"},
+    {"O1", "metric/span name is not a snake_case string literal"},
+    {"L1", "include-graph layering back-edge or include cycle"},
+    {"C3", "inferred whole-program lock order is cyclic or contradicts "
+           "documented ranks"},
+    {"A1", "allocation on the densify hot path"},
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM for validation. Same hand-rolled recursive-descent idiom
+// as the metrics-schema checks in tests: no dependencies, first error wins.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  std::string_view text = {};
+  size_t pos = 0;
+  std::string error = {};
+
+  bool Fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\n' ||
+                                 text[pos] == '\t' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) return Fail("truncated escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (std::isxdigit(static_cast<unsigned char>(text[pos + i])) ==
+                  0) {
+                return Fail("bad \\u escape");
+              }
+            }
+            // Validation only cares about well-formedness, not the code
+            // point; keep a placeholder.
+            pos += 4;
+            *out += '?';
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->obj.emplace_back(std::move(key), std::move(v));
+        SkipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->arr.push_back(std::move(v));
+        SkipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = pos;
+      if (c == '-') ++pos;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+              text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+              text[pos] == '+' || text[pos] == '-')) {
+        ++pos;
+      }
+      out->kind = JsonValue::kNumber;
+      out->number = std::stod(std::string(text.substr(start, pos - start)));
+      return true;
+    }
+    return Fail("unexpected character");
+  }
+};
+
+bool CheckResult(const JsonValue& result, size_t i, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    *error = "results[" + std::to_string(i) + "]: " + what;
+    return false;
+  };
+  if (result.kind != JsonValue::kObject) return fail("not an object");
+  const JsonValue* rule_id = result.Find("ruleId");
+  if (rule_id == nullptr || rule_id->kind != JsonValue::kString) {
+    return fail("missing string ruleId");
+  }
+  bool known = false;
+  for (const RuleDoc& doc : kRuleDocs) {
+    if (rule_id->str == doc.id) known = true;
+  }
+  if (!known) return fail("unknown ruleId '" + rule_id->str + "'");
+  const JsonValue* message = result.Find("message");
+  const JsonValue* text =
+      message != nullptr ? message->Find("text") : nullptr;
+  if (text == nullptr || text->kind != JsonValue::kString ||
+      text->str.empty()) {
+    return fail("missing message.text");
+  }
+  const JsonValue* locations = result.Find("locations");
+  if (locations == nullptr || locations->kind != JsonValue::kArray ||
+      locations->arr.empty()) {
+    return fail("missing locations");
+  }
+  const JsonValue& loc = locations->arr.front();
+  const JsonValue* phys = loc.Find("physicalLocation");
+  if (phys == nullptr) return fail("missing physicalLocation");
+  const JsonValue* artifact = phys->Find("artifactLocation");
+  const JsonValue* uri = artifact != nullptr ? artifact->Find("uri") : nullptr;
+  if (uri == nullptr || uri->kind != JsonValue::kString || uri->str.empty()) {
+    return fail("missing artifactLocation.uri");
+  }
+  const JsonValue* region = phys->Find("region");
+  const JsonValue* start = region != nullptr ? region->Find("startLine")
+                                             : nullptr;
+  if (start == nullptr || start->kind != JsonValue::kNumber ||
+      start->number < 1.0) {
+    return fail("region.startLine must be a number >= 1");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  out += "{\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"qkbfly-lint\",\n";
+  out += "          \"rules\": [\n";
+  for (size_t i = 0; i < sizeof(kRuleDocs) / sizeof(kRuleDocs[0]); ++i) {
+    out += "            {\"id\": \"";
+    out += kRuleDocs[i].id;
+    out += "\", \"shortDescription\": {\"text\": \"";
+    AppendEscaped(kRuleDocs[i].text, &out);
+    out += "\"}}";
+    out += (i + 1 < sizeof(kRuleDocs) / sizeof(kRuleDocs[0])) ? ",\n" : "\n";
+  }
+  out += "          ]\n        }\n      },\n";
+  out += "      \"results\": [\n";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "        {\n          \"ruleId\": \"";
+    out += RuleName(d.rule);
+    out += "\",\n          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"";
+    AppendEscaped(d.message, &out);
+    out += "\"},\n          \"locations\": [\n";
+    out += "            {\"physicalLocation\": {\n";
+    out += "              \"artifactLocation\": {\"uri\": \"";
+    AppendEscaped(d.file, &out);
+    out += "\"},\n              \"region\": {\"startLine\": ";
+    out += std::to_string(d.line > 0 ? d.line : 1);
+    out += "}\n            }}\n          ]\n        }";
+    out += (i + 1 < diags.size()) ? ",\n" : "\n";
+  }
+  out += "      ]\n    }\n  ]\n}\n";
+  return out;
+}
+
+bool ValidateSarif(std::string_view text, std::string* error) {
+  JsonParser parser{text};
+  JsonValue root;
+  if (!parser.ParseValue(&root)) {
+    if (error != nullptr) *error = "json: " + parser.error;
+    return false;
+  }
+  parser.SkipWs();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) *error = "json: trailing data";
+    return false;
+  }
+  std::string local;
+  std::string* err = error != nullptr ? error : &local;
+  if (root.kind != JsonValue::kObject) {
+    *err = "root is not an object";
+    return false;
+  }
+  const JsonValue* version = root.Find("version");
+  if (version == nullptr || version->kind != JsonValue::kString ||
+      version->str != "2.1.0") {
+    *err = "version must be \"2.1.0\"";
+    return false;
+  }
+  const JsonValue* runs = root.Find("runs");
+  if (runs == nullptr || runs->kind != JsonValue::kArray ||
+      runs->arr.empty()) {
+    *err = "runs must be a non-empty array";
+    return false;
+  }
+  const JsonValue& run = runs->arr.front();
+  const JsonValue* tool = run.Find("tool");
+  const JsonValue* driver = tool != nullptr ? tool->Find("driver") : nullptr;
+  const JsonValue* name = driver != nullptr ? driver->Find("name") : nullptr;
+  if (name == nullptr || name->kind != JsonValue::kString ||
+      name->str.empty()) {
+    *err = "tool.driver.name must be a non-empty string";
+    return false;
+  }
+  const JsonValue* results = run.Find("results");
+  if (results == nullptr || results->kind != JsonValue::kArray) {
+    *err = "results must be an array";
+    return false;
+  }
+  for (size_t i = 0; i < results->arr.size(); ++i) {
+    if (!CheckResult(results->arr[i], i, err)) return false;
+  }
+  return true;
+}
+
+}  // namespace qkbfly::lint

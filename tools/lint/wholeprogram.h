@@ -1,0 +1,65 @@
+// Phase 2 of the whole-program analyzer: cross-file rules over a
+// ProjectIndex (lint/index.h).
+//
+//   L1  include-graph layering. tools/lint_layers.txt declares the module
+//       DAG as ascending `layer` lines (modules on one line share a rank
+//       and may include each other); a src/ module may only include same-
+//       or-lower-rank src/ modules. Back-edges, unknown modules, and
+//       file-level include cycles are findings.
+//   C3  inferred lock order. The acquired-while-held graph is built from
+//       actual lock sites — intra-function scope tracking plus cross-
+//       function propagation through unambiguously resolved calls — and
+//       must be acyclic; edges between rank-classified nodes must agree
+//       with the documented C2 ranks (outer rank < inner rank).
+//   A1  hot-path allocation. Functions reachable from the densify roots
+//       must not contain operator new, make_unique/make_shared, or growth
+//       calls on non-workspace receivers. An `allow(A1)` marker on a call
+//       line is a reachability barrier (the static twin of the runtime
+//       densify_alloc_test exclusions).
+#ifndef QKBFLY_TOOLS_LINT_WHOLEPROGRAM_H_
+#define QKBFLY_TOOLS_LINT_WHOLEPROGRAM_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+
+namespace qkbfly::lint {
+
+/// Module -> rank (0 = bottom). Parsed from ascending `layer` lines.
+struct LayerConfig {
+  std::map<std::string, int> rank;
+};
+
+/// Parses `layer <module> [<module>...]` lines ('#' comments, blank lines
+/// ignored). Returns false and fills `error` on malformed input.
+bool ParseLayerConfig(std::string_view text, LayerConfig* out,
+                      std::string* error);
+
+/// L1 back-edges and unknown src/ modules against the declared DAG.
+std::vector<Diagnostic> CheckLayering(const ProjectIndex& index,
+                                      const LayerConfig& layers);
+
+/// L1 file-level include cycles (all indexed files, not just src/).
+std::vector<Diagnostic> CheckIncludeCycles(const ProjectIndex& index);
+
+/// C3 lock-order cycles and documented-rank contradictions.
+std::vector<Diagnostic> CheckLockOrder(const ProjectIndex& index);
+
+/// A1 allocation sites reachable from `roots` (qualified function names).
+std::vector<Diagnostic> CheckHotPathAlloc(const ProjectIndex& index,
+                                          const std::vector<std::string>& roots);
+
+/// Default A1 roots: the densify hot path.
+const std::vector<std::string>& DefaultHotPathRoots();
+
+/// All phase-2 rules, sorted by (file, line) with allow() markers applied.
+std::vector<Diagnostic> RunWholeProgram(const ProjectIndex& index,
+                                        const LayerConfig& layers);
+
+}  // namespace qkbfly::lint
+
+#endif  // QKBFLY_TOOLS_LINT_WHOLEPROGRAM_H_

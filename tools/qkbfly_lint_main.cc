@@ -1,28 +1,49 @@
 // CLI for qkbfly-lint.
 //
-//   qkbfly_lint [--root DIR] [--baseline FILE] [--write-baseline FILE] PATH...
+//   qkbfly_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//               [--wholeprogram] [--layers FILE] [--sarif FILE] [--ci]
+//               [--max-seconds N] PATH...
 //
 // Lints every *.h/*.cc/*.cpp under the given paths (directories recurse).
 // With --baseline, findings matching a committed `rule|file|key` entry are
-// suppressed; stale entries are reported as warnings so the baseline only
-// ever shrinks. Exit status: 0 when no fresh findings, 1 otherwise, 2 on
-// usage errors.
+// suppressed; stale entries are reported as warnings (errors under --ci) so
+// the baseline only ever shrinks.
+//
+//   --wholeprogram   also build the ProjectIndex and run the cross-file
+//                    L1/C3/A1 rules (include layering, inferred lock order,
+//                    hot-path allocation).
+//   --layers FILE    module layer DAG for L1 (default: <root>/tools/
+//                    lint_layers.txt when --wholeprogram is set).
+//   --sarif FILE     write all post-suppression findings as SARIF 2.1.0;
+//                    the document is self-validated before writing.
+//   --ci             stale baseline entries fail the run instead of warning.
+//   --max-seconds N  fail if the full analysis exceeds N seconds (lint
+//                    self-latency guard for CI).
+//
+// Exit status: 0 clean, 1 findings (or stale entries under --ci, or budget
+// exceeded), 2 on usage/internal errors.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/index.h"
 #include "lint/lint.h"
+#include "lint/sarif.h"
+#include "lint/wholeprogram.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
                "usage: qkbfly_lint [--root DIR] [--baseline FILE] "
-               "[--write-baseline FILE] PATH...\n");
+               "[--write-baseline FILE]\n"
+               "                   [--wholeprogram] [--layers FILE] "
+               "[--sarif FILE] [--ci]\n"
+               "                   [--max-seconds N] PATH...\n");
   return 2;
 }
 
@@ -33,6 +54,11 @@ int main(int argc, char** argv) {
   std::string root_prefix;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string layers_path;
+  std::string sarif_path;
+  bool wholeprogram = false;
+  bool ci = false;
+  long max_seconds = 0;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -47,6 +73,19 @@ int main(int argc, char** argv) {
       if (!value(&baseline_path)) return Usage();
     } else if (arg == "--write-baseline") {
       if (!value(&write_baseline_path)) return Usage();
+    } else if (arg == "--layers") {
+      if (!value(&layers_path)) return Usage();
+    } else if (arg == "--sarif") {
+      if (!value(&sarif_path)) return Usage();
+    } else if (arg == "--wholeprogram") {
+      wholeprogram = true;
+    } else if (arg == "--ci") {
+      ci = true;
+    } else if (arg == "--max-seconds") {
+      std::string v;
+      if (!value(&v)) return Usage();
+      max_seconds = std::strtol(v.c_str(), nullptr, 10);
+      if (max_seconds <= 0) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -59,24 +98,50 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) return Usage();
 
+  const auto started = std::chrono::steady_clock::now();
+
+  // Phase 1: per-file rules.
   std::vector<Diagnostic> diags = LintTree(roots, root_prefix);
+
+  // Phase 2: whole-program rules over the project index.
+  if (wholeprogram) {
+    if (layers_path.empty()) {
+      layers_path = root_prefix.empty() ? "tools/lint_layers.txt"
+                                        : root_prefix + "/tools/lint_layers.txt";
+    }
+    std::string layers_text = ReadFileToString(layers_path);
+    if (layers_text.empty()) {
+      std::fprintf(stderr, "qkbfly_lint: cannot read layer config '%s'\n",
+                   layers_path.c_str());
+      return 2;
+    }
+    LayerConfig layers;
+    std::string layer_error;
+    if (!ParseLayerConfig(layers_text, &layers, &layer_error)) {
+      std::fprintf(stderr, "qkbfly_lint: bad layer config '%s': %s\n",
+                   layers_path.c_str(), layer_error.c_str());
+      return 2;
+    }
+    ProjectIndexBuilder builder;
+    for (const SourceFile& file : ListSourceFiles(roots, root_prefix)) {
+      builder.AddFile(file.display, ReadFileToString(file.path));
+    }
+    ProjectIndex index = builder.Build();
+    std::vector<Diagnostic> wp = RunWholeProgram(index, layers);
+    diags.insert(diags.end(), std::make_move_iterator(wp.begin()),
+                 std::make_move_iterator(wp.end()));
+  }
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path);
-    out << "# qkbfly-lint baseline: grandfathered findings, one rule|file|key "
-           "per line.\n"
-        << "# Policy: this file only shrinks. Fix the site or add a justified\n"
-        << "# `// qkbfly-lint: allow(<rule>)` comment instead of adding "
-           "entries.\n";
-    std::vector<std::string> lines;
-    for (const Diagnostic& d : diags) {
-      lines.push_back(FormatBaselineEntry(d));
-    }
-    std::sort(lines.begin(), lines.end());
-    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-    for (const std::string& line : lines) out << line << "\n";
-    std::fprintf(stderr, "qkbfly_lint: wrote %zu baseline entries to %s\n",
-                 lines.size(), write_baseline_path.c_str());
+    out << FormatBaselineFile(diags);
+    std::fprintf(stderr, "qkbfly_lint: wrote %zu finding(s) to baseline %s\n",
+                 diags.size(), write_baseline_path.c_str());
     return 0;
   }
 
@@ -88,9 +153,7 @@ int main(int argc, char** argv) {
                    baseline_path.c_str());
       return 2;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    baseline = ParseBaseline(buf.str());
+    baseline = ParseBaseline(ReadFileToString(baseline_path));
   }
 
   BaselineResult result = ApplyBaseline(std::move(diags), baseline);
@@ -100,13 +163,50 @@ int main(int argc, char** argv) {
   for (const BaselineEntry& e : result.unused) {
     std::fprintf(stderr,
                  "qkbfly_lint: stale baseline entry '%s|%s|%s' — the finding "
-                 "is gone; delete the line\n",
-                 RuleName(e.rule), e.file.c_str(), e.key.c_str());
+                 "is gone; delete the line%s\n",
+                 RuleName(e.rule), e.file.c_str(), e.key.c_str(),
+                 ci ? " (error under --ci)" : "");
   }
+
+  if (!sarif_path.empty()) {
+    std::string sarif = SarifReport(result.fresh);
+    std::string sarif_error;
+    if (!ValidateSarif(sarif, &sarif_error)) {
+      std::fprintf(stderr,
+                   "qkbfly_lint: internal error: emitted SARIF failed "
+                   "self-validation: %s\n",
+                   sarif_error.c_str());
+      return 2;
+    }
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "qkbfly_lint: cannot write SARIF to '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << sarif;
+    std::fprintf(stderr, "qkbfly_lint: wrote SARIF (%zu result(s)) to %s\n",
+                 result.fresh.size(), sarif_path.c_str());
+  }
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
   std::fprintf(stderr,
                "qkbfly_lint: %zu fresh finding(s), %zu baselined, %zu stale "
-               "baseline entr%s\n",
+               "baseline entr%s [%s, %.2fs]\n",
                result.fresh.size(), result.suppressed.size(),
-               result.unused.size(), result.unused.size() == 1 ? "y" : "ies");
-  return result.fresh.empty() ? 0 : 1;
+               result.unused.size(), result.unused.size() == 1 ? "y" : "ies",
+               wholeprogram ? "per-file + whole-program" : "per-file",
+               elapsed);
+  if (max_seconds > 0 && elapsed > static_cast<double>(max_seconds)) {
+    std::fprintf(stderr,
+                 "qkbfly_lint: analysis took %.2fs, over the --max-seconds %ld "
+                 "budget\n",
+                 elapsed, max_seconds);
+    return 1;
+  }
+  if (!result.fresh.empty()) return 1;
+  if (ci && !result.unused.empty()) return 1;
+  return 0;
 }
